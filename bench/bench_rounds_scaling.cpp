@@ -1,0 +1,79 @@
+// E4: number of rounds vs instance size - the Peacock [PODC'15] contrast.
+//
+// On the reversal family (new route traverses the old route's interior
+// backwards) strong loop freedom degenerates to Θ(n) rounds, while the
+// relaxed (weak) loop freedom that Peacock targets stays essentially flat.
+// Random instances show the same gap in expectation. This regenerates the
+// qualitative figure behind the demo's "weak loop freedom [4]" guarantee.
+#include "bench_common.hpp"
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu {
+namespace {
+
+void run() {
+  bench::print_header("E4", "rounds needed: relaxed vs strong loop freedom",
+                      "Peacock [4] claim (O(log n)-ish vs Theta(n))");
+
+  stats::Table reversal({"n (old path length)", "peacock rounds",
+                         "slf-greedy rounds", "speedup"});
+  for (const std::size_t n : {4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+    const update::Instance inst = topo::reversal_instance(n);
+    const Result<update::Schedule> peacock = update::plan_peacock(inst);
+    const Result<update::Schedule> slf = update::plan_slf_greedy(inst);
+    if (!peacock.ok() || !slf.ok()) continue;
+    reversal.add_row(
+        {std::to_string(n), std::to_string(peacock.value().round_count()),
+         std::to_string(slf.value().round_count()),
+         bench::fmt(static_cast<double>(slf.value().round_count()) /
+                    static_cast<double>(peacock.value().round_count()), 1) +
+             "x"});
+  }
+  std::printf("reversal family (worst case for strong loop freedom):\n");
+  bench::print_table(reversal);
+
+  stats::Table random_table({"old interior", "instances", "peacock mean",
+                             "peacock max", "slf mean", "slf max",
+                             "wayup mean (<=4)"});
+  Rng rng(20160822);  // SIGCOMM'16 started Aug 22, 2016
+  for (const std::size_t interior : {4u, 8u, 12u, 16u, 24u}) {
+    topo::RandomInstanceOptions options;
+    options.old_interior_min = interior;
+    options.old_interior_max = interior;
+    options.new_len_min = interior;
+    options.new_len_max = interior;
+    options.reuse_probability = 0.7;
+    stats::Summary peacock_rounds;
+    stats::Summary slf_rounds;
+    stats::Summary wayup_rounds;
+    const int instances = 60;
+    for (int i = 0; i < instances; ++i) {
+      const update::Instance inst = topo::random_instance(rng, options);
+      if (const Result<update::Schedule> s = update::plan_peacock(inst); s.ok())
+        peacock_rounds.add(static_cast<double>(s.value().round_count()));
+      if (const Result<update::Schedule> s = update::plan_slf_greedy(inst);
+          s.ok())
+        slf_rounds.add(static_cast<double>(s.value().round_count()));
+      if (const Result<update::Schedule> s = update::plan_wayup(inst); s.ok())
+        wayup_rounds.add(static_cast<double>(s.value().round_count()));
+    }
+    random_table.add_row(
+        {std::to_string(interior), std::to_string(instances),
+         bench::fmt(peacock_rounds.mean()),
+         bench::fmt(peacock_rounds.max(), 0), bench::fmt(slf_rounds.mean()),
+         bench::fmt(slf_rounds.max(), 0), bench::fmt(wayup_rounds.mean())});
+  }
+  std::printf("random two-path instances (reuse=0.7):\n");
+  bench::print_table(random_table);
+}
+
+}  // namespace
+}  // namespace tsu
+
+int main() {
+  tsu::run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E2: update time of flow tables - the paper's stated evaluation metric
+// ("we have been running our evaluations with respect to the update time of
+// flow tables in OpenFlow switches").
+//
+// Sweeps the two asynchrony knobs the demo exposes:
+//   - FlowMod install latency distribution (OVS-ish constant / lognormal,
+//     and the heavy-tailed bounded Pareto that models the hardware switches
+//     of the paper's footnote 2 / Kuzniar et al. PAM'15),
+//   - control-channel RTT,
+// and reports the controller-observed update completion time per scheduler.
+// Expected shape: multi-round schedulers pay roughly (#rounds) x (RTT +
+// install + barrier) while OneShot pays one round; the security of WayUp
+// costs a constant factor, not a scaling penalty.
+#include "bench_common.hpp"
+
+#include "tsu/topo/instances.hpp"
+
+namespace tsu {
+namespace {
+
+struct InstallModel {
+  const char* name;
+  sim::LatencyModel model;
+};
+
+void run() {
+  bench::print_header(
+      "E2", "update time of flow tables vs install latency and RTT",
+      "section 2 evaluation metric (update time of flow tables)");
+
+  const topo::Fig1 fig = topo::fig1();
+  const std::vector<InstallModel> install_models{
+      {"const 1ms", sim::LatencyModel::constant(sim::milliseconds(1))},
+      {"lognormal med=1ms s=0.7",
+       sim::LatencyModel::lognormal(sim::milliseconds(1), 0.7)},
+      {"pareto 0.5..50ms a=1.3",
+       sim::LatencyModel::pareto(sim::microseconds(500), sim::milliseconds(50),
+                                 1.3)},
+  };
+  const std::vector<std::pair<const char*, sim::Duration>> one_way{
+      {"0.1", sim::microseconds(100)},
+      {"1", sim::milliseconds(1)},
+      {"10", sim::milliseconds(10)},
+  };
+
+  stats::Table table({"install model", "one-way ch. ms", "algorithm",
+                      "rounds", "mean ms", "p95 ms", "max ms"});
+  const std::vector<std::uint64_t> seeds = bench::seed_range(50);
+
+  for (const InstallModel& install : install_models) {
+    for (const auto& [rtt_name, latency] : one_way) {
+      for (const core::Algorithm algorithm :
+           {core::Algorithm::kOneShot, core::Algorithm::kTwoPhase,
+            core::Algorithm::kWayUp, core::Algorithm::kPeacock,
+            core::Algorithm::kSlfGreedy}) {
+        const Result<core::PlanOutcome> planned =
+            core::plan(fig.instance, algorithm);
+        if (!planned.ok()) continue;
+        core::ExecutorConfig config;
+        config.with_traffic = false;  // pure control-plane timing
+        config.switch_config.install_latency = install.model;
+        config.channel.latency = sim::LatencyModel::constant(latency);
+        const Result<core::SeedSweep> sweep = core::sweep_seeds(
+            fig.instance, planned.value().schedule, config, seeds);
+        if (!sweep.ok()) continue;
+        table.add_row(
+            {install.name, rtt_name, core::to_string(algorithm),
+             std::to_string(planned.value().schedule.round_count()),
+             bench::fmt(sweep.value().update_ms.mean()),
+             bench::fmt(sweep.value().update_ms_pct.p95()),
+             bench::fmt(sweep.value().update_ms.max())});
+      }
+    }
+  }
+  bench::print_table(table);
+}
+
+}  // namespace
+}  // namespace tsu
+
+int main() {
+  tsu::run();
+  return 0;
+}

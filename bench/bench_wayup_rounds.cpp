@@ -1,0 +1,78 @@
+// E5: WayUp round counts and the optimality gap.
+//
+// WayUp [5] promises waypoint enforcement in a constant number of rounds.
+// On small random instances we compare its round count against the true
+// minimum (exhaustive search with the same per-subset WPE oracle) and
+// verify every schedule with the model checker. Expected shape: WayUp is
+// at most 4 rounds, usually within one round of optimal; the instances
+// where the optimum is smaller are those with empty conflict sets.
+#include "bench_common.hpp"
+
+#include <map>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/util/rng.hpp"
+#include "tsu/verify/checker.hpp"
+
+namespace tsu {
+namespace {
+
+void run() {
+  bench::print_header("E5", "WayUp rounds vs brute-force optimum (WPE)",
+                      "WayUp [5] constant-round claim");
+
+  Rng rng(424242);
+  topo::RandomInstanceOptions options;
+  options.old_interior_max = 4;
+  options.new_len_max = 4;
+  options.reuse_probability = 0.7;
+
+  std::map<std::pair<std::size_t, std::size_t>, int> histogram;
+  int verified = 0;
+  int total = 0;
+  stats::Summary wayup_rounds;
+  stats::Summary optimal_rounds;
+
+  while (total < 120) {
+    const update::Instance inst = topo::random_instance(rng, options);
+    if (inst.touched().size() > 9) continue;
+    const Result<update::Schedule> wayup = update::plan_wayup(inst);
+    if (!wayup.ok()) continue;
+    update::OptimalOptions optimal_options;
+    optimal_options.properties = update::kWaypoint;
+    optimal_options.max_rounds = 6;
+    const Result<update::Schedule> optimal =
+        update::plan_optimal(inst, optimal_options);
+    if (!optimal.ok()) continue;
+    ++total;
+    wayup_rounds.add(static_cast<double>(wayup.value().round_count()));
+    optimal_rounds.add(static_cast<double>(optimal.value().round_count()));
+    ++histogram[{wayup.value().round_count(),
+                 optimal.value().round_count()}];
+    if (verify::check_schedule(inst, wayup.value(), update::kWaypoint).ok)
+      ++verified;
+  }
+
+  stats::Table table({"wayup rounds", "optimal rounds", "instances"});
+  for (const auto& [key, count] : histogram)
+    table.add_row({std::to_string(key.first), std::to_string(key.second),
+                   std::to_string(count)});
+  bench::print_table(table);
+
+  std::printf("instances: %d\n", total);
+  std::printf("wayup   mean rounds: %s (max %s)\n",
+              bench::fmt(wayup_rounds.mean()).c_str(),
+              bench::fmt(wayup_rounds.max(), 0).c_str());
+  std::printf("optimal mean rounds: %s\n",
+              bench::fmt(optimal_rounds.mean()).c_str());
+  std::printf("WPE model-check pass rate: %d/%d\n", verified, total);
+}
+
+}  // namespace
+}  // namespace tsu
+
+int main() {
+  tsu::run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Loop-free traffic migration with Peacock: the PODC'15 use case the demo
+// inherits for its "weak loop freedom" guarantee.
+//
+//   $ ./build/examples/loopfree_migration [n]
+//
+// Migrates a flow from a path onto its reversal - the worst case for
+// strong loop freedom - and contrasts the round counts and update times of
+// Peacock (relaxed loop freedom) and the strong-loop-freedom greedy.
+#include <cstdio>
+#include <cstdlib>
+
+#include "tsu/core/experiment.hpp"
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/verify/checker.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsu;
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12;
+  if (n < 4 || n > 64) {
+    std::fprintf(stderr, "n must be in [4, 64]\n");
+    return 1;
+  }
+
+  const update::Instance inst = topo::reversal_instance(n);
+  std::printf("old route: %s\n", graph::to_string(inst.old_path()).c_str());
+  std::printf("new route: %s (interior reversed)\n\n",
+              graph::to_string(inst.new_path()).c_str());
+
+  core::ExecutorConfig config;
+  config.seed = 3;
+  config.with_traffic = true;
+  config.traffic_interarrival =
+      sim::LatencyModel::constant(sim::microseconds(150));
+
+  for (const core::Algorithm algorithm :
+       {core::Algorithm::kPeacock, core::Algorithm::kSlfGreedy}) {
+    Result<core::ExperimentResult> result =
+        core::run_experiment(inst, algorithm, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", core::to_string(algorithm),
+                   result.error().to_string().c_str());
+      return 1;
+    }
+    const core::ExperimentResult& r = result.value();
+    std::printf("=== %s ===\n", core::to_string(algorithm));
+    std::printf("rounds: %zu   checker: %s\n", r.schedule.round_count(),
+                r.check.ok ? "OK" : "VIOLATED");
+    std::printf("update time: %.2f ms\n", r.execution.update_ms());
+    std::printf("traffic: %s\n\n", r.execution.traffic.to_string().c_str());
+  }
+
+  std::printf(
+      "relaxed loop freedom retires the reversal in a handful of rounds;\n"
+      "strong loop freedom needs ~n rounds - 'it's good to relax!'\n");
+  return 0;
+}

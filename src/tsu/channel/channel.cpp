@@ -1,0 +1,35 @@
+#include "tsu/channel/channel.hpp"
+
+#include "tsu/util/log.hpp"
+
+namespace tsu::channel {
+
+void ControlChannel::send(const proto::Message& message) {
+  TSU_ASSERT_MSG(receiver_ != nullptr, "channel has no receiver");
+
+  // Round-trip through the codec: what arrives is what survives the wire.
+  const std::vector<std::byte> frame = proto::encode(message);
+  ++frames_sent_;
+  bytes_sent_ += frame.size();
+
+  sim::Duration latency = config_.latency.sample(rng_);
+  while (config_.loss_probability > 0 &&
+         rng_.bernoulli(config_.loss_probability)) {
+    // TCP recovers the loss; the receiver just sees it late.
+    latency += config_.retransmit_timeout;
+    ++retransmissions_;
+  }
+
+  // In-order (TCP) delivery: never overtake the previous frame.
+  sim::SimTime deliver_at = sim_.now() + latency;
+  if (deliver_at < last_delivery_) deliver_at = last_delivery_;
+  last_delivery_ = deliver_at;
+
+  sim_.schedule_at(deliver_at, [this, frame = std::move(frame)]() {
+    Result<proto::Message> decoded = proto::decode(frame);
+    TSU_ASSERT_MSG(decoded.ok(), "channel produced an undecodable frame");
+    receiver_(decoded.value());
+  });
+}
+
+}  // namespace tsu::channel

@@ -1,0 +1,165 @@
+#include "tsu/controller/controller.hpp"
+
+#include <unordered_set>
+
+#include "tsu/util/log.hpp"
+
+namespace tsu::controller {
+
+void Controller::attach_switch(NodeId node, SendFn send) {
+  TSU_ASSERT_MSG(send != nullptr, "null switch link");
+  switches_[node] = std::move(send);
+}
+
+void Controller::submit(UpdateRequest request) {
+  UpdateMetrics metrics;
+  metrics.name = request.name;
+  metrics.submitted = sim_.now();
+  queue_.push_back(std::move(request));
+  submitted_metrics_.push_back(metrics);
+  maybe_start_next_request();
+}
+
+void Controller::maybe_start_next_request() {
+  if (active_.has_value() || queue_.empty()) return;
+  ActiveUpdate active;
+  active.request = std::move(queue_.front());
+  queue_.pop_front();
+  active.metrics = submitted_metrics_.front();
+  submitted_metrics_.pop_front();
+  active.metrics.started = sim_.now();
+  active_ = std::move(active);
+  start_round();
+}
+
+void Controller::send_round_ops(const std::vector<RoundOp>& ops) {
+  for (const RoundOp& op : ops) {
+    const auto it = switches_.find(op.node);
+    TSU_ASSERT_MSG(it != switches_.end(), "FlowMod for unattached switch");
+    it->second(proto::make_flow_mod(next_xid(), op.mod));
+    ++active_->metrics.flow_mods_sent;
+    ++active_->metrics.rounds.back().flow_mods;
+  }
+}
+
+void Controller::start_round() {
+  TSU_ASSERT(active_.has_value());
+  ActiveUpdate& active = *active_;
+
+  if (active.next_round >= active.request.rounds.size()) {
+    finish_update();
+    return;
+  }
+
+  active.metrics.rounds.push_back(RoundMetrics{});
+  active.metrics.rounds.back().started = sim_.now();
+
+  if (config_.use_barriers) {
+    // The paper's FSM: send the round's FlowMods, then barrier every switch
+    // of the round and wait for all replies.
+    const std::vector<RoundOp>& ops = active.request.rounds[active.next_round];
+    send_round_ops(ops);
+    std::unordered_set<NodeId> round_switches;
+    for (const RoundOp& op : ops) round_switches.insert(op.node);
+    for (const NodeId node : round_switches) {
+      const Xid xid = next_xid();
+      active.waiting.emplace(xid, node);
+      switches_.at(node)(proto::make_barrier_request(xid));
+      ++active.metrics.barriers_sent;
+      ++active.metrics.rounds.back().barriers;
+    }
+    ++active.next_round;
+    if (active.waiting.empty()) finish_round();  // empty round: advance
+    return;
+  }
+
+  // Reckless mode (ablation): blast every round back-to-back; one trailing
+  // barrier per touched switch detects completion.
+  std::unordered_set<NodeId> touched;
+  while (active.next_round < active.request.rounds.size()) {
+    const std::vector<RoundOp>& ops = active.request.rounds[active.next_round];
+    send_round_ops(ops);
+    for (const RoundOp& op : ops) touched.insert(op.node);
+    ++active.next_round;
+  }
+  for (const NodeId node : touched) {
+    const Xid xid = next_xid();
+    active.waiting.emplace(xid, node);
+    switches_.at(node)(proto::make_barrier_request(xid));
+    ++active.metrics.barriers_sent;
+    ++active.metrics.rounds.back().barriers;
+  }
+  if (active.waiting.empty()) finish_round();
+}
+
+void Controller::on_message(NodeId from, const proto::Message& message) {
+  switch (message.type()) {
+    case proto::MsgType::kBarrierReply: {
+      if (!active_.has_value()) {
+        TSU_LOG(kWarn) << "stray barrier reply from switch " << from;
+        return;
+      }
+      // "For every barrier reply received ... determine the source switch
+      //  ... removed from the set of switches of the current round."
+      const auto it = active_->waiting.find(message.xid);
+      if (it == active_->waiting.end() || it->second != from) {
+        TSU_LOG(kWarn) << "unexpected barrier xid " << message.xid
+                       << " from switch " << from;
+        return;
+      }
+      active_->waiting.erase(it);
+      if (active_->waiting.empty()) finish_round();
+      return;
+    }
+    case proto::MsgType::kEchoRequest: {
+      const auto it = switches_.find(from);
+      if (it != switches_.end())
+        it->second(proto::make_echo_reply(
+            message.xid, std::get<proto::Echo>(message.body).payload));
+      return;
+    }
+    case proto::MsgType::kEchoReply:
+    case proto::MsgType::kHello:
+    case proto::MsgType::kFeaturesReply:
+      return;  // session plumbing; nothing to do
+    case proto::MsgType::kError:
+      TSU_LOG(kError) << "switch " << from << " reported: "
+                      << std::get<proto::Error>(message.body).text;
+      return;
+    default:
+      TSU_LOG(kWarn) << "controller ignoring " << message.to_string();
+      return;
+  }
+}
+
+void Controller::finish_round() {
+  TSU_ASSERT(active_.has_value());
+  active_->metrics.rounds.back().finished = sim_.now();
+
+  const bool more_rounds =
+      active_->next_round < active_->request.rounds.size();
+  if (!more_rounds || !config_.use_barriers) {
+    finish_update();
+    return;
+  }
+  const sim::Duration interval = active_->request.interval;
+  if (interval == 0) {
+    start_round();
+  } else {
+    sim_.schedule(interval, [this]() { start_round(); });
+  }
+}
+
+void Controller::finish_update() {
+  TSU_ASSERT(active_.has_value());
+  active_->metrics.finished = sim_.now();
+  completed_.push_back(active_->metrics);
+  const UpdateMetrics& done = completed_.back();
+  active_.reset();
+  if (on_update_done_) on_update_done_(done);
+  // "...deletes the message from the queue and starts processing the next
+  //  message."
+  maybe_start_next_request();
+}
+
+}  // namespace tsu::controller

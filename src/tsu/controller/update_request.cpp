@@ -1,0 +1,123 @@
+#include "tsu/controller/update_request.hpp"
+
+namespace tsu::controller {
+
+namespace {
+
+proto::FlowMod forward_mod(proto::FlowModCommand command, FlowId flow,
+                           std::uint16_t priority, NodeId next) {
+  proto::FlowMod mod;
+  mod.command = command;
+  mod.priority = priority;
+  mod.match = flow::Match::exact_flow(flow);
+  mod.action = flow::Action::forward(next);
+  return mod;
+}
+
+}  // namespace
+
+std::vector<RoundOp> initial_rules(const update::Instance& inst, FlowId flow,
+                                   std::uint16_t priority) {
+  std::vector<RoundOp> ops;
+  const graph::Path& path = inst.old_path();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    ops.push_back(RoundOp{
+        path[i], forward_mod(proto::FlowModCommand::kAdd, flow, priority,
+                             path[i + 1])});
+  }
+  // Destination delivers to its attached host.
+  proto::FlowMod deliver;
+  deliver.command = proto::FlowModCommand::kAdd;
+  deliver.priority = priority;
+  deliver.match = flow::Match::exact_flow(flow);
+  deliver.action = flow::Action::deliver();
+  ops.push_back(RoundOp{path.back(), deliver});
+  return ops;
+}
+
+UpdateRequest request_from_schedule(const update::Instance& inst,
+                                    const update::Schedule& schedule,
+                                    FlowId flow, std::uint16_t priority,
+                                    sim::Duration interval) {
+  UpdateRequest request;
+  request.name = schedule.algorithm;
+  request.flow = flow;
+  request.interval = interval;
+
+  for (const update::Round& round : schedule.rounds) {
+    std::vector<RoundOp> ops;
+    ops.reserve(round.size());
+    for (const NodeId v : round) {
+      const proto::FlowModCommand command =
+          inst.role(v) == update::NodeRole::kNewOnly
+              ? proto::FlowModCommand::kAdd
+              : proto::FlowModCommand::kModify;
+      ops.push_back(
+          RoundOp{v, forward_mod(command, flow, priority, inst.new_next(v))});
+    }
+    request.rounds.push_back(std::move(ops));
+  }
+
+  if (!schedule.cleanup.empty()) {
+    std::vector<RoundOp> ops;
+    ops.reserve(schedule.cleanup.size());
+    for (const NodeId v : schedule.cleanup) {
+      proto::FlowMod mod;
+      mod.command = proto::FlowModCommand::kDeleteStrict;
+      mod.priority = priority;
+      mod.match = flow::Match::exact_flow(flow);
+      ops.push_back(RoundOp{v, std::move(mod)});
+    }
+    request.rounds.push_back(std::move(ops));
+  }
+
+  return request;
+}
+
+UpdateRequest request_from_merged(
+    const std::vector<const update::Instance*>& policies,
+    const std::vector<const update::Schedule*>& schedules,
+    const update::MergedSchedule& merged, const std::vector<FlowId>& flows,
+    std::uint16_t priority, sim::Duration interval) {
+  TSU_ASSERT(policies.size() == flows.size());
+  TSU_ASSERT(policies.size() == schedules.size());
+
+  UpdateRequest request;
+  request.name = "merged(" + std::to_string(policies.size()) + " policies)";
+  request.flow = flows.empty() ? 0 : flows.front();
+  request.interval = interval;
+
+  for (const update::MergedRound& round : merged.rounds) {
+    std::vector<RoundOp> ops;
+    ops.reserve(round.ops.size());
+    for (const auto& [policy, node] : round.ops) {
+      TSU_ASSERT(policy < policies.size());
+      const update::Instance& inst = *policies[policy];
+      const proto::FlowModCommand command =
+          inst.role(node) == update::NodeRole::kNewOnly
+              ? proto::FlowModCommand::kAdd
+              : proto::FlowModCommand::kModify;
+      ops.push_back(RoundOp{node, forward_mod(command, flows[policy],
+                                              priority,
+                                              inst.new_next(node))});
+    }
+    request.rounds.push_back(std::move(ops));
+  }
+
+  // One trailing cleanup round for everything deletable.
+  std::vector<RoundOp> cleanup;
+  for (std::size_t policy = 0; policy < policies.size(); ++policy) {
+    for (const NodeId v : schedules[policy]->cleanup) {
+      proto::FlowMod mod;
+      mod.command = proto::FlowModCommand::kDeleteStrict;
+      mod.priority = priority;
+      mod.match = flow::Match::exact_flow(flows[policy]);
+      cleanup.push_back(RoundOp{v, std::move(mod)});
+    }
+  }
+  if (!cleanup.empty()) request.rounds.push_back(std::move(cleanup));
+
+  return request;
+}
+
+}  // namespace tsu::controller

@@ -1,0 +1,286 @@
+#include "tsu/core/config.hpp"
+
+namespace tsu::core {
+
+namespace {
+
+Result<double> number_field(const json::Object& obj, const char* key,
+                            double minimum) {
+  const json::Value* value = obj.find(key);
+  if (value == nullptr)
+    return make_error(Errc::kParseError,
+                      std::string("missing field '") + key + "'");
+  if (!value->is_number())
+    return make_error(Errc::kParseError,
+                      std::string("field '") + key + "' must be a number");
+  const double v = value->as_double();
+  if (v < minimum)
+    return make_error(Errc::kOutOfRange,
+                      std::string("field '") + key + "' below minimum");
+  return v;
+}
+
+Result<double> optional_number(const json::Object& obj, const char* key,
+                               double fallback, double minimum) {
+  if (obj.find(key) == nullptr) return fallback;
+  return number_field(obj, key, minimum);
+}
+
+sim::Duration ms(double value) { return sim::from_ms(value); }
+
+}  // namespace
+
+Result<sim::LatencyModel> latency_from_json(const json::Value& value) {
+  if (!value.is_object())
+    return make_error(Errc::kParseError, "latency model must be an object");
+  const json::Object& obj = value.as_object();
+  const json::Value* kind = obj.find("kind");
+  if (kind == nullptr || !kind->is_string())
+    return make_error(Errc::kParseError, "latency model needs string 'kind'");
+  const std::string& name = kind->as_string();
+
+  if (name == "constant") {
+    Result<double> v = number_field(obj, "ms", 0);
+    if (!v.ok()) return v.error();
+    return sim::LatencyModel::constant(ms(v.value()));
+  }
+  if (name == "uniform") {
+    Result<double> lo = number_field(obj, "lo_ms", 0);
+    if (!lo.ok()) return lo.error();
+    Result<double> hi = number_field(obj, "hi_ms", 0);
+    if (!hi.ok()) return hi.error();
+    if (hi.value() < lo.value())
+      return make_error(Errc::kInvalidArgument, "uniform: hi_ms < lo_ms");
+    return sim::LatencyModel::uniform(ms(lo.value()), ms(hi.value()));
+  }
+  if (name == "exponential") {
+    Result<double> mean = number_field(obj, "mean_ms", 0);
+    if (!mean.ok()) return mean.error();
+    if (mean.value() <= 0)
+      return make_error(Errc::kInvalidArgument,
+                        "exponential: mean_ms must be > 0");
+    return sim::LatencyModel::exponential(ms(mean.value()));
+  }
+  if (name == "lognormal") {
+    Result<double> median = number_field(obj, "median_ms", 0);
+    if (!median.ok()) return median.error();
+    Result<double> sigma = number_field(obj, "sigma", 0);
+    if (!sigma.ok()) return sigma.error();
+    if (median.value() <= 0)
+      return make_error(Errc::kInvalidArgument,
+                        "lognormal: median_ms must be > 0");
+    return sim::LatencyModel::lognormal(ms(median.value()), sigma.value());
+  }
+  if (name == "pareto") {
+    Result<double> lo = number_field(obj, "lo_ms", 0);
+    if (!lo.ok()) return lo.error();
+    Result<double> hi = number_field(obj, "hi_ms", 0);
+    if (!hi.ok()) return hi.error();
+    Result<double> alpha = number_field(obj, "alpha", 0);
+    if (!alpha.ok()) return alpha.error();
+    if (lo.value() <= 0 || hi.value() <= lo.value() || alpha.value() <= 0)
+      return make_error(Errc::kInvalidArgument, "pareto: bad parameters");
+    return sim::LatencyModel::pareto(ms(lo.value()), ms(hi.value()),
+                                     alpha.value());
+  }
+  return make_error(Errc::kParseError,
+                    "unknown latency kind '" + name + "'");
+}
+
+Result<ExecutorConfig> config_from_json(std::string_view text) {
+  Result<json::Value> doc = json::parse(text);
+  if (!doc.ok()) return doc.error();
+  return config_from_json(doc.value());
+}
+
+Result<ExecutorConfig> config_from_json(const json::Value& value) {
+  if (!value.is_object())
+    return make_error(Errc::kParseError, "config must be an object");
+  ExecutorConfig config;
+
+  for (const auto& [key, field] : value.as_object()) {
+    if (key == "seed") {
+      if (!field.is_number() || field.as_int() < 0)
+        return make_error(Errc::kParseError, "'seed' must be >= 0");
+      config.seed = static_cast<std::uint64_t>(field.as_int());
+    } else if (key == "channel") {
+      if (!field.is_object())
+        return make_error(Errc::kParseError, "'channel' must be an object");
+      const json::Object& chan = field.as_object();
+      for (const auto& [ckey, cval] : chan) {
+        if (ckey == "latency") {
+          Result<sim::LatencyModel> model = latency_from_json(cval);
+          if (!model.ok()) return model.error();
+          config.channel.latency = model.value();
+        } else if (ckey == "loss") {
+          if (!cval.is_number() || cval.as_double() < 0 ||
+              cval.as_double() > 1)
+            return make_error(Errc::kOutOfRange, "'loss' must be in [0,1]");
+          config.channel.loss_probability = cval.as_double();
+        } else if (ckey == "retransmit_timeout_ms") {
+          Result<double> v =
+              number_field(chan, "retransmit_timeout_ms", 0);
+          if (!v.ok()) return v.error();
+          config.channel.retransmit_timeout = ms(v.value());
+        } else {
+          return make_error(Errc::kParseError,
+                            "unknown channel field '" + ckey + "'");
+        }
+      }
+    } else if (key == "switch") {
+      if (!field.is_object())
+        return make_error(Errc::kParseError, "'switch' must be an object");
+      const json::Object& sw = field.as_object();
+      for (const auto& [skey, sval] : sw) {
+        if (skey == "install") {
+          Result<sim::LatencyModel> model = latency_from_json(sval);
+          if (!model.ok()) return model.error();
+          config.switch_config.install_latency = model.value();
+        } else if (skey == "barrier_us") {
+          Result<double> v = number_field(sw, "barrier_us", 0);
+          if (!v.ok()) return v.error();
+          config.switch_config.barrier_processing =
+              static_cast<sim::Duration>(v.value() * 1e3);
+        } else if (skey == "processing_us") {
+          Result<double> v = number_field(sw, "processing_us", 0);
+          if (!v.ok()) return v.error();
+          config.switch_config.message_processing =
+              static_cast<sim::Duration>(v.value() * 1e3);
+        } else {
+          return make_error(Errc::kParseError,
+                            "unknown switch field '" + skey + "'");
+        }
+      }
+    } else if (key == "use_barriers") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError, "'use_barriers' must be a bool");
+      config.controller.use_barriers = field.as_bool();
+    } else if (key == "flow") {
+      if (!field.is_number() || field.as_int() < 0)
+        return make_error(Errc::kParseError, "'flow' must be >= 0");
+      config.flow = static_cast<FlowId>(field.as_int());
+    } else if (key == "priority") {
+      if (!field.is_number() || field.as_int() < 0 ||
+          field.as_int() > 0xffff)
+        return make_error(Errc::kOutOfRange, "'priority' out of range");
+      config.priority = static_cast<std::uint16_t>(field.as_int());
+    } else if (key == "interval_ms") {
+      if (!field.is_number() || field.as_double() < 0)
+        return make_error(Errc::kOutOfRange, "'interval_ms' must be >= 0");
+      config.interval = ms(field.as_double());
+    } else if (key == "traffic") {
+      if (!field.is_object())
+        return make_error(Errc::kParseError, "'traffic' must be an object");
+      const json::Object& traffic = field.as_object();
+      for (const auto& [tkey, tval] : traffic) {
+        if (tkey == "enabled") {
+          if (!tval.is_bool())
+            return make_error(Errc::kParseError, "'enabled' must be a bool");
+          config.with_traffic = tval.as_bool();
+        } else if (tkey == "interarrival") {
+          Result<sim::LatencyModel> model = latency_from_json(tval);
+          if (!model.ok()) return model.error();
+          config.traffic_interarrival = model.value();
+        } else if (tkey == "link") {
+          Result<sim::LatencyModel> model = latency_from_json(tval);
+          if (!model.ok()) return model.error();
+          config.link_latency = model.value();
+        } else if (tkey == "ttl") {
+          if (!tval.is_number() || tval.as_int() < 1 ||
+              tval.as_int() > 1024)
+            return make_error(Errc::kOutOfRange, "'ttl' out of range");
+          config.ttl = static_cast<int>(tval.as_int());
+        } else if (tkey == "warmup_ms") {
+          Result<double> v = optional_number(traffic, "warmup_ms", 5, 0);
+          if (!v.ok()) return v.error();
+          config.warmup = ms(v.value());
+        } else if (tkey == "drain_ms") {
+          Result<double> v = optional_number(traffic, "drain_ms", 20, 0);
+          if (!v.ok()) return v.error();
+          config.drain = ms(v.value());
+        } else {
+          return make_error(Errc::kParseError,
+                            "unknown traffic field '" + tkey + "'");
+        }
+      }
+    } else {
+      return make_error(Errc::kParseError,
+                        "unknown config field '" + key + "'");
+    }
+  }
+  return config;
+}
+
+namespace {
+
+json::Value latency_to_json(const sim::LatencyModel& model) {
+  json::Object obj;
+  switch (model.kind) {
+    case sim::LatencyKind::kConstant:
+      obj.set("kind", json::Value("constant"));
+      obj.set("ms", json::Value(model.a / 1e6));
+      break;
+    case sim::LatencyKind::kUniform:
+      obj.set("kind", json::Value("uniform"));
+      obj.set("lo_ms", json::Value(model.a / 1e6));
+      obj.set("hi_ms", json::Value(model.b / 1e6));
+      break;
+    case sim::LatencyKind::kExponential:
+      obj.set("kind", json::Value("exponential"));
+      obj.set("mean_ms", json::Value(model.a / 1e6));
+      break;
+    case sim::LatencyKind::kLognormal:
+      obj.set("kind", json::Value("lognormal"));
+      obj.set("median_ms", json::Value(model.a / 1e6));
+      obj.set("sigma", json::Value(model.b));
+      break;
+    case sim::LatencyKind::kPareto:
+      obj.set("kind", json::Value("pareto"));
+      obj.set("lo_ms", json::Value(model.a / 1e6));
+      obj.set("hi_ms", json::Value(model.b / 1e6));
+      obj.set("alpha", json::Value(model.c));
+      break;
+  }
+  return json::Value(std::move(obj));
+}
+
+}  // namespace
+
+json::Value config_to_json(const ExecutorConfig& config) {
+  json::Object root;
+  root.set("seed", json::Value(static_cast<std::int64_t>(config.seed)));
+
+  json::Object channel;
+  channel.set("latency", latency_to_json(config.channel.latency));
+  channel.set("loss", json::Value(config.channel.loss_probability));
+  channel.set("retransmit_timeout_ms",
+              json::Value(sim::to_ms(config.channel.retransmit_timeout)));
+  root.set("channel", json::Value(std::move(channel)));
+
+  json::Object sw;
+  sw.set("install", latency_to_json(config.switch_config.install_latency));
+  sw.set("barrier_us",
+         json::Value(sim::to_us(config.switch_config.barrier_processing)));
+  sw.set("processing_us",
+         json::Value(sim::to_us(config.switch_config.message_processing)));
+  root.set("switch", json::Value(std::move(sw)));
+
+  root.set("use_barriers", json::Value(config.controller.use_barriers));
+  root.set("flow", json::Value(static_cast<std::int64_t>(config.flow)));
+  root.set("priority",
+           json::Value(static_cast<std::int64_t>(config.priority)));
+  root.set("interval_ms", json::Value(sim::to_ms(config.interval)));
+
+  json::Object traffic;
+  traffic.set("enabled", json::Value(config.with_traffic));
+  traffic.set("interarrival", latency_to_json(config.traffic_interarrival));
+  traffic.set("link", latency_to_json(config.link_latency));
+  traffic.set("ttl", json::Value(static_cast<std::int64_t>(config.ttl)));
+  traffic.set("warmup_ms", json::Value(sim::to_ms(config.warmup)));
+  traffic.set("drain_ms", json::Value(sim::to_ms(config.drain)));
+  root.set("traffic", json::Value(std::move(traffic)));
+
+  return json::Value(std::move(root));
+}
+
+}  // namespace tsu::core

@@ -1,0 +1,45 @@
+// JSON-configurable experiments: parse an ExecutorConfig (and the latency
+// models inside it) from a config document, so deployments and experiment
+// sweeps can be described as data instead of code.
+//
+// Schema (all fields optional; unknown keys are rejected):
+// {
+//   "seed": 1,
+//   "channel":  { "latency": <latency>, "loss": 0.01,
+//                 "retransmit_timeout_ms": 50 },
+//   "switch":   { "install": <latency>, "barrier_us": 100,
+//                 "processing_us": 10 },
+//   "use_barriers": true,
+//   "flow": 1, "priority": 100, "interval_ms": 0,
+//   "traffic":  { "enabled": true, "interarrival": <latency>,
+//                 "link": <latency>, "ttl": 64,
+//                 "warmup_ms": 5, "drain_ms": 20 }
+// }
+// <latency> is one of:
+//   { "kind": "constant",    "ms": 1.0 }
+//   { "kind": "uniform",     "lo_ms": 0.1, "hi_ms": 8.0 }
+//   { "kind": "exponential", "mean_ms": 1.0 }
+//   { "kind": "lognormal",   "median_ms": 1.0, "sigma": 0.5 }
+//   { "kind": "pareto",      "lo_ms": 0.5, "hi_ms": 50.0, "alpha": 1.3 }
+#pragma once
+
+#include <string_view>
+
+#include "tsu/core/executor.hpp"
+#include "tsu/json/json.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::core {
+
+// Parses a latency model from its JSON description.
+Result<sim::LatencyModel> latency_from_json(const json::Value& value);
+
+// Parses a full executor configuration; fields not present keep the
+// defaults of ExecutorConfig{}.
+Result<ExecutorConfig> config_from_json(std::string_view text);
+Result<ExecutorConfig> config_from_json(const json::Value& value);
+
+// Round-trip support: renders a config back to JSON (compact).
+json::Value config_to_json(const ExecutorConfig& config);
+
+}  // namespace tsu::core

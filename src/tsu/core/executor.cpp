@@ -1,0 +1,261 @@
+#include "tsu/core/executor.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "tsu/sim/simulator.hpp"
+#include "tsu/util/log.hpp"
+
+namespace tsu::core {
+
+namespace {
+
+flow::FlowRule rule_from_mod(const proto::FlowMod& mod) {
+  return flow::FlowRule{mod.match, mod.action, mod.priority, mod.cookie};
+}
+
+// Everything one simulated run needs, wired together.
+struct Harness {
+  sim::Simulator sim;
+  Rng rng;
+  std::vector<std::unique_ptr<switchsim::SimSwitch>> switch_storage;
+  std::vector<switchsim::SimSwitch*> switches;  // by NodeId
+  std::vector<std::unique_ptr<channel::DuplexChannel>> channels;
+  std::unique_ptr<controller::Controller> ctrl;
+
+  explicit Harness(const ExecutorConfig& config) : rng(config.seed) {
+    ctrl = std::make_unique<controller::Controller>(sim, config.controller);
+  }
+
+  void add_switch(NodeId node, const ExecutorConfig& config) {
+    if (node < switches.size() && switches[node] != nullptr) return;
+    if (switches.size() <= node) switches.resize(node + 1, nullptr);
+
+    auto sw = std::make_unique<switchsim::SimSwitch>(
+        sim, node, static_cast<DatapathId>(node), config.switch_config,
+        rng.fork());
+    auto duplex = std::make_unique<channel::DuplexChannel>(
+        sim, config.channel, rng);
+
+    switchsim::SimSwitch* sw_ptr = sw.get();
+    channel::DuplexChannel* duplex_ptr = duplex.get();
+    controller::Controller* ctrl_ptr = ctrl.get();
+
+    duplex_ptr->to_switch.set_receiver(
+        [sw_ptr](const proto::Message& m) { sw_ptr->receive(m); });
+    duplex_ptr->to_controller.set_receiver(
+        [ctrl_ptr, node](const proto::Message& m) {
+          ctrl_ptr->on_message(node, m);
+        });
+    sw_ptr->set_controller_link([duplex_ptr](const proto::Message& m) {
+      duplex_ptr->to_controller.send(m);
+    });
+    ctrl->attach_switch(node, [duplex_ptr](const proto::Message& m) {
+      duplex_ptr->to_switch.send(m);
+    });
+
+    switches[node] = sw_ptr;
+    switch_storage.push_back(std::move(sw));
+    channels.push_back(std::move(duplex));
+  }
+
+  void install_initial(const update::Instance& inst, FlowId flow,
+                       std::uint16_t priority) {
+    for (const controller::RoundOp& op :
+         controller::initial_rules(inst, flow, priority))
+      switches[op.node]->table().add(rule_from_mod(op.mod));
+  }
+
+  std::size_t total_frames() const {
+    std::size_t frames = 0;
+    for (const auto& duplex : channels)
+      frames += duplex->to_switch.frames_sent() +
+                duplex->to_controller.frames_sent();
+    return frames;
+  }
+
+  std::size_t total_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& duplex : channels)
+      bytes += duplex->to_switch.bytes_sent() +
+               duplex->to_controller.bytes_sent();
+    return bytes;
+  }
+};
+
+void add_instance_switches(Harness& harness, const update::Instance& inst,
+                           const ExecutorConfig& config) {
+  for (NodeId v = 0; v < inst.node_count(); ++v)
+    if (inst.on_old(v) || inst.on_new(v)) harness.add_switch(v, config);
+}
+
+}  // namespace
+
+Result<ExecutionResult> execute(const update::Instance& inst,
+                                const update::Schedule& schedule,
+                                const ExecutorConfig& config) {
+  std::vector<const update::Instance*> instances{&inst};
+  std::vector<const update::Schedule*> schedules{&schedule};
+  Result<std::vector<ExecutionResult>> results =
+      execute_queue(instances, schedules, config);
+  if (!results.ok()) return results.error();
+  TSU_ASSERT(results.value().size() == 1);
+  return std::move(results).value()[0];
+}
+
+Result<std::vector<ExecutionResult>> execute_queue(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config) {
+  if (instances.size() != schedules.size() || instances.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "need matching, non-empty instance/schedule lists");
+
+  Harness harness(config);
+  for (const update::Instance* inst : instances)
+    add_instance_switches(harness, *inst, config);
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    harness.install_initial(*instances[i], config.flow + i, config.priority);
+
+  // Per-request traffic and monitors (distinct flow ids).
+  std::vector<std::unique_ptr<dataplane::ConsistencyMonitor>> monitors;
+  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    monitors.push_back(std::make_unique<dataplane::ConsistencyMonitor>());
+    if (!config.with_traffic) continue;
+    const update::Instance& inst = *instances[i];
+    dataplane::TrafficConfig traffic;
+    traffic.flow = config.flow + i;
+    traffic.ingress = inst.source();
+    traffic.egress = inst.destination();
+    traffic.waypoint = inst.waypoint();
+    traffic.interarrival = config.traffic_interarrival;
+    traffic.link_latency = config.link_latency;
+    traffic.ttl = config.ttl;
+    traffic.start = 0;
+    traffic.stop = std::numeric_limits<sim::SimTime>::max();
+    sources.push_back(std::make_unique<dataplane::TrafficSource>(
+        harness.sim, harness.switches, traffic, harness.rng.fork(),
+        *monitors[i]));
+  }
+
+  // Stop injecting `drain` after the last update completes.
+  std::size_t done_count = 0;
+  harness.ctrl->set_on_update_done(
+      [&](const controller::UpdateMetrics&) {
+        if (++done_count != instances.size()) return;
+        // Give in-flight packets and the monitor a drain window.
+        // (set_stop is monotone: injection checks the new bound.)
+        for (auto& source : sources)
+          if (source) source->set_stop(harness.sim.now() + config.drain);
+      });
+
+  for (auto& source : sources)
+    if (source) source->start();
+
+  // Submit all requests at the end of the warmup (the paper's queue: they
+  // arrive together, the controller serializes them).
+  harness.sim.schedule(config.warmup, [&]() {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      harness.ctrl->submit(controller::request_from_schedule(
+          *instances[i], *schedules[i], config.flow + i, config.priority,
+          config.interval));
+    }
+  });
+
+  harness.sim.run();
+
+  if (!harness.ctrl->idle() ||
+      harness.ctrl->completed().size() != instances.size())
+    return make_error(Errc::kFailedPrecondition,
+                      "simulation drained before all updates completed");
+
+  std::vector<ExecutionResult> results(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    ExecutionResult& result = results[i];
+    result.update = harness.ctrl->completed()[i];
+    result.traffic = monitors[i]->report();
+    result.timeline = monitors[i]->timeline();
+    result.timeline_bucket = monitors[i]->bucket_width();
+    result.frames_sent = harness.total_frames();
+    result.control_bytes = harness.total_bytes();
+    result.packets_injected =
+        (config.with_traffic && i < sources.size() && sources[i])
+            ? sources[i]->injected()
+            : 0;
+  }
+  return results;
+}
+
+Result<MergedExecutionResult> execute_merged(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config) {
+  if (instances.size() != schedules.size() || instances.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "need matching, non-empty instance/schedule lists");
+
+  Result<update::MergedSchedule> merged =
+      update::merge_policies(instances, schedules);
+  if (!merged.ok()) return merged.error();
+
+  Harness harness(config);
+  for (const update::Instance* inst : instances)
+    add_instance_switches(harness, *inst, config);
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    harness.install_initial(*instances[i], config.flow + i, config.priority);
+
+  std::vector<FlowId> flows(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    flows[i] = config.flow + i;
+
+  std::vector<std::unique_ptr<dataplane::ConsistencyMonitor>> monitors;
+  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    monitors.push_back(std::make_unique<dataplane::ConsistencyMonitor>());
+    if (!config.with_traffic) continue;
+    const update::Instance& inst = *instances[i];
+    dataplane::TrafficConfig traffic;
+    traffic.flow = flows[i];
+    traffic.ingress = inst.source();
+    traffic.egress = inst.destination();
+    traffic.waypoint = inst.waypoint();
+    traffic.interarrival = config.traffic_interarrival;
+    traffic.link_latency = config.link_latency;
+    traffic.ttl = config.ttl;
+    traffic.start = 0;
+    traffic.stop = std::numeric_limits<sim::SimTime>::max();
+    sources.push_back(std::make_unique<dataplane::TrafficSource>(
+        harness.sim, harness.switches, traffic, harness.rng.fork(),
+        *monitors[i]));
+  }
+
+  harness.ctrl->set_on_update_done(
+      [&](const controller::UpdateMetrics&) {
+        for (auto& source : sources)
+          if (source) source->set_stop(harness.sim.now() + config.drain);
+      });
+  for (auto& source : sources)
+    if (source) source->start();
+
+  harness.sim.schedule(config.warmup, [&]() {
+    harness.ctrl->submit(controller::request_from_merged(
+        instances, schedules, merged.value(), flows, config.priority,
+        config.interval));
+  });
+
+  harness.sim.run();
+
+  if (!harness.ctrl->idle() || harness.ctrl->completed().size() != 1)
+    return make_error(Errc::kFailedPrecondition,
+                      "simulation drained before the merged update finished");
+
+  MergedExecutionResult result;
+  result.update = harness.ctrl->completed().front();
+  for (const auto& monitor : monitors)
+    result.traffic.push_back(monitor->report());
+  result.frames_sent = harness.total_frames();
+  return result;
+}
+
+}  // namespace tsu::core

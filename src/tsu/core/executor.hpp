@@ -1,0 +1,83 @@
+// Executes a schedule against the full simulated control plane - the C++
+// equivalent of running the paper's demo once: switches come up with the old
+// route installed, traffic flows, the controller pushes the schedule round
+// by round over asynchronous channels with barriers, and the consistency
+// monitor watches every packet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsu/channel/channel.hpp"
+#include "tsu/controller/controller.hpp"
+#include "tsu/dataplane/monitor.hpp"
+#include "tsu/dataplane/traffic.hpp"
+#include "tsu/switchsim/switch.hpp"
+#include "tsu/update/instance.hpp"
+#include "tsu/update/schedule.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::core {
+
+struct ExecutorConfig {
+  std::uint64_t seed = 1;
+  channel::ChannelConfig channel;
+  switchsim::SwitchConfig switch_config;
+  controller::ControllerConfig controller;
+  FlowId flow = 1;
+  std::uint16_t priority = 100;
+  sim::Duration interval = 0;        // inter-round pause (REST "interval")
+  // Traffic during the update.
+  bool with_traffic = true;
+  sim::LatencyModel traffic_interarrival =
+      sim::LatencyModel::constant(sim::microseconds(200));
+  sim::LatencyModel link_latency =
+      sim::LatencyModel::constant(sim::microseconds(50));
+  int ttl = 64;
+  sim::Duration warmup = sim::milliseconds(5);   // traffic before the update
+  sim::Duration drain = sim::milliseconds(20);   // observation after it
+};
+
+struct ExecutionResult {
+  controller::UpdateMetrics update;        // timings as the controller saw them
+  dataplane::MonitorReport traffic;        // packet outcome counts
+  std::vector<dataplane::ConsistencyMonitor::Bucket> timeline;
+  sim::Duration timeline_bucket = 0;
+  std::size_t frames_sent = 0;             // control-channel frames
+  std::size_t control_bytes = 0;
+  std::size_t packets_injected = 0;
+
+  double update_ms() const noexcept { return sim::to_ms(update.duration()); }
+};
+
+// Runs one simulated update. The instance's node ids index the switches;
+// the schedule must already be planned for this instance.
+Result<ExecutionResult> execute(const update::Instance& inst,
+                                const update::Schedule& schedule,
+                                const ExecutorConfig& config = {});
+
+// Executes several updates through one controller back-to-back (the paper's
+// message queue; bench E8). Results are per-request, in completion order.
+Result<std::vector<ExecutionResult>> execute_queue(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config = {});
+
+// Executes several policies as ONE multi-policy request whose global rounds
+// interleave the per-policy rounds (update::merge_policies +
+// controller::request_from_merged; bench E11). Per-policy guarantees carry
+// over because each policy's rounds stay ordered and barrier-separated.
+struct MergedExecutionResult {
+  controller::UpdateMetrics update;              // the single merged update
+  std::vector<dataplane::MonitorReport> traffic; // per policy
+  std::size_t frames_sent = 0;
+
+  double update_ms() const noexcept { return sim::to_ms(update.duration()); }
+};
+
+Result<MergedExecutionResult> execute_merged(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config = {});
+
+}  // namespace tsu::core

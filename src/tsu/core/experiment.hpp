@@ -1,0 +1,50 @@
+// Experiment runner: the one-call path used by examples and benches -
+// plan, verify, execute, and aggregate across seeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsu/core/executor.hpp"
+#include "tsu/core/planner.hpp"
+#include "tsu/stats/summary.hpp"
+
+namespace tsu::core {
+
+struct ExperimentResult {
+  Algorithm algorithm = Algorithm::kOneShot;
+  update::Schedule schedule;
+  verify::CheckReport check;       // model-checker verdict for the schedule
+  ExecutionResult execution;       // one simulated run
+
+  std::string summary_line() const;
+};
+
+// Plans with `algorithm`, model-checks the schedule against the algorithm's
+// guarantee, then executes one simulation run.
+Result<ExperimentResult> run_experiment(const update::Instance& inst,
+                                        Algorithm algorithm,
+                                        const ExecutorConfig& exec_config = {},
+                                        const PlannerOptions& plan_options = {});
+
+struct SeedSweep {
+  stats::Summary update_ms;        // controller-observed update duration
+  stats::Percentiles update_ms_pct;
+  stats::Summary bypassed;         // per-run bypassed packet counts
+  stats::Summary looped;
+  stats::Summary blackholed;
+  stats::Summary delivered;
+  std::size_t runs = 0;
+  std::size_t runs_with_bypass = 0;
+  std::size_t runs_with_loop = 0;
+  std::size_t runs_with_drop = 0;
+};
+
+// Re-executes one planned schedule across `seeds` (channel/install/traffic
+// randomness varies; the schedule is fixed).
+Result<SeedSweep> sweep_seeds(const update::Instance& inst,
+                              const update::Schedule& schedule,
+                              ExecutorConfig exec_config,
+                              const std::vector<std::uint64_t>& seeds);
+
+}  // namespace tsu::core

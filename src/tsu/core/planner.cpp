@@ -1,0 +1,79 @@
+#include "tsu/core/planner.hpp"
+
+namespace tsu::core {
+
+const char* to_string(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kOneShot: return "oneshot";
+    case Algorithm::kTwoPhase: return "twophase";
+    case Algorithm::kWayUp: return "wayup";
+    case Algorithm::kPeacock: return "peacock";
+    case Algorithm::kSlfGreedy: return "slf-greedy";
+    case Algorithm::kSecure: return "secure";
+    case Algorithm::kOptimal: return "optimal";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> algorithm_from_string(
+    std::string_view name) noexcept {
+  if (name == "oneshot") return Algorithm::kOneShot;
+  if (name == "twophase") return Algorithm::kTwoPhase;
+  if (name == "wayup") return Algorithm::kWayUp;
+  if (name == "peacock") return Algorithm::kPeacock;
+  if (name == "slf-greedy" || name == "slf") return Algorithm::kSlfGreedy;
+  if (name == "secure") return Algorithm::kSecure;
+  if (name == "optimal") return Algorithm::kOptimal;
+  return std::nullopt;
+}
+
+std::uint32_t default_property(Algorithm algorithm,
+                               bool has_waypoint) noexcept {
+  switch (algorithm) {
+    case Algorithm::kOneShot:
+    case Algorithm::kTwoPhase:
+      return has_waypoint ? update::kTransientlySecure
+                          : update::kPeacockGuarantee;
+    case Algorithm::kWayUp: return update::kWayUpGuarantee;
+    case Algorithm::kPeacock: return update::kPeacockGuarantee;
+    case Algorithm::kSlfGreedy: return update::kSlfGuarantee;
+    case Algorithm::kSecure: return update::kTransientlySecure;
+    case Algorithm::kOptimal: return update::kPeacockGuarantee;
+  }
+  return 0;
+}
+
+Result<PlanOutcome> plan(const update::Instance& inst, Algorithm algorithm,
+                         const PlannerOptions& options) {
+  Result<update::Schedule> schedule = [&]() -> Result<update::Schedule> {
+    switch (algorithm) {
+      case Algorithm::kOneShot:
+        return update::plan_oneshot(inst, options.scheduler);
+      case Algorithm::kTwoPhase:
+        return update::plan_twophase(inst, options.scheduler);
+      case Algorithm::kWayUp:
+        return update::plan_wayup(inst, options.scheduler);
+      case Algorithm::kPeacock:
+        return update::plan_peacock(inst, options.peacock);
+      case Algorithm::kSlfGreedy:
+        return update::plan_slf_greedy(inst, options.scheduler);
+      case Algorithm::kSecure:
+        return update::plan_secure(inst, options.secure);
+      case Algorithm::kOptimal:
+        return update::plan_optimal(inst, options.optimal);
+    }
+    return make_error(Errc::kInvalidArgument, "unknown algorithm");
+  }();
+  if (!schedule.ok()) return schedule.error();
+
+  PlanOutcome outcome;
+  outcome.schedule = std::move(schedule).value();
+  if (options.verify) {
+    outcome.report = verify::check_schedule(
+        inst, outcome.schedule,
+        default_property(algorithm, inst.has_waypoint()), options.check);
+  }
+  return outcome;
+}
+
+}  // namespace tsu::core

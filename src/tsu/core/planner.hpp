@@ -1,0 +1,54 @@
+// Public planning API: pick an algorithm, get a verified schedule.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tsu/update/instance.hpp"
+#include "tsu/update/schedule.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/verify/checker.hpp"
+
+namespace tsu::core {
+
+enum class Algorithm {
+  kOneShot,
+  kTwoPhase,
+  kWayUp,
+  kPeacock,
+  kSlfGreedy,
+  kSecure,
+  kOptimal,
+};
+
+const char* to_string(Algorithm algorithm) noexcept;
+std::optional<Algorithm> algorithm_from_string(std::string_view name) noexcept;
+
+// The transient property each algorithm is *supposed* to guarantee; used by
+// default when verifying its output (OneShot/TwoPhase are baselines and
+// guarantee nothing - they map to the full security property so violations
+// surface).
+std::uint32_t default_property(Algorithm algorithm,
+                               bool has_waypoint) noexcept;
+
+struct PlannerOptions {
+  update::SchedulerOptions scheduler;
+  update::PeacockOptions peacock;
+  update::SecureOptions secure;
+  update::OptimalOptions optimal;
+  // Verify the schedule with the model checker before returning it.
+  bool verify = false;
+  verify::CheckOptions check;
+};
+
+struct PlanOutcome {
+  update::Schedule schedule;
+  // Present when options.verify was set.
+  std::optional<verify::CheckReport> report;
+};
+
+Result<PlanOutcome> plan(const update::Instance& inst, Algorithm algorithm,
+                         const PlannerOptions& options = {});
+
+}  // namespace tsu::core

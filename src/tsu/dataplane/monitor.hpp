@@ -1,0 +1,73 @@
+// Consistency monitor: classifies every data-plane packet that traversed
+// the network during an update and aggregates violations over time.
+//
+// The security property of the paper is judged here: a packet that reaches
+// the destination host without having crossed the waypoint switch is a
+// *waypoint bypass* - the event WayUp exists to prevent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsu/sim/time.hpp"
+#include "tsu/util/ids.hpp"
+
+namespace tsu::dataplane {
+
+enum class PacketOutcome : unsigned char {
+  kDelivered,         // reached destination, waypoint ok (or no waypoint)
+  kBypassedWaypoint,  // reached destination *around* the waypoint
+  kLooped,            // revisited a switch
+  kBlackholed,        // no matching rule / explicit drop
+  kTtlExpired,        // ran out of TTL without revisiting (long detour)
+};
+
+const char* to_string(PacketOutcome outcome) noexcept;
+
+struct MonitorReport {
+  std::size_t total = 0;
+  std::size_t delivered = 0;
+  std::size_t bypassed = 0;
+  std::size_t looped = 0;
+  std::size_t blackholed = 0;
+  std::size_t ttl_expired = 0;
+
+  // Fraction of packets violating any transient property.
+  double violation_rate() const noexcept;
+  // Fraction of packets violating the *security* property (bypass).
+  double bypass_rate() const noexcept;
+  std::string to_string() const;
+};
+
+class ConsistencyMonitor {
+ public:
+  explicit ConsistencyMonitor(sim::Duration bucket_width =
+                                  sim::milliseconds(1))
+      : bucket_width_(bucket_width) {}
+
+  void record(sim::SimTime at, PacketOutcome outcome);
+
+  const MonitorReport& report() const noexcept { return report_; }
+
+  struct Bucket {
+    std::size_t delivered = 0;
+    std::size_t bypassed = 0;
+    std::size_t looped = 0;
+    std::size_t blackholed = 0;
+  };
+  // Outcome counts per bucket_width window since t=0 (index = t / width).
+  const std::vector<Bucket>& timeline() const noexcept { return timeline_; }
+  sim::Duration bucket_width() const noexcept { return bucket_width_; }
+
+  // Renders the per-bucket bypass/loop counts as a compact text timeline.
+  std::string timeline_to_string() const;
+
+ private:
+  sim::Duration bucket_width_;
+  MonitorReport report_;
+  std::vector<Bucket> timeline_;
+};
+
+}  // namespace tsu::dataplane

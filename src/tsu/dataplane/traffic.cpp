@@ -1,0 +1,94 @@
+#include "tsu/dataplane/traffic.hpp"
+
+#include "tsu/util/log.hpp"
+
+namespace tsu::dataplane {
+
+TrafficSource::TrafficSource(sim::Simulator& simulator,
+                             std::vector<switchsim::SimSwitch*> switches,
+                             TrafficConfig config, Rng rng,
+                             ConsistencyMonitor& monitor)
+    : sim_(simulator), switches_(std::move(switches)), config_(config),
+      rng_(rng), monitor_(monitor) {
+  TSU_ASSERT(config_.ingress < switches_.size() &&
+             switches_[config_.ingress] != nullptr);
+  TSU_ASSERT(config_.egress < switches_.size() &&
+             switches_[config_.egress] != nullptr);
+}
+
+void TrafficSource::start() {
+  sim_.schedule_at(config_.start, [this]() { inject(); });
+}
+
+void TrafficSource::inject() {
+  if (sim_.now() >= config_.stop) return;
+
+  LivePacket live;
+  live.packet.flow = config_.flow;
+  live.packet.src_host = config_.ingress;
+  live.packet.dst_host = config_.egress;
+  live.packet.ttl = config_.ttl;
+  live.visited.assign(switches_.size(), false);
+  ++injected_;
+  ++in_flight_;
+  hop(std::move(live), config_.ingress);
+
+  sim_.schedule(config_.interarrival.sample(rng_), [this]() { inject(); });
+}
+
+void TrafficSource::hop(LivePacket live, NodeId at) {
+  TSU_ASSERT(at < switches_.size() && switches_[at] != nullptr);
+
+  if (config_.waypoint.has_value() && at == *config_.waypoint)
+    live.crossed_waypoint = true;
+
+  // Look up the live flow table *now*; the rule may have changed since the
+  // previous hop - that is the whole point of the experiment.
+  const std::optional<flow::FlowRule> rule =
+      switches_[at]->table().lookup(live.packet);
+  if (!rule.has_value() || rule->action.kind == flow::ActionKind::kDrop) {
+    finish(live, PacketOutcome::kBlackholed);
+    return;
+  }
+  if (rule->action.kind == flow::ActionKind::kDeliver) {
+    if (at == config_.egress) {
+      const bool needs_waypoint = config_.waypoint.has_value();
+      finish(live, needs_waypoint && !live.crossed_waypoint
+                       ? PacketOutcome::kBypassedWaypoint
+                       : PacketOutcome::kDelivered);
+    } else {
+      // Delivered to the wrong host: treat as a drop.
+      finish(live, PacketOutcome::kBlackholed);
+    }
+    return;
+  }
+
+  // Forwarding.
+  if (live.visited[at]) {
+    finish(live, PacketOutcome::kLooped);
+    return;
+  }
+  live.visited[at] = true;
+  if (--live.packet.ttl <= 0) {
+    finish(live, PacketOutcome::kTtlExpired);
+    return;
+  }
+  const NodeId next = rule->action.port;
+  if (next >= switches_.size() || switches_[next] == nullptr) {
+    finish(live, PacketOutcome::kBlackholed);
+    return;
+  }
+  live.packet.in_port = at;
+  sim_.schedule(config_.link_latency.sample(rng_),
+                [this, live = std::move(live), next]() mutable {
+                  hop(std::move(live), next);
+                });
+}
+
+void TrafficSource::finish(const LivePacket& live, PacketOutcome outcome) {
+  (void)live;
+  --in_flight_;
+  monitor_.record(sim_.now(), outcome);
+}
+
+}  // namespace tsu::dataplane

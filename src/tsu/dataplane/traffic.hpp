@@ -1,0 +1,74 @@
+// Data-plane traffic: a host injects packets while the update is running;
+// each packet hops switch-to-switch against the *live* flow tables (which
+// mutate underneath it as FlowMods complete), so transient inconsistencies
+// show up exactly as they would in the Mininet demo: loops, drops, and
+// packets that slip past the waypoint.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tsu/dataplane/monitor.hpp"
+#include "tsu/flow/match.hpp"
+#include "tsu/sim/distributions.hpp"
+#include "tsu/sim/simulator.hpp"
+#include "tsu/switchsim/switch.hpp"
+#include "tsu/util/ids.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu::dataplane {
+
+struct TrafficConfig {
+  FlowId flow = 1;
+  NodeId ingress = kInvalidNode;       // switch attached to the source host
+  NodeId egress = kInvalidNode;        // switch attached to the dest host
+  std::optional<NodeId> waypoint;      // security middlebox to enforce
+  sim::LatencyModel interarrival =
+      sim::LatencyModel::constant(sim::microseconds(200));
+  sim::LatencyModel link_latency =
+      sim::LatencyModel::constant(sim::microseconds(50));
+  int ttl = 64;
+  sim::SimTime start = 0;
+  sim::SimTime stop = 0;  // no packet injected at/after this time
+};
+
+class TrafficSource {
+ public:
+  // `switches` is indexed by NodeId; entries may be null for non-switch ids.
+  TrafficSource(sim::Simulator& simulator,
+                std::vector<switchsim::SimSwitch*> switches,
+                TrafficConfig config, Rng rng, ConsistencyMonitor& monitor);
+
+  // Schedules the first injection; the source then self-perpetuates until
+  // `config.stop`.
+  void start();
+
+  std::size_t injected() const noexcept { return injected_; }
+  // Packets still traversing the network.
+  std::size_t in_flight() const noexcept { return in_flight_; }
+
+  // Moves the injection stop time (e.g. once the update under observation
+  // has completed and the drain window is known).
+  void set_stop(sim::SimTime stop) noexcept { config_.stop = stop; }
+
+ private:
+  struct LivePacket {
+    flow::Packet packet;
+    std::vector<bool> visited;
+    bool crossed_waypoint = false;
+  };
+
+  void inject();
+  void hop(LivePacket live, NodeId at);
+  void finish(const LivePacket& live, PacketOutcome outcome);
+
+  sim::Simulator& sim_;
+  std::vector<switchsim::SimSwitch*> switches_;
+  TrafficConfig config_;
+  Rng rng_;
+  ConsistencyMonitor& monitor_;
+  std::size_t injected_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace tsu::dataplane

@@ -1,0 +1,63 @@
+#include "tsu/flow/match.hpp"
+
+#include <sstream>
+
+namespace tsu::flow {
+
+bool Match::matches(const Packet& packet) const noexcept {
+  if (flow.has_value() && *flow != packet.flow) return false;
+  if (src_host.has_value() && *src_host != packet.src_host) return false;
+  if (dst_host.has_value() && *dst_host != packet.dst_host) return false;
+  if (in_port.has_value() && *in_port != packet.in_port) return false;
+  return true;
+}
+
+bool Match::subsumes(const Match& other) const noexcept {
+  const auto field_subsumes = [](const auto& mine, const auto& theirs) {
+    // Wildcard subsumes anything; a concrete value subsumes only itself.
+    return !mine.has_value() || (theirs.has_value() && *mine == *theirs);
+  };
+  return field_subsumes(flow, other.flow) &&
+         field_subsumes(src_host, other.src_host) &&
+         field_subsumes(dst_host, other.dst_host) &&
+         field_subsumes(in_port, other.in_port);
+}
+
+int Match::specificity() const noexcept {
+  int fields = 0;
+  if (flow.has_value()) ++fields;
+  if (src_host.has_value()) ++fields;
+  if (dst_host.has_value()) ++fields;
+  if (in_port.has_value()) ++fields;
+  return fields;
+}
+
+std::string Match::to_string() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  const auto field = [&](const char* name, const auto& value) {
+    if (!value.has_value()) return;
+    if (!first) out << ",";
+    first = false;
+    out << name << "=" << *value;
+  };
+  field("flow", flow);
+  field("src", src_host);
+  field("dst", dst_host);
+  field("in_port", in_port);
+  if (first) out << "*";
+  out << "}";
+  return out.str();
+}
+
+std::string Action::to_string() const {
+  switch (kind) {
+    case ActionKind::kForward: return "forward(" + std::to_string(port) + ")";
+    case ActionKind::kDeliver: return "deliver";
+    case ActionKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+}  // namespace tsu::flow

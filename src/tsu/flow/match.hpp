@@ -1,0 +1,72 @@
+// OpenFlow-style match model, reduced to the fields the demo manipulates.
+//
+// The prototype's FlowMods match a single policy's traffic; we model that
+// as an exact-or-wildcard match on (flow id, source host node, destination
+// host node, ingress port). Wildcards are per-field, like the OpenFlow 1.0
+// wildcard bitmap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tsu/util/ids.hpp"
+
+namespace tsu::flow {
+
+struct Packet {
+  FlowId flow = 0;
+  NodeId src_host = kInvalidNode;
+  NodeId dst_host = kInvalidNode;
+  std::uint32_t in_port = 0;
+  int ttl = 64;
+};
+
+struct Match {
+  // nullopt = wildcard.
+  std::optional<FlowId> flow;
+  std::optional<NodeId> src_host;
+  std::optional<NodeId> dst_host;
+  std::optional<std::uint32_t> in_port;
+
+  bool matches(const Packet& packet) const noexcept;
+
+  // True if this match covers every packet `other` covers (used for strict
+  // vs. non-strict FlowMod deletion semantics).
+  bool subsumes(const Match& other) const noexcept;
+
+  // Exact equality of the match structure (OpenFlow "strict" comparisons).
+  bool operator==(const Match&) const = default;
+
+  // Number of concrete (non-wildcard) fields; a crude specificity measure.
+  int specificity() const noexcept;
+
+  std::string to_string() const;
+
+  static Match exact_flow(FlowId flow_id) {
+    Match m;
+    m.flow = flow_id;
+    return m;
+  }
+  static Match wildcard() { return Match{}; }
+};
+
+enum class ActionKind : std::uint8_t {
+  kForward,  // send out towards a neighbouring switch (port = neighbour id)
+  kDeliver,  // punt to the attached host
+  kDrop,
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kDrop;
+  NodeId port = kInvalidNode;  // meaningful for kForward
+
+  bool operator==(const Action&) const = default;
+  std::string to_string() const;
+
+  static Action forward(NodeId next) { return Action{ActionKind::kForward, next}; }
+  static Action deliver() { return Action{ActionKind::kDeliver, kInvalidNode}; }
+  static Action drop() { return Action{ActionKind::kDrop, kInvalidNode}; }
+};
+
+}  // namespace tsu::flow

@@ -1,0 +1,147 @@
+#include "tsu/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace tsu::graph {
+
+std::vector<bool> reachable_from(const Digraph& g, NodeId source) {
+  std::vector<bool> seen(g.node_count(), false);
+  if (source >= g.node_count()) return seen;
+  std::vector<NodeId> stack{source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const NodeId w : g.out_neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+namespace {
+
+enum class Color : unsigned char { kWhite, kGray, kBlack };
+
+// Iterative DFS cycle detection from a set of roots; only explores nodes
+// where `allowed` is true (empty allowed = all nodes).
+bool has_cycle_dfs(const Digraph& g, const std::vector<NodeId>& roots,
+                   const std::vector<bool>* allowed) {
+  std::vector<Color> color(g.node_count(), Color::kWhite);
+  // Explicit stack of (node, next-neighbor-index).
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  for (const NodeId root : roots) {
+    if (color[root] != Color::kWhite) continue;
+    if (allowed != nullptr && !(*allowed)[root]) continue;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      const NodeId v = stack.back().first;
+      const auto nbrs = g.out_neighbors(v);
+      bool descended = false;
+      while (stack.back().second < nbrs.size()) {
+        const NodeId w = nbrs[stack.back().second++];
+        if (allowed != nullptr && !(*allowed)[w]) continue;
+        if (color[w] == Color::kGray) return true;  // back edge
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          stack.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_acyclic(const Digraph& g) {
+  std::vector<NodeId> roots(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) roots[v] = v;
+  return !has_cycle_dfs(g, roots, nullptr);
+}
+
+bool cycle_reachable_from(const Digraph& g, NodeId source) {
+  if (source >= g.node_count()) return false;
+  const std::vector<bool> allowed = reachable_from(g, source);
+  return has_cycle_dfs(g, {source}, &allowed);
+}
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  std::vector<std::size_t> indegree(g.node_count(), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    for (const NodeId w : g.out_neighbors(v)) ++indegree[w];
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    if (indegree[v] == 0) ready.push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(g.node_count());
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const NodeId w : g.out_neighbors(v))
+      if (--indegree[w] == 0) ready.push_back(w);
+  }
+  if (order.size() != g.node_count()) return std::nullopt;
+  return order;
+}
+
+namespace {
+
+std::vector<NodeId> bfs_path(const Digraph& g, NodeId source, NodeId target,
+                             NodeId banned) {
+  if (source >= g.node_count() || target >= g.node_count()) return {};
+  if (source == banned || target == banned) return {};
+  std::vector<NodeId> parent(g.node_count(), kInvalidNode);
+  std::deque<NodeId> queue{source};
+  std::vector<bool> seen(g.node_count(), false);
+  seen[source] = true;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (v == target) {
+      std::vector<NodeId> path;
+      for (NodeId cur = target; cur != kInvalidNode; cur = parent[cur])
+        path.push_back(cur);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const NodeId w : g.out_neighbors(v)) {
+      if (w == banned || seen[w]) continue;
+      seen[w] = true;
+      parent[w] = v;
+      queue.push_back(w);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<NodeId> shortest_path(const Digraph& g, NodeId source,
+                                  NodeId target) {
+  return bfs_path(g, source, target, kInvalidNode);
+}
+
+std::vector<NodeId> shortest_path_avoiding(const Digraph& g, NodeId source,
+                                           NodeId target, NodeId banned) {
+  return bfs_path(g, source, target, banned);
+}
+
+bool has_path(const Digraph& g, NodeId source, NodeId target) {
+  if (source >= g.node_count() || target >= g.node_count()) return false;
+  return reachable_from(g, source)[target];
+}
+
+}  // namespace tsu::graph

@@ -1,0 +1,43 @@
+// Graph algorithms used by the schedulers and the transient-state checker:
+// reachability, cycle detection (including "cycle reachable from a source",
+// the core of the weak-loop-freedom certificate), topological sort and
+// BFS shortest paths.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tsu/graph/graph.hpp"
+#include "tsu/util/ids.hpp"
+
+namespace tsu::graph {
+
+// Set of nodes reachable from `source` (including `source`).
+std::vector<bool> reachable_from(const Digraph& g, NodeId source);
+
+// True if the whole graph is acyclic.
+bool is_acyclic(const Digraph& g);
+
+// True if some cycle is reachable from `source` (i.e. a walk starting at
+// `source` can run forever). Equivalent to: the subgraph induced by nodes
+// reachable from `source` contains a cycle.
+bool cycle_reachable_from(const Digraph& g, NodeId source);
+
+// Topological order, or nullopt if the graph has a cycle.
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+// Unweighted shortest path from `source` to `target` (inclusive), or empty
+// vector if unreachable.
+std::vector<NodeId> shortest_path(const Digraph& g, NodeId source,
+                                  NodeId target);
+
+// Shortest path that avoids node `banned` entirely; empty if none exists.
+// Used by the waypoint-enforcement certificate: WPE is violated iff the
+// adversarial union graph has an s->d path avoiding the waypoint.
+std::vector<NodeId> shortest_path_avoiding(const Digraph& g, NodeId source,
+                                           NodeId target, NodeId banned);
+
+// True if `target` is reachable from `source`.
+bool has_path(const Digraph& g, NodeId source, NodeId target);
+
+}  // namespace tsu::graph

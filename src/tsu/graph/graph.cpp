@@ -1,0 +1,59 @@
+#include "tsu/graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tsu::graph {
+
+void Digraph::ensure_nodes(std::size_t count) {
+  if (count > out_.size()) {
+    out_.resize(count);
+    in_.resize(count);
+  }
+}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  TSU_ASSERT_MSG(from < out_.size() && to < out_.size(),
+                 "edge endpoint out of range");
+  TSU_ASSERT_MSG(from != to, "self-loops are not supported");
+  if (has_edge(from, to)) return;
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const noexcept {
+  if (from >= out_.size()) return false;
+  const auto& nbrs = out_[from];
+  return std::find(nbrs.begin(), nbrs.end(), to) != nbrs.end();
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_count_);
+  for (NodeId v = 0; v < out_.size(); ++v)
+    for (const NodeId w : out_[v]) result.push_back(Edge{v, w});
+  return result;
+}
+
+void Digraph::make_bidirectional() {
+  const std::vector<Edge> snapshot = edges();
+  for (const Edge& e : snapshot) add_edge(e.to, e.from);
+}
+
+std::string Digraph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph G {\n";
+  for (NodeId v = 0; v < out_.size(); ++v)
+    for (const NodeId w : out_[v]) out << "  " << v << " -> " << w << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tsu::graph

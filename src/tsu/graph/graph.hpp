@@ -1,0 +1,69 @@
+// Directed graph over dense NodeIds.
+//
+// This is the substrate for topologies and for the forwarding-state analysis
+// in src/tsu/update and src/tsu/verify. It is deliberately simple: adjacency
+// lists of out-neighbours (with parallel in-neighbour lists for reverse
+// traversals), no self-loops, no parallel edges.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tsu/util/assert.hpp"
+#include "tsu/util/ids.hpp"
+
+namespace tsu::graph {
+
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  bool operator==(const Edge&) const = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count)
+      : out_(node_count), in_(node_count) {}
+
+  std::size_t node_count() const noexcept { return out_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  // Grows the node set to at least `count` nodes.
+  void ensure_nodes(std::size_t count);
+
+  NodeId add_node();
+
+  // Adds a directed edge; ignores duplicates, rejects self-loops and
+  // out-of-range endpoints via assertion (graph construction is programmatic).
+  void add_edge(NodeId from, NodeId to);
+
+  bool has_edge(NodeId from, NodeId to) const noexcept;
+
+  std::span<const NodeId> out_neighbors(NodeId v) const noexcept {
+    TSU_ASSERT(v < out_.size());
+    return out_[v];
+  }
+  std::span<const NodeId> in_neighbors(NodeId v) const noexcept {
+    TSU_ASSERT(v < in_.size());
+    return in_[v];
+  }
+
+  std::vector<Edge> edges() const;
+
+  // Adds the reversed edge for every existing edge (makes links duplex,
+  // which is how SDN topologies are usually modelled).
+  void make_bidirectional();
+
+  std::string to_dot() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace tsu::graph

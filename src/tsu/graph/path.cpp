@@ -1,0 +1,92 @@
+#include "tsu/graph/path.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace tsu::graph {
+
+bool is_simple(const Path& path) {
+  std::unordered_set<NodeId> seen;
+  seen.reserve(path.size());
+  for (const NodeId v : path)
+    if (!seen.insert(v).second) return false;
+  return true;
+}
+
+bool is_path_of(const Digraph& g, const Path& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!g.has_edge(path[i], path[i + 1])) return false;
+  return true;
+}
+
+std::optional<std::size_t> index_of(const Path& path, NodeId v) {
+  const auto it = std::find(path.begin(), path.end(), v);
+  if (it == path.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - path.begin());
+}
+
+bool contains(const Path& path, NodeId v) {
+  return index_of(path, v).has_value();
+}
+
+Path segment(const Path& path, std::size_t from_index, std::size_t to_index) {
+  TSU_ASSERT(from_index <= to_index && to_index < path.size());
+  return Path(path.begin() + static_cast<std::ptrdiff_t>(from_index),
+              path.begin() + static_cast<std::ptrdiff_t>(to_index) + 1);
+}
+
+std::optional<NodeId> next_hop(const Path& path, NodeId v) {
+  const auto idx = index_of(path, v);
+  if (!idx.has_value() || *idx + 1 >= path.size()) return std::nullopt;
+  return path[*idx + 1];
+}
+
+Status validate_update_paths(const Path& old_path, const Path& new_path,
+                             std::optional<NodeId> waypoint) {
+  if (old_path.size() < 2 || new_path.size() < 2)
+    return make_error(Errc::kInvalidArgument,
+                      "paths must contain at least two nodes");
+  if (!is_simple(old_path))
+    return make_error(Errc::kInvalidArgument, "old path is not simple");
+  if (!is_simple(new_path))
+    return make_error(Errc::kInvalidArgument, "new path is not simple");
+  if (old_path.front() != new_path.front())
+    return make_error(Errc::kInvalidArgument,
+                      "old and new path have different sources");
+  if (old_path.back() != new_path.back())
+    return make_error(Errc::kInvalidArgument,
+                      "old and new path have different destinations");
+  if (waypoint.has_value()) {
+    const NodeId w = *waypoint;
+    if (w == old_path.front() || w == old_path.back())
+      return make_error(Errc::kInvalidArgument,
+                        "waypoint must be strictly inside the paths");
+    if (!contains(old_path, w))
+      return make_error(Errc::kInvalidArgument, "waypoint not on old path");
+    if (!contains(new_path, w))
+      return make_error(Errc::kInvalidArgument, "waypoint not on new path");
+  }
+  return Status::ok_status();
+}
+
+std::string to_string(const Path& path) {
+  std::ostringstream out;
+  out << '<';
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << path[i];
+  }
+  out << '>';
+  return out.str();
+}
+
+void add_path_edges(Digraph& g, const Path& path) {
+  NodeId max_node = 0;
+  for (const NodeId v : path) max_node = std::max(max_node, v);
+  if (!path.empty()) g.ensure_nodes(static_cast<std::size_t>(max_node) + 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    g.add_edge(path[i], path[i + 1]);
+}
+
+}  // namespace tsu::graph

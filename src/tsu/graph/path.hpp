@@ -1,0 +1,49 @@
+// Simple-path utilities. A Path is an ordered node sequence; update
+// instances carry an old and a new Path between the same endpoints.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsu/graph/graph.hpp"
+#include "tsu/util/ids.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::graph {
+
+using Path = std::vector<NodeId>;
+
+// True if `path` is a simple (no repeated node) path; an empty path and a
+// single node are considered simple.
+bool is_simple(const Path& path);
+
+// True if every consecutive pair of `path` is an edge of `g`.
+bool is_path_of(const Digraph& g, const Path& path);
+
+// Index of `v` in `path`, or nullopt.
+std::optional<std::size_t> index_of(const Path& path, NodeId v);
+
+bool contains(const Path& path, NodeId v);
+
+// Sub-path [from_index, to_index] inclusive. Requires valid indices.
+Path segment(const Path& path, std::size_t from_index, std::size_t to_index);
+
+// Next hop of `v` along `path`, or nullopt if v is absent or the last node.
+std::optional<NodeId> next_hop(const Path& path, NodeId v);
+
+// Validates an (old, new) path pair as a routing-policy update: both simple,
+// both non-trivial, same source and destination, and - if `waypoint` is set -
+// the waypoint lies on both paths strictly between the endpoints.
+Status validate_update_paths(const Path& old_path, const Path& new_path,
+                             std::optional<NodeId> waypoint);
+
+// "<1, 2, 3>" rendering used in logs and tables (mirrors the paper's
+// angle-bracket route notation).
+std::string to_string(const Path& path);
+
+// Adds every consecutive pair of `path` as an edge of `g` (growing `g` as
+// needed).
+void add_path_edges(Digraph& g, const Path& path);
+
+}  // namespace tsu::graph

@@ -1,0 +1,87 @@
+#include "tsu/proto/bytes.hpp"
+
+namespace tsu::proto {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v >> 8));
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void Writer::bytes(std::span<const std::byte> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::zeros(std::size_t count) {
+  buf_.insert(buf_.end(), count, std::byte{0});
+}
+
+void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
+  TSU_ASSERT(offset + 2 <= buf_.size());
+  buf_[offset] = static_cast<std::byte>(v >> 8);
+  buf_[offset + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+Error Reader::underflow(std::size_t want) const {
+  return make_error(Errc::kOutOfRange,
+                    "frame truncated: need " + std::to_string(want) +
+                        " bytes at offset " + std::to_string(pos_) +
+                        ", have " + std::to_string(remaining()));
+}
+
+Result<std::uint8_t> Reader::u8() {
+  if (remaining() < 1) return underflow(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint16_t> Reader::u16() {
+  if (remaining() < 2) return underflow(2);
+  const auto hi = static_cast<std::uint16_t>(data_[pos_]);
+  const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return static_cast<std::uint16_t>(hi << 8 | lo);
+}
+
+Result<std::uint32_t> Reader::u32() {
+  if (remaining() < 4) return underflow(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v = v << 8 | static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> Reader::u64() {
+  if (remaining() < 8) return underflow(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v = v << 8 | static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+  pos_ += 8;
+  return v;
+}
+
+Status Reader::skip(std::size_t count) {
+  if (remaining() < count) return underflow(count);
+  pos_ += count;
+  return Status::ok_status();
+}
+
+Result<std::vector<std::byte>> Reader::bytes(std::size_t count) {
+  if (remaining() < count) return underflow(count);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+}  // namespace tsu::proto

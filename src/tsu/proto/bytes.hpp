@@ -1,0 +1,55 @@
+// Bounds-checked binary readers/writers (big-endian, like OpenFlow).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsu/util/status.hpp"
+
+namespace tsu::proto {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::byte> data);
+  void zeros(std::size_t count);
+
+  // Patches a previously written big-endian u16 at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::vector<std::byte>& data() const noexcept { return buf_; }
+  std::vector<std::byte> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+  bool exhausted() const noexcept { return pos_ >= data_.size(); }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Status skip(std::size_t count);
+  Result<std::vector<std::byte>> bytes(std::size_t count);
+
+ private:
+  Error underflow(std::size_t want) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tsu::proto

@@ -1,0 +1,263 @@
+#include "tsu/proto/codec.hpp"
+
+#include "tsu/proto/bytes.hpp"
+
+namespace tsu::proto {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kMaxFrame = 1u << 16;
+
+// Match wire format: presence bitmap + present fields.
+enum MatchBits : std::uint8_t {
+  kHasFlow = 1u << 0,
+  kHasSrc = 1u << 1,
+  kHasDst = 1u << 2,
+  kHasInPort = 1u << 3,
+};
+
+void encode_match(Writer& w, const flow::Match& match) {
+  std::uint8_t bits = 0;
+  if (match.flow.has_value()) bits |= kHasFlow;
+  if (match.src_host.has_value()) bits |= kHasSrc;
+  if (match.dst_host.has_value()) bits |= kHasDst;
+  if (match.in_port.has_value()) bits |= kHasInPort;
+  w.u8(bits);
+  if (match.flow.has_value()) w.u64(*match.flow);
+  if (match.src_host.has_value()) w.u32(*match.src_host);
+  if (match.dst_host.has_value()) w.u32(*match.dst_host);
+  if (match.in_port.has_value()) w.u32(*match.in_port);
+}
+
+Result<flow::Match> decode_match(Reader& r) {
+  flow::Match match;
+  const Result<std::uint8_t> bits = r.u8();
+  if (!bits.ok()) return bits.error();
+  if ((bits.value() & kHasFlow) != 0) {
+    const Result<std::uint64_t> v = r.u64();
+    if (!v.ok()) return v.error();
+    match.flow = v.value();
+  }
+  if ((bits.value() & kHasSrc) != 0) {
+    const Result<std::uint32_t> v = r.u32();
+    if (!v.ok()) return v.error();
+    match.src_host = v.value();
+  }
+  if ((bits.value() & kHasDst) != 0) {
+    const Result<std::uint32_t> v = r.u32();
+    if (!v.ok()) return v.error();
+    match.dst_host = v.value();
+  }
+  if ((bits.value() & kHasInPort) != 0) {
+    const Result<std::uint32_t> v = r.u32();
+    if (!v.ok()) return v.error();
+    match.in_port = v.value();
+  }
+  return match;
+}
+
+void encode_action(Writer& w, const flow::Action& action) {
+  w.u8(static_cast<std::uint8_t>(action.kind));
+  w.u32(action.port);
+}
+
+Result<flow::Action> decode_action(Reader& r) {
+  const Result<std::uint8_t> kind = r.u8();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() > static_cast<std::uint8_t>(flow::ActionKind::kDrop))
+    return make_error(Errc::kParseError, "unknown action kind");
+  const Result<std::uint32_t> port = r.u32();
+  if (!port.ok()) return port.error();
+  return flow::Action{static_cast<flow::ActionKind>(kind.value()),
+                      port.value()};
+}
+
+struct BodyEncoder {
+  Writer& w;
+
+  void operator()(const Hello&) const {}
+  void operator()(const Error& e) const {
+    w.u16(e.code);
+    w.u16(static_cast<std::uint16_t>(e.text.size()));
+    w.bytes(std::as_bytes(std::span(e.text.data(), e.text.size())));
+  }
+  void operator()(const Echo& e) const { w.bytes(e.payload); }
+  void operator()(const FeaturesRequest&) const {}
+  void operator()(const FeaturesReply& f) const {
+    w.u64(f.datapath);
+    w.u32(f.n_tables);
+  }
+  void operator()(const FlowMod& mod) const {
+    w.u8(static_cast<std::uint8_t>(mod.command));
+    w.u16(mod.priority);
+    w.u64(mod.cookie);
+    encode_match(w, mod.match);
+    encode_action(w, mod.action);
+  }
+  void operator()(const PacketOut& p) const {
+    w.u64(p.packet.flow);
+    w.u32(p.packet.src_host);
+    w.u32(p.packet.dst_host);
+    w.u32(p.packet.in_port);
+    w.u32(static_cast<std::uint32_t>(p.packet.ttl));
+    w.u32(p.out_port);
+  }
+  void operator()(const BarrierRequest&) const {}
+  void operator()(const BarrierReply&) const {}
+};
+
+Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size) {
+  switch (type) {
+    case MsgType::kHello: return Body{Hello{}};
+    case MsgType::kError: {
+      const Result<std::uint16_t> code = r.u16();
+      if (!code.ok()) return code.error();
+      const Result<std::uint16_t> len = r.u16();
+      if (!len.ok()) return len.error();
+      Result<std::vector<std::byte>> raw = r.bytes(len.value());
+      if (!raw.ok()) return raw.error();
+      std::string text(raw.value().size(), '\0');
+      for (std::size_t i = 0; i < raw.value().size(); ++i)
+        text[i] = static_cast<char>(raw.value()[i]);
+      return Body{Error{code.value(), std::move(text)}};
+    }
+    case MsgType::kEchoRequest:
+    case MsgType::kEchoReply: {
+      Result<std::vector<std::byte>> payload = r.bytes(body_size);
+      if (!payload.ok()) return payload.error();
+      return Body{Echo{type == MsgType::kEchoReply,
+                       std::move(payload).value()}};
+    }
+    case MsgType::kFeaturesRequest: return Body{FeaturesRequest{}};
+    case MsgType::kFeaturesReply: {
+      const Result<std::uint64_t> dp = r.u64();
+      if (!dp.ok()) return dp.error();
+      const Result<std::uint32_t> tables = r.u32();
+      if (!tables.ok()) return tables.error();
+      return Body{FeaturesReply{dp.value(), tables.value()}};
+    }
+    case MsgType::kFlowMod: {
+      const Result<std::uint8_t> command = r.u8();
+      if (!command.ok()) return command.error();
+      if (command.value() != 0 && command.value() != 1 &&
+          command.value() != 3 && command.value() != 4)
+        return make_error(Errc::kParseError, "unknown FlowMod command");
+      const Result<std::uint16_t> priority = r.u16();
+      if (!priority.ok()) return priority.error();
+      const Result<std::uint64_t> cookie = r.u64();
+      if (!cookie.ok()) return cookie.error();
+      Result<flow::Match> match = decode_match(r);
+      if (!match.ok()) return match.error();
+      Result<flow::Action> action = decode_action(r);
+      if (!action.ok()) return action.error();
+      FlowMod mod;
+      mod.command = static_cast<FlowModCommand>(command.value());
+      mod.priority = priority.value();
+      mod.cookie = cookie.value();
+      mod.match = std::move(match).value();
+      mod.action = action.value();
+      return Body{std::move(mod)};
+    }
+    case MsgType::kPacketOut: {
+      PacketOut p;
+      const Result<std::uint64_t> flow_id = r.u64();
+      if (!flow_id.ok()) return flow_id.error();
+      p.packet.flow = flow_id.value();
+      const Result<std::uint32_t> src = r.u32();
+      if (!src.ok()) return src.error();
+      p.packet.src_host = src.value();
+      const Result<std::uint32_t> dst = r.u32();
+      if (!dst.ok()) return dst.error();
+      p.packet.dst_host = dst.value();
+      const Result<std::uint32_t> in_port = r.u32();
+      if (!in_port.ok()) return in_port.error();
+      p.packet.in_port = in_port.value();
+      const Result<std::uint32_t> ttl = r.u32();
+      if (!ttl.ok()) return ttl.error();
+      p.packet.ttl = static_cast<int>(ttl.value());
+      const Result<std::uint32_t> out_port = r.u32();
+      if (!out_port.ok()) return out_port.error();
+      p.out_port = out_port.value();
+      return Body{std::move(p)};
+    }
+    case MsgType::kBarrierRequest: return Body{BarrierRequest{}};
+    case MsgType::kBarrierReply: return Body{BarrierReply{}};
+  }
+  return make_error(Errc::kParseError, "unknown message type");
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& message) {
+  Writer w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(message.type()));
+  const std::size_t length_offset = w.size();
+  w.u16(0);  // patched below
+  w.u32(message.xid);
+  std::visit(BodyEncoder{w}, message.body);
+  TSU_ASSERT_MSG(w.size() <= kMaxFrame, "frame exceeds 64 KiB");
+  w.patch_u16(length_offset, static_cast<std::uint16_t>(w.size()));
+  return std::move(w).take();
+}
+
+Result<Message> decode(std::span<const std::byte> data) {
+  Reader r(data);
+  const Result<std::uint8_t> version = r.u8();
+  if (!version.ok()) return version.error();
+  if (version.value() != kProtocolVersion)
+    return make_error(Errc::kParseError, "unsupported protocol version");
+  const Result<std::uint8_t> type_raw = r.u8();
+  if (!type_raw.ok()) return type_raw.error();
+  switch (type_raw.value()) {
+    case 0: case 1: case 2: case 3: case 5: case 6: case 13: case 14:
+    case 20: case 21:
+      break;
+    default:
+      return make_error(Errc::kParseError, "unknown message type");
+  }
+  const MsgType type = static_cast<MsgType>(type_raw.value());
+  const Result<std::uint16_t> length = r.u16();
+  if (!length.ok()) return length.error();
+  if (length.value() < kHeaderSize)
+    return make_error(Errc::kParseError, "length smaller than header");
+  if (length.value() > data.size())
+    return make_error(Errc::kOutOfRange, "frame truncated");
+  const Result<std::uint32_t> xid = r.u32();
+  if (!xid.ok()) return xid.error();
+
+  const std::size_t body_size = length.value() - kHeaderSize;
+  // Restrict the reader to the declared frame so a body cannot read into a
+  // following frame.
+  Reader body_reader(data.subspan(kHeaderSize, body_size));
+  Result<Body> body = decode_body(type, body_reader, body_size);
+  if (!body.ok()) return body.error();
+  if (body_reader.remaining() != 0)
+    return make_error(Errc::kParseError, "trailing bytes in frame body");
+
+  Message message;
+  message.xid = xid.value();
+  message.body = std::move(body).value();
+  if (message.type() != type)
+    return make_error(Errc::kParseError, "body/type mismatch");
+  return message;
+}
+
+Result<DecodeStreamResult> decode_stream(std::span<const std::byte> data) {
+  DecodeStreamResult result;
+  while (data.size() - result.consumed >= kHeaderSize) {
+    const std::span<const std::byte> rest = data.subspan(result.consumed);
+    const auto declared =
+        static_cast<std::size_t>(static_cast<std::uint8_t>(rest[2])) << 8 |
+        static_cast<std::size_t>(static_cast<std::uint8_t>(rest[3]));
+    if (declared > rest.size()) break;  // incomplete frame; stop cleanly
+    Result<Message> message = decode(rest.subspan(0, declared));
+    if (!message.ok()) return message.error();
+    result.messages.push_back(std::move(message).value());
+    result.consumed += declared;
+  }
+  return result;
+}
+
+}  // namespace tsu::proto

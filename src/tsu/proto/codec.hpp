@@ -1,0 +1,34 @@
+// Binary encoding of control-channel messages.
+//
+// Frame layout (big-endian):
+//   u8  version        (kProtocolVersion)
+//   u8  type           (MsgType)
+//   u16 length         (whole frame, header included)
+//   u32 xid
+//   ... type-specific body ...
+// Decoding is fully bounds-checked; malformed frames yield Errors, never
+// undefined behaviour (fuzz-style tests feed random bytes through decode()).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tsu/proto/messages.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::proto {
+
+std::vector<std::byte> encode(const Message& message);
+
+// Decodes exactly one frame from the start of `data`.
+Result<Message> decode(std::span<const std::byte> data);
+
+// Streaming helper: decodes every complete frame in `data` (frames are
+// self-delimiting via the length field); returns the byte count consumed.
+struct DecodeStreamResult {
+  std::vector<Message> messages;
+  std::size_t consumed = 0;
+};
+Result<DecodeStreamResult> decode_stream(std::span<const std::byte> data);
+
+}  // namespace tsu::proto

@@ -1,0 +1,97 @@
+#include "tsu/proto/messages.hpp"
+
+#include <sstream>
+
+namespace tsu::proto {
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kError: return "ERROR";
+    case MsgType::kEchoRequest: return "ECHO_REQUEST";
+    case MsgType::kEchoReply: return "ECHO_REPLY";
+    case MsgType::kFeaturesRequest: return "FEATURES_REQUEST";
+    case MsgType::kFeaturesReply: return "FEATURES_REPLY";
+    case MsgType::kPacketOut: return "PACKET_OUT";
+    case MsgType::kFlowMod: return "FLOW_MOD";
+    case MsgType::kBarrierRequest: return "BARRIER_REQUEST";
+    case MsgType::kBarrierReply: return "BARRIER_REPLY";
+  }
+  return "?";
+}
+
+const char* to_string(FlowModCommand command) noexcept {
+  switch (command) {
+    case FlowModCommand::kAdd: return "ADD";
+    case FlowModCommand::kModify: return "MODIFY";
+    case FlowModCommand::kDelete: return "DELETE";
+    case FlowModCommand::kDeleteStrict: return "DELETE_STRICT";
+  }
+  return "?";
+}
+
+namespace {
+
+struct TypeVisitor {
+  MsgType operator()(const Hello&) const { return MsgType::kHello; }
+  MsgType operator()(const Error&) const { return MsgType::kError; }
+  MsgType operator()(const Echo& e) const {
+    return e.reply ? MsgType::kEchoReply : MsgType::kEchoRequest;
+  }
+  MsgType operator()(const FeaturesRequest&) const {
+    return MsgType::kFeaturesRequest;
+  }
+  MsgType operator()(const FeaturesReply&) const {
+    return MsgType::kFeaturesReply;
+  }
+  MsgType operator()(const FlowMod&) const { return MsgType::kFlowMod; }
+  MsgType operator()(const PacketOut&) const { return MsgType::kPacketOut; }
+  MsgType operator()(const BarrierRequest&) const {
+    return MsgType::kBarrierRequest;
+  }
+  MsgType operator()(const BarrierReply&) const {
+    return MsgType::kBarrierReply;
+  }
+};
+
+}  // namespace
+
+MsgType Message::type() const noexcept {
+  return std::visit(TypeVisitor{}, body);
+}
+
+std::string Message::to_string() const {
+  std::ostringstream out;
+  out << proto::to_string(type()) << " xid=" << xid;
+  if (const auto* mod = std::get_if<FlowMod>(&body)) {
+    out << " " << proto::to_string(mod->command) << " prio=" << mod->priority
+        << " " << mod->match.to_string() << " -> " << mod->action.to_string();
+  }
+  return out.str();
+}
+
+Message make_hello(Xid xid) { return Message{xid, Hello{}}; }
+
+Message make_echo_request(Xid xid, std::vector<std::byte> payload) {
+  return Message{xid, Echo{false, std::move(payload)}};
+}
+
+Message make_echo_reply(Xid xid, std::vector<std::byte> payload) {
+  return Message{xid, Echo{true, std::move(payload)}};
+}
+
+Message make_barrier_request(Xid xid) {
+  return Message{xid, BarrierRequest{}};
+}
+
+Message make_barrier_reply(Xid xid) { return Message{xid, BarrierReply{}}; }
+
+Message make_flow_mod(Xid xid, FlowMod mod) {
+  return Message{xid, std::move(mod)};
+}
+
+Message make_error(Xid xid, std::uint16_t code, std::string text) {
+  return Message{xid, Error{code, std::move(text)}};
+}
+
+}  // namespace tsu::proto

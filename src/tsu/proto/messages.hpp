@@ -1,0 +1,98 @@
+// Control-channel message model, shaped after OpenFlow 1.x: a fixed header
+// (version, type, length, xid) followed by a per-type body. The subset
+// implemented is exactly what the paper's controller uses: FLOW_MOD to
+// install/modify/delete rules, BARRIER_REQUEST/REPLY to fence rounds, plus
+// HELLO/ECHO/ERROR for session plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tsu/flow/table.hpp"
+#include "tsu/util/ids.hpp"
+
+namespace tsu::proto {
+
+inline constexpr std::uint8_t kProtocolVersion = 0x04;  // mirrors OF 1.3
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kBarrierRequest = 20,
+  kBarrierReply = 21,
+};
+
+const char* to_string(MsgType type) noexcept;
+
+struct Hello {};
+
+struct Error {
+  std::uint16_t code = 0;
+  std::string text;
+};
+
+struct Echo {
+  bool reply = false;
+  std::vector<std::byte> payload;
+};
+
+struct FeaturesRequest {};
+
+struct FeaturesReply {
+  DatapathId datapath = kInvalidDatapath;
+  std::uint32_t n_tables = 1;
+};
+
+enum class FlowModCommand : std::uint8_t {
+  kAdd = 0,
+  kModify = 1,
+  kDelete = 3,
+  kDeleteStrict = 4,
+};
+
+const char* to_string(FlowModCommand command) noexcept;
+
+struct FlowMod {
+  FlowModCommand command = FlowModCommand::kAdd;
+  std::uint16_t priority = 100;
+  std::uint64_t cookie = 0;
+  flow::Match match;
+  flow::Action action;  // ignored for deletes
+};
+
+struct PacketOut {
+  flow::Packet packet;
+  NodeId out_port = kInvalidNode;
+};
+
+struct BarrierRequest {};
+struct BarrierReply {};
+
+using Body = std::variant<Hello, Error, Echo, FeaturesRequest, FeaturesReply,
+                          FlowMod, PacketOut, BarrierRequest, BarrierReply>;
+
+struct Message {
+  Xid xid = 0;
+  Body body;
+
+  MsgType type() const noexcept;
+  std::string to_string() const;
+};
+
+Message make_hello(Xid xid);
+Message make_echo_request(Xid xid, std::vector<std::byte> payload = {});
+Message make_echo_reply(Xid xid, std::vector<std::byte> payload = {});
+Message make_barrier_request(Xid xid);
+Message make_barrier_reply(Xid xid);
+Message make_flow_mod(Xid xid, FlowMod mod);
+Message make_error(Xid xid, std::uint16_t code, std::string text);
+
+}  // namespace tsu::proto

@@ -1,0 +1,52 @@
+#include "tsu/sim/event_queue.hpp"
+
+#include "tsu/util/assert.hpp"
+
+namespace tsu::sim {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  pending_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  --live_;
+  return true;
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+SimTime EventQueue::next_time() const {
+  TSU_ASSERT_MSG(!empty(), "next_time on empty queue");
+  // The heap may have cancelled entries at the top; skim them off lazily.
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() &&
+         self->pending_.find(self->heap_.top().id) == self->pending_.end())
+    self->heap_.pop();
+  TSU_ASSERT(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  TSU_ASSERT_MSG(!empty(), "pop on empty queue");
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    const auto it = pending_.find(top.id);
+    if (it == pending_.end()) continue;  // cancelled
+    Fired fired{top.time, std::move(it->second)};
+    pending_.erase(it);
+    --live_;
+    return fired;
+  }
+  TSU_ASSERT_MSG(false, "live_ count out of sync with heap");
+  return Fired{0, nullptr};
+}
+
+}  // namespace tsu::sim

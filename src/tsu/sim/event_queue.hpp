@@ -1,0 +1,57 @@
+// Event queue for the discrete-event simulator: a min-heap on (time, seq)
+// where seq is a monotonically increasing tie-breaker, so simultaneous
+// events fire in scheduling order and runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "tsu/sim/time.hpp"
+
+namespace tsu::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventId push(SimTime at, EventFn fn);
+
+  // Cancels a pending event (lazy: the slot stays in the heap but fires as
+  // a no-op). Returns false if the event already fired or was cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const noexcept;
+  std::size_t size() const noexcept { return live_; }
+  SimTime next_time() const;
+
+  // Pops and returns the next live event; callers must check empty() first.
+  struct Fired {
+    SimTime time;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // min-heap: invert comparison.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  // id -> handler; erased on fire/cancel.
+  std::unordered_map<EventId, EventFn> pending_;
+
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tsu::sim

@@ -1,0 +1,42 @@
+// The discrete-event simulator driving controller, channels, switches and
+// data-plane packets on one logical clock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tsu/sim/event_queue.hpp"
+#include "tsu/sim/time.hpp"
+#include "tsu/util/assert.hpp"
+
+namespace tsu::sim {
+
+class Simulator {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  // Schedules `fn` to run `delay` after the current time.
+  EventId schedule(Duration delay, EventFn fn) {
+    return queue_.push(now_ + delay, std::move(fn));
+  }
+  EventId schedule_at(SimTime at, EventFn fn) {
+    TSU_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+    return queue_.push(at, std::move(fn));
+  }
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs until the queue drains or `until` is reached (events at exactly
+  // `until` still fire). Returns the number of events processed.
+  std::size_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  // Runs at most one event; returns false if none was pending.
+  bool step();
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+};
+
+}  // namespace tsu::sim

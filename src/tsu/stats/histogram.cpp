@@ -1,0 +1,42 @@
+#include "tsu/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tsu::stats {
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x < 1.0) {
+    ++underflow_;
+    return;
+  }
+  int bucket = static_cast<int>(std::floor(std::log2(x)));
+  bucket = std::clamp(bucket, 0, kBuckets - 1);
+  ++buckets_[static_cast<std::size_t>(bucket)];
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream out;
+  std::uint64_t peak = underflow_;
+  for (const std::uint64_t c : buckets_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  const auto bar = [&](std::uint64_t count) {
+    const std::size_t width =
+        static_cast<std::size_t>(40.0 * static_cast<double>(count) /
+                                 static_cast<double>(peak));
+    return std::string(width, '#');
+  };
+  if (underflow_ != 0)
+    out << "[0, 1): " << underflow_ << " " << bar(underflow_) << "\n";
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t count = buckets_[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    out << "[2^" << i << ", 2^" << (i + 1) << "): " << count << " "
+        << bar(count) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsu::stats

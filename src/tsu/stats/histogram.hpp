@@ -1,0 +1,27 @@
+// Fixed-boundary and log-scaled histograms for latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsu::stats {
+
+// Power-of-two bucketed histogram for non-negative values (ns-scale
+// latencies): bucket i holds values in [2^i, 2^(i+1)).
+class LogHistogram {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t total() const noexcept { return total_; }
+  // Renders non-empty buckets as "[lo, hi): count" lines with a bar.
+  std::string to_string() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t underflow_ = 0;  // x < 1
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tsu::stats

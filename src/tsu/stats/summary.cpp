@@ -1,0 +1,62 @@
+#include "tsu/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tsu/util/assert.hpp"
+
+namespace tsu::stats {
+
+void Summary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::min() const noexcept { return count_ == 0 ? 0 : min_; }
+double Summary::max() const noexcept { return count_ == 0 ? 0 : max_; }
+
+double Summary::variance() const noexcept {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::string Summary::to_string() const {
+  std::ostringstream out;
+  out << "n=" << count_ << " mean=" << mean() << " min=" << min()
+      << " max=" << max() << " sd=" << stddev();
+  return out.str();
+}
+
+void Percentiles::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double Percentiles::quantile(double q) const {
+  TSU_ASSERT(q >= 0.0 && q <= 1.0);
+  TSU_ASSERT_MSG(!samples_.empty(), "quantile of empty sample set");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+}
+
+}  // namespace tsu::stats

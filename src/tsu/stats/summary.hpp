@@ -1,0 +1,52 @@
+// Streaming summary statistics (Welford) and percentile estimation over
+// retained samples. Used by every bench to aggregate per-seed results.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsu::stats {
+
+// Numerically stable mean/variance accumulator.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  // Sample variance (n-1); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Retains all samples; exact percentiles on demand.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  // q in [0, 1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace tsu::stats

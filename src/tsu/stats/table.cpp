@@ -1,0 +1,73 @@
+#include "tsu/stats/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tsu/util/assert.hpp"
+
+namespace tsu::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TSU_ASSERT(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  TSU_ASSERT_MSG(row.size() == header_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> col_width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    col_width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      col_width[c] = std::max(col_width[c], row[c].size());
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << " " << row[c]
+          << std::string(col_width[c] - row[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << std::string(col_width[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (const char c : field) {
+      if (c == '"') quoted += "\"\"";
+      else quoted.push_back(c);
+    }
+    quoted += "\"";
+    return quoted;
+  };
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out << ",";
+    out << escape(header_[c]);
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ",";
+      out << escape(row[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsu::stats

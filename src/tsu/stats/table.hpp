@@ -1,0 +1,27 @@
+// Result tables: the benches print the evaluation as aligned markdown (for
+// the console / EXPERIMENTS.md) and can emit CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsu::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Number of columns.
+  std::size_t width() const noexcept { return header_.size(); }
+
+  void add_row(std::vector<std::string> row);
+
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsu::stats

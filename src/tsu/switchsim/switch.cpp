@@ -1,0 +1,86 @@
+#include "tsu/switchsim/switch.hpp"
+
+#include "tsu/util/log.hpp"
+
+namespace tsu::switchsim {
+
+void SimSwitch::receive(const proto::Message& message) {
+  inbox_.push_back(message);
+  if (!busy_) start_next();
+}
+
+void SimSwitch::start_next() {
+  TSU_ASSERT(!busy_);
+  if (inbox_.empty()) return;
+  busy_ = true;
+  const proto::Message message = std::move(inbox_.front());
+  inbox_.pop_front();
+
+  sim::Duration processing = config_.message_processing;
+  if (message.type() == proto::MsgType::kFlowMod) {
+    processing = config_.install_latency.sample(rng_);
+    install_times_.add(static_cast<double>(processing));
+  } else if (message.type() == proto::MsgType::kBarrierRequest) {
+    processing = config_.barrier_processing;
+  }
+
+  sim_.schedule(processing, [this, message = std::move(message)]() {
+    complete(message);
+    busy_ = false;
+    start_next();
+  });
+}
+
+void SimSwitch::complete(const proto::Message& message) {
+  switch (message.type()) {
+    case proto::MsgType::kFlowMod:
+      apply_flow_mod(std::get<proto::FlowMod>(message.body));
+      ++flow_mods_applied_;
+      break;
+    case proto::MsgType::kBarrierRequest:
+      ++barriers_replied_;
+      if (to_controller_)
+        to_controller_(proto::make_barrier_reply(message.xid));
+      break;
+    case proto::MsgType::kEchoRequest:
+      if (to_controller_)
+        to_controller_(proto::make_echo_reply(
+            message.xid, std::get<proto::Echo>(message.body).payload));
+      break;
+    case proto::MsgType::kHello:
+      if (to_controller_) to_controller_(proto::make_hello(message.xid));
+      break;
+    case proto::MsgType::kFeaturesRequest:
+      if (to_controller_) {
+        proto::Message reply;
+        reply.xid = message.xid;
+        reply.body = proto::FeaturesReply{dpid_, 1};
+        to_controller_(reply);
+      }
+      break;
+    default:
+      TSU_LOG(kDebug) << "switch " << node_ << " ignoring "
+                      << message.to_string();
+      break;
+  }
+}
+
+void SimSwitch::apply_flow_mod(const proto::FlowMod& mod) {
+  switch (mod.command) {
+    case proto::FlowModCommand::kAdd:
+      table_.add(flow::FlowRule{mod.match, mod.action, mod.priority,
+                                mod.cookie});
+      break;
+    case proto::FlowModCommand::kModify:
+      table_.modify(mod.match, mod.priority, mod.action, mod.cookie);
+      break;
+    case proto::FlowModCommand::kDelete:
+      table_.remove(mod.match);
+      break;
+    case proto::FlowModCommand::kDeleteStrict:
+      table_.remove_strict(mod.match, mod.priority);
+      break;
+  }
+}
+
+}  // namespace tsu::switchsim

@@ -1,0 +1,88 @@
+#include "tsu/topo/generators.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tsu::topo {
+
+Topology line(std::size_t n) {
+  TSU_ASSERT(n >= 1);
+  graph::Digraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.make_bidirectional();
+  return Topology(std::move(g));
+}
+
+Topology ring(std::size_t n) {
+  TSU_ASSERT(n >= 3);
+  graph::Digraph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  g.make_bidirectional();
+  return Topology(std::move(g));
+}
+
+Topology grid(std::size_t rows, std::size_t cols) {
+  TSU_ASSERT(rows >= 1 && cols >= 1);
+  graph::Digraph g(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  g.make_bidirectional();
+  return Topology(std::move(g));
+}
+
+namespace {
+
+// Random spanning line so the generated graph is connected.
+void add_spanning_line(graph::Digraph& g, Rng& rng) {
+  std::vector<NodeId> order(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) order[v] = v;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    g.add_edge(order[i], order[i + 1]);
+}
+
+}  // namespace
+
+Topology erdos_renyi(std::size_t n, double p, Rng& rng) {
+  TSU_ASSERT(n >= 2);
+  graph::Digraph g(n);
+  add_spanning_line(g, rng);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v)
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+  g.make_bidirectional();
+  return Topology(std::move(g));
+}
+
+Topology waxman(std::size_t n, double alpha, double beta, Rng& rng) {
+  TSU_ASSERT(n >= 2);
+  std::vector<std::pair<double, double>> position(n);
+  for (auto& [x, y] : position) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  graph::Digraph g(n);
+  add_spanning_line(g, rng);
+  const double max_dist = std::sqrt(2.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+      const double dx = position[u].first - position[v].first;
+      const double dy = position[u].second - position[v].second;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (rng.bernoulli(alpha * std::exp(-dist / (beta * max_dist))))
+        g.add_edge(u, v);
+    }
+  }
+  g.make_bidirectional();
+  return Topology(std::move(g));
+}
+
+}  // namespace tsu::topo

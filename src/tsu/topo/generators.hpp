@@ -1,0 +1,31 @@
+// Topology generators: deterministic shapes (line, ring, grid) and random
+// families (Erdős–Rényi, Waxman) used to embed update instances in
+// realistic-looking networks for the benches.
+#pragma once
+
+#include <cstddef>
+
+#include "tsu/topo/topology.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu::topo {
+
+// 0 - 1 - ... - (n-1), bidirectional links.
+Topology line(std::size_t n);
+
+// Line plus the closing link, bidirectional.
+Topology ring(std::size_t n);
+
+// rows x cols mesh, bidirectional.
+Topology grid(std::size_t rows, std::size_t cols);
+
+// G(n, p) with bidirectional links; guarantees connectivity by first laying
+// a random spanning line.
+Topology erdos_renyi(std::size_t n, double p, Rng& rng);
+
+// Waxman random graph: nodes placed uniformly in the unit square, link
+// probability alpha * exp(-dist / (beta * sqrt(2))); spanning line ensures
+// connectivity. Classic topology model for WAN-ish SDN evaluations.
+Topology waxman(std::size_t n, double alpha, double beta, Rng& rng);
+
+}  // namespace tsu::topo

@@ -1,0 +1,127 @@
+#include "tsu/topo/instances.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tsu/graph/path.hpp"
+
+namespace tsu::topo {
+
+Fig1 fig1() {
+  const graph::Path old_route{1, 2, 3, 4, 8, 5, 6, 12};
+  const graph::Path new_route{1, 7, 5, 3, 2, 9, 10, 11, 12};
+  Result<update::Instance> inst =
+      update::Instance::make(old_route, new_route, NodeId{3});
+  TSU_ASSERT_MSG(inst.ok(), "fig1 instance must validate");
+
+  graph::Digraph g(13);  // switch ids 1..12 (index 0 unused)
+  graph::add_path_edges(g, old_route);
+  graph::add_path_edges(g, new_route);
+  g.make_bidirectional();
+  Topology topo(std::move(g));
+  topo.add_host("h1", 1);
+  topo.add_host("h2", 12);
+  return Fig1{std::move(topo), std::move(inst).value()};
+}
+
+update::Instance reversal_instance(std::size_t n) {
+  TSU_ASSERT_MSG(n >= 4, "reversal instance needs at least 4 nodes");
+  graph::Path old_path(n);
+  for (std::size_t i = 0; i < n; ++i) old_path[i] = static_cast<NodeId>(i);
+  graph::Path new_path;
+  new_path.push_back(0);
+  for (std::size_t i = n - 2; i >= 1; --i)
+    new_path.push_back(static_cast<NodeId>(i));
+  new_path.push_back(static_cast<NodeId>(n - 1));
+  Result<update::Instance> inst =
+      update::Instance::make(std::move(old_path), std::move(new_path));
+  TSU_ASSERT(inst.ok());
+  return std::move(inst).value();
+}
+
+update::Instance random_instance(Rng& rng,
+                                 const RandomInstanceOptions& options) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const std::size_t old_interior =
+        rng.uniform_u64(options.old_interior_min, options.old_interior_max);
+    // Node universe: 0 = source; 1..old_interior = old interior;
+    // fresh nodes allocated from old_interior + 2 upwards; destination is
+    // old_interior + 1.
+    const NodeId destination = static_cast<NodeId>(old_interior + 1);
+    graph::Path old_path;
+    old_path.push_back(0);
+    for (std::size_t i = 1; i <= old_interior; ++i)
+      old_path.push_back(static_cast<NodeId>(i));
+    old_path.push_back(destination);
+
+    NodeId next_fresh = static_cast<NodeId>(old_interior + 2);
+    const std::size_t new_interior =
+        rng.uniform_u64(options.new_len_min, options.new_len_max);
+    graph::Path new_path;
+    new_path.push_back(0);
+    std::unordered_set<NodeId> used{0, destination};
+    for (std::size_t i = 0; i < new_interior; ++i) {
+      NodeId v = kInvalidNode;
+      if (rng.bernoulli(options.reuse_probability)) {
+        // Try to reuse an old interior node not yet on the new path.
+        std::vector<NodeId> available;
+        for (std::size_t j = 1; j <= old_interior; ++j) {
+          const NodeId cand = static_cast<NodeId>(j);
+          if (used.find(cand) == used.end()) available.push_back(cand);
+        }
+        if (!available.empty()) v = rng.pick(available);
+      }
+      if (v == kInvalidNode) v = next_fresh++;
+      used.insert(v);
+      new_path.push_back(v);
+    }
+    new_path.push_back(destination);
+
+    std::optional<NodeId> waypoint;
+    if (options.with_waypoint) {
+      // The waypoint must be interior to both paths; candidates are old
+      // interior nodes already on the new path.
+      std::vector<NodeId> candidates;
+      for (std::size_t j = 1; j <= old_interior; ++j) {
+        const NodeId cand = static_cast<NodeId>(j);
+        if (graph::contains(new_path, cand)) candidates.push_back(cand);
+      }
+      if (candidates.empty()) {
+        // Force one: replace a random interior new-path node by a random
+        // unused old interior node.
+        std::vector<NodeId> unused_old;
+        for (std::size_t j = 1; j <= old_interior; ++j) {
+          const NodeId cand = static_cast<NodeId>(j);
+          if (!graph::contains(new_path, cand)) unused_old.push_back(cand);
+        }
+        if (unused_old.empty() || new_path.size() < 3) continue;  // retry
+        const NodeId wp = rng.pick(unused_old);
+        const std::size_t slot = 1 + rng.index(new_path.size() - 2);
+        new_path[slot] = wp;
+        candidates.push_back(wp);
+      }
+      waypoint = rng.pick(candidates);
+    }
+
+    Result<update::Instance> inst =
+        update::Instance::make(old_path, new_path, waypoint);
+    if (inst.ok()) return std::move(inst).value();
+  }
+  TSU_ASSERT_MSG(false, "random_instance failed to converge");
+  // Unreachable; keeps the compiler happy.
+  return std::move(
+      update::Instance::make({0, 1}, {0, 1}, std::nullopt)).value();
+}
+
+Topology topology_for(const update::Instance& inst) {
+  graph::Digraph g(inst.node_count());
+  graph::add_path_edges(g, inst.old_path());
+  graph::add_path_edges(g, inst.new_path());
+  g.make_bidirectional();
+  Topology topo(std::move(g));
+  topo.add_host("h_src", inst.source());
+  topo.add_host("h_dst", inst.destination());
+  return topo;
+}
+
+}  // namespace tsu::topo

@@ -1,0 +1,44 @@
+#include "tsu/topo/topology.hpp"
+
+#include <sstream>
+
+namespace tsu::topo {
+
+Topology::Topology(graph::Digraph g) : graph_(std::move(g)) {
+  dpids_.resize(graph_.node_count());
+  for (NodeId v = 0; v < graph_.node_count(); ++v)
+    dpids_[v] = static_cast<DatapathId>(v);
+}
+
+void Topology::set_dpid(NodeId node, DatapathId dpid) {
+  TSU_ASSERT(node < graph_.node_count());
+  if (dpids_.size() < graph_.node_count())
+    dpids_.resize(graph_.node_count());
+  dpids_[node] = dpid;
+}
+
+DatapathId Topology::dpid(NodeId node) const {
+  TSU_ASSERT(node < graph_.node_count());
+  if (node < dpids_.size()) return dpids_[node];
+  return static_cast<DatapathId>(node);
+}
+
+std::optional<NodeId> Topology::node_of_dpid(DatapathId dpid) const {
+  for (NodeId v = 0; v < graph_.node_count(); ++v)
+    if (this->dpid(v) == dpid) return v;
+  return std::nullopt;
+}
+
+void Topology::add_host(std::string name, NodeId attached) {
+  TSU_ASSERT(attached < graph_.node_count());
+  hosts_.push_back(Host{std::move(name), attached});
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream out;
+  out << "topology: " << graph_.node_count() << " switches, "
+      << graph_.edge_count() << " links, " << hosts_.size() << " hosts";
+  return out.str();
+}
+
+}  // namespace tsu::topo

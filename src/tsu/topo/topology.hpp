@@ -1,0 +1,49 @@
+// Network topology: the switch graph plus host attachment points and the
+// NodeId <-> DatapathId mapping used by the control plane (Ryu identifies
+// switches by integer datapath numbers; the paper's REST messages carry
+// routes as lists of <dp-num>).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsu/graph/graph.hpp"
+#include "tsu/util/ids.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::topo {
+
+struct Host {
+  std::string name;
+  NodeId attached = kInvalidNode;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(graph::Digraph g);
+
+  const graph::Digraph& graph() const noexcept { return graph_; }
+  graph::Digraph& graph() noexcept { return graph_; }
+
+  std::size_t switch_count() const noexcept { return graph_.node_count(); }
+
+  // By default a node's datapath id is its node id; deployments with
+  // non-trivial numbering can override.
+  void set_dpid(NodeId node, DatapathId dpid);
+  DatapathId dpid(NodeId node) const;
+  std::optional<NodeId> node_of_dpid(DatapathId dpid) const;
+
+  void add_host(std::string name, NodeId attached);
+  const std::vector<Host>& hosts() const noexcept { return hosts_; }
+
+  std::string to_string() const;
+
+ private:
+  graph::Digraph graph_;
+  std::vector<DatapathId> dpids_;
+  std::vector<Host> hosts_;
+};
+
+}  // namespace tsu::topo

@@ -1,0 +1,163 @@
+#include "tsu/update/instance.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace tsu::update {
+
+namespace {
+constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+}
+
+const char* to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kUntouched: return "untouched";
+    case NodeRole::kOldOnly: return "old-only";
+    case NodeRole::kNewOnly: return "new-only";
+    case NodeRole::kBoth: return "both";
+  }
+  return "?";
+}
+
+Result<Instance> Instance::make(graph::Path old_path, graph::Path new_path,
+                                std::optional<NodeId> waypoint) {
+  if (Status s = graph::validate_update_paths(old_path, new_path, waypoint);
+      !s.ok())
+    return s.error();
+
+  Instance inst;
+  inst.old_ = std::move(old_path);
+  inst.new_ = std::move(new_path);
+  inst.waypoint_ = waypoint;
+
+  NodeId max_node = 0;
+  for (const NodeId v : inst.old_) max_node = std::max(max_node, v);
+  for (const NodeId v : inst.new_) max_node = std::max(max_node, v);
+  inst.node_count_ = static_cast<std::size_t>(max_node) + 1;
+
+  inst.old_next_.assign(inst.node_count_, kInvalidNode);
+  inst.new_next_.assign(inst.node_count_, kInvalidNode);
+  inst.old_pos_.assign(inst.node_count_, kNoPos);
+  inst.new_pos_.assign(inst.node_count_, kNoPos);
+  inst.role_.assign(inst.node_count_, NodeRole::kUntouched);
+  inst.touched_mask_.assign(inst.node_count_, false);
+
+  for (std::size_t i = 0; i < inst.old_.size(); ++i) {
+    const NodeId v = inst.old_[i];
+    inst.old_pos_[v] = i;
+    if (i + 1 < inst.old_.size()) inst.old_next_[v] = inst.old_[i + 1];
+  }
+  for (std::size_t i = 0; i < inst.new_.size(); ++i) {
+    const NodeId v = inst.new_[i];
+    inst.new_pos_[v] = i;
+    if (i + 1 < inst.new_.size()) inst.new_next_[v] = inst.new_[i + 1];
+  }
+
+  for (NodeId v = 0; v < inst.node_count_; ++v) {
+    const bool on_old = inst.old_pos_[v] != kNoPos;
+    const bool on_new = inst.new_pos_[v] != kNoPos;
+    if (on_old && on_new)
+      inst.role_[v] = NodeRole::kBoth;
+    else if (on_old)
+      inst.role_[v] = NodeRole::kOldOnly;
+    else if (on_new)
+      inst.role_[v] = NodeRole::kNewOnly;
+  }
+
+  // A node is "touched" when its active rule must change: it is on the new
+  // path (so it ends up with its new next-hop), it is not the destination,
+  // and either it has no old rule (install) or the next-hop differs.
+  const NodeId destination = inst.old_.back();
+  for (const NodeId v : inst.new_) {
+    if (v == destination) continue;
+    if (inst.old_next_[v] != inst.new_next_[v]) {
+      inst.touched_mask_[v] = true;
+      inst.touched_.push_back(v);
+    }
+  }
+
+  return inst;
+}
+
+NodeRole Instance::role(NodeId v) const noexcept {
+  return v < role_.size() ? role_[v] : NodeRole::kUntouched;
+}
+
+bool Instance::on_old(NodeId v) const noexcept {
+  return v < old_pos_.size() && old_pos_[v] != kNoPos;
+}
+
+bool Instance::on_new(NodeId v) const noexcept {
+  return v < new_pos_.size() && new_pos_[v] != kNoPos;
+}
+
+NodeId Instance::old_next(NodeId v) const noexcept {
+  return v < old_next_.size() ? old_next_[v] : kInvalidNode;
+}
+
+NodeId Instance::new_next(NodeId v) const noexcept {
+  return v < new_next_.size() ? new_next_[v] : kInvalidNode;
+}
+
+bool Instance::is_touched(NodeId v) const noexcept {
+  return v < touched_mask_.size() && touched_mask_[v];
+}
+
+std::vector<NodeId> Instance::old_only_nodes() const {
+  std::vector<NodeId> result;
+  for (const NodeId v : old_)
+    if (role(v) == NodeRole::kOldOnly) result.push_back(v);
+  return result;
+}
+
+std::vector<NodeId> Instance::set_x() const {
+  std::vector<NodeId> result;
+  if (!waypoint_.has_value()) return result;
+  const NodeId w = *waypoint_;
+  const std::size_t w_old = *old_pos(w);
+  const std::size_t w_new = *new_pos(w);
+  // X = nodes strictly before w on the new path and strictly after w on the
+  // old path.
+  for (std::size_t i = 0; i < w_new; ++i) {
+    const NodeId v = new_[i];
+    const auto po = old_pos(v);
+    if (po.has_value() && *po > w_old) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<NodeId> Instance::set_y() const {
+  std::vector<NodeId> result;
+  if (!waypoint_.has_value()) return result;
+  const NodeId w = *waypoint_;
+  const std::size_t w_old = *old_pos(w);
+  const std::size_t w_new = *new_pos(w);
+  // Y = nodes strictly before w on the old path and strictly after w on the
+  // new path.
+  for (std::size_t i = w_new + 1; i < new_.size(); ++i) {
+    const NodeId v = new_[i];
+    const auto po = old_pos(v);
+    if (po.has_value() && *po < w_old) result.push_back(v);
+  }
+  return result;
+}
+
+std::optional<std::size_t> Instance::old_pos(NodeId v) const noexcept {
+  if (v >= old_pos_.size() || old_pos_[v] == kNoPos) return std::nullopt;
+  return old_pos_[v];
+}
+
+std::optional<std::size_t> Instance::new_pos(NodeId v) const noexcept {
+  if (v >= new_pos_.size() || new_pos_[v] == kNoPos) return std::nullopt;
+  return new_pos_[v];
+}
+
+std::string Instance::to_string() const {
+  std::ostringstream out;
+  out << "old=" << graph::to_string(old_) << " new=" << graph::to_string(new_);
+  if (waypoint_.has_value()) out << " wp=" << *waypoint_;
+  return out.str();
+}
+
+}  // namespace tsu::update

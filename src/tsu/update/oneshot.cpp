@@ -1,0 +1,14 @@
+#include "tsu/update/schedulers.hpp"
+
+namespace tsu::update {
+
+Result<Schedule> plan_oneshot(const Instance& inst,
+                              const SchedulerOptions& options) {
+  Schedule schedule;
+  schedule.algorithm = "oneshot";
+  if (!inst.touched().empty()) schedule.rounds.push_back(inst.touched());
+  if (options.with_cleanup) schedule.cleanup = inst.old_only_nodes();
+  return schedule;
+}
+
+}  // namespace tsu::update

@@ -1,0 +1,107 @@
+// Minimum-round schedules by exhaustive search (iterative deepening over
+// the number of rounds, DFS over candidate rounds, memoized dead ends).
+//
+// Round safety is subset-closed (a round is safe only if *every* subset
+// state is safe, so any subset of a safe round is safe), but it is not
+// monotone in the applied set - updating more nodes earlier can make a later
+// round unsafe. Hence the search enumerates all subsets of the pending set
+// as the next round rather than only maximal ones. Cost is O(3^p) state
+// evaluations per deepening level for p pending nodes; the node_limit keeps
+// this in laptop range. Used by tests and bench_wayup_rounds (E5) to measure
+// the optimality gap of WayUp/Peacock on small instances.
+#include "tsu/update/schedulers.hpp"
+
+#include <unordered_map>
+
+namespace tsu::update {
+
+namespace {
+
+class RoundSearch {
+ public:
+  RoundSearch(const Instance& inst, const std::vector<NodeId>& pending,
+              std::uint32_t properties, const OracleOptions& oracle)
+      : inst_(inst), pending_(pending), properties_(properties),
+        oracle_(oracle) {}
+
+  // Tries to retire all pending nodes in exactly <= budget rounds starting
+  // from `state`; fills `out` (in order) on success.
+  bool solve(StateMask& state, std::uint64_t remaining_mask,
+             std::size_t budget, std::vector<Round>& out) {
+    if (remaining_mask == 0) return true;
+    if (budget == 0) return false;
+    const auto memo = failed_.find(remaining_mask);
+    if (memo != failed_.end() && memo->second >= budget) return false;
+
+    // Enumerate non-empty subsets of remaining_mask as the next round.
+    for (std::uint64_t sub = remaining_mask; sub != 0;
+         sub = (sub - 1) & remaining_mask) {
+      Round round;
+      for (std::size_t i = 0; i < pending_.size(); ++i)
+        if ((sub >> i) & 1ULL) round.push_back(pending_[i]);
+      if (!round_safe_exhaustive(inst_, state, round, properties_)) continue;
+      for (const NodeId v : round) state[v] = true;
+      out.push_back(round);
+      if (solve(state, remaining_mask & ~sub, budget - 1, out)) return true;
+      out.pop_back();
+      for (const NodeId v : round) state[v] = false;
+    }
+    auto& worst = failed_[remaining_mask];
+    worst = std::max(worst, budget);
+    return false;
+  }
+
+ private:
+  const Instance& inst_;
+  const std::vector<NodeId>& pending_;
+  std::uint32_t properties_;
+  OracleOptions oracle_;
+  // remaining_mask -> largest budget proven infeasible.
+  std::unordered_map<std::uint64_t, std::size_t> failed_;
+};
+
+}  // namespace
+
+Result<std::vector<Round>> search_rounds(const Instance& inst,
+                                         const StateMask& initial,
+                                         const std::vector<NodeId>& pending,
+                                         std::uint32_t properties,
+                                         std::size_t max_rounds,
+                                         const OracleOptions& oracle) {
+  if (pending.size() > 24)
+    return make_error(Errc::kOutOfRange,
+                      "search_rounds: too many pending nodes");
+  if (pending.empty()) return std::vector<Round>{};
+
+  const std::uint64_t all_mask =
+      pending.size() == 64 ? ~0ULL : (1ULL << pending.size()) - 1;
+  RoundSearch search(inst, pending, properties, oracle);
+  for (std::size_t budget = 1; budget <= max_rounds; ++budget) {
+    StateMask state = initial;
+    std::vector<Round> rounds;
+    if (search.solve(state, all_mask, budget, rounds)) return rounds;
+  }
+  return make_error(Errc::kExhausted,
+                    "no schedule within max_rounds satisfies " +
+                        property_name(properties));
+}
+
+Result<Schedule> plan_optimal(const Instance& inst,
+                              const OptimalOptions& options) {
+  if (inst.touched().size() > options.node_limit)
+    return make_error(Errc::kOutOfRange,
+                      "plan_optimal: instance exceeds node_limit (" +
+                          std::to_string(inst.touched().size()) + " touched)");
+  Result<std::vector<Round>> rounds =
+      search_rounds(inst, empty_state(inst), inst.touched(),
+                    options.properties, options.max_rounds,
+                    options.base.oracle);
+  if (!rounds.ok()) return rounds.error();
+  Schedule schedule;
+  schedule.algorithm = "optimal(" + property_name(options.properties) + ")";
+  schedule.rounds = std::move(rounds).value();
+  if (options.base.with_cleanup) schedule.cleanup = inst.old_only_nodes();
+  return schedule;
+}
+
+}  // namespace tsu::update

@@ -1,0 +1,90 @@
+#include "tsu/update/optimizer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tsu::update {
+
+Schedule compress_schedule(const Instance& inst, const Schedule& schedule,
+                           std::uint32_t properties,
+                           const OracleOptions& oracle) {
+  Schedule compressed;
+  compressed.algorithm = schedule.algorithm + "+compressed";
+  compressed.cleanup = schedule.cleanup;
+
+  StateMask applied = empty_state(inst);
+  for (const Round& round : schedule.rounds) {
+    if (!compressed.rounds.empty()) {
+      // Try to fold this round into the previous one. The previous round
+      // was proven safe from `applied_before_prev`; the merged round must
+      // be re-proven from the same base.
+      Round merged = compressed.rounds.back();
+      merged.insert(merged.end(), round.begin(), round.end());
+      StateMask base = applied;
+      for (const NodeId v : compressed.rounds.back()) base[v] = false;
+      if (round_safe(inst, base, merged, properties, oracle)) {
+        compressed.rounds.back() = std::move(merged);
+        for (const NodeId v : round) applied[v] = true;
+        continue;
+      }
+    }
+    compressed.rounds.push_back(round);
+    for (const NodeId v : round) applied[v] = true;
+  }
+  return compressed;
+}
+
+Result<MergedSchedule> merge_policies(
+    const std::vector<const Instance*>& policies,
+    const std::vector<const Schedule*>& schedules) {
+  if (policies.size() != schedules.size())
+    return make_error(Errc::kInvalidArgument,
+                      "policies/schedules size mismatch");
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (policies[i] == nullptr || schedules[i] == nullptr)
+      return make_error(Errc::kInvalidArgument, "null policy or schedule");
+    if (Status s = validate_schedule(*policies[i], *schedules[i]); !s.ok())
+      return make_error(Errc::kInvalidArgument,
+                        "policy " + std::to_string(i) +
+                            " schedule invalid: " + s.error().message);
+  }
+
+  MergedSchedule merged;
+  // next_round[i] = index of the first round of policy i not yet placed.
+  std::vector<std::size_t> next_round(policies.size(), 0);
+
+  while (true) {
+    MergedRound global;
+    std::unordered_set<NodeId> touched_switches;
+    bool progressed = false;
+    // Greedy pass: admit the next round of every policy whose switches are
+    // all untouched in this global round. Earlier policies get priority
+    // (FIFO fairness, matching the paper's queue semantics).
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (next_round[i] >= schedules[i]->rounds.size()) continue;
+      const Round& round = schedules[i]->rounds[next_round[i]];
+      const bool disjoint = std::none_of(
+          round.begin(), round.end(), [&touched_switches](NodeId v) {
+            return touched_switches.count(v) != 0;
+          });
+      if (!disjoint) continue;
+      for (const NodeId v : round) {
+        touched_switches.insert(v);
+        global.ops.emplace_back(i, v);
+      }
+      ++next_round[i];
+      progressed = true;
+    }
+    if (!progressed) break;
+    merged.rounds.push_back(std::move(global));
+  }
+
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (next_round[i] != schedules[i]->rounds.size())
+      return make_error(Errc::kFailedPrecondition,
+                        "merge stalled before all rounds were placed");
+  }
+  return merged;
+}
+
+}  // namespace tsu::update

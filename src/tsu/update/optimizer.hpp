@@ -1,0 +1,55 @@
+// Schedule post-optimization.
+//
+// compress_schedule: greedily merges adjacent rounds whenever the merged
+// round still passes the per-subset safety oracle for the given property
+// mask. Sound for any scheduler's output (the oracle re-proves each merged
+// round from its actual applied prefix) and useful because constant-round
+// algorithms like WayUp pay for hazards that a concrete instance may not
+// have - e.g. with an empty X set, WayUp's rounds 2 and 3 merge.
+//
+// merge_policies: interleaves the per-policy schedules of several
+// *independent* flows into one global round sequence such that
+//   - each policy's own round order is preserved, and
+//   - within one global round, each switch is touched by at most one
+//     policy (the "can't touch this" discipline of the paper's reference
+//     [1], DSN'16: concurrent touches of one switch are the dangerous
+//     interleavings).
+// Per-policy transient consistency is preserved because every policy's
+// rounds still execute in order, barrier-separated; the merge only
+// parallelizes across policies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsu/update/instance.hpp"
+#include "tsu/update/oracle.hpp"
+#include "tsu/update/schedule.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::update {
+
+// Returns a schedule with the same per-node semantics but possibly fewer
+// rounds; `properties` is the mask the schedule must keep satisfying.
+Schedule compress_schedule(const Instance& inst, const Schedule& schedule,
+                           std::uint32_t properties,
+                           const OracleOptions& oracle = {});
+
+struct MergedRound {
+  // (policy index, node) pairs updated in this global round.
+  std::vector<std::pair<std::size_t, NodeId>> ops;
+};
+
+struct MergedSchedule {
+  std::vector<MergedRound> rounds;
+
+  std::size_t round_count() const noexcept { return rounds.size(); }
+};
+
+// Merges per-policy schedules; policies[i] and schedules[i] correspond.
+// Fails if the inputs are inconsistent.
+Result<MergedSchedule> merge_policies(
+    const std::vector<const Instance*>& policies,
+    const std::vector<const Schedule*>& schedules);
+
+}  // namespace tsu::update

@@ -1,0 +1,46 @@
+// Update schedules: the output of every scheduler and the input of the
+// executor and the transient-state checker.
+//
+// A schedule partitions the instance's touched nodes into ordered rounds.
+// Within a round, FlowMods land in arbitrary order (the asynchronous control
+// channel); rounds are separated by OpenFlow barriers, exactly as in the
+// paper's controller. An optional cleanup round deletes stale rules of
+// old-only nodes after the last semantic round.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsu/update/forwarding.hpp"
+#include "tsu/update/instance.hpp"
+#include "tsu/util/ids.hpp"
+#include "tsu/util/status.hpp"
+
+namespace tsu::update {
+
+using Round = std::vector<NodeId>;
+
+struct Schedule {
+  std::vector<Round> rounds;
+  // Old-only nodes whose rules are deleted after the last round (not part of
+  // the consistency argument; checked separately for unreachability).
+  Round cleanup;
+  // Name of the algorithm that produced the schedule (for tables/logs).
+  std::string algorithm;
+
+  std::size_t round_count() const noexcept { return rounds.size(); }
+  std::size_t touched_count() const;
+
+  std::string to_string() const;
+};
+
+// Checks that `schedule.rounds` is a partition of `inst.touched()` (every
+// touched node in exactly one round, nothing else scheduled) and that the
+// cleanup round only contains old-only nodes.
+Status validate_schedule(const Instance& inst, const Schedule& schedule);
+
+// Convenience: the state mask after applying rounds [0, upto_round).
+StateMask state_after_rounds(const Instance& inst, const Schedule& schedule,
+                             std::size_t upto_round);
+
+}  // namespace tsu::update

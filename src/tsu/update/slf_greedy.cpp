@@ -1,0 +1,87 @@
+// Strong-loop-freedom greedy scheduler (baseline).
+//
+// Per round, nodes are admitted while the adversarial union graph stays
+// acyclic. For global (strong) loop freedom the union-graph test is *exact*:
+// a cycle in the union graph visits each node at most once, so choosing, for
+// every in-round node on the cycle, exactly the rule the cycle uses yields a
+// concrete subset state realizing the loop; conversely every subset state's
+// graph is a subgraph of the union graph.
+//
+// On "reversal" instances (new path traverses the old path's interior in
+// reverse) only one node can move per round, so the schedule degenerates to
+// Θ(n) rounds - the lower-bound family PODC'15 contrasts Peacock against;
+// bench_rounds_scaling regenerates that curve.
+#include "tsu/update/schedulers.hpp"
+
+#include <algorithm>
+
+#include "tsu/graph/algorithms.hpp"
+
+namespace tsu::update {
+
+Result<Schedule> plan_slf_greedy(const Instance& inst,
+                                 const SchedulerOptions& options) {
+  Schedule schedule;
+  schedule.algorithm = "slf-greedy";
+
+  std::vector<NodeId> pending = inst.touched();
+  StateMask applied = empty_state(inst);
+
+  // New-only installs are strongly safe in a first round of their own: they
+  // are unreachable and - absent any flipped old-path node - cannot close a
+  // cycle with old edges (no old edge enters a new-only node).
+  Round installs;
+  for (const NodeId v : pending)
+    if (inst.role(v) == NodeRole::kNewOnly) installs.push_back(v);
+  if (!installs.empty()) {
+    // Verify the claim with the exact certificate anyway (defensive).
+    if (!round_safe_union_certificate(inst, applied, installs,
+                                      kGlobalLoopFree))
+      return make_error(Errc::kFailedPrecondition,
+                        "install round unexpectedly unsafe");
+    for (const NodeId v : installs) {
+      applied[v] = true;
+      pending.erase(std::find(pending.begin(), pending.end(), v));
+    }
+    schedule.rounds.push_back(std::move(installs));
+  }
+
+  while (!pending.empty()) {
+    Round round;
+    // Heuristic order: nodes whose new rule jumps farthest forward first;
+    // their edges are the least likely to participate in a cycle.
+    std::vector<NodeId> candidates = pending;
+    std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+      const auto key = [&](NodeId v) -> std::ptrdiff_t {
+        const auto pos = inst.old_pos(v);
+        if (!pos.has_value()) return 0;
+        NodeId t = inst.new_next(v);
+        while (t != kInvalidNode && !inst.on_old(t)) t = inst.new_next(t);
+        if (t == kInvalidNode) return 0;
+        return static_cast<std::ptrdiff_t>(*inst.old_pos(t)) -
+               static_cast<std::ptrdiff_t>(*pos);
+      };
+      return key(a) > key(b);
+    });
+    for (const NodeId u : candidates) {
+      round.push_back(u);
+      if (!round_safe_union_certificate(inst, applied, round,
+                                        kGlobalLoopFree))
+        round.pop_back();
+    }
+    if (round.empty())
+      return make_error(
+          Errc::kExhausted,
+          "no strongly loop-free round exists from the current state");
+    for (const NodeId u : round) {
+      applied[u] = true;
+      pending.erase(std::find(pending.begin(), pending.end(), u));
+    }
+    schedule.rounds.push_back(std::move(round));
+  }
+
+  if (options.with_cleanup) schedule.cleanup = inst.old_only_nodes();
+  return schedule;
+}
+
+}  // namespace tsu::update

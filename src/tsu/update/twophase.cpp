@@ -1,0 +1,46 @@
+// Strawman two-phase scheduler: install new-only rules, then flip everything
+// up to and including the waypoint, then flip the rest.
+//
+// This is the "obvious" fix for waypoint bypasses and it is *wrong* whenever
+// the conflict sets X = N1∩O2 or Y = O1∩N2 are non-empty: a packet routed
+// onto the new prefix can still exit through a stale X node (phase 2), and
+// an eagerly-updated Y node can still teleport unfiltered packets past the
+// waypoint (phase 3). Tests and bench_violations reproduce both failure
+// modes; WayUp exists precisely to order X before and Y after the prefix
+// flip.
+#include "tsu/update/schedulers.hpp"
+
+namespace tsu::update {
+
+Result<Schedule> plan_twophase(const Instance& inst,
+                               const SchedulerOptions& options) {
+  if (!inst.has_waypoint())
+    return make_error(Errc::kFailedPrecondition,
+                      "twophase requires a waypoint");
+  Schedule schedule;
+  schedule.algorithm = "twophase";
+  const NodeId w = *inst.waypoint();
+  const std::size_t w_new = *inst.new_pos(w);
+
+  Round installs;   // new-only rule installations
+  Round prefix;     // new-path nodes before/including the waypoint
+  Round suffix;     // new-path nodes after the waypoint
+  for (const NodeId v : inst.touched()) {
+    if (inst.role(v) == NodeRole::kNewOnly) {
+      installs.push_back(v);
+      continue;
+    }
+    const std::size_t pos = *inst.new_pos(v);
+    if (pos <= w_new)
+      prefix.push_back(v);
+    else
+      suffix.push_back(v);
+  }
+  if (!installs.empty()) schedule.rounds.push_back(std::move(installs));
+  if (!prefix.empty()) schedule.rounds.push_back(std::move(prefix));
+  if (!suffix.empty()) schedule.rounds.push_back(std::move(suffix));
+  if (options.with_cleanup) schedule.cleanup = inst.old_only_nodes();
+  return schedule;
+}
+
+}  // namespace tsu::update

@@ -1,0 +1,28 @@
+// Precondition/invariant checking that stays on in release builds.
+//
+// The simulator and the schedulers are deterministic given a seed; a violated
+// invariant is always a programming error, so we fail fast with a message
+// instead of limping on with undefined behaviour.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsu::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "tsu: assertion failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace tsu::detail
+
+#define TSU_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::tsu::detail::assert_fail(#expr, __FILE__, __LINE__, ""))
+
+#define TSU_ASSERT_MSG(expr, msg)                                      \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::tsu::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

@@ -1,0 +1,29 @@
+// Strongly-typed identifiers shared across the library.
+//
+// NodeId indexes vertices of the network graph (dense, 0-based).
+// DatapathId is the OpenFlow-style 64-bit switch identifier used on the
+// control channel; topologies keep a NodeId <-> DatapathId mapping so that
+// graph algorithms can work on dense indices while protocol code speaks
+// datapath ids, exactly like the Ryu prototype in the paper.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tsu {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+using DatapathId = std::uint64_t;
+inline constexpr DatapathId kInvalidDatapath =
+    std::numeric_limits<DatapathId>::max();
+
+// Transaction id carried in OpenFlow-like message headers.
+using Xid = std::uint32_t;
+
+// Flow identifier used by the match model (the demo updates one policy,
+// i.e. one flow, at a time; multi-policy queues use several FlowIds).
+using FlowId = std::uint64_t;
+
+}  // namespace tsu

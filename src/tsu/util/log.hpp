@@ -1,0 +1,48 @@
+// Tiny leveled logger. The simulator is single-threaded by design (a DES has
+// one logical clock), so no synchronization is needed; the logger still takes
+// a lock so examples/benches may log from helper threads safely.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsu {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Process-wide minimum level; defaults to kWarn so tests/benches stay quiet.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+// Usage: TSU_LOG(kInfo) << "round " << r << " done";
+#define TSU_LOG(level_suffix)                                           \
+  if (::tsu::LogLevel::level_suffix < ::tsu::log_level()) {             \
+  } else                                                                \
+    ::tsu::detail::LogLine(::tsu::LogLevel::level_suffix)
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tsu

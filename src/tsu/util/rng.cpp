@@ -1,0 +1,106 @@
+#include "tsu/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tsu {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  TSU_ASSERT(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % bound + 1) % bound;
+  std::uint64_t draw = (*this)();
+  while (draw > limit) draw = (*this)();
+  return lo + draw % bound;
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+  TSU_ASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_u64(0, span));
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  TSU_ASSERT(n > 0);
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  TSU_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::exponential(double mean) noexcept {
+  TSU_ASSERT(mean > 0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal_median(double median, double sigma) noexcept {
+  TSU_ASSERT(median > 0);
+  return std::exp(normal(std::log(median), sigma));
+}
+
+double Rng::pareto(double alpha, double lo, double hi) noexcept {
+  TSU_ASSERT(alpha > 0 && lo > 0 && lo < hi);
+  // Inverse-CDF sampling of a Pareto truncated to [lo, hi):
+  //   x = lo * (1 - U * (1 - (lo/hi)^alpha))^(-1/alpha).
+  const double ratio = std::pow(lo / hi, alpha);
+  const double u = uniform01();
+  return lo * std::pow(1.0 - u * (1.0 - ratio), -1.0 / alpha);
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+}  // namespace tsu

@@ -1,0 +1,109 @@
+// Minimal Result<T> / Status types (the project targets C++20, which has no
+// std::expected yet). Used on paths where failure is part of the contract:
+// parsing wire frames, parsing JSON/REST input, validating update instances.
+// Programming errors use TSU_ASSERT instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "tsu/util/assert.hpp"
+
+namespace tsu {
+
+// Error category. Codes are coarse; the message carries the detail.
+enum class Errc {
+  kInvalidArgument,
+  kParseError,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kUnsupported,
+  kExhausted,
+};
+
+constexpr const char* to_string(Errc c) noexcept {
+  switch (c) {
+    case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kParseError: return "parse_error";
+    case Errc::kOutOfRange: return "out_of_range";
+    case Errc::kNotFound: return "not_found";
+    case Errc::kFailedPrecondition: return "failed_precondition";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kExhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
+struct Error {
+  Errc code = Errc::kInvalidArgument;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(tsu::to_string(code)) + ": " + message;
+  }
+};
+
+// Result of an operation returning T. Either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    TSU_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    TSU_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    TSU_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const Error& error() const& {
+    TSU_ASSERT_MSG(!ok(), "Result::error() on value");
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result of an operation with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                               // success
+  Status(Error error) : error_(std::move(error)) {} // NOLINT(implicit)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const& {
+    TSU_ASSERT_MSG(!ok(), "Status::error() on success");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace tsu

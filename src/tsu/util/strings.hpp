@@ -1,0 +1,31 @@
+// Small string helpers used by the REST parser, table printers and logs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsu {
+
+// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+// Strict base-10 integer parse of the whole string; nullopt on any junk.
+std::optional<std::int64_t> parse_int(std::string_view text) noexcept;
+
+// printf-style formatting into a std::string.
+std::string format_double(double value, int precision);
+
+// "1.25 ms", "980 us", "2.10 s" - human-readable durations from nanoseconds.
+std::string format_duration_ns(std::uint64_t ns);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace tsu

@@ -1,0 +1,193 @@
+#include "tsu/verify/property.hpp"
+
+#include <sstream>
+
+#include "tsu/util/rng.hpp"
+
+namespace tsu::verify {
+
+namespace {
+
+struct JourneyResult {
+  update::WalkOutcome outcome = update::WalkOutcome::kDelivered;
+  bool visited_waypoint = false;
+  std::vector<NodeId> trace;
+};
+
+// Walks from the source using `before` for the first `switch_hop` hops and
+// `after` afterwards. A node may legitimately be revisited once when the
+// revisit happens in the second phase and the first visit was in the first
+// phase (its rule may have changed); a revisit within the same phase is a
+// loop.
+JourneyResult hybrid_walk(const update::Instance& inst,
+                          const update::StateMask& before,
+                          const update::StateMask& after,
+                          std::size_t switch_hop) {
+  JourneyResult result;
+  const NodeId wp = inst.has_waypoint() ? *inst.waypoint() : kInvalidNode;
+  std::vector<unsigned char> seen_phase1(inst.node_count(), 0);
+  std::vector<unsigned char> seen_phase2(inst.node_count(), 0);
+
+  NodeId v = inst.source();
+  std::size_t hop = 0;
+  while (true) {
+    result.trace.push_back(v);
+    if (v == wp) result.visited_waypoint = true;
+    if (v == inst.destination()) {
+      result.outcome = update::WalkOutcome::kDelivered;
+      return result;
+    }
+    const bool phase2 = hop >= switch_hop;
+    auto& seen = phase2 ? seen_phase2 : seen_phase1;
+    if (seen[v] != 0) {
+      result.outcome = update::WalkOutcome::kLoop;
+      return result;
+    }
+    seen[v] = 1;
+    const NodeId next =
+        update::active_next(inst, phase2 ? after : before, v);
+    if (next == kInvalidNode) {
+      result.outcome = update::WalkOutcome::kBlackhole;
+      return result;
+    }
+    v = next;
+    ++hop;
+  }
+}
+
+std::uint32_t journey_violations(const update::Instance& inst,
+                                 const JourneyResult& journey,
+                                 std::uint32_t properties) {
+  std::uint32_t failed = 0;
+  if ((properties & update::kWaypoint) != 0 && inst.has_waypoint() &&
+      journey.outcome == update::WalkOutcome::kDelivered &&
+      !journey.visited_waypoint)
+    failed |= update::kWaypoint;
+  if ((properties & update::kLoopFree) != 0 &&
+      journey.outcome == update::WalkOutcome::kLoop)
+    failed |= update::kLoopFree;
+  if ((properties & update::kBlackholeFree) != 0 &&
+      journey.outcome == update::WalkOutcome::kBlackhole)
+    failed |= update::kBlackholeFree;
+  return failed;
+}
+
+std::string render_subset(const std::vector<NodeId>& subset) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (i != 0) out << ",";
+    out << subset[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string TwoSnapshotViolation::to_string() const {
+  std::ostringstream out;
+  out << "round " << (round_index + 1) << " violates "
+      << update::property_name(violated) << " crossing "
+      << render_subset(subset_before) << " -> " << render_subset(subset_after)
+      << " at hop " << switch_hop;
+  return out.str();
+}
+
+std::string TwoSnapshotReport::to_string() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "VIOLATED") << " (" << journeys_checked
+      << " journeys, " << (exhaustive ? "exhaustive" : "sampled") << ")";
+  for (const TwoSnapshotViolation& v : violations)
+    out << "\n  " << v.to_string();
+  return out.str();
+}
+
+TwoSnapshotReport check_two_snapshot(const update::Instance& inst,
+                                     const update::Schedule& schedule,
+                                     std::uint32_t properties,
+                                     const TwoSnapshotOptions& options) {
+  TwoSnapshotReport report;
+  report.exhaustive = true;
+  Rng rng(options.seed);
+
+  update::StateMask applied = update::empty_state(inst);
+  update::StateMask before = applied;
+  update::StateMask after = applied;
+
+  const auto subset_nodes = [](const update::Round& round,
+                               std::uint64_t bits) {
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < round.size(); ++i)
+      if ((bits >> i) & 1ULL) nodes.push_back(round[i]);
+    return nodes;
+  };
+
+  const auto try_pair = [&](std::size_t round_index,
+                            const update::Round& round, std::uint64_t bits1,
+                            std::uint64_t bits2) {
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      before[round[i]] = applied[round[i]] || ((bits1 >> i) & 1ULL) != 0;
+      after[round[i]] = applied[round[i]] || ((bits2 >> i) & 1ULL) != 0;
+    }
+    // Upper bound on useful switch hops: the walk can visit each node at
+    // most twice.
+    const std::size_t max_hops = 2 * inst.node_count() + 2;
+    for (std::size_t k = 0; k <= max_hops; ++k) {
+      const JourneyResult journey = hybrid_walk(inst, before, after, k);
+      ++report.journeys_checked;
+      const std::uint32_t failed =
+          journey_violations(inst, journey, properties);
+      if (failed != 0 &&
+          report.violations.size() < options.max_violations) {
+        TwoSnapshotViolation v;
+        v.violated = failed;
+        v.round_index = round_index;
+        v.subset_before = subset_nodes(round, bits1);
+        v.subset_after = subset_nodes(round, bits2);
+        v.switch_hop = k;
+        v.trace = journey.trace;
+        report.violations.push_back(std::move(v));
+      }
+      if (k >= journey.trace.size()) break;  // later switches change nothing
+    }
+  };
+
+  for (std::size_t r = 0; r < schedule.rounds.size(); ++r) {
+    const update::Round& round = schedule.rounds[r];
+    if (round.size() <= options.exhaustive_limit) {
+      // Enumerate S1 ⊆ S2 pairs: each node is in neither, only S2, or both.
+      const std::uint64_t subsets = 1ULL << round.size();
+      for (std::uint64_t bits2 = 0; bits2 < subsets; ++bits2) {
+        for (std::uint64_t bits1 = bits2;;
+             bits1 = (bits1 - 1) & bits2) {  // sub-subsets of bits2
+          try_pair(r, round, bits1, bits2);
+          if (bits1 == 0) break;
+        }
+      }
+    } else {
+      report.exhaustive = false;
+      for (std::size_t sample = 0; sample < options.samples; ++sample) {
+        std::uint64_t bits2 = 0;
+        std::uint64_t bits1 = 0;
+        for (std::size_t i = 0; i < round.size() && i < 64; ++i) {
+          if (rng.bernoulli(0.5)) {
+            bits2 |= 1ULL << i;
+            if (rng.bernoulli(0.5)) bits1 |= 1ULL << i;
+          }
+        }
+        try_pair(r, round, bits1, bits2);
+      }
+    }
+    for (const NodeId v : round) {
+      applied[v] = true;
+      before[v] = true;
+      after[v] = true;
+    }
+  }
+
+  report.ok = report.violations.empty();
+  return report;
+}
+
+}  // namespace tsu::verify

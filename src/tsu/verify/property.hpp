@@ -1,0 +1,66 @@
+// Extended adversarial analyses beyond the per-subset snapshot model.
+//
+// The per-subset checker (checker.hpp) evaluates each transient state as a
+// frozen snapshot. A packet in flight, however, can *cross* a rule change:
+// it traverses its first hops while subset S1 of the round has landed and
+// its remaining hops after more updates (S2 ⊇ S1) have landed. The
+// two-snapshot model enumerates exactly these journeys: all pairs
+// S1 ⊆ S2 ⊆ R and all switch-over hops. Since updates within a round are
+// monotone (rules only flip old -> new), a single switch-over already
+// covers the worst case for the walk-based properties: any multi-switch
+// journey is dominated hop-wise by some (S1, S2, k) journey in which every
+// prefix hop uses a rule available in S1 and every suffix hop a rule
+// available in S2.
+//
+// WayUp's region argument is per-hop local, so WPE survives this stronger
+// adversary; the tests assert it and EXPERIMENTS.md records it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tsu/update/instance.hpp"
+#include "tsu/update/schedule.hpp"
+#include "tsu/verify/checker.hpp"
+
+namespace tsu::verify {
+
+struct TwoSnapshotViolation {
+  std::uint32_t violated = 0;
+  std::size_t round_index = 0;
+  std::vector<NodeId> subset_before;  // S1
+  std::vector<NodeId> subset_after;   // S2
+  std::size_t switch_hop = 0;
+  std::vector<NodeId> trace;
+
+  std::string to_string() const;
+};
+
+struct TwoSnapshotOptions {
+  // Rounds larger than this are sampled instead of enumerated (the pair
+  // enumeration costs 3^|R|).
+  std::size_t exhaustive_limit = 12;
+  std::size_t samples = 2048;
+  std::uint64_t seed = 0x2e8bfc1dULL;
+  std::size_t max_violations = 8;
+};
+
+struct TwoSnapshotReport {
+  bool ok = false;
+  bool exhaustive = false;
+  std::size_t journeys_checked = 0;
+  std::vector<TwoSnapshotViolation> violations;
+
+  std::string to_string() const;
+};
+
+// Checks walk-based properties (kWaypoint, kLoopFree, kBlackholeFree) under
+// the two-snapshot in-flight adversary. kGlobalLoopFree is snapshot-based by
+// definition and is ignored here.
+TwoSnapshotReport check_two_snapshot(const update::Instance& inst,
+                                     const update::Schedule& schedule,
+                                     std::uint32_t properties,
+                                     const TwoSnapshotOptions& options = {});
+
+}  // namespace tsu::verify

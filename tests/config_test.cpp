@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "tsu/core/config.hpp"
+
+namespace tsu::core {
+namespace {
+
+Result<ExecutorConfig> parse(std::string_view text) {
+  return config_from_json(text);
+}
+
+TEST(ConfigTest, EmptyObjectYieldsDefaults) {
+  const Result<ExecutorConfig> config = parse("{}");
+  ASSERT_TRUE(config.ok());
+  const ExecutorConfig defaults;
+  EXPECT_EQ(config.value().seed, defaults.seed);
+  EXPECT_EQ(config.value().with_traffic, defaults.with_traffic);
+  EXPECT_EQ(config.value().priority, defaults.priority);
+}
+
+TEST(ConfigTest, FullDocumentParses) {
+  const Result<ExecutorConfig> config = parse(R"({
+    "seed": 99,
+    "channel": {
+      "latency": {"kind": "uniform", "lo_ms": 0.1, "hi_ms": 8},
+      "loss": 0.05,
+      "retransmit_timeout_ms": 30
+    },
+    "switch": {
+      "install": {"kind": "lognormal", "median_ms": 2, "sigma": 1.0},
+      "barrier_us": 50,
+      "processing_us": 5
+    },
+    "use_barriers": false,
+    "flow": 7,
+    "priority": 321,
+    "interval_ms": 12.5,
+    "traffic": {
+      "enabled": false,
+      "interarrival": {"kind": "exponential", "mean_ms": 0.2},
+      "link": {"kind": "constant", "ms": 0.05},
+      "ttl": 32,
+      "warmup_ms": 2,
+      "drain_ms": 10
+    }
+  })");
+  ASSERT_TRUE(config.ok()) << config.error().to_string();
+  const ExecutorConfig& c = config.value();
+  EXPECT_EQ(c.seed, 99u);
+  EXPECT_EQ(c.channel.latency.kind, sim::LatencyKind::kUniform);
+  EXPECT_DOUBLE_EQ(c.channel.loss_probability, 0.05);
+  EXPECT_EQ(c.channel.retransmit_timeout, sim::milliseconds(30));
+  EXPECT_EQ(c.switch_config.install_latency.kind,
+            sim::LatencyKind::kLognormal);
+  EXPECT_EQ(c.switch_config.barrier_processing, sim::microseconds(50));
+  EXPECT_FALSE(c.controller.use_barriers);
+  EXPECT_EQ(c.flow, 7u);
+  EXPECT_EQ(c.priority, 321);
+  EXPECT_EQ(c.interval, sim::from_ms(12.5));
+  EXPECT_FALSE(c.with_traffic);
+  EXPECT_EQ(c.ttl, 32);
+  EXPECT_EQ(c.warmup, sim::milliseconds(2));
+}
+
+TEST(ConfigTest, AllLatencyKindsParse) {
+  for (const char* text : {
+           R"({"kind": "constant", "ms": 1})",
+           R"({"kind": "uniform", "lo_ms": 1, "hi_ms": 2})",
+           R"({"kind": "exponential", "mean_ms": 1})",
+           R"({"kind": "lognormal", "median_ms": 1, "sigma": 0.5})",
+           R"({"kind": "pareto", "lo_ms": 0.5, "hi_ms": 50, "alpha": 1.3})",
+       }) {
+    const Result<json::Value> doc = json::parse(text);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(latency_from_json(doc.value()).ok()) << text;
+  }
+}
+
+TEST(ConfigTest, LatencyRejectsBadInput) {
+  for (const char* text : {
+           R"("constant")",                                  // not an object
+           R"({"ms": 1})",                                   // missing kind
+           R"({"kind": "warp", "ms": 1})",                   // unknown kind
+           R"({"kind": "constant"})",                        // missing field
+           R"({"kind": "constant", "ms": -1})",              // negative
+           R"({"kind": "uniform", "lo_ms": 5, "hi_ms": 1})", // inverted
+           R"({"kind": "exponential", "mean_ms": 0})",       // zero mean
+           R"({"kind": "pareto", "lo_ms": 0, "hi_ms": 1, "alpha": 1})",
+       }) {
+    const Result<json::Value> doc = json::parse(text);
+    ASSERT_TRUE(doc.ok()) << text;
+    EXPECT_FALSE(latency_from_json(doc.value()).ok()) << text;
+  }
+}
+
+TEST(ConfigTest, UnknownFieldsRejected) {
+  EXPECT_FALSE(parse(R"({"sedd": 1})").ok());
+  EXPECT_FALSE(parse(R"({"channel": {"latencyy": {}}})").ok());
+  EXPECT_FALSE(parse(R"({"traffic": {"rate": 1}})").ok());
+  EXPECT_FALSE(parse(R"({"switch": {"install_ms": 1}})").ok());
+}
+
+TEST(ConfigTest, RangeChecks) {
+  EXPECT_FALSE(parse(R"({"seed": -1})").ok());
+  EXPECT_FALSE(parse(R"({"channel": {"loss": 1.5}})").ok());
+  EXPECT_FALSE(parse(R"({"priority": 70000})").ok());
+  EXPECT_FALSE(parse(R"({"interval_ms": -2})").ok());
+  EXPECT_FALSE(parse(R"({"traffic": {"ttl": 0}})").ok());
+  EXPECT_FALSE(parse(R"({"use_barriers": "yes"})").ok());
+  EXPECT_FALSE(parse(R"(42)").ok());
+  EXPECT_FALSE(parse(R"(not json)").ok());
+}
+
+TEST(ConfigTest, RoundTripThroughJson) {
+  ExecutorConfig config;
+  config.seed = 17;
+  config.channel.latency =
+      sim::LatencyModel::pareto(sim::microseconds(500),
+                                sim::milliseconds(50), 1.3);
+  config.channel.loss_probability = 0.02;
+  config.controller.use_barriers = false;
+  config.with_traffic = false;
+  config.ttl = 48;
+  config.interval = sim::milliseconds(7);
+
+  const std::string rendered = json::write(config_to_json(config));
+  const Result<ExecutorConfig> reparsed =
+      config_from_json(std::string_view(rendered));
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  const ExecutorConfig& c = reparsed.value();
+  EXPECT_EQ(c.seed, 17u);
+  EXPECT_EQ(c.channel.latency.kind, sim::LatencyKind::kPareto);
+  EXPECT_NEAR(c.channel.latency.c, 1.3, 1e-9);
+  EXPECT_DOUBLE_EQ(c.channel.loss_probability, 0.02);
+  EXPECT_FALSE(c.controller.use_barriers);
+  EXPECT_FALSE(c.with_traffic);
+  EXPECT_EQ(c.ttl, 48);
+  EXPECT_EQ(c.interval, sim::milliseconds(7));
+}
+
+}  // namespace
+}  // namespace tsu::core

@@ -1,0 +1,157 @@
+// Corner-case instances for every scheduler: minimal paths, waypoints at
+// the edges of the interior, fully overlapping and fully disjoint routes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tsu/update/schedulers.hpp"
+#include "tsu/verify/checker.hpp"
+
+namespace tsu::update {
+namespace {
+
+void expect_all_schedulers_sound(const Instance& inst) {
+  const struct {
+    const char* name;
+    Result<Schedule> schedule;
+    std::uint32_t property;
+    bool requires_waypoint;
+  } cases[] = {
+      {"wayup", plan_wayup(inst), kWaypoint, true},
+      {"peacock", plan_peacock(inst), kPeacockGuarantee, false},
+      {"slf", plan_slf_greedy(inst), kSlfGuarantee, false},
+  };
+  for (const auto& c : cases) {
+    if (c.requires_waypoint && !inst.has_waypoint()) {
+      EXPECT_FALSE(c.schedule.ok()) << c.name;
+      continue;
+    }
+    ASSERT_TRUE(c.schedule.ok())
+        << c.name << " on " << inst.to_string() << ": "
+        << c.schedule.error().to_string();
+    EXPECT_TRUE(validate_schedule(inst, c.schedule.value()).ok()) << c.name;
+    const verify::CheckReport report =
+        verify::check_schedule(inst, c.schedule.value(), c.property);
+    EXPECT_TRUE(report.ok) << c.name << " on " << inst.to_string() << "\n"
+                           << c.schedule.value().to_string() << "\n"
+                           << report.to_string();
+  }
+}
+
+TEST(CornerCases, MinimalTwoNodePaths) {
+  // Identical one-hop routes: nothing to do.
+  const Instance inst = std::move(Instance::make({0, 1}, {0, 1})).value();
+  expect_all_schedulers_sound(inst);
+  EXPECT_EQ(plan_peacock(inst).value().round_count(), 0u);
+}
+
+TEST(CornerCases, SingleDetour) {
+  // Shortest possible real change: one-hop to two-hop.
+  const Instance inst = std::move(Instance::make({0, 1}, {0, 2, 1})).value();
+  expect_all_schedulers_sound(inst);
+  // Install 2 first, then flip 0: exactly two rounds for everyone.
+  EXPECT_EQ(plan_peacock(inst).value().round_count(), 2u);
+  EXPECT_EQ(plan_slf_greedy(inst).value().round_count(), 2u);
+}
+
+TEST(CornerCases, ShortcutRemovingNodes) {
+  // Two-hop to one-hop: only the source changes; old interior is cleanup.
+  const Instance inst = std::move(Instance::make({0, 2, 1}, {0, 1})).value();
+  expect_all_schedulers_sound(inst);
+  const Result<Schedule> schedule = plan_peacock(inst);
+  EXPECT_EQ(schedule.value().round_count(), 1u);
+  EXPECT_EQ(schedule.value().cleanup, Round{2});
+}
+
+TEST(CornerCases, WaypointImmediatelyAfterSource) {
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2, 3}, {0, 1, 4, 3}, NodeId{1}))
+          .value();
+  expect_all_schedulers_sound(inst);
+  EXPECT_TRUE(verify::check_schedule(inst, plan_wayup(inst).value(),
+                                     kWaypoint)
+                  .ok);
+}
+
+TEST(CornerCases, WaypointImmediatelyBeforeDestination) {
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2, 3}, {0, 4, 2, 3}, NodeId{2}))
+          .value();
+  expect_all_schedulers_sound(inst);
+}
+
+TEST(CornerCases, IdenticalPathsWithWaypoint) {
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2}, {0, 1, 2}, NodeId{1})).value();
+  expect_all_schedulers_sound(inst);
+  EXPECT_EQ(plan_wayup(inst).value().round_count(), 0u);
+}
+
+TEST(CornerCases, FullyDisjointInteriors) {
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2, 3, 4}, {0, 5, 6, 7, 4})).value();
+  expect_all_schedulers_sound(inst);
+  // Disjoint interiors: installs then a single flip of the source.
+  EXPECT_EQ(plan_peacock(inst).value().round_count(), 2u);
+}
+
+TEST(CornerCases, SwappedMiddleNodes) {
+  // old 0-1-2-3, new 0-2-1-3: the smallest loop hazard.
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2, 3}, {0, 2, 1, 3})).value();
+  expect_all_schedulers_sound(inst);
+  const Result<Schedule> oneshot = plan_oneshot(inst);
+  EXPECT_FALSE(
+      verify::check_schedule(inst, oneshot.value(), kLoopFree).ok);
+}
+
+TEST(CornerCases, LongSharedPrefixAndSuffix) {
+  // Only the middle differs; common segments must not be touched.
+  const Instance inst = std::move(Instance::make({0, 1, 2, 3, 4, 5, 6},
+                                                 {0, 1, 2, 7, 4, 5, 6}))
+                            .value();
+  expect_all_schedulers_sound(inst);
+  std::vector<NodeId> touched = inst.touched();
+  std::sort(touched.begin(), touched.end());
+  EXPECT_EQ(touched, (std::vector<NodeId>{2, 7}));
+}
+
+TEST(CornerCases, WaypointOnSharedSegment) {
+  // The waypoint lies on the common prefix: trivially enforced, and WayUp
+  // must not generate bogus rounds for it.
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2, 3, 4}, {0, 1, 5, 3, 4}, NodeId{1}))
+          .value();
+  expect_all_schedulers_sound(inst);
+}
+
+TEST(CornerCases, LargeReversalStressesEveryScheduler) {
+  const Instance inst = [] {
+    graph::Path old_path;
+    graph::Path new_path;
+    for (NodeId v = 0; v < 20; ++v) old_path.push_back(v);
+    new_path.push_back(0);
+    for (NodeId v = 18; v >= 1; --v) new_path.push_back(v);
+    new_path.push_back(19);
+    return std::move(Instance::make(old_path, new_path)).value();
+  }();
+  expect_all_schedulers_sound(inst);
+}
+
+TEST(CornerCases, OneShotOnTrivialChangeIsFine) {
+  // A change with no hazard: even OneShot passes everything.
+  const Instance inst =
+      std::move(Instance::make({0, 1, 2}, {0, 3, 2})).value();
+  const Result<Schedule> oneshot = plan_oneshot(inst);
+  // One round containing {0-flip, 3-install}: subset {0} alone blackholes
+  // at 3. So even here OneShot is *not* blackhole-free...
+  EXPECT_FALSE(verify::check_schedule(inst, oneshot.value(),
+                                      kBlackholeFree)
+                   .ok);
+  // ...but it is loop-free (no cycle possible among these rules).
+  EXPECT_TRUE(
+      verify::check_schedule(inst, oneshot.value(), kLoopFree).ok);
+}
+
+}  // namespace
+}  // namespace tsu::update

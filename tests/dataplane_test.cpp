@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tsu/dataplane/monitor.hpp"
+#include "tsu/dataplane/traffic.hpp"
+#include "tsu/topo/instances.hpp"
+
+namespace tsu::dataplane {
+namespace {
+
+struct Plane {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<switchsim::SimSwitch>> storage;
+  std::vector<switchsim::SimSwitch*> switches;
+
+  explicit Plane(std::size_t nodes) : switches(nodes, nullptr) {
+    switchsim::SwitchConfig config;
+    for (NodeId v = 0; v < nodes; ++v) {
+      storage.push_back(std::make_unique<switchsim::SimSwitch>(
+          sim, v, v, config, Rng(v + 1)));
+      switches[v] = storage.back().get();
+    }
+  }
+
+  // Directly installs a forwarding rule (bypassing the control channel).
+  void rule(NodeId at, FlowId flow, flow::Action action) {
+    switches[at]->table().add(
+        flow::FlowRule{flow::Match::exact_flow(flow), action, 100, 0});
+  }
+};
+
+TrafficConfig config_for(NodeId ingress, NodeId egress,
+                         std::optional<NodeId> waypoint,
+                         sim::SimTime stop = sim::milliseconds(10)) {
+  TrafficConfig config;
+  config.flow = 1;
+  config.ingress = ingress;
+  config.egress = egress;
+  config.waypoint = waypoint;
+  config.interarrival = sim::LatencyModel::constant(sim::milliseconds(1));
+  config.link_latency = sim::LatencyModel::constant(sim::microseconds(10));
+  config.stop = stop;
+  return config;
+}
+
+TEST(TrafficTest, DeliversAlongStablePath) {
+  Plane plane(4);
+  plane.rule(0, 1, flow::Action::forward(1));
+  plane.rule(1, 1, flow::Action::forward(2));
+  plane.rule(2, 1, flow::Action::forward(3));
+  plane.rule(3, 1, flow::Action::deliver());
+  ConsistencyMonitor monitor;
+  TrafficSource source(plane.sim, plane.switches,
+                       config_for(0, 3, std::nullopt), Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_EQ(source.injected(), 10u);  // 1/ms for 10 ms, starting at t=0
+  EXPECT_EQ(monitor.report().delivered, 10u);
+  EXPECT_EQ(monitor.report().total, 10u);
+  EXPECT_EQ(source.in_flight(), 0u);
+}
+
+TEST(TrafficTest, WaypointCrossingRecognized) {
+  Plane plane(3);
+  plane.rule(0, 1, flow::Action::forward(1));
+  plane.rule(1, 1, flow::Action::forward(2));
+  plane.rule(2, 1, flow::Action::deliver());
+  ConsistencyMonitor monitor;
+  TrafficSource source(plane.sim, plane.switches,
+                       config_for(0, 2, NodeId{1}), Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_EQ(monitor.report().delivered, monitor.report().total);
+  EXPECT_EQ(monitor.report().bypassed, 0u);
+}
+
+TEST(TrafficTest, WaypointBypassFlagged) {
+  Plane plane(3);
+  // Route skips switch 1 (the "firewall").
+  plane.rule(0, 1, flow::Action::forward(2));
+  plane.rule(2, 1, flow::Action::deliver());
+  ConsistencyMonitor monitor;
+  TrafficSource source(plane.sim, plane.switches,
+                       config_for(0, 2, NodeId{1}), Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_EQ(monitor.report().bypassed, monitor.report().total);
+  EXPECT_EQ(monitor.report().delivered, 0u);
+  EXPECT_GT(monitor.report().bypass_rate(), 0.99);
+}
+
+TEST(TrafficTest, LoopDetectedOnRevisit) {
+  Plane plane(3);
+  plane.rule(0, 1, flow::Action::forward(1));
+  plane.rule(1, 1, flow::Action::forward(2));
+  plane.rule(2, 1, flow::Action::forward(1));  // 1 <-> 2 loop
+  ConsistencyMonitor monitor;
+  // ingress == egress: switch 0 has no deliver rule, so packets forward
+  // into the loop and must be classified as looped on the revisit of 1.
+  const TrafficConfig config =
+      config_for(0, 0, std::nullopt, sim::milliseconds(3));
+  TrafficSource source(plane.sim, plane.switches, config, Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_GT(monitor.report().total, 0u);
+  EXPECT_EQ(monitor.report().looped, monitor.report().total);
+}
+
+TEST(TrafficTest, BlackholeOnMissingRule) {
+  Plane plane(3);
+  plane.rule(0, 1, flow::Action::forward(1));  // 1 has no rule
+  ConsistencyMonitor monitor;
+  TrafficSource source(plane.sim, plane.switches,
+                       config_for(0, 2, std::nullopt, sim::milliseconds(3)),
+                       Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_EQ(monitor.report().blackholed, monitor.report().total);
+}
+
+TEST(TrafficTest, ExplicitDropCountsAsBlackhole) {
+  Plane plane(2);
+  plane.rule(0, 1, flow::Action::drop());
+  ConsistencyMonitor monitor;
+  TrafficSource source(plane.sim, plane.switches,
+                       config_for(0, 1, std::nullopt, sim::milliseconds(2)),
+                       Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_EQ(monitor.report().blackholed, monitor.report().total);
+}
+
+TEST(TrafficTest, TtlExpiryOnLongDetour) {
+  // A forward chain longer than the TTL: no revisit, but the packet dies.
+  constexpr std::size_t kNodes = 40;
+  Plane plane(kNodes);
+  for (NodeId v = 0; v + 1 < kNodes; ++v)
+    plane.rule(v, 1, flow::Action::forward(v + 1));
+  plane.rule(kNodes - 1, 1, flow::Action::deliver());
+  ConsistencyMonitor monitor;
+  TrafficConfig config = config_for(0, kNodes - 1, std::nullopt,
+                                    sim::milliseconds(2));
+  config.ttl = 10;
+  TrafficSource source(plane.sim, plane.switches, config, Rng(9), monitor);
+  source.start();
+  plane.sim.run();
+  EXPECT_EQ(monitor.report().ttl_expired, monitor.report().total);
+}
+
+TEST(TrafficTest, RulesChangingMidFlightAffectPackets) {
+  Plane plane(4);
+  plane.rule(0, 1, flow::Action::forward(1));
+  plane.rule(1, 1, flow::Action::forward(2));
+  plane.rule(2, 1, flow::Action::forward(3));
+  plane.rule(3, 1, flow::Action::deliver());
+  ConsistencyMonitor monitor;
+  TrafficConfig config = config_for(0, 3, std::nullopt,
+                                    sim::milliseconds(10));
+  config.link_latency = sim::LatencyModel::constant(sim::milliseconds(1));
+  TrafficSource source(plane.sim, plane.switches, config, Rng(9), monitor);
+  source.start();
+  // While packets are in flight, break the path at switch 2.
+  plane.sim.schedule(sim::milliseconds(5), [&plane]() {
+    plane.switches[2]->table().clear();
+  });
+  plane.sim.run();
+  EXPECT_GT(monitor.report().delivered, 0u);
+  EXPECT_GT(monitor.report().blackholed, 0u);
+  EXPECT_EQ(monitor.report().delivered + monitor.report().blackholed,
+            monitor.report().total);
+}
+
+// ---------------------------------------------------------------- monitor --
+
+TEST(MonitorTest, ReportAggregates) {
+  ConsistencyMonitor monitor;
+  monitor.record(0, PacketOutcome::kDelivered);
+  monitor.record(sim::milliseconds(1), PacketOutcome::kBypassedWaypoint);
+  monitor.record(sim::milliseconds(2), PacketOutcome::kLooped);
+  monitor.record(sim::milliseconds(2), PacketOutcome::kBlackholed);
+  monitor.record(sim::milliseconds(3), PacketOutcome::kTtlExpired);
+  const MonitorReport& report = monitor.report();
+  EXPECT_EQ(report.total, 5u);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(report.bypassed, 1u);
+  EXPECT_DOUBLE_EQ(report.violation_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(report.bypass_rate(), 0.2);
+}
+
+TEST(MonitorTest, TimelineBucketsByTime) {
+  ConsistencyMonitor monitor(sim::milliseconds(1));
+  monitor.record(sim::microseconds(100), PacketOutcome::kDelivered);
+  monitor.record(sim::microseconds(900), PacketOutcome::kDelivered);
+  monitor.record(sim::milliseconds(2) + 1, PacketOutcome::kBypassedWaypoint);
+  const auto& timeline = monitor.timeline();
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].delivered, 2u);
+  EXPECT_EQ(timeline[1].delivered, 0u);
+  EXPECT_EQ(timeline[2].bypassed, 1u);
+  EXPECT_NE(monitor.timeline_to_string().find("BYPASSED"), std::string::npos);
+}
+
+TEST(MonitorTest, OutcomeNames) {
+  EXPECT_STREQ(to_string(PacketOutcome::kBypassedWaypoint),
+               "bypassed-waypoint");
+  EXPECT_STREQ(to_string(PacketOutcome::kTtlExpired), "ttl-expired");
+}
+
+TEST(MonitorTest, EmptyReportRatesAreZero) {
+  const MonitorReport report;
+  EXPECT_DOUBLE_EQ(report.violation_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.bypass_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace tsu::dataplane

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "tsu/graph/algorithms.hpp"
+#include "tsu/graph/graph.hpp"
+#include "tsu/graph/path.hpp"
+
+namespace tsu::graph {
+namespace {
+
+Digraph chain(std::size_t n) {
+  Digraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+// ---------------------------------------------------------------- Digraph --
+
+TEST(DigraphTest, StartsEmpty) {
+  const Digraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(DigraphTest, DuplicateEdgesIgnored) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(DigraphTest, AddNodeGrows) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  g.add_edge(a, b);
+  EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(DigraphTest, EnsureNodesNeverShrinks) {
+  Digraph g(5);
+  g.ensure_nodes(3);
+  EXPECT_EQ(g.node_count(), 5u);
+  g.ensure_nodes(8);
+  EXPECT_EQ(g.node_count(), 8u);
+}
+
+TEST(DigraphTest, InNeighborsTrackReverseEdges) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const auto in = g.in_neighbors(2);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(DigraphTest, MakeBidirectionalMirrorsEdges) {
+  Digraph g = chain(3);
+  g.make_bidirectional();
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(DigraphTest, EdgesEnumeratesAll) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 0);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(DigraphTest, ToDotContainsEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_NE(g.to_dot().find("0 -> 1"), std::string::npos);
+}
+
+TEST(DigraphDeathTest, SelfLoopRejected) {
+  Digraph g(2);
+  EXPECT_DEATH(g.add_edge(1, 1), "self-loops");
+}
+
+TEST(DigraphDeathTest, OutOfRangeEdgeRejected) {
+  Digraph g(2);
+  EXPECT_DEATH(g.add_edge(0, 5), "out of range");
+}
+
+// ------------------------------------------------------------- algorithms --
+
+TEST(ReachabilityTest, ChainReachability) {
+  const Digraph g = chain(4);
+  const auto reach = reachable_from(g, 0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[3]);
+  const auto reach2 = reachable_from(g, 2);
+  EXPECT_FALSE(reach2[0]);
+  EXPECT_TRUE(reach2[3]);
+}
+
+TEST(ReachabilityTest, DisconnectedComponentsUnreached) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto reach = reachable_from(g, 0);
+  EXPECT_FALSE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+}
+
+TEST(AcyclicityTest, ChainIsAcyclic) { EXPECT_TRUE(is_acyclic(chain(5))); }
+
+TEST(AcyclicityTest, CycleDetected) {
+  Digraph g = chain(3);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(AcyclicityTest, TwoNodeCycle) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(AcyclicityTest, DiamondIsAcyclic) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(CycleReachableTest, CycleBehindSourceFound) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // cycle 1<->2 reachable from 0
+  EXPECT_TRUE(cycle_reachable_from(g, 0));
+}
+
+TEST(CycleReachableTest, CycleElsewhereIgnored) {
+  Digraph g(5);
+  g.add_edge(0, 1);   // source component: plain chain
+  g.add_edge(3, 4);   // separate cycle 3<->4
+  g.add_edge(4, 3);
+  EXPECT_FALSE(cycle_reachable_from(g, 0));
+  EXPECT_TRUE(cycle_reachable_from(g, 3));
+}
+
+TEST(CycleReachableTest, SelfReachingCycleAtSource) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_TRUE(cycle_reachable_from(g, 0));
+}
+
+TEST(TopologicalOrderTest, ValidOrderOnDag) {
+  Digraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order->size(); ++i) position[(*order)[i]] = i;
+  for (const Edge& e : g.edges()) EXPECT_LT(position[e.from], position[e.to]);
+}
+
+TEST(TopologicalOrderTest, NulloptOnCycle) {
+  Digraph g = chain(3);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(ShortestPathTest, FindsDirectRoute) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Path p = shortest_path(g, 0, 4);
+  EXPECT_EQ(p, (Path{0, 1, 4}));
+}
+
+TEST(ShortestPathTest, EmptyWhenUnreachable) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+}
+
+TEST(ShortestPathTest, TrivialSourceEqualsTarget) {
+  const Digraph g = chain(2);
+  EXPECT_EQ(shortest_path(g, 0, 0), (Path{0}));
+}
+
+TEST(AvoidingPathTest, RoutesAroundBannedNode) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const Path p = shortest_path_avoiding(g, 0, 4, 1);
+  EXPECT_EQ(p, (Path{0, 2, 3, 4}));
+}
+
+TEST(AvoidingPathTest, EmptyWhenBanDisconnects) {
+  const Digraph g = chain(4);
+  EXPECT_TRUE(shortest_path_avoiding(g, 0, 3, 2).empty());
+}
+
+TEST(HasPathTest, Basics) {
+  const Digraph g = chain(3);
+  EXPECT_TRUE(has_path(g, 0, 2));
+  EXPECT_FALSE(has_path(g, 2, 0));
+}
+
+// ------------------------------------------------------------------ paths --
+
+TEST(PathTest, SimpleDetectsDuplicates) {
+  EXPECT_TRUE(is_simple({1, 2, 3}));
+  EXPECT_FALSE(is_simple({1, 2, 1}));
+  EXPECT_TRUE(is_simple({}));
+  EXPECT_TRUE(is_simple({7}));
+}
+
+TEST(PathTest, IsPathOfChecksEdges) {
+  const Digraph g = chain(4);
+  EXPECT_TRUE(is_path_of(g, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_path_of(g, {0, 2}));
+  EXPECT_TRUE(is_path_of(g, {2}));  // trivial
+}
+
+TEST(PathTest, IndexAndContains) {
+  const Path p{5, 3, 8};
+  EXPECT_EQ(index_of(p, 3), 1u);
+  EXPECT_FALSE(index_of(p, 9).has_value());
+  EXPECT_TRUE(contains(p, 8));
+  EXPECT_FALSE(contains(p, 1));
+}
+
+TEST(PathTest, SegmentInclusive) {
+  const Path p{1, 2, 3, 4, 5};
+  EXPECT_EQ(segment(p, 1, 3), (Path{2, 3, 4}));
+  EXPECT_EQ(segment(p, 0, 0), (Path{1}));
+}
+
+TEST(PathTest, NextHop) {
+  const Path p{1, 2, 3};
+  EXPECT_EQ(next_hop(p, 1), 2u);
+  EXPECT_EQ(next_hop(p, 2), 3u);
+  EXPECT_FALSE(next_hop(p, 3).has_value());  // last node
+  EXPECT_FALSE(next_hop(p, 9).has_value());  // absent
+}
+
+TEST(PathTest, ToStringUsesAngleBrackets) {
+  EXPECT_EQ(to_string(Path{2, 1, 3}), "<2, 1, 3>");
+  EXPECT_EQ(to_string(Path{}), "<>");
+}
+
+TEST(PathTest, AddPathEdgesGrowsGraph) {
+  Digraph g;
+  add_path_edges(g, {1, 5, 2});
+  EXPECT_GE(g.node_count(), 6u);
+  EXPECT_TRUE(g.has_edge(1, 5));
+  EXPECT_TRUE(g.has_edge(5, 2));
+}
+
+// --------------------------------------------------- update path validation --
+
+TEST(ValidatePathsTest, AcceptsGoodPair) {
+  EXPECT_TRUE(validate_update_paths({1, 2, 3}, {1, 4, 3}, std::nullopt).ok());
+}
+
+TEST(ValidatePathsTest, AcceptsWaypointOnBoth) {
+  EXPECT_TRUE(validate_update_paths({1, 2, 3}, {1, 2, 4, 3}, NodeId{2}).ok());
+}
+
+TEST(ValidatePathsTest, RejectsTooShort) {
+  EXPECT_FALSE(validate_update_paths({1}, {1, 2}, std::nullopt).ok());
+}
+
+TEST(ValidatePathsTest, RejectsNonSimple) {
+  EXPECT_FALSE(
+      validate_update_paths({1, 2, 1, 3}, {1, 3}, std::nullopt).ok());
+  EXPECT_FALSE(
+      validate_update_paths({1, 3}, {1, 2, 2, 3}, std::nullopt).ok());
+}
+
+TEST(ValidatePathsTest, RejectsEndpointMismatch) {
+  EXPECT_FALSE(validate_update_paths({1, 2, 3}, {2, 3}, std::nullopt).ok());
+  EXPECT_FALSE(validate_update_paths({1, 2, 3}, {1, 4}, std::nullopt).ok());
+}
+
+TEST(ValidatePathsTest, RejectsWaypointIssues) {
+  // Waypoint at the source / destination.
+  EXPECT_FALSE(validate_update_paths({1, 2, 3}, {1, 2, 3}, NodeId{1}).ok());
+  EXPECT_FALSE(validate_update_paths({1, 2, 3}, {1, 2, 3}, NodeId{3}).ok());
+  // Waypoint missing from one of the paths.
+  EXPECT_FALSE(validate_update_paths({1, 2, 3}, {1, 4, 3}, NodeId{2}).ok());
+  EXPECT_FALSE(validate_update_paths({1, 4, 3}, {1, 2, 3}, NodeId{2}).ok());
+}
+
+}  // namespace
+}  // namespace tsu::graph

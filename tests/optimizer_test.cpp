@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/optimizer.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/util/rng.hpp"
+#include "tsu/verify/checker.hpp"
+
+namespace tsu::update {
+namespace {
+
+// ----------------------------------------------------- compress_schedule --
+
+TEST(CompressTest, NeverBreaksTheProperty) {
+  Rng rng(111);
+  topo::RandomInstanceOptions options;
+  for (int i = 0; i < 100; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_wayup(inst);
+    ASSERT_TRUE(schedule.ok());
+    const Schedule compressed =
+        compress_schedule(inst, schedule.value(), kWaypoint);
+    EXPECT_LE(compressed.round_count(), schedule.value().round_count());
+    EXPECT_TRUE(validate_schedule(inst, compressed).ok()) << inst.to_string();
+    EXPECT_TRUE(verify::check_schedule(inst, compressed, kWaypoint).ok)
+        << inst.to_string() << "\n" << compressed.to_string();
+  }
+}
+
+TEST(CompressTest, MergesWhenHazardAbsent) {
+  // Disjoint interiors except the waypoint: no X/Y hazard, so WayUp's
+  // install round can merge with the prefix round (installs are invisible,
+  // and the prefix flip is bypass-safe without X).
+  Result<Instance> inst =
+      Instance::make({1, 2, 3, 4, 9}, {1, 5, 3, 6, 9}, NodeId{3});
+  ASSERT_TRUE(inst.ok());
+  const Result<Schedule> schedule = plan_wayup(inst.value());
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule.value().round_count(), 2u);
+  const Schedule compressed =
+      compress_schedule(inst.value(), schedule.value(), kWaypoint);
+  EXPECT_EQ(compressed.round_count(), 1u) << compressed.to_string();
+  EXPECT_TRUE(
+      verify::check_schedule(inst.value(), compressed, kWaypoint).ok);
+}
+
+TEST(CompressTest, KeepsNecessaryRoundsOnFig1) {
+  const Instance inst = topo::fig1().instance;
+  const Result<Schedule> schedule = plan_wayup(inst);
+  ASSERT_TRUE(schedule.ok());
+  const Schedule compressed = compress_schedule(inst, schedule.value(),
+                                                kWaypoint);
+  // Fig1's hazards are real; rounds may merge partially but never below
+  // the optimum for WPE (which is > 1: OneShot violates).
+  EXPECT_GE(compressed.round_count(), 2u);
+  EXPECT_TRUE(verify::check_schedule(inst, compressed, kWaypoint).ok)
+      << compressed.to_string();
+}
+
+TEST(CompressTest, PreservesCleanupAndNames) {
+  const Instance inst = topo::fig1().instance;
+  const Result<Schedule> schedule = plan_wayup(inst);
+  const Schedule compressed = compress_schedule(inst, schedule.value(),
+                                                kWaypoint);
+  EXPECT_EQ(compressed.cleanup, schedule.value().cleanup);
+  EXPECT_EQ(compressed.algorithm, "wayup+compressed");
+}
+
+TEST(CompressTest, PeacockSchedulesCompressUnderWlf) {
+  const Instance inst = topo::reversal_instance(10);
+  const Result<Schedule> schedule = plan_peacock(inst);
+  ASSERT_TRUE(schedule.ok());
+  const Schedule compressed =
+      compress_schedule(inst, schedule.value(), kPeacockGuarantee);
+  EXPECT_LE(compressed.round_count(), schedule.value().round_count());
+  EXPECT_TRUE(
+      verify::check_schedule(inst, compressed, kPeacockGuarantee).ok);
+}
+
+// --------------------------------------------------------- merge_policies --
+
+Instance policy_a() {
+  // Uses switches 0..4.
+  return std::move(Instance::make({0, 1, 2, 4}, {0, 3, 2, 4})).value();
+}
+
+Instance policy_b() {
+  // Uses switches 10..14: fully disjoint from policy_a.
+  return std::move(Instance::make({10, 11, 12, 14}, {10, 13, 12, 14}))
+      .value();
+}
+
+Instance policy_overlapping() {
+  // Shares switches 1, 2, 4 with policy_a.
+  return std::move(Instance::make({1, 2, 4, 6}, {1, 5, 4, 6})).value();
+}
+
+TEST(MergePoliciesTest, DisjointPoliciesRunFullyParallel) {
+  const Instance a = policy_a();
+  const Instance b = policy_b();
+  const Schedule sa = plan_peacock(a).value();
+  const Schedule sb = plan_peacock(b).value();
+  const Result<MergedSchedule> merged = merge_policies({&a, &b}, {&sa, &sb});
+  ASSERT_TRUE(merged.ok()) << merged.error().to_string();
+  EXPECT_EQ(merged.value().round_count(),
+            std::max(sa.round_count(), sb.round_count()));
+}
+
+TEST(MergePoliciesTest, PreservesPerPolicyRoundOrder) {
+  const Instance a = policy_a();
+  const Instance b = policy_overlapping();
+  const Schedule sa = plan_peacock(a).value();
+  const Schedule sb = plan_peacock(b).value();
+  const Result<MergedSchedule> merged = merge_policies({&a, &b}, {&sa, &sb});
+  ASSERT_TRUE(merged.ok());
+
+  // Reconstruct each policy's node order from the merged rounds and check
+  // it is exactly the original round order, flattened.
+  for (std::size_t policy = 0; policy < 2; ++policy) {
+    const Schedule& original = policy == 0 ? sa : sb;
+    std::vector<NodeId> flattened;
+    for (const Round& round : original.rounds)
+      flattened.insert(flattened.end(), round.begin(), round.end());
+    std::vector<NodeId> observed;
+    for (const MergedRound& round : merged.value().rounds)
+      for (const auto& [p, v] : round.ops)
+        if (p == policy) observed.push_back(v);
+    EXPECT_EQ(observed, flattened) << "policy " << policy;
+  }
+}
+
+TEST(MergePoliciesTest, NoSwitchTouchedTwicePerRound) {
+  const Instance a = policy_a();
+  const Instance b = policy_overlapping();
+  const Schedule sa = plan_peacock(a).value();
+  const Schedule sb = plan_peacock(b).value();
+  const Result<MergedSchedule> merged = merge_policies({&a, &b}, {&sa, &sb});
+  ASSERT_TRUE(merged.ok());
+  for (const MergedRound& round : merged.value().rounds) {
+    std::set<NodeId> touched;
+    for (const auto& [policy, v] : round.ops) {
+      EXPECT_TRUE(touched.insert(v).second)
+          << "switch " << v << " touched twice in one merged round";
+    }
+  }
+}
+
+TEST(MergePoliciesTest, OverlapCostsRoundsButStaysBounded) {
+  const Instance a = policy_a();
+  const Instance b = policy_overlapping();
+  const Schedule sa = plan_peacock(a).value();
+  const Schedule sb = plan_peacock(b).value();
+  const Result<MergedSchedule> merged = merge_policies({&a, &b}, {&sa, &sb});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_GE(merged.value().round_count(),
+            std::max(sa.round_count(), sb.round_count()));
+  EXPECT_LE(merged.value().round_count(),
+            sa.round_count() + sb.round_count());
+  // Every op placed exactly once.
+  std::size_t ops = 0;
+  for (const MergedRound& round : merged.value().rounds)
+    ops += round.ops.size();
+  EXPECT_EQ(ops, sa.touched_count() + sb.touched_count());
+}
+
+TEST(MergePoliciesTest, RejectsBadInput) {
+  const Instance a = policy_a();
+  const Schedule sa = plan_peacock(a).value();
+  EXPECT_FALSE(merge_policies({&a}, {}).ok());
+  EXPECT_FALSE(merge_policies({&a}, {nullptr}).ok());
+  Schedule broken = sa;
+  broken.rounds.push_back({99});  // not a touched node
+  EXPECT_FALSE(merge_policies({&a}, {&broken}).ok());
+}
+
+// ---------------------------------------------------------- minimization --
+
+TEST(MinimizeViolationTest, ShrinksOneShotWitnessOnFig1) {
+  const Instance inst = topo::fig1().instance;
+  const Result<Schedule> schedule = plan_oneshot(inst);
+  ASSERT_TRUE(schedule.ok());
+  verify::CheckOptions options;
+  options.max_violations = 1;
+  const verify::CheckReport report = verify::check_schedule(
+      inst, schedule.value(), kWaypoint, options);
+  ASSERT_FALSE(report.ok);
+  const verify::Violation& original = report.violations.front();
+  const verify::Violation minimal = verify::minimize_violation(
+      inst, schedule.value(), original, kWaypoint);
+  EXPECT_LE(minimal.subset.size(), original.subset.size());
+  EXPECT_NE(minimal.violated & kWaypoint, 0u);
+  // Local minimality: dropping any single node kills the violation.
+  const update::StateMask applied =
+      state_after_rounds(inst, schedule.value(), minimal.round_index);
+  for (std::size_t i = 0; i < minimal.subset.size(); ++i) {
+    update::StateMask state = applied;
+    for (std::size_t j = 0; j < minimal.subset.size(); ++j)
+      if (j != i) state[minimal.subset[j]] = true;
+    EXPECT_TRUE(verify::state_ok(inst, state, kWaypoint))
+        << "node " << minimal.subset[i] << " was removable";
+  }
+  // The minimal witness walk is a genuine bypass.
+  EXPECT_EQ(minimal.walk.outcome, WalkOutcome::kDelivered);
+  EXPECT_FALSE(minimal.walk.visited_waypoint);
+}
+
+TEST(MinimizeViolationTest, MinimalWitnessOnFig1IsAKnownHazardRace) {
+  // Fig1 has two canonical bypass races:
+  //  - the X race: flip the source onto the new prefix while X={5} is
+  //    stale ({1,7}: trace 1->7->5 -old-> 6->12, skipping 3), and
+  //  - the Y race: flip Y={2} plus the new-suffix installs
+  //    ({2,9,10,11}: trace 1->2 -new-> 9->10->11->12).
+  // The minimizer must land on one of them (two or four racing FlowMods),
+  // never on a bloated subset.
+  const Instance inst = topo::fig1().instance;
+  const Result<Schedule> schedule = plan_oneshot(inst);
+  verify::CheckOptions options;
+  options.max_violations = 4;
+  const verify::CheckReport report = verify::check_schedule(
+      inst, schedule.value(), kWaypoint, options);
+  ASSERT_FALSE(report.ok);
+  const verify::Violation minimal = verify::minimize_violation(
+      inst, schedule.value(), report.violations.front(), kWaypoint);
+  std::vector<NodeId> subset = minimal.subset;
+  std::sort(subset.begin(), subset.end());
+  const bool is_x_race = subset == std::vector<NodeId>{1, 7};
+  const bool is_y_race = subset == std::vector<NodeId>{2, 9, 10, 11};
+  EXPECT_TRUE(is_x_race || is_y_race)
+      << "minimal subset: " << minimal.to_string();
+}
+
+}  // namespace
+}  // namespace tsu::update

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/oracle.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu::update {
+namespace {
+
+Instance fig1_instance() { return topo::fig1().instance; }
+
+StateMask with_updates(const Instance& inst,
+                       std::initializer_list<NodeId> nodes) {
+  StateMask state = empty_state(inst);
+  for (const NodeId v : nodes) state[v] = true;
+  return state;
+}
+
+// ---------------------------------------------------------- state checks --
+
+TEST(StateSatisfiesTest, InitialStateSatisfiesEverything) {
+  const Instance inst = fig1_instance();
+  EXPECT_TRUE(state_satisfies(inst, empty_state(inst),
+                              kWaypoint | kLoopFree | kGlobalLoopFree |
+                                  kBlackholeFree));
+}
+
+TEST(StateSatisfiesTest, FinalStateSatisfiesEverything) {
+  const Instance inst = fig1_instance();
+  EXPECT_TRUE(state_satisfies(inst, full_state(inst),
+                              kWaypoint | kLoopFree | kBlackholeFree));
+}
+
+TEST(StateSatisfiesTest, BypassViolatesWaypointOnly) {
+  const Instance inst = fig1_instance();
+  // Y node 2 updated early: delivery around the waypoint.
+  const StateMask state = with_updates(inst, {2, 7, 9, 10, 11});
+  EXPECT_FALSE(state_satisfies(inst, state, kWaypoint));
+  EXPECT_TRUE(state_satisfies(inst, state, kLoopFree));
+  EXPECT_TRUE(state_satisfies(inst, state, kBlackholeFree));
+}
+
+TEST(StateSatisfiesTest, LoopViolatesLoopFreedom) {
+  // old 0->1->2->3, new 0->2->1->3: updating only 2 creates 1<->2 on the
+  // live path.
+  Result<Instance> inst = Instance::make({0, 1, 2, 3}, {0, 2, 1, 3});
+  ASSERT_TRUE(inst.ok());
+  const StateMask state = with_updates(inst.value(), {2});
+  EXPECT_FALSE(state_satisfies(inst.value(), state, kLoopFree));
+  EXPECT_FALSE(state_satisfies(inst.value(), state, kGlobalLoopFree));
+}
+
+TEST(StateSatisfiesTest, OffPathLoopViolatesOnlyStrongLoopFreedom) {
+  // old 0->1->2->3->4, new 0->3->2->1->4. Updating {3, 2} loops 2<->3 but
+  // the live path 0->1->... wait: 1 keeps old rule ->2, so the loop IS
+  // reachable. Use {2} plus nothing reroutes the source: old path hits 2,
+  // then new rule 2->1, 1 old ->2: reachable loop again. For a stale loop
+  // off the live path, reroute the source around it: update {0, 3, 2}.
+  // 0->3 (new), 3->2 (new), 2->1 (new), 1->2 (old): 2 revisited - still
+  // reachable. This family keeps every loop reachable; instead build one
+  // where the new path avoids the loop segment entirely:
+  // old 0->1->2->3, new 0->3 directly; auxiliary nodes 1,2 keep old rules.
+  // Then no state update can loop. Conclusion: craft the stale loop with
+  // two flows is out of scope here, so assert the simpler directional
+  // claim: kGlobalLoopFree is strictly stronger than kLoopFree.
+  Result<Instance> inst =
+      Instance::make({0, 1, 2, 3, 4}, {0, 3, 2, 1, 4});
+  ASSERT_TRUE(inst.ok());
+  const StateMask state = with_updates(inst.value(), {0, 2});
+  // Live path: 0->3(old? no - 0 updated -> 3) wait old_next(3)=4 so walk
+  // 0,3,4 delivered; stale cycle 1->2(old), 2->1(new) sits off the path.
+  EXPECT_TRUE(state_satisfies(inst.value(), state, kLoopFree));
+  EXPECT_FALSE(state_satisfies(inst.value(), state, kGlobalLoopFree));
+}
+
+TEST(StateSatisfiesTest, BlackholeDetected) {
+  Result<Instance> inst = Instance::make({0, 1, 2}, {0, 3, 2});
+  ASSERT_TRUE(inst.ok());
+  // 0 points to 3 before 3's rule is installed.
+  const StateMask state = with_updates(inst.value(), {0});
+  EXPECT_FALSE(state_satisfies(inst.value(), state, kBlackholeFree));
+  EXPECT_TRUE(state_satisfies(inst.value(), state, kLoopFree));
+}
+
+// ----------------------------------------------------------- round safety --
+
+TEST(RoundSafetyTest, InstallRoundIsSafe) {
+  const Instance inst = fig1_instance();
+  const std::vector<NodeId> installs{7, 9, 10, 11};
+  EXPECT_TRUE(round_safe_exhaustive(inst, empty_state(inst), installs,
+                                    kWaypoint | kLoopFree | kBlackholeFree));
+  EXPECT_TRUE(round_safe_union_certificate(
+      inst, empty_state(inst), installs,
+      kWaypoint | kLoopFree | kBlackholeFree));
+}
+
+TEST(RoundSafetyTest, OneShotRoundIsUnsafeOnFig1) {
+  const Instance inst = fig1_instance();
+  EXPECT_FALSE(round_safe_exhaustive(inst, empty_state(inst), inst.touched(),
+                                     kWaypoint));
+  EXPECT_FALSE(round_safe_union_certificate(inst, empty_state(inst),
+                                            inst.touched(), kWaypoint));
+}
+
+TEST(RoundSafetyTest, UnionCertificateIsSound) {
+  // Whenever the certificate says safe, exhaustive agrees - across many
+  // random instances and random rounds.
+  Rng rng(2024);
+  topo::RandomInstanceOptions options;
+  options.old_interior_max = 5;
+  options.new_len_max = 5;
+  int certified = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Instance inst = topo::random_instance(rng, options);
+    const std::vector<NodeId>& touched = inst.touched();
+    if (touched.empty()) continue;
+    // Random applied set and random round from the rest.
+    StateMask applied = empty_state(inst);
+    std::vector<NodeId> round;
+    for (const NodeId v : touched) {
+      if (rng.bernoulli(0.3))
+        applied[v] = true;
+      else if (rng.bernoulli(0.5))
+        round.push_back(v);
+    }
+    if (round.empty()) continue;
+    for (const std::uint32_t mask :
+         {kWaypoint, kLoopFree, kGlobalLoopFree, kBlackholeFree}) {
+      if (round_safe_union_certificate(inst, applied, round, mask)) {
+        ++certified;
+        EXPECT_TRUE(round_safe_exhaustive(inst, applied, round, mask))
+            << inst.to_string() << " property " << property_name(mask);
+      }
+    }
+  }
+  EXPECT_GT(certified, 50);  // the check must actually exercise both sides
+}
+
+TEST(RoundSafetyTest, ExhaustiveMatchesCertificateForStrongLoopFreedom) {
+  // For kGlobalLoopFree the union certificate is exact: both directions.
+  Rng rng(99);
+  topo::RandomInstanceOptions options;
+  options.old_interior_max = 4;
+  options.new_len_max = 4;
+  options.with_waypoint = false;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instance inst = topo::random_instance(rng, options);
+    const std::vector<NodeId>& touched = inst.touched();
+    if (touched.empty()) continue;
+    StateMask applied = empty_state(inst);
+    std::vector<NodeId> round;
+    for (const NodeId v : touched) {
+      if (rng.bernoulli(0.25))
+        applied[v] = true;
+      else if (rng.bernoulli(0.6))
+        round.push_back(v);
+    }
+    if (round.empty()) continue;
+    EXPECT_EQ(
+        round_safe_union_certificate(inst, applied, round, kGlobalLoopFree),
+        round_safe_exhaustive(inst, applied, round, kGlobalLoopFree))
+        << inst.to_string();
+  }
+}
+
+TEST(RoundSafetyTest, DispatcherUsesExhaustiveForSmallRounds) {
+  const Instance inst = fig1_instance();
+  OracleOptions options;
+  options.exhaustive_limit = 16;
+  EXPECT_FALSE(round_safe(inst, empty_state(inst), inst.touched(), kWaypoint,
+                          options));
+  const std::vector<NodeId> installs{7, 9, 10, 11};
+  EXPECT_TRUE(round_safe(inst, empty_state(inst), installs, kWaypoint,
+                         options));
+}
+
+TEST(RoundSafetyTest, DispatcherFallsBackToCertificate) {
+  const Instance inst = fig1_instance();
+  OracleOptions options;
+  options.exhaustive_limit = 2;  // force the certificate path
+  const std::vector<NodeId> installs{7, 9, 10, 11};
+  EXPECT_TRUE(round_safe(inst, empty_state(inst), installs,
+                         kWaypoint | kLoopFree, options));
+  EXPECT_FALSE(round_safe(inst, empty_state(inst), inst.touched(),
+                          kWaypoint, options));
+}
+
+TEST(PropertyNameTest, RendersCombinations) {
+  EXPECT_EQ(property_name(kWaypoint), "WPE");
+  EXPECT_EQ(property_name(kWaypoint | kLoopFree), "WPE+WLF");
+  EXPECT_EQ(property_name(kSlfGuarantee), "SLF+BH");
+  EXPECT_EQ(property_name(0), "none");
+}
+
+}  // namespace
+}  // namespace tsu::update

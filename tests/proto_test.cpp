@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tsu/proto/bytes.hpp"
+#include "tsu/proto/codec.hpp"
+#include "tsu/proto/messages.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu::proto {
+namespace {
+
+Message round_trip(const Message& message) {
+  const std::vector<std::byte> wire = encode(message);
+  Result<Message> decoded = decode(wire);
+  EXPECT_TRUE(decoded.ok())
+      << (decoded.ok() ? "" : decoded.error().to_string());
+  return decoded.ok() ? std::move(decoded).value() : Message{};
+}
+
+// ------------------------------------------------------------------ bytes --
+
+TEST(BytesTest, WriterBigEndian) {
+  Writer w;
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  const auto& data = w.data();
+  ASSERT_EQ(data.size(), 6u);
+  EXPECT_EQ(static_cast<unsigned>(data[0]), 0x01u);
+  EXPECT_EQ(static_cast<unsigned>(data[1]), 0x02u);
+  EXPECT_EQ(static_cast<unsigned>(data[5]), 0x06u);
+}
+
+TEST(BytesTest, ReaderRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, ReaderUnderflowErrors) {
+  Writer w;
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_FALSE(r.u16().ok());
+  EXPECT_FALSE(r.u8().ok());
+}
+
+TEST(BytesTest, SkipAndBytes) {
+  Writer w;
+  w.u32(0x01020304);
+  Reader r(w.data());
+  EXPECT_TRUE(r.skip(2).ok());
+  const auto rest = r.bytes(2);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(static_cast<unsigned>(rest.value()[0]), 3u);
+  EXPECT_FALSE(r.skip(1).ok());
+}
+
+TEST(BytesTest, PatchU16) {
+  Writer w;
+  w.u16(0);
+  w.u8(9);
+  w.patch_u16(0, 0xbeef);
+  Reader r(w.data());
+  EXPECT_EQ(r.u16().value(), 0xbeef);
+}
+
+// ------------------------------------------------------------ round trips --
+
+TEST(CodecTest, HelloRoundTrip) {
+  const Message m = round_trip(make_hello(7));
+  EXPECT_EQ(m.type(), MsgType::kHello);
+  EXPECT_EQ(m.xid, 7u);
+}
+
+TEST(CodecTest, BarrierRoundTrip) {
+  EXPECT_EQ(round_trip(make_barrier_request(9)).type(),
+            MsgType::kBarrierRequest);
+  EXPECT_EQ(round_trip(make_barrier_reply(10)).type(),
+            MsgType::kBarrierReply);
+}
+
+TEST(CodecTest, EchoPayloadPreserved) {
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  const Message m = round_trip(make_echo_request(3, payload));
+  EXPECT_EQ(m.type(), MsgType::kEchoRequest);
+  EXPECT_EQ(std::get<Echo>(m.body).payload, payload);
+  const Message reply = round_trip(make_echo_reply(4, payload));
+  EXPECT_EQ(reply.type(), MsgType::kEchoReply);
+}
+
+TEST(CodecTest, ErrorTextPreserved) {
+  const Message m = round_trip(make_error(5, 12, "table full"));
+  const auto& err = std::get<Error>(m.body);
+  EXPECT_EQ(err.code, 12);
+  EXPECT_EQ(err.text, "table full");
+}
+
+TEST(CodecTest, FeaturesReplyRoundTrip) {
+  Message m;
+  m.xid = 2;
+  m.body = FeaturesReply{0xaabbccddeeff0011ULL, 4};
+  const Message decoded = round_trip(m);
+  const auto& reply = std::get<FeaturesReply>(decoded.body);
+  EXPECT_EQ(reply.datapath, 0xaabbccddeeff0011ULL);
+  EXPECT_EQ(reply.n_tables, 4u);
+}
+
+TEST(CodecTest, FlowModAllCommands) {
+  for (const FlowModCommand command :
+       {FlowModCommand::kAdd, FlowModCommand::kModify, FlowModCommand::kDelete,
+        FlowModCommand::kDeleteStrict}) {
+    FlowMod mod;
+    mod.command = command;
+    mod.priority = 321;
+    mod.cookie = 0x1122334455667788ULL;
+    mod.match.flow = 99;
+    mod.action = flow::Action::forward(5);
+    const Message m = round_trip(make_flow_mod(11, mod));
+    const auto& decoded = std::get<FlowMod>(m.body);
+    EXPECT_EQ(decoded.command, command);
+    EXPECT_EQ(decoded.priority, 321);
+    EXPECT_EQ(decoded.cookie, mod.cookie);
+    EXPECT_EQ(decoded.match, mod.match);
+    EXPECT_EQ(decoded.action, mod.action);
+  }
+}
+
+TEST(CodecTest, FlowModMatchFieldCombinations) {
+  for (int bits = 0; bits < 16; ++bits) {
+    FlowMod mod;
+    if (bits & 1) mod.match.flow = 1;
+    if (bits & 2) mod.match.src_host = 2;
+    if (bits & 4) mod.match.dst_host = 3;
+    if (bits & 8) mod.match.in_port = 4;
+    mod.action = flow::Action::deliver();
+    const Message m = round_trip(make_flow_mod(1, mod));
+    EXPECT_EQ(std::get<FlowMod>(m.body).match, mod.match) << "bits=" << bits;
+  }
+}
+
+TEST(CodecTest, PacketOutRoundTrip) {
+  Message m;
+  m.xid = 77;
+  PacketOut p;
+  p.packet.flow = 3;
+  p.packet.src_host = 1;
+  p.packet.dst_host = 12;
+  p.packet.in_port = 2;
+  p.packet.ttl = 63;
+  p.out_port = 4;
+  m.body = p;
+  const Message decoded = round_trip(m);
+  const auto& out = std::get<PacketOut>(decoded.body);
+  EXPECT_EQ(out.packet.flow, 3u);
+  EXPECT_EQ(out.packet.ttl, 63);
+  EXPECT_EQ(out.out_port, 4u);
+}
+
+// ---------------------------------------------------------------- framing --
+
+TEST(CodecTest, LengthFieldMatchesFrameSize) {
+  const std::vector<std::byte> wire = encode(make_barrier_request(1));
+  const std::size_t declared =
+      static_cast<std::size_t>(static_cast<std::uint8_t>(wire[2])) << 8 |
+      static_cast<std::size_t>(static_cast<std::uint8_t>(wire[3]));
+  EXPECT_EQ(declared, wire.size());
+}
+
+TEST(CodecTest, TruncatedFrameRejected) {
+  std::vector<std::byte> wire = encode(make_error(5, 1, "text"));
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CodecTest, BadVersionRejected) {
+  std::vector<std::byte> wire = encode(make_hello(1));
+  wire[0] = std::byte{0x99};
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CodecTest, UnknownTypeRejected) {
+  std::vector<std::byte> wire = encode(make_hello(1));
+  wire[1] = std::byte{0x7f};
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CodecTest, HeaderShorterThanMinimumRejected) {
+  const std::vector<std::byte> tiny(4, std::byte{0});
+  EXPECT_FALSE(decode(tiny).ok());
+}
+
+TEST(CodecTest, TrailingBodyBytesRejected) {
+  std::vector<std::byte> wire = encode(make_barrier_request(1));
+  // Grow the frame and fix the declared length: extra body bytes must be
+  // flagged because BarrierRequest has an empty body.
+  wire.push_back(std::byte{0});
+  wire[2] = std::byte{0};
+  wire[3] = std::byte{static_cast<unsigned char>(wire.size())};
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(CodecTest, FuzzRandomBytesNeverCrash) {
+  Rng rng(0xf22);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t len = rng.uniform_u64(0, 64);
+    std::vector<std::byte> junk(len);
+    for (auto& b : junk) b = static_cast<std::byte>(rng.uniform_u64(0, 255));
+    (void)decode(junk);  // must not crash; errors are fine
+  }
+}
+
+TEST(CodecTest, FuzzTruncationsOfValidFramesNeverCrash) {
+  FlowMod mod;
+  mod.match.flow = 1;
+  mod.match.src_host = 2;
+  mod.action = flow::Action::forward(3);
+  const std::vector<std::byte> wire = encode(make_flow_mod(5, mod));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<std::byte> truncated(wire.begin(),
+                                     wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode(truncated).ok());
+  }
+}
+
+TEST(CodecStreamTest, DecodesBackToBackFrames) {
+  std::vector<std::byte> wire = encode(make_hello(1));
+  const std::vector<std::byte> second = encode(make_barrier_request(2));
+  wire.insert(wire.end(), second.begin(), second.end());
+  const Result<DecodeStreamResult> result = decode_stream(wire);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().messages.size(), 2u);
+  EXPECT_EQ(result.value().consumed, wire.size());
+  EXPECT_EQ(result.value().messages[1].type(), MsgType::kBarrierRequest);
+}
+
+TEST(CodecStreamTest, StopsAtIncompleteTail) {
+  std::vector<std::byte> wire = encode(make_hello(1));
+  const std::size_t full = wire.size();
+  const std::vector<std::byte> second = encode(make_barrier_request(2));
+  wire.insert(wire.end(), second.begin(), second.end() - 2);  // cut tail
+  const Result<DecodeStreamResult> result = decode_stream(wire);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().messages.size(), 1u);
+  EXPECT_EQ(result.value().consumed, full);
+}
+
+TEST(MessagesTest, TypeNamesAndToString) {
+  EXPECT_STREQ(to_string(MsgType::kFlowMod), "FLOW_MOD");
+  EXPECT_STREQ(to_string(FlowModCommand::kModify), "MODIFY");
+  FlowMod mod;
+  mod.match.flow = 8;
+  mod.action = flow::Action::forward(2);
+  const std::string text = make_flow_mod(3, mod).to_string();
+  EXPECT_NE(text.find("FLOW_MOD"), std::string::npos);
+  EXPECT_NE(text.find("flow=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsu::proto

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/schedule.hpp"
+
+namespace tsu::update {
+namespace {
+
+Instance simple() {
+  Result<Instance> inst = Instance::make({0, 1, 2, 3}, {0, 4, 2, 1, 3});
+  EXPECT_TRUE(inst.ok());
+  return std::move(inst).value();
+}
+
+TEST(ScheduleTest, ValidPartitionAccepted) {
+  const Instance inst = simple();
+  Schedule s;
+  s.rounds = {{4}, {0, 2}, {1}};
+  EXPECT_TRUE(validate_schedule(inst, s).ok());
+}
+
+TEST(ScheduleTest, MissingNodeRejected) {
+  const Instance inst = simple();
+  Schedule s;
+  s.rounds = {{4}, {0, 2}};  // node 1 missing
+  const Status status = validate_schedule(inst, s);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("missing"), std::string::npos);
+}
+
+TEST(ScheduleTest, DuplicateNodeRejected) {
+  const Instance inst = simple();
+  Schedule s;
+  s.rounds = {{4, 0}, {0, 2, 1}};
+  EXPECT_FALSE(validate_schedule(inst, s).ok());
+}
+
+TEST(ScheduleTest, UntouchedNodeRejected) {
+  const Instance inst = simple();
+  Schedule s;
+  s.rounds = {{4, 0, 2, 1, 3}};  // 3 is the destination, not touched
+  EXPECT_FALSE(validate_schedule(inst, s).ok());
+}
+
+TEST(ScheduleTest, EmptyRoundRejected) {
+  const Instance inst = simple();
+  Schedule s;
+  s.rounds = {{4, 0, 2, 1}, {}};
+  EXPECT_FALSE(validate_schedule(inst, s).ok());
+}
+
+TEST(ScheduleTest, CleanupMustBeOldOnly) {
+  const topo::Fig1 fig = topo::fig1();
+  Schedule s;
+  s.rounds = {fig.instance.touched()};
+  s.cleanup = {4, 8, 6};
+  EXPECT_TRUE(validate_schedule(fig.instance, s).ok());
+  s.cleanup = {5};  // on both paths, not old-only
+  EXPECT_FALSE(validate_schedule(fig.instance, s).ok());
+}
+
+TEST(ScheduleTest, StateAfterRoundsAccumulates) {
+  const Instance inst = simple();
+  Schedule s;
+  s.rounds = {{4}, {0, 2}, {1}};
+  const StateMask s0 = state_after_rounds(inst, s, 0);
+  EXPECT_FALSE(s0[4]);
+  const StateMask s1 = state_after_rounds(inst, s, 1);
+  EXPECT_TRUE(s1[4]);
+  EXPECT_FALSE(s1[0]);
+  const StateMask s3 = state_after_rounds(inst, s, 3);
+  EXPECT_TRUE(s3[0] && s3[1] && s3[2] && s3[4]);
+  // Past-the-end clamps.
+  const StateMask s9 = state_after_rounds(inst, s, 9);
+  EXPECT_EQ(s9, s3);
+}
+
+TEST(ScheduleTest, TouchedCountSumsRounds) {
+  Schedule s;
+  s.rounds = {{1, 2}, {3}};
+  EXPECT_EQ(s.touched_count(), 3u);
+  EXPECT_EQ(s.round_count(), 2u);
+}
+
+TEST(ScheduleTest, ToStringShowsRoundsAndCleanup) {
+  Schedule s;
+  s.algorithm = "wayup";
+  s.rounds = {{7}, {5}};
+  s.cleanup = {4};
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("wayup"), std::string::npos);
+  EXPECT_NE(text.find("R1:{7}"), std::string::npos);
+  EXPECT_NE(text.find("R2:{5}"), std::string::npos);
+  EXPECT_NE(text.find("cleanup:{4}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsu::update

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/verify/checker.hpp"
+
+namespace tsu::update {
+namespace {
+
+Instance fig1_instance() { return topo::fig1().instance; }
+
+std::vector<NodeId> sorted(Round round) {
+  std::sort(round.begin(), round.end());
+  return round;
+}
+
+// ---------------------------------------------------------------- OneShot --
+
+TEST(OneShotTest, SingleRoundWithAllTouched) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_oneshot(inst);
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule.value().round_count(), 1u);
+  EXPECT_EQ(sorted(schedule.value().rounds[0]),
+            (std::vector<NodeId>{1, 2, 3, 5, 7, 9, 10, 11}));
+  EXPECT_TRUE(validate_schedule(inst, schedule.value()).ok());
+}
+
+TEST(OneShotTest, CleanupContainsOldOnlyNodes) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_oneshot(inst);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(sorted(schedule.value().cleanup), (std::vector<NodeId>{4, 6, 8}));
+  SchedulerOptions options;
+  options.with_cleanup = false;
+  const Result<Schedule> bare = plan_oneshot(inst, options);
+  EXPECT_TRUE(bare.value().cleanup.empty());
+}
+
+TEST(OneShotTest, NoChangesYieldsNoRounds) {
+  Result<Instance> inst = Instance::make({0, 1, 2}, {0, 1, 2});
+  ASSERT_TRUE(inst.ok());
+  const Result<Schedule> schedule = plan_oneshot(inst.value());
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule.value().round_count(), 0u);
+}
+
+TEST(OneShotTest, ViolatesWaypointOnFig1) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_oneshot(inst);
+  const verify::CheckReport report =
+      verify::check_schedule(inst, schedule.value(), kWaypoint);
+  EXPECT_FALSE(report.ok);
+}
+
+// --------------------------------------------------------------- TwoPhase --
+
+TEST(TwoPhaseTest, RequiresWaypoint) {
+  Result<Instance> inst = Instance::make({0, 1, 2}, {0, 3, 2});
+  ASSERT_TRUE(inst.ok());
+  EXPECT_FALSE(plan_twophase(inst.value()).ok());
+}
+
+TEST(TwoPhaseTest, ThreeRoundsOnFig1) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_twophase(inst);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule.value().round_count(), 3u);
+  EXPECT_TRUE(validate_schedule(inst, schedule.value()).ok());
+  // Prefix round: new-path nodes up to the waypoint that are on both paths.
+  EXPECT_EQ(sorted(schedule.value().rounds[1]),
+            (std::vector<NodeId>{1, 3, 5}));
+}
+
+TEST(TwoPhaseTest, StillViolatesWaypointOnFig1) {
+  // The strawman fails exactly because X={5} is flipped together with the
+  // prefix and Y={2} with the suffix.
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_twophase(inst);
+  const verify::CheckReport report =
+      verify::check_schedule(inst, schedule.value(), kWaypoint);
+  EXPECT_FALSE(report.ok);
+}
+
+// ------------------------------------------------------------------ WayUp --
+
+TEST(WayUpTest, RequiresWaypoint) {
+  Result<Instance> inst = Instance::make({0, 1, 2}, {0, 3, 2});
+  ASSERT_TRUE(inst.ok());
+  EXPECT_FALSE(plan_wayup(inst.value()).ok());
+}
+
+TEST(WayUpTest, Fig1RoundStructure) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_wayup(inst);
+  ASSERT_TRUE(schedule.ok());
+  const Schedule& s = schedule.value();
+  ASSERT_EQ(s.round_count(), 4u);
+  EXPECT_EQ(sorted(s.rounds[0]), (std::vector<NodeId>{7, 9, 10, 11}));  // installs
+  EXPECT_EQ(sorted(s.rounds[1]), (std::vector<NodeId>{5}));     // behind wp (X)
+  EXPECT_EQ(sorted(s.rounds[2]), (std::vector<NodeId>{1, 3}));  // prefix
+  EXPECT_EQ(sorted(s.rounds[3]), (std::vector<NodeId>{2}));     // Y
+  EXPECT_TRUE(validate_schedule(inst, s).ok());
+}
+
+TEST(WayUpTest, GuaranteesWaypointOnFig1) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_wayup(inst);
+  const verify::CheckReport report =
+      verify::check_schedule(inst, schedule.value(), kWaypoint);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_TRUE(report.exhaustive);
+}
+
+TEST(WayUpTest, AtMostFourRounds) {
+  Rng rng(7);
+  topo::RandomInstanceOptions options;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_wayup(inst);
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_LE(schedule.value().round_count(), 4u);
+  }
+}
+
+TEST(WayUpTest, DegeneratesGracefullyWithoutConflicts) {
+  // Disjoint interiors except the waypoint: X = Y = empty and nothing
+  // touched sits behind the waypoint on the old path, so only the install
+  // round and the prefix round remain.
+  Result<Instance> inst =
+      Instance::make({1, 2, 3, 4, 9}, {1, 5, 3, 6, 9}, NodeId{3});
+  ASSERT_TRUE(inst.ok());
+  const Result<Schedule> schedule = plan_wayup(inst.value());
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_EQ(schedule.value().round_count(), 2u);
+  EXPECT_EQ(sorted(schedule.value().rounds[0]), (std::vector<NodeId>{5, 6}));
+  EXPECT_EQ(sorted(schedule.value().rounds[1]), (std::vector<NodeId>{1, 3}));
+}
+
+// ---------------------------------------------------------------- Peacock --
+
+TEST(PeacockTest, WorksWithOrWithoutWaypoint) {
+  const Instance with_wp = fig1_instance();
+  EXPECT_TRUE(plan_peacock(with_wp).ok());
+  Result<Instance> without = Instance::make({0, 1, 2}, {0, 3, 2});
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(plan_peacock(without.value()).ok());
+}
+
+TEST(PeacockTest, GuaranteesRelaxedLoopFreedomOnFig1) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_peacock(inst);
+  ASSERT_TRUE(schedule.ok());
+  const verify::CheckReport report = verify::check_schedule(
+      inst, schedule.value(), kLoopFree | kBlackholeFree);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST(PeacockTest, ForwardOnlyInstanceIsTwoRounds) {
+  // New path strictly forwards over the old order: installs + one round.
+  Result<Instance> inst = Instance::make({0, 1, 2, 3, 4}, {0, 5, 2, 6, 4});
+  ASSERT_TRUE(inst.ok());
+  const Result<Schedule> schedule = plan_peacock(inst.value());
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule.value().round_count(), 2u);
+}
+
+TEST(PeacockTest, PureForwardWithoutInstallsIsOneRound) {
+  Result<Instance> inst = Instance::make({0, 1, 2, 3}, {0, 2, 3});
+  ASSERT_TRUE(inst.ok());
+  const Result<Schedule> schedule = plan_peacock(inst.value());
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule.value().round_count(), 1u);
+}
+
+TEST(PeacockTest, ReversalInstanceStaysShallow) {
+  // Peacock's whole point: far fewer rounds than strong loop freedom.
+  const Instance inst = topo::reversal_instance(10);
+  const Result<Schedule> peacock = plan_peacock(inst);
+  ASSERT_TRUE(peacock.ok());
+  const Result<Schedule> slf = plan_slf_greedy(inst);
+  ASSERT_TRUE(slf.ok());
+  EXPECT_LT(peacock.value().round_count(), slf.value().round_count());
+  const verify::CheckReport report = verify::check_schedule(
+      inst, peacock.value(), kLoopFree | kBlackholeFree);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+// -------------------------------------------------------------- SLF-greedy --
+
+TEST(SlfGreedyTest, GuaranteesStrongLoopFreedom) {
+  const Instance inst = fig1_instance();
+  const Result<Schedule> schedule = plan_slf_greedy(inst);
+  ASSERT_TRUE(schedule.ok());
+  const verify::CheckReport report = verify::check_schedule(
+      inst, schedule.value(), kGlobalLoopFree | kBlackholeFree);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST(SlfGreedyTest, ReversalNeedsLinearRounds) {
+  // On the reversal family only one node can move per round (plus the
+  // initial install round is absent: no new-only nodes).
+  for (const std::size_t n : {6u, 8u, 10u}) {
+    const Instance inst = topo::reversal_instance(n);
+    const Result<Schedule> schedule = plan_slf_greedy(inst);
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_GE(schedule.value().round_count(), n - 3)
+        << "n=" << n << " " << schedule.value().to_string();
+  }
+}
+
+// ---------------------------------------------------------------- Optimal --
+
+TEST(OptimalTest, MatchesKnownMinimumOnSmallInstance) {
+  // old 0->1->2->3, new 0->2->1->3: WLF needs 2 rounds ({2} then {0,1}
+  // would loop; the optimum is 2 rounds).
+  Result<Instance> inst = Instance::make({0, 1, 2, 3}, {0, 2, 1, 3});
+  ASSERT_TRUE(inst.ok());
+  OptimalOptions options;
+  options.properties = kLoopFree | kBlackholeFree;
+  const Result<Schedule> schedule = plan_optimal(inst.value(), options);
+  ASSERT_TRUE(schedule.ok()) << schedule.error().to_string();
+  EXPECT_EQ(schedule.value().round_count(), 2u);
+  EXPECT_TRUE(verify::check_schedule(inst.value(), schedule.value(),
+                                     options.properties)
+                  .ok);
+}
+
+TEST(OptimalTest, RefusesOversizedInstances) {
+  const Instance inst = topo::reversal_instance(30);
+  OptimalOptions options;
+  options.node_limit = 10;
+  EXPECT_FALSE(plan_optimal(inst, options).ok());
+}
+
+TEST(OptimalTest, NeverBeatenByHeuristics) {
+  Rng rng(31);
+  topo::RandomInstanceOptions gen;
+  gen.old_interior_max = 4;
+  gen.new_len_max = 4;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance inst = topo::random_instance(rng, gen);
+    if (inst.touched().size() > 10) continue;
+    OptimalOptions options;
+    options.properties = kLoopFree | kBlackholeFree;
+    const Result<Schedule> best = plan_optimal(inst, options);
+    ASSERT_TRUE(best.ok()) << inst.to_string();
+    const Result<Schedule> heuristic = plan_peacock(inst);
+    ASSERT_TRUE(heuristic.ok()) << inst.to_string();
+    EXPECT_LE(best.value().round_count(), heuristic.value().round_count())
+        << inst.to_string();
+  }
+}
+
+TEST(SearchRoundsTest, EmptyPendingIsTrivial) {
+  const Instance inst = fig1_instance();
+  const Result<std::vector<Round>> rounds = search_rounds(
+      inst, empty_state(inst), {}, kLoopFree, 4, OracleOptions{});
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_TRUE(rounds.value().empty());
+}
+
+TEST(SearchRoundsTest, InfeasibleBudgetFails) {
+  // Fig1 cannot be done WPE-safely in one round (that is OneShot).
+  const Instance inst = fig1_instance();
+  const Result<std::vector<Round>> rounds =
+      search_rounds(inst, empty_state(inst), inst.touched(), kWaypoint, 1,
+                    OracleOptions{});
+  EXPECT_FALSE(rounds.ok());
+}
+
+}  // namespace
+}  // namespace tsu::update

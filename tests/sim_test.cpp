@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tsu/sim/distributions.hpp"
+#include "tsu/sim/event_queue.hpp"
+#include "tsu/sim/simulator.hpp"
+
+namespace tsu::sim {
+namespace {
+
+// ------------------------------------------------------------- EventQueue --
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&]() { fired.push_back(3); });
+  q.push(10, [&]() { fired.push_back(1); });
+  q.push(20, [&]() { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(5, [&]() { fired.push_back(1); });
+  q.push(5, [&]() { fired.push_back(2); });
+  q.push(5, [&]() { fired.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CancelSuppressesEvent) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1, [&]() { fired.push_back(1); });
+  const EventId second = q.push(2, [&]() { fired.push_back(2); });
+  q.push(3, [&]() { fired.push_back(3); });
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_FALSE(q.cancel(second));  // already cancelled
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId first = q.push(1, []() {});
+  q.push(9, []() {});
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), 9u);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, []() {});
+  q.push(2, []() {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+// -------------------------------------------------------------- Simulator --
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  SimTime seen = 0;
+  sim.schedule(100, [&]() { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule(10, [&]() {
+    times.push_back(sim.now());
+    sim.schedule(5, [&]() { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&]() { ++fired; });
+  sim.schedule(100, [&]() { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);  // clock moved to the horizon
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtHorizonStillFires) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(50, [&]() { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StepRunsExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1, [&]() { ++fired; });
+  sim.schedule(2, [&]() { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, CancelPending) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(10, [&]() { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ReturnsProcessedCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(static_cast<Duration>(i), []() {});
+  EXPECT_EQ(sim.run(), 5u);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoPastAsserts) {
+  Simulator sim;
+  sim.schedule(10, []() {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(5, []() {}), "past");
+}
+
+// ------------------------------------------------------------- time utils --
+
+TEST(TimeTest, UnitHelpers) {
+  EXPECT_EQ(microseconds(2), 2'000u);
+  EXPECT_EQ(milliseconds(3), 3'000'000u);
+  EXPECT_EQ(seconds(1), 1'000'000'000u);
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(7)), 7.0);
+}
+
+TEST(TimeTest, FromMsClampsNegative) {
+  EXPECT_EQ(from_ms(-1.0), 0u);
+  EXPECT_EQ(from_ms(1.5), 1'500'000u);
+}
+
+// ---------------------------------------------------------- distributions --
+
+TEST(LatencyModelTest, ConstantAlwaysSame) {
+  Rng rng(1);
+  const LatencyModel m = LatencyModel::constant(milliseconds(2));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(rng), milliseconds(2));
+  EXPECT_DOUBLE_EQ(m.mean(), 2e6);
+}
+
+TEST(LatencyModelTest, UniformWithinBounds) {
+  Rng rng(2);
+  const LatencyModel m =
+      LatencyModel::uniform(microseconds(100), microseconds(200));
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = m.sample(rng);
+    EXPECT_GE(d, microseconds(100));
+    EXPECT_LT(d, microseconds(200));
+  }
+  EXPECT_DOUBLE_EQ(m.mean(), 150e3);
+}
+
+TEST(LatencyModelTest, ExponentialMeanApproximation) {
+  Rng rng(3);
+  const LatencyModel m = LatencyModel::exponential(milliseconds(1));
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(m.sample(rng));
+  EXPECT_NEAR(sum / n, 1e6, 5e4);
+}
+
+TEST(LatencyModelTest, LognormalMedianApproximation) {
+  Rng rng(4);
+  const LatencyModel m = LatencyModel::lognormal(milliseconds(1), 0.5);
+  std::vector<double> samples;
+  for (int i = 0; i < 10001; ++i)
+    samples.push_back(static_cast<double>(m.sample(rng)));
+  std::nth_element(samples.begin(), samples.begin() + 5000, samples.end());
+  EXPECT_NEAR(samples[5000], 1e6, 1e5);
+}
+
+TEST(LatencyModelTest, ParetoBounded) {
+  Rng rng(5);
+  const LatencyModel m =
+      LatencyModel::pareto(microseconds(100), milliseconds(100), 1.3);
+  for (int i = 0; i < 2000; ++i) {
+    const Duration d = m.sample(rng);
+    EXPECT_GE(d, microseconds(100));
+    EXPECT_LT(d, milliseconds(100));
+  }
+}
+
+TEST(LatencyModelTest, ToStringMentionsKind) {
+  EXPECT_NE(LatencyModel::constant(1).to_string().find("const"),
+            std::string::npos);
+  EXPECT_NE(LatencyModel::lognormal(milliseconds(1), 0.5)
+                .to_string()
+                .find("lognormal"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsu::sim

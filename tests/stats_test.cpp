@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "tsu/stats/histogram.hpp"
+#include "tsu/stats/summary.hpp"
+#include "tsu/stats/table.hpp"
+
+namespace tsu::stats {
+namespace {
+
+// ---------------------------------------------------------------- Summary --
+
+TEST(SummaryTest, EmptyDefaults) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, SingleSample) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SummaryTest, NegativeValues) {
+  Summary s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(SummaryTest, ToStringMentionsCount) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_NE(s.to_string().find("n=1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ Percentiles --
+
+TEST(PercentilesTest, MedianOfOddSet) {
+  Percentiles p;
+  for (const double x : {5.0, 1.0, 3.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(PercentilesTest, InterpolatesBetweenSamples) {
+  Percentiles p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+}
+
+TEST(PercentilesTest, ExtremesAreMinMax) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_NEAR(p.p95(), 95.0, 1.0);
+}
+
+TEST(PercentilesTest, SingleSampleEverywhere) {
+  Percentiles p;
+  p.add(7.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.99), 7.0);
+}
+
+TEST(PercentilesTest, AddAllAndCount) {
+  Percentiles p;
+  p.add_all({1.0, 2.0, 3.0});
+  EXPECT_EQ(p.count(), 3u);
+}
+
+TEST(PercentilesDeathTest, EmptyQuantileAsserts) {
+  const Percentiles p;
+  EXPECT_DEATH((void)p.quantile(0.5), "empty");
+}
+
+// ------------------------------------------------------------ LogHistogram --
+
+TEST(LogHistogramTest, CountsTotal) {
+  LogHistogram h;
+  h.add(0.5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LogHistogramTest, RendersBuckets) {
+  LogHistogram h;
+  h.add(2.0);  // [2^1, 2^2)
+  const std::string text = h.to_string();
+  EXPECT_NE(text.find("[2^1, 2^2): 1"), std::string::npos) << text;
+}
+
+TEST(LogHistogramTest, EmptyRendering) {
+  const LogHistogram h;
+  EXPECT_EQ(h.to_string(), "(empty histogram)\n");
+}
+
+// ------------------------------------------------------------------ Table --
+
+TEST(TableTest, MarkdownAlignment) {
+  Table t({"algo", "rounds"});
+  t.add_row({"wayup", "4"});
+  t.add_row({"oneshot", "1"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| algo    | rounds |"), std::string::npos) << md;
+  EXPECT_NE(md.find("| wayup   | 4      |"), std::string::npos) << md;
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos) << csv;
+}
+
+TEST(TableTest, CsvPlainFieldsUnquoted) {
+  Table t({"x"});
+  t.add_row({"42"});
+  EXPECT_EQ(t.to_csv(), "x\n42\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAsserts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "width");
+}
+
+}  // namespace
+}  // namespace tsu::stats

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tsu/switchsim/switch.hpp"
+
+namespace tsu::switchsim {
+namespace {
+
+SwitchConfig fast_config() {
+  SwitchConfig config;
+  config.install_latency = sim::LatencyModel::constant(sim::milliseconds(1));
+  config.barrier_processing = sim::microseconds(100);
+  config.message_processing = sim::microseconds(10);
+  return config;
+}
+
+proto::Message add_rule(Xid xid, FlowId flow, NodeId next) {
+  proto::FlowMod mod;
+  mod.command = proto::FlowModCommand::kAdd;
+  mod.priority = 100;
+  mod.match.flow = flow;
+  mod.action = flow::Action::forward(next);
+  return proto::make_flow_mod(xid, mod);
+}
+
+TEST(SwitchTest, FlowModAppliesAfterInstallLatency) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  sw.receive(add_rule(1, 5, 2));
+  // Not yet applied: installation takes 1 ms.
+  EXPECT_TRUE(sw.table().empty());
+  sim.run(sim::microseconds(500));
+  EXPECT_TRUE(sw.table().empty());
+  sim.run();
+  EXPECT_EQ(sw.table().size(), 1u);
+  EXPECT_EQ(sw.flow_mods_applied(), 1u);
+  flow::Packet p;
+  p.flow = 5;
+  EXPECT_EQ(sw.table().lookup(p)->action, flow::Action::forward(2));
+}
+
+TEST(SwitchTest, FifoProcessingOrder) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  // Two mods for the same match: the later one must win (FIFO).
+  sw.receive(add_rule(1, 5, 2));
+  sw.receive(add_rule(2, 5, 9));
+  sim.run();
+  flow::Packet p;
+  p.flow = 5;
+  EXPECT_EQ(sw.table().lookup(p)->action, flow::Action::forward(9));
+}
+
+TEST(SwitchTest, BarrierRepliesOnlyAfterAllPriorMessages) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  std::vector<std::pair<sim::SimTime, proto::Message>> out;
+  sw.set_controller_link([&](const proto::Message& m) {
+    out.emplace_back(sim.now(), m);
+  });
+  sw.receive(add_rule(1, 5, 2));
+  sw.receive(add_rule(2, 6, 3));
+  sw.receive(proto::make_barrier_request(3));
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second.type(), proto::MsgType::kBarrierReply);
+  EXPECT_EQ(out[0].second.xid, 3u);
+  // 2 installs x 1 ms + barrier processing 100 us.
+  EXPECT_EQ(out[0].first, sim::milliseconds(2) + sim::microseconds(100));
+  // Both rules were applied before the reply.
+  EXPECT_EQ(sw.flow_mods_applied(), 2u);
+  EXPECT_EQ(sw.barriers_replied(), 1u);
+}
+
+TEST(SwitchTest, OpenFlowBarrierSemanticsUnderLoad) {
+  sim::Simulator sim;
+  SwitchConfig config = fast_config();
+  config.install_latency =
+      sim::LatencyModel::uniform(sim::microseconds(200), sim::milliseconds(5));
+  SimSwitch sw(sim, 1, 1, config, Rng(33));
+  bool barrier_seen = false;
+  sw.set_controller_link([&](const proto::Message& m) {
+    if (m.type() == proto::MsgType::kBarrierReply) {
+      barrier_seen = true;
+      // The barrier contract: all 10 mods already applied.
+      EXPECT_EQ(sw.flow_mods_applied(), 10u);
+    }
+  });
+  for (Xid xid = 0; xid < 10; ++xid)
+    sw.receive(add_rule(xid, xid, 2));
+  sw.receive(proto::make_barrier_request(99));
+  sim.run();
+  EXPECT_TRUE(barrier_seen);
+  EXPECT_TRUE(sw.quiescent());
+}
+
+TEST(SwitchTest, ModifyAndDeleteCommands) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  sw.receive(add_rule(1, 5, 2));
+  proto::FlowMod modify;
+  modify.command = proto::FlowModCommand::kModify;
+  modify.priority = 100;
+  modify.match.flow = 5;
+  modify.action = flow::Action::forward(7);
+  sw.receive(proto::make_flow_mod(2, modify));
+  sim.run();
+  flow::Packet p;
+  p.flow = 5;
+  EXPECT_EQ(sw.table().lookup(p)->action, flow::Action::forward(7));
+
+  proto::FlowMod del;
+  del.command = proto::FlowModCommand::kDeleteStrict;
+  del.priority = 100;
+  del.match.flow = 5;
+  sw.receive(proto::make_flow_mod(3, del));
+  sim.run();
+  EXPECT_TRUE(sw.table().empty());
+}
+
+TEST(SwitchTest, EchoRepliedWithPayload) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  std::vector<proto::Message> out;
+  sw.set_controller_link([&](const proto::Message& m) { out.push_back(m); });
+  std::vector<std::byte> payload{std::byte{9}};
+  sw.receive(proto::make_echo_request(4, payload));
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type(), proto::MsgType::kEchoReply);
+  EXPECT_EQ(std::get<proto::Echo>(out[0].body).payload, payload);
+}
+
+TEST(SwitchTest, FeaturesReplyCarriesDatapath) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 3, 0xfeed, fast_config(), Rng(1));
+  std::vector<proto::Message> out;
+  sw.set_controller_link([&](const proto::Message& m) { out.push_back(m); });
+  proto::Message request;
+  request.xid = 1;
+  request.body = proto::FeaturesRequest{};
+  sw.receive(request);
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<proto::FeaturesReply>(out[0].body).datapath, 0xfeedu);
+}
+
+TEST(SwitchTest, InstallTimesRecorded) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  sw.receive(add_rule(1, 1, 2));
+  sw.receive(add_rule(2, 2, 2));
+  sim.run();
+  EXPECT_EQ(sw.install_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(sw.install_times().mean(), 1e6);  // constant 1 ms
+}
+
+TEST(SwitchTest, QuiescentReflectsPendingWork) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  EXPECT_TRUE(sw.quiescent());
+  sw.receive(add_rule(1, 1, 2));
+  EXPECT_FALSE(sw.quiescent());
+  sim.run();
+  EXPECT_TRUE(sw.quiescent());
+}
+
+}  // namespace
+}  // namespace tsu::switchsim

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "tsu/graph/algorithms.hpp"
+#include "tsu/topo/generators.hpp"
+#include "tsu/topo/instances.hpp"
+#include "tsu/topo/topology.hpp"
+
+namespace tsu::topo {
+namespace {
+
+// --------------------------------------------------------------- Topology --
+
+TEST(TopologyTest, DefaultDpidsAreNodeIds) {
+  const Topology t = line(4);
+  EXPECT_EQ(t.dpid(2), 2u);
+  EXPECT_EQ(t.node_of_dpid(3), 3u);
+  EXPECT_FALSE(t.node_of_dpid(99).has_value());
+}
+
+TEST(TopologyTest, CustomDpids) {
+  Topology t = line(3);
+  t.set_dpid(0, 100);
+  EXPECT_EQ(t.dpid(0), 100u);
+  EXPECT_EQ(t.node_of_dpid(100), 0u);
+  EXPECT_FALSE(t.node_of_dpid(0).has_value());
+}
+
+TEST(TopologyTest, Hosts) {
+  Topology t = line(3);
+  t.add_host("h1", 0);
+  t.add_host("h2", 2);
+  ASSERT_EQ(t.hosts().size(), 2u);
+  EXPECT_EQ(t.hosts()[0].name, "h1");
+  EXPECT_EQ(t.hosts()[1].attached, 2u);
+}
+
+// ------------------------------------------------------------- generators --
+
+TEST(GeneratorsTest, LineShape) {
+  const Topology t = line(5);
+  EXPECT_EQ(t.switch_count(), 5u);
+  EXPECT_EQ(t.graph().edge_count(), 8u);  // 4 links, both directions
+  EXPECT_TRUE(t.graph().has_edge(0, 1));
+  EXPECT_TRUE(t.graph().has_edge(1, 0));
+  EXPECT_FALSE(t.graph().has_edge(0, 2));
+}
+
+TEST(GeneratorsTest, RingClosesLoop) {
+  const Topology t = ring(4);
+  EXPECT_EQ(t.graph().edge_count(), 8u);
+  EXPECT_TRUE(t.graph().has_edge(3, 0));
+  EXPECT_TRUE(t.graph().has_edge(0, 3));
+}
+
+TEST(GeneratorsTest, GridShape) {
+  const Topology t = grid(2, 3);
+  EXPECT_EQ(t.switch_count(), 6u);
+  // 2*3 grid: 2 rows x 2 horizontal links + 3 vertical links = 7 links.
+  EXPECT_EQ(t.graph().edge_count(), 14u);
+  EXPECT_TRUE(t.graph().has_edge(0, 1));
+  EXPECT_TRUE(t.graph().has_edge(0, 3));  // down
+}
+
+TEST(GeneratorsTest, ErdosRenyiConnected) {
+  Rng rng(5);
+  const Topology t = erdos_renyi(20, 0.05, rng);
+  EXPECT_EQ(t.switch_count(), 20u);
+  const auto reach = graph::reachable_from(t.graph(), 0);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_TRUE(reach[v]) << v;
+}
+
+TEST(GeneratorsTest, WaxmanConnectedAndSeeded) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const Topology a = waxman(15, 0.6, 0.3, rng1);
+  const Topology b = waxman(15, 0.6, 0.3, rng2);
+  EXPECT_EQ(a.graph().edge_count(), b.graph().edge_count());
+  const auto reach = graph::reachable_from(a.graph(), 0);
+  for (NodeId v = 0; v < 15; ++v) EXPECT_TRUE(reach[v]);
+}
+
+// ------------------------------------------------------------------- fig1 --
+
+TEST(Fig1Test, MatchesPaperConstraints) {
+  const Fig1 fig = fig1();
+  // 12 switches (ids 1..12), h1 at switch 1, h2 at switch 12, waypoint 3.
+  EXPECT_EQ(fig.topology.switch_count(), 13u);  // index 0 unused
+  ASSERT_EQ(fig.topology.hosts().size(), 2u);
+  EXPECT_EQ(fig.topology.hosts()[0].attached, 1u);
+  EXPECT_EQ(fig.topology.hosts()[1].attached, 12u);
+  EXPECT_EQ(fig.instance.source(), 1u);
+  EXPECT_EQ(fig.instance.destination(), 12u);
+  EXPECT_EQ(*fig.instance.waypoint(), 3u);
+  // All 12 switches participate in old or new route.
+  int used = 0;
+  for (NodeId v = 1; v <= 12; ++v)
+    if (fig.instance.on_old(v) || fig.instance.on_new(v)) ++used;
+  EXPECT_EQ(used, 12);
+}
+
+TEST(Fig1Test, RoutesAreValidPathsInTopology) {
+  const Fig1 fig = fig1();
+  EXPECT_TRUE(graph::is_path_of(fig.topology.graph(), fig.instance.old_path()));
+  EXPECT_TRUE(graph::is_path_of(fig.topology.graph(), fig.instance.new_path()));
+}
+
+TEST(Fig1Test, IsAdversarial) {
+  // The scenario must exercise the interesting machinery: non-empty X, Y.
+  const Fig1 fig = fig1();
+  EXPECT_FALSE(fig.instance.set_x().empty());
+  EXPECT_FALSE(fig.instance.set_y().empty());
+}
+
+// --------------------------------------------------------------- reversal --
+
+TEST(ReversalTest, ShapeAndValidity) {
+  const update::Instance inst = reversal_instance(6);
+  EXPECT_EQ(inst.old_path(), (graph::Path{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(inst.new_path(), (graph::Path{0, 4, 3, 2, 1, 5}));
+  EXPECT_EQ(inst.touched().size(), 5u);
+}
+
+// -------------------------------------------------------- random instances --
+
+TEST(RandomInstanceTest, AlwaysValid) {
+  Rng rng(1234);
+  RandomInstanceOptions options;
+  for (int i = 0; i < 500; ++i) {
+    const update::Instance inst = random_instance(rng, options);
+    EXPECT_GE(inst.old_path().size(), 2u);
+    EXPECT_GE(inst.new_path().size(), 2u);
+    EXPECT_EQ(inst.old_path().front(), inst.new_path().front());
+    EXPECT_EQ(inst.old_path().back(), inst.new_path().back());
+    ASSERT_TRUE(inst.has_waypoint());
+    EXPECT_TRUE(inst.on_old(*inst.waypoint()));
+    EXPECT_TRUE(inst.on_new(*inst.waypoint()));
+  }
+}
+
+TEST(RandomInstanceTest, NoWaypointModeOmitsIt) {
+  Rng rng(77);
+  RandomInstanceOptions options;
+  options.with_waypoint = false;
+  for (int i = 0; i < 50; ++i) {
+    const update::Instance inst = random_instance(rng, options);
+    EXPECT_FALSE(inst.has_waypoint());
+  }
+}
+
+TEST(RandomInstanceTest, ReuseKnobControlsOverlap) {
+  Rng rng_low(3);
+  Rng rng_high(3);
+  RandomInstanceOptions low;
+  low.reuse_probability = 0.05;
+  low.with_waypoint = false;
+  RandomInstanceOptions high;
+  high.reuse_probability = 0.95;
+  high.with_waypoint = false;
+  std::size_t overlap_low = 0;
+  std::size_t overlap_high = 0;
+  for (int i = 0; i < 100; ++i) {
+    const update::Instance a = random_instance(rng_low, low);
+    for (const NodeId v : a.new_path())
+      if (a.on_old(v)) ++overlap_low;
+    const update::Instance b = random_instance(rng_high, high);
+    for (const NodeId v : b.new_path())
+      if (b.on_old(v)) ++overlap_high;
+  }
+  EXPECT_GT(overlap_high, overlap_low);
+}
+
+TEST(RandomInstanceTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  RandomInstanceOptions options;
+  for (int i = 0; i < 20; ++i) {
+    const update::Instance x = random_instance(a, options);
+    const update::Instance y = random_instance(b, options);
+    EXPECT_EQ(x.old_path(), y.old_path());
+    EXPECT_EQ(x.new_path(), y.new_path());
+    EXPECT_EQ(x.waypoint(), y.waypoint());
+  }
+}
+
+TEST(TopologyForTest, EmbedsBothPaths) {
+  const Fig1 fig = fig1();
+  const Topology t = topology_for(fig.instance);
+  EXPECT_TRUE(graph::is_path_of(t.graph(), fig.instance.old_path()));
+  EXPECT_TRUE(graph::is_path_of(t.graph(), fig.instance.new_path()));
+  EXPECT_EQ(t.hosts().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tsu::topo

@@ -1,0 +1,225 @@
+// Property-based sweeps: every scheduler's guarantee is machine-checked
+// against the exhaustive transient-state model on seeded random instances.
+// These are the tests that validate the WayUp/Peacock reconstructions.
+#include <gtest/gtest.h>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/verify/checker.hpp"
+#include "tsu/verify/property.hpp"
+
+namespace tsu::update {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  std::size_t old_interior_max;
+  std::size_t new_len_max;
+};
+
+class SchedulerSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  topo::RandomInstanceOptions generator_options() const {
+    topo::RandomInstanceOptions options;
+    options.old_interior_max = GetParam().old_interior_max;
+    options.new_len_max = GetParam().new_len_max;
+    return options;
+  }
+};
+
+constexpr int kInstancesPerSeed = 40;
+
+TEST_P(SchedulerSweep, WayUpAlwaysEnforcesWaypoint) {
+  Rng rng(GetParam().seed);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_wayup(inst);
+    ASSERT_TRUE(schedule.ok()) << inst.to_string();
+    EXPECT_TRUE(validate_schedule(inst, schedule.value()).ok())
+        << inst.to_string();
+    const verify::CheckReport report =
+        verify::check_schedule(inst, schedule.value(), kWaypoint);
+    EXPECT_TRUE(report.ok)
+        << inst.to_string() << "\n" << schedule.value().to_string() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST_P(SchedulerSweep, WayUpSurvivesTwoSnapshotAdversary) {
+  Rng rng(GetParam().seed ^ 0xabcdef);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed / 2; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_wayup(inst);
+    ASSERT_TRUE(schedule.ok());
+    const verify::TwoSnapshotReport report =
+        verify::check_two_snapshot(inst, schedule.value(), kWaypoint);
+    EXPECT_TRUE(report.ok)
+        << inst.to_string() << "\n" << schedule.value().to_string() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST_P(SchedulerSweep, PeacockSurvivesTwoSnapshotAdversary) {
+  // Not implied by the per-subset property: a packet may cross a rule
+  // change mid-flight. Empirically (and asserted here) Peacock's schedules
+  // stay loop-free even for such packets.
+  Rng rng(GetParam().seed ^ 0x2faced);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed / 2; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_peacock(inst);
+    ASSERT_TRUE(schedule.ok());
+    const verify::TwoSnapshotReport report = verify::check_two_snapshot(
+        inst, schedule.value(), kLoopFree | kBlackholeFree);
+    EXPECT_TRUE(report.ok)
+        << inst.to_string() << "\n" << schedule.value().to_string() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST_P(SchedulerSweep, PeacockAlwaysRelaxedLoopFree) {
+  Rng rng(GetParam().seed ^ 0x5eed);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_peacock(inst);
+    ASSERT_TRUE(schedule.ok())
+        << inst.to_string() << " error: " << schedule.error().to_string();
+    EXPECT_TRUE(validate_schedule(inst, schedule.value()).ok())
+        << inst.to_string();
+    const verify::CheckReport report = verify::check_schedule(
+        inst, schedule.value(), kLoopFree | kBlackholeFree);
+    EXPECT_TRUE(report.ok)
+        << inst.to_string() << "\n" << schedule.value().to_string() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST_P(SchedulerSweep, SlfGreedyAlwaysStronglyLoopFree) {
+  Rng rng(GetParam().seed ^ 0x51f);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_slf_greedy(inst);
+    ASSERT_TRUE(schedule.ok())
+        << inst.to_string() << " error: " << schedule.error().to_string();
+    const verify::CheckReport report = verify::check_schedule(
+        inst, schedule.value(), kGlobalLoopFree | kBlackholeFree);
+    EXPECT_TRUE(report.ok)
+        << inst.to_string() << "\n" << schedule.value().to_string() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST_P(SchedulerSweep, SchedulesPartitionTouchedNodes) {
+  Rng rng(GetParam().seed ^ 0x9a97);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    for (const Result<Schedule>& schedule :
+         {plan_oneshot(inst), plan_twophase(inst), plan_wayup(inst),
+          plan_peacock(inst), plan_slf_greedy(inst)}) {
+      ASSERT_TRUE(schedule.ok());
+      EXPECT_TRUE(validate_schedule(inst, schedule.value()).ok())
+          << inst.to_string() << " via " << schedule.value().algorithm;
+    }
+  }
+}
+
+TEST_P(SchedulerSweep, FinalStateAlwaysDeliversAlongNewPath) {
+  Rng rng(GetParam().seed ^ 0xf17a1);
+  const topo::RandomInstanceOptions options = generator_options();
+  for (int i = 0; i < kInstancesPerSeed; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const WalkResult walk = walk_from_source(inst, full_state(inst));
+    EXPECT_EQ(walk.outcome, WalkOutcome::kDelivered);
+    EXPECT_EQ(walk.trace, inst.new_path()) << inst.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SchedulerSweep,
+    ::testing::Values(SweepParam{101, 6, 6}, SweepParam{202, 6, 6},
+                      SweepParam{303, 8, 8}, SweepParam{404, 8, 8},
+                      SweepParam{505, 10, 10}, SweepParam{606, 4, 10},
+                      SweepParam{707, 10, 4}, SweepParam{808, 12, 12}),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_o" +
+             std::to_string(param_info.param.old_interior_max) + "_n" +
+             std::to_string(param_info.param.new_len_max);
+    });
+
+// ------------------------------------------------- optimality comparisons --
+
+TEST(OptimalityGap, WayUpWithinOneRoundOfOptimalOnSmallInstances) {
+  Rng rng(515);
+  topo::RandomInstanceOptions options;
+  options.old_interior_max = 4;
+  options.new_len_max = 4;
+  int compared = 0;
+  for (int i = 0; i < 60 && compared < 20; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    if (inst.touched().size() > 9) continue;
+    const Result<Schedule> wayup = plan_wayup(inst);
+    ASSERT_TRUE(wayup.ok());
+    OptimalOptions opt;
+    opt.properties = kWaypoint;
+    opt.max_rounds = 6;
+    const Result<Schedule> best = plan_optimal(inst, opt);
+    ASSERT_TRUE(best.ok()) << inst.to_string();
+    EXPECT_LE(best.value().round_count(), wayup.value().round_count());
+    ++compared;
+  }
+  EXPECT_GE(compared, 10);
+}
+
+TEST(OptimalityGap, PeacockNeverWorseThanSlfOnReversals) {
+  for (std::size_t n = 5; n <= 12; ++n) {
+    const Instance inst = topo::reversal_instance(n);
+    const Result<Schedule> peacock = plan_peacock(inst);
+    const Result<Schedule> slf = plan_slf_greedy(inst);
+    ASSERT_TRUE(peacock.ok() && slf.ok());
+    EXPECT_LE(peacock.value().round_count(), slf.value().round_count());
+  }
+}
+
+// ---------------------------------------------- baselines do fail somewhere --
+
+TEST(BaselineFailures, OneShotViolatesSomewhere) {
+  // On a decent sample of waypoint instances with conflicts, OneShot must
+  // produce at least one WPE violation (otherwise the whole premise of the
+  // paper would be moot).
+  Rng rng(777);
+  topo::RandomInstanceOptions options;
+  options.reuse_probability = 0.8;
+  int violations = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_oneshot(inst);
+    ASSERT_TRUE(schedule.ok());
+    if (!verify::check_schedule(inst, schedule.value(), kWaypoint).ok)
+      ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(BaselineFailures, OneShotLoopsSomewhere) {
+  Rng rng(888);
+  topo::RandomInstanceOptions options;
+  options.with_waypoint = false;
+  options.reuse_probability = 0.8;
+  int violations = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> schedule = plan_oneshot(inst);
+    ASSERT_TRUE(schedule.ok());
+    if (!verify::check_schedule(inst, schedule.value(), kLoopFree).ok)
+      ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+}  // namespace
+}  // namespace tsu::update
