@@ -65,17 +65,19 @@ void run() {
       std::vector<const update::Schedule*> schedule_ptrs;
       std::size_t sum_rounds = 0;
       std::size_t max_rounds = 0;
+      // Keep policies and schedules aligned: skip a policy entirely when
+      // the planner declines it.
+      schedules.reserve(policies.size());
       for (const update::Instance& inst : policies) {
         Result<update::Schedule> schedule = update::plan_peacock(inst);
         if (!schedule.ok()) continue;
         sum_rounds += schedule.value().round_count();
         max_rounds = std::max(max_rounds, schedule.value().round_count());
         schedules.push_back(std::move(schedule).value());
+        policy_ptrs.push_back(&inst);
       }
-      for (std::size_t i = 0; i < schedules.size(); ++i) {
-        policy_ptrs.push_back(&policies[i]);
-        schedule_ptrs.push_back(&schedules[i]);
-      }
+      for (const update::Schedule& schedule : schedules)
+        schedule_ptrs.push_back(&schedule);
       const Result<update::MergedSchedule> merged =
           update::merge_policies(policy_ptrs, schedule_ptrs);
       if (!merged.ok()) continue;
@@ -131,15 +133,15 @@ void run() {
     std::vector<update::Schedule> schedules;
     std::vector<const update::Instance*> policy_ptrs;
     std::vector<const update::Schedule*> schedule_ptrs;
+    schedules.reserve(policies.size());
     for (const update::Instance& inst : policies) {
       Result<update::Schedule> schedule = update::plan_peacock(inst);
       if (!schedule.ok()) continue;
       schedules.push_back(std::move(schedule).value());
+      policy_ptrs.push_back(&inst);
     }
-    for (std::size_t i = 0; i < schedules.size(); ++i) {
-      policy_ptrs.push_back(&policies[i]);
-      schedule_ptrs.push_back(&schedules[i]);
-    }
+    for (const update::Schedule& schedule : schedules)
+      schedule_ptrs.push_back(&schedule);
     core::ExecutorConfig config;
     config.with_traffic = false;
     config.switch_config.install_latency =
@@ -158,6 +160,59 @@ void run() {
                       bench::fmt(serial_ms / merged_ms, 1) + "x"});
   }
   bench::print_table(makespan);
+
+  // The concurrent multi-flow engine: K requests in flight at once, with
+  // and without per-switch frame batching, against the serializing queue.
+  std::printf(
+      "\nconcurrent engine: serial queue vs K in-flight vs K + batching:\n");
+  stats::Table engine({"k policies", "serial ms", "concurrent ms",
+                       "speedup", "serial frames", "batched frames",
+                       "frames saved"});
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    Rng engine_rng(47000 + k);
+    const std::vector<update::Instance> policies =
+        make_policies(engine_rng, k, 0);
+    std::vector<update::Schedule> schedules;
+    std::vector<const update::Instance*> policy_ptrs;
+    std::vector<const update::Schedule*> schedule_ptrs;
+    schedules.reserve(policies.size());
+    for (const update::Instance& inst : policies) {
+      Result<update::Schedule> schedule = update::plan_peacock(inst);
+      if (!schedule.ok()) continue;
+      schedules.push_back(std::move(schedule).value());
+      policy_ptrs.push_back(&inst);
+    }
+    for (const update::Schedule& schedule : schedules)
+      schedule_ptrs.push_back(&schedule);
+    core::ExecutorConfig config;
+    config.with_traffic = false;
+    const Result<std::vector<core::ExecutionResult>> serial =
+        core::execute_queue(policy_ptrs, schedule_ptrs, config);
+    core::ExecutorConfig concurrent_config = config;
+    concurrent_config.controller.max_in_flight = k;
+    const Result<core::MultiFlowExecutionResult> concurrent =
+        core::execute_multiflow(policy_ptrs, schedule_ptrs,
+                                concurrent_config);
+    core::ExecutorConfig batched_config = concurrent_config;
+    batched_config.controller.batch_frames = true;
+    const Result<core::MultiFlowExecutionResult> batched =
+        core::execute_multiflow(policy_ptrs, schedule_ptrs, batched_config);
+    if (!serial.ok() || !concurrent.ok() || !batched.ok()) continue;
+    const double serial_ms = sim::to_ms(
+        serial.value().back().update.finished -
+        serial.value().front().update.started);
+    const double concurrent_ms = concurrent.value().makespan_ms();
+    const std::size_t serial_frames = serial.value().front().frames_sent;
+    const std::size_t batched_frames = batched.value().frames_sent;
+    engine.add_row(
+        {std::to_string(k), bench::fmt(serial_ms), bench::fmt(concurrent_ms),
+         bench::fmt(serial_ms / concurrent_ms, 1) + "x",
+         std::to_string(serial_frames), std::to_string(batched_frames),
+         bench::fmt(100.0 * (1.0 - static_cast<double>(batched_frames) /
+                                       static_cast<double>(serial_frames)),
+                    0) + "%"});
+  }
+  bench::print_table(engine);
 
   std::printf(
       "shape: disjoint policies merge at ~100%% parallel efficiency; shared\n"

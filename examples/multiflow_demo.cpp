@@ -1,0 +1,108 @@
+// Multi-flow demo: 64 concurrent policy updates through one controller.
+//
+//   $ ./build/multiflow_demo
+//
+// Exercises the concurrent update engine end-to-end: 64 disjoint policy
+// changes are submitted together, the controller keeps all of them in
+// flight at once (vs. the paper's one-at-a-time message queue), and with
+// frame batching it coalesces same-instant messages per switch into single
+// control frames. Per-flow traffic runs throughout; the consistency monitor
+// watches every flow simultaneously.
+#include <cstdio>
+
+#include <vector>
+
+#include "tsu/core/executor.hpp"
+#include "tsu/update/schedulers.hpp"
+
+int main() {
+  using namespace tsu;
+
+  constexpr std::size_t kFlows = 64;
+
+  // 64 disjoint policy changes: flow i moves from <b, b+1, b+2, b+3> to
+  // <b, b+4, b+5, b+3> in its own node block b = 6 * i.
+  std::vector<update::Instance> instances;
+  std::vector<update::Schedule> schedules;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const NodeId base = static_cast<NodeId>(6 * i);
+    Result<update::Instance> instance = update::Instance::make(
+        {base, base + 1, base + 2, base + 3},
+        {base, base + 4, base + 5, base + 3});
+    if (!instance.ok()) {
+      std::fprintf(stderr, "bad instance: %s\n",
+                   instance.error().to_string().c_str());
+      return 1;
+    }
+    Result<update::Schedule> schedule =
+        update::plan_peacock(instance.value());
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "planning failed: %s\n",
+                   schedule.error().to_string().c_str());
+      return 1;
+    }
+    instances.push_back(std::move(instance).value());
+    schedules.push_back(std::move(schedule).value());
+  }
+  std::vector<const update::Instance*> instance_ptrs;
+  std::vector<const update::Schedule*> schedule_ptrs;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    instance_ptrs.push_back(&instances[i]);
+    schedule_ptrs.push_back(&schedules[i]);
+  }
+
+  const auto report = [](const char* label,
+                         const core::MultiFlowExecutionResult& r) {
+    std::printf(
+        "%-22s makespan %7.2f ms  frames %6zu  messages %6zu  "
+        "in-flight peak %zu\n",
+        label, r.makespan_ms(), r.frames_sent, r.messages_sent,
+        r.max_in_flight_observed);
+  };
+
+  // The paper's serializing queue (K = 1), the concurrent engine (K = 64),
+  // and the concurrent engine with per-switch frame batching.
+  core::ExecutorConfig serial_config;
+  serial_config.seed = 7;
+  Result<std::vector<core::ExecutionResult>> serial =
+      core::execute_queue(instance_ptrs, schedule_ptrs, serial_config);
+  if (!serial.ok()) {
+    std::fprintf(stderr, "serial run failed: %s\n",
+                 serial.error().to_string().c_str());
+    return 1;
+  }
+  const double serial_ms = sim::to_ms(
+      serial.value().back().update.finished -
+      serial.value().front().update.started);
+  std::printf("%-22s makespan %7.2f ms  frames %6zu\n",
+              "serial queue (K=1)", serial_ms,
+              serial.value().front().frames_sent);
+
+  core::ExecutorConfig concurrent_config = serial_config;
+  concurrent_config.controller.max_in_flight = kFlows;
+  Result<core::MultiFlowExecutionResult> concurrent =
+      core::execute_multiflow(instance_ptrs, schedule_ptrs,
+                              concurrent_config);
+  core::ExecutorConfig batched_config = concurrent_config;
+  batched_config.controller.batch_frames = true;
+  Result<core::MultiFlowExecutionResult> batched =
+      core::execute_multiflow(instance_ptrs, schedule_ptrs, batched_config);
+  if (!concurrent.ok() || !batched.ok()) {
+    std::fprintf(stderr, "concurrent run failed\n");
+    return 1;
+  }
+  report("concurrent (K=64)", concurrent.value());
+  report("concurrent + batching", batched.value());
+
+  const dataplane::MonitorReport aggregate = batched.value().aggregate;
+  std::printf("\nall %zu flows observed simultaneously: %s\n",
+              batched.value().flows.size(), aggregate.to_string().c_str());
+  if (aggregate.bypassed + aggregate.looped + aggregate.blackholed != 0) {
+    std::fprintf(stderr, "unexpected transient violations!\n");
+    return 1;
+  }
+  std::printf(
+      "no transient violation on any flow; batching saved %zu frames.\n",
+      serial.value().front().frames_sent - batched.value().frames_sent);
+  return 0;
+}

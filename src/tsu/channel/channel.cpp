@@ -11,6 +11,9 @@ void ControlChannel::send(const proto::Message& message) {
   const std::vector<std::byte> frame = proto::encode(message);
   ++frames_sent_;
   bytes_sent_ += frame.size();
+  messages_sent_ += message.type() == proto::MsgType::kBatch
+                        ? std::get<proto::Batch>(message.body).messages.size()
+                        : 1;
 
   sim::Duration latency = config_.latency.sample(rng_);
   while (config_.loss_probability > 0 &&

@@ -46,6 +46,9 @@ class ControlChannel {
   std::size_t frames_sent() const noexcept { return frames_sent_; }
   std::size_t bytes_sent() const noexcept { return bytes_sent_; }
   std::size_t retransmissions() const noexcept { return retransmissions_; }
+  // Logical messages carried; a batch frame counts its contained messages,
+  // so messages_sent() - frames_sent() is the coalescing saving.
+  std::size_t messages_sent() const noexcept { return messages_sent_; }
 
  private:
   sim::Simulator& sim_;
@@ -57,6 +60,7 @@ class ControlChannel {
   std::size_t frames_sent_ = 0;
   std::size_t bytes_sent_ = 0;
   std::size_t retransmissions_ = 0;
+  std::size_t messages_sent_ = 0;
 };
 
 // The duplex controller<->switch connection.

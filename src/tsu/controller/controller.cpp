@@ -1,10 +1,19 @@
 #include "tsu/controller/controller.hpp"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "tsu/util/log.hpp"
 
 namespace tsu::controller {
+
+namespace {
+
+// Keep batch frames comfortably below the codec's 64 KiB frame cap.
+constexpr std::size_t kMaxBatchMessages = 128;
+
+}  // namespace
 
 void Controller::attach_switch(NodeId node, SendFn send) {
   TSU_ASSERT_MSG(send != nullptr, "null switch link");
@@ -14,6 +23,7 @@ void Controller::attach_switch(NodeId node, SendFn send) {
 void Controller::submit(UpdateRequest request) {
   UpdateMetrics metrics;
   metrics.name = request.name;
+  metrics.flow = request.flow;
   metrics.submitted = sim_.now();
   queue_.push_back(std::move(request));
   submitted_metrics_.push_back(metrics);
@@ -21,33 +31,77 @@ void Controller::submit(UpdateRequest request) {
 }
 
 void Controller::maybe_start_next_request() {
-  if (active_.has_value() || queue_.empty()) return;
-  ActiveUpdate active;
-  active.request = std::move(queue_.front());
-  queue_.pop_front();
-  active.metrics = submitted_metrics_.front();
-  submitted_metrics_.pop_front();
-  active.metrics.started = sim_.now();
-  active_ = std::move(active);
-  start_round();
-}
-
-void Controller::send_round_ops(const std::vector<RoundOp>& ops) {
-  for (const RoundOp& op : ops) {
-    const auto it = switches_.find(op.node);
-    TSU_ASSERT_MSG(it != switches_.end(), "FlowMod for unattached switch");
-    it->second(proto::make_flow_mod(next_xid(), op.mod));
-    ++active_->metrics.flow_mods_sent;
-    ++active_->metrics.rounds.back().flow_mods;
+  while (active_.size() < config_.max_in_flight && !queue_.empty()) {
+    const UpdateId id = update_counter_++;
+    ActiveUpdate active;
+    active.request = std::move(queue_.front());
+    queue_.pop_front();
+    active.metrics = submitted_metrics_.front();
+    submitted_metrics_.pop_front();
+    active.metrics.started = sim_.now();
+    active_.emplace(id, std::move(active));
+    max_in_flight_observed_ =
+        std::max(max_in_flight_observed_, active_.size());
+    start_round(id);
   }
 }
 
-void Controller::start_round() {
-  TSU_ASSERT(active_.has_value());
-  ActiveUpdate& active = *active_;
+void Controller::send_to_switch(NodeId node, proto::Message message) {
+  const auto it = switches_.find(node);
+  TSU_ASSERT_MSG(it != switches_.end(), "message for unattached switch");
+  if (!config_.batch_frames) {
+    it->second(message);
+    return;
+  }
+  outbox_[node].push_back(std::move(message));
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_.schedule(0, [this]() { flush_outbox(); });
+  }
+}
+
+void Controller::flush_outbox() {
+  flush_scheduled_ = false;
+  std::map<NodeId, std::vector<proto::Message>> outbox;
+  outbox.swap(outbox_);
+  for (auto& [node, messages] : outbox) {
+    const SendFn& send = switches_.at(node);
+    for (std::size_t begin = 0; begin < messages.size();
+         begin += kMaxBatchMessages) {
+      const std::size_t end =
+          std::min(messages.size(), begin + kMaxBatchMessages);
+      // A chunk of one (lone message, or the tail of an exact-multiple
+      // split) gains nothing from batch framing: send it plain.
+      if (end - begin == 1) {
+        send(messages[begin]);
+        continue;
+      }
+      std::vector<proto::Message> chunk(
+          std::make_move_iterator(messages.begin() + begin),
+          std::make_move_iterator(messages.begin() + end));
+      messages_coalesced_ += chunk.size();
+      ++batches_sent_;
+      send(proto::make_batch(next_xid(), std::move(chunk)));
+    }
+  }
+}
+
+void Controller::send_round_ops(ActiveUpdate& active,
+                                const std::vector<RoundOp>& ops) {
+  for (const RoundOp& op : ops) {
+    send_to_switch(op.node, proto::make_flow_mod(next_xid(), op.mod));
+    ++active.metrics.flow_mods_sent;
+    ++active.metrics.rounds.back().flow_mods;
+  }
+}
+
+void Controller::start_round(UpdateId id) {
+  const auto it = active_.find(id);
+  TSU_ASSERT(it != active_.end());
+  ActiveUpdate& active = it->second;
 
   if (active.next_round >= active.request.rounds.size()) {
-    finish_update();
+    finish_update(id);
     return;
   }
 
@@ -58,18 +112,19 @@ void Controller::start_round() {
     // The paper's FSM: send the round's FlowMods, then barrier every switch
     // of the round and wait for all replies.
     const std::vector<RoundOp>& ops = active.request.rounds[active.next_round];
-    send_round_ops(ops);
+    send_round_ops(active, ops);
     std::unordered_set<NodeId> round_switches;
     for (const RoundOp& op : ops) round_switches.insert(op.node);
     for (const NodeId node : round_switches) {
       const Xid xid = next_xid();
-      active.waiting.emplace(xid, node);
-      switches_.at(node)(proto::make_barrier_request(xid));
+      waiting_.emplace(xid, std::make_pair(id, node));
+      ++active.waiting;
+      send_to_switch(node, proto::make_barrier_request(xid));
       ++active.metrics.barriers_sent;
       ++active.metrics.rounds.back().barriers;
     }
     ++active.next_round;
-    if (active.waiting.empty()) finish_round();  // empty round: advance
+    if (active.waiting == 0) finish_round(id);  // empty round: advance
     return;
   }
 
@@ -78,37 +133,40 @@ void Controller::start_round() {
   std::unordered_set<NodeId> touched;
   while (active.next_round < active.request.rounds.size()) {
     const std::vector<RoundOp>& ops = active.request.rounds[active.next_round];
-    send_round_ops(ops);
+    send_round_ops(active, ops);
     for (const RoundOp& op : ops) touched.insert(op.node);
     ++active.next_round;
   }
   for (const NodeId node : touched) {
     const Xid xid = next_xid();
-    active.waiting.emplace(xid, node);
-    switches_.at(node)(proto::make_barrier_request(xid));
+    waiting_.emplace(xid, std::make_pair(id, node));
+    ++active.waiting;
+    send_to_switch(node, proto::make_barrier_request(xid));
     ++active.metrics.barriers_sent;
     ++active.metrics.rounds.back().barriers;
   }
-  if (active.waiting.empty()) finish_round();
+  if (active.waiting == 0) finish_round(id);
 }
 
 void Controller::on_message(NodeId from, const proto::Message& message) {
   switch (message.type()) {
     case proto::MsgType::kBarrierReply: {
-      if (!active_.has_value()) {
-        TSU_LOG(kWarn) << "stray barrier reply from switch " << from;
-        return;
-      }
       // "For every barrier reply received ... determine the source switch
-      //  ... removed from the set of switches of the current round."
-      const auto it = active_->waiting.find(message.xid);
-      if (it == active_->waiting.end() || it->second != from) {
+      //  ... removed from the set of switches of the current round." The
+      //  xid routes the reply to the owning in-flight update.
+      const auto it = waiting_.find(message.xid);
+      if (it == waiting_.end() || it->second.second != from) {
         TSU_LOG(kWarn) << "unexpected barrier xid " << message.xid
                        << " from switch " << from;
         return;
       }
-      active_->waiting.erase(it);
-      if (active_->waiting.empty()) finish_round();
+      const UpdateId id = it->second.first;
+      waiting_.erase(it);
+      const auto update_it = active_.find(id);
+      TSU_ASSERT_MSG(update_it != active_.end(),
+                     "barrier reply for a finished update");
+      TSU_ASSERT(update_it->second.waiting > 0);
+      if (--update_it->second.waiting == 0) finish_round(id);
       return;
     }
     case proto::MsgType::kEchoRequest: {
@@ -132,30 +190,32 @@ void Controller::on_message(NodeId from, const proto::Message& message) {
   }
 }
 
-void Controller::finish_round() {
-  TSU_ASSERT(active_.has_value());
-  active_->metrics.rounds.back().finished = sim_.now();
+void Controller::finish_round(UpdateId id) {
+  const auto it = active_.find(id);
+  TSU_ASSERT(it != active_.end());
+  ActiveUpdate& active = it->second;
+  active.metrics.rounds.back().finished = sim_.now();
 
-  const bool more_rounds =
-      active_->next_round < active_->request.rounds.size();
+  const bool more_rounds = active.next_round < active.request.rounds.size();
   if (!more_rounds || !config_.use_barriers) {
-    finish_update();
+    finish_update(id);
     return;
   }
-  const sim::Duration interval = active_->request.interval;
+  const sim::Duration interval = active.request.interval;
   if (interval == 0) {
-    start_round();
+    start_round(id);
   } else {
-    sim_.schedule(interval, [this]() { start_round(); });
+    sim_.schedule(interval, [this, id]() { start_round(id); });
   }
 }
 
-void Controller::finish_update() {
-  TSU_ASSERT(active_.has_value());
-  active_->metrics.finished = sim_.now();
-  completed_.push_back(active_->metrics);
+void Controller::finish_update(UpdateId id) {
+  const auto it = active_.find(id);
+  TSU_ASSERT(it != active_.end());
+  it->second.metrics.finished = sim_.now();
+  completed_.push_back(std::move(it->second.metrics));
+  active_.erase(it);
   const UpdateMetrics& done = completed_.back();
-  active_.reset();
   if (on_update_done_) on_update_done_(done);
   // "...deletes the message from the queue and starts processing the next
   //  message."

@@ -13,6 +13,17 @@
 //    SDN controller deletes the message from the queue and starts
 //    processing the next message."
 //
+// This implementation generalizes the paper's one-message-at-a-time FSM to
+// a concurrent multi-flow engine: up to `max_in_flight` update requests are
+// drained from the queue and their rounds progress independently, each
+// request tracking its own outstanding-barrier set. Concurrency is safe
+// because distinct requests update distinct flows (disjoint rules); barrier
+// replies are routed back to the owning request by xid. With
+// `batch_frames`, all messages bound for the same switch within one
+// simulation instant - FlowMods and barrier requests, across all in-flight
+// flows - coalesce into a single Batch control frame, the way a production
+// controller packs messages into one TCP segment.
+//
 // `use_barriers = false` gives the reckless variant for the barrier-cost
 // ablation (bench E7): all rounds are blasted out back-to-back and a single
 // trailing barrier per touched switch detects completion.
@@ -21,7 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <optional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +45,12 @@ namespace tsu::controller {
 
 struct ControllerConfig {
   bool use_barriers = true;
+  // How many update requests may progress concurrently. 1 reproduces the
+  // paper's strictly serializing message queue.
+  std::size_t max_in_flight = 1;
+  // Coalesce all messages bound for one switch within one simulation
+  // instant into a single Batch frame.
+  bool batch_frames = false;
 };
 
 struct RoundMetrics {
@@ -45,6 +62,7 @@ struct RoundMetrics {
 
 struct UpdateMetrics {
   std::string name;
+  FlowId flow = 0;
   sim::SimTime submitted = 0;
   sim::SimTime started = 0;
   sim::SimTime finished = 0;
@@ -63,7 +81,9 @@ class Controller {
   using SendFn = std::function<void(const proto::Message&)>;
 
   Controller(sim::Simulator& simulator, ControllerConfig config)
-      : sim_(simulator), config_(config) {}
+      : sim_(simulator), config_(config) {
+    if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+  }
 
   // Registers the outbound channel towards a switch.
   void attach_switch(NodeId node, SendFn send);
@@ -72,12 +92,24 @@ class Controller {
   void on_message(NodeId from, const proto::Message& message);
 
   // Enqueues a policy update (the paper's REST message queue); processing
-  // starts immediately when the controller is idle.
+  // starts immediately while fewer than max_in_flight updates are active.
   void submit(UpdateRequest request);
 
-  bool idle() const noexcept { return !active_.has_value() && queue_.empty(); }
+  bool idle() const noexcept { return active_.empty() && queue_.empty(); }
   std::size_t queued() const noexcept { return queue_.size(); }
+  std::size_t in_flight() const noexcept { return active_.size(); }
+  // High-water mark of concurrently active updates over the run.
+  std::size_t max_in_flight_observed() const noexcept {
+    return max_in_flight_observed_;
+  }
+  // Messages that shared a Batch frame with at least one other message.
+  std::size_t messages_coalesced() const noexcept {
+    return messages_coalesced_;
+  }
+  std::size_t batches_sent() const noexcept { return batches_sent_; }
 
+  // In completion order (identical to submission order when
+  // max_in_flight == 1).
   const std::vector<UpdateMetrics>& completed() const noexcept {
     return completed_;
   }
@@ -89,19 +121,23 @@ class Controller {
   }
 
  private:
+  using UpdateId = std::uint64_t;
+
   struct ActiveUpdate {
     UpdateRequest request;
     UpdateMetrics metrics;
     std::size_t next_round = 0;
-    // Outstanding barrier xids of the in-flight round -> switch node.
-    std::unordered_map<Xid, NodeId> waiting;
+    // Outstanding barriers of this update's in-flight round.
+    std::size_t waiting = 0;
   };
 
   void maybe_start_next_request();
-  void start_round();
-  void send_round_ops(const std::vector<RoundOp>& ops);
-  void finish_round();
-  void finish_update();
+  void start_round(UpdateId id);
+  void send_round_ops(ActiveUpdate& active, const std::vector<RoundOp>& ops);
+  void send_to_switch(NodeId node, proto::Message message);
+  void flush_outbox();
+  void finish_round(UpdateId id);
+  void finish_update(UpdateId id);
 
   Xid next_xid() noexcept { return xid_counter_++; }
 
@@ -111,10 +147,22 @@ class Controller {
   std::deque<UpdateRequest> queue_;
   // Parallel to queue_: metrics stubs carrying the submission timestamps.
   std::deque<UpdateMetrics> submitted_metrics_;
-  std::optional<ActiveUpdate> active_;
+  std::unordered_map<UpdateId, ActiveUpdate> active_;
+  // Outstanding barrier xid -> (owning update, switch it fences).
+  std::unordered_map<Xid, std::pair<UpdateId, NodeId>> waiting_;
   std::vector<UpdateMetrics> completed_;
   std::function<void(const UpdateMetrics&)> on_update_done_;
   Xid xid_counter_ = 1;
+  UpdateId update_counter_ = 1;
+  std::size_t max_in_flight_observed_ = 0;
+  std::size_t messages_coalesced_ = 0;
+  std::size_t batches_sent_ = 0;
+
+  // Per-switch messages accumulated within the current instant, flushed by
+  // a zero-delay event (batch_frames mode only). Ordered map so the flush
+  // order is deterministic.
+  std::map<NodeId, std::vector<proto::Message>> outbox_;
+  bool flush_scheduled_ = false;
 };
 
 }  // namespace tsu::controller

@@ -1,7 +1,9 @@
 #include "tsu/core/executor.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 
 #include "tsu/sim/simulator.hpp"
 #include "tsu/util/log.hpp"
@@ -23,8 +25,10 @@ struct Harness {
   std::vector<std::unique_ptr<channel::DuplexChannel>> channels;
   std::unique_ptr<controller::Controller> ctrl;
 
-  explicit Harness(const ExecutorConfig& config) : rng(config.seed) {
-    ctrl = std::make_unique<controller::Controller>(sim, config.controller);
+  Harness(const ExecutorConfig& config,
+          const controller::ControllerConfig& controller_config)
+      : rng(config.seed) {
+    ctrl = std::make_unique<controller::Controller>(sim, controller_config);
   }
 
   void add_switch(NodeId node, const ExecutorConfig& config) {
@@ -81,12 +85,155 @@ struct Harness {
                duplex->to_controller.bytes_sent();
     return bytes;
   }
+
+  std::size_t total_messages() const {
+    std::size_t messages = 0;
+    for (const auto& duplex : channels)
+      messages += duplex->to_switch.messages_sent() +
+                  duplex->to_controller.messages_sent();
+    return messages;
+  }
 };
 
 void add_instance_switches(Harness& harness, const update::Instance& inst,
                            const ExecutorConfig& config) {
   for (NodeId v = 0; v < inst.node_count(); ++v)
     if (inst.on_old(v) || inst.on_new(v)) harness.add_switch(v, config);
+}
+
+// Per-flow traffic sources feeding one MultiFlowMonitor; flow i of the run
+// is config.flow + i.
+std::vector<std::unique_ptr<dataplane::TrafficSource>> make_sources(
+    Harness& harness, dataplane::MultiFlowMonitor& monitors,
+    const std::vector<const update::Instance*>& instances,
+    const ExecutorConfig& config) {
+  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const FlowId flow = config.flow + i;
+    dataplane::ConsistencyMonitor& monitor = monitors.monitor(flow);
+    if (!config.with_traffic) continue;
+    const update::Instance& inst = *instances[i];
+    dataplane::TrafficConfig traffic;
+    traffic.flow = flow;
+    traffic.ingress = inst.source();
+    traffic.egress = inst.destination();
+    traffic.waypoint = inst.waypoint();
+    traffic.interarrival = config.traffic_interarrival;
+    traffic.link_latency = config.link_latency;
+    traffic.ttl = config.ttl;
+    traffic.start = 0;
+    traffic.stop = std::numeric_limits<sim::SimTime>::max();
+    sources.push_back(std::make_unique<dataplane::TrafficSource>(
+        harness.sim, harness.switches, traffic, harness.rng.fork(), monitor));
+  }
+  return sources;
+}
+
+// The shared engine behind execute_queue and execute_multiflow: wire the
+// control plane, run traffic, submit every request at the end of the
+// warmup, and collect per-flow results (flows[i] belongs to instances[i],
+// regardless of completion order).
+struct RunOutput {
+  std::vector<ExecutionResult> flows;
+  dataplane::MonitorReport aggregate;
+  std::size_t frames_sent = 0;
+  std::size_t control_bytes = 0;
+  std::size_t messages_sent = 0;
+  std::size_t max_in_flight_observed = 0;
+  sim::Duration makespan = 0;
+};
+
+Result<RunOutput> run_updates(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config,
+    const controller::ControllerConfig& controller_config) {
+  if (instances.size() != schedules.size() || instances.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "need matching, non-empty instance/schedule lists");
+
+  Harness harness(config, controller_config);
+  for (const update::Instance* inst : instances)
+    add_instance_switches(harness, *inst, config);
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    harness.install_initial(*instances[i], config.flow + i, config.priority);
+
+  dataplane::MultiFlowMonitor monitors;
+  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources =
+      make_sources(harness, monitors, instances, config);
+
+  // Stop injecting `drain` after the last update completes.
+  std::size_t done_count = 0;
+  harness.ctrl->set_on_update_done(
+      [&](const controller::UpdateMetrics&) {
+        if (++done_count != instances.size()) return;
+        // Give in-flight packets and the monitor a drain window.
+        // (set_stop is monotone: injection checks the new bound.)
+        for (auto& source : sources)
+          if (source) source->set_stop(harness.sim.now() + config.drain);
+      });
+
+  for (auto& source : sources)
+    if (source) source->start();
+
+  // Submit all requests at the end of the warmup (the paper's queue: they
+  // arrive together; how many progress at once is the controller's
+  // max_in_flight).
+  harness.sim.schedule(config.warmup, [&]() {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      harness.ctrl->submit(controller::request_from_schedule(
+          *instances[i], *schedules[i], config.flow + i, config.priority,
+          config.interval));
+    }
+  });
+
+  harness.sim.run();
+
+  if (!harness.ctrl->idle() ||
+      harness.ctrl->completed().size() != instances.size())
+    return make_error(Errc::kFailedPrecondition,
+                      "simulation drained before all updates completed");
+
+  // Completion order need not match submission order when updates run
+  // concurrently; route metrics back to their request by flow id.
+  std::unordered_map<FlowId, const controller::UpdateMetrics*> by_flow;
+  for (const controller::UpdateMetrics& m : harness.ctrl->completed())
+    by_flow[m.flow] = &m;
+
+  RunOutput out;
+  out.frames_sent = harness.total_frames();
+  out.control_bytes = harness.total_bytes();
+  out.messages_sent = harness.total_messages();
+  out.max_in_flight_observed = harness.ctrl->max_in_flight_observed();
+  out.aggregate = monitors.aggregate();
+
+  sim::SimTime first_start = std::numeric_limits<sim::SimTime>::max();
+  sim::SimTime last_finish = 0;
+  out.flows.resize(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const FlowId flow = config.flow + i;
+    const auto it = by_flow.find(flow);
+    if (it == by_flow.end())
+      return make_error(Errc::kFailedPrecondition,
+                        "no completed update for flow");
+    ExecutionResult& result = out.flows[i];
+    result.update = *it->second;
+    const dataplane::ConsistencyMonitor* monitor = monitors.find(flow);
+    TSU_ASSERT(monitor != nullptr);
+    result.traffic = monitor->report();
+    result.timeline = monitor->timeline();
+    result.timeline_bucket = monitor->bucket_width();
+    result.frames_sent = out.frames_sent;
+    result.control_bytes = out.control_bytes;
+    result.packets_injected =
+        (config.with_traffic && i < sources.size() && sources[i])
+            ? sources[i]->injected()
+            : 0;
+    first_start = std::min(first_start, result.update.started);
+    last_finish = std::max(last_finish, result.update.finished);
+  }
+  out.makespan = last_finish - first_start;
+  return out;
 }
 
 }  // namespace
@@ -107,84 +254,31 @@ Result<std::vector<ExecutionResult>> execute_queue(
     const std::vector<const update::Instance*>& instances,
     const std::vector<const update::Schedule*>& schedules,
     const ExecutorConfig& config) {
-  if (instances.size() != schedules.size() || instances.empty())
-    return make_error(Errc::kInvalidArgument,
-                      "need matching, non-empty instance/schedule lists");
+  // The paper's strictly serializing message queue.
+  controller::ControllerConfig serialized = config.controller;
+  serialized.max_in_flight = 1;
+  Result<RunOutput> out =
+      run_updates(instances, schedules, config, serialized);
+  if (!out.ok()) return out.error();
+  return std::move(out.value().flows);
+}
 
-  Harness harness(config);
-  for (const update::Instance* inst : instances)
-    add_instance_switches(harness, *inst, config);
-  for (std::size_t i = 0; i < instances.size(); ++i)
-    harness.install_initial(*instances[i], config.flow + i, config.priority);
-
-  // Per-request traffic and monitors (distinct flow ids).
-  std::vector<std::unique_ptr<dataplane::ConsistencyMonitor>> monitors;
-  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources;
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    monitors.push_back(std::make_unique<dataplane::ConsistencyMonitor>());
-    if (!config.with_traffic) continue;
-    const update::Instance& inst = *instances[i];
-    dataplane::TrafficConfig traffic;
-    traffic.flow = config.flow + i;
-    traffic.ingress = inst.source();
-    traffic.egress = inst.destination();
-    traffic.waypoint = inst.waypoint();
-    traffic.interarrival = config.traffic_interarrival;
-    traffic.link_latency = config.link_latency;
-    traffic.ttl = config.ttl;
-    traffic.start = 0;
-    traffic.stop = std::numeric_limits<sim::SimTime>::max();
-    sources.push_back(std::make_unique<dataplane::TrafficSource>(
-        harness.sim, harness.switches, traffic, harness.rng.fork(),
-        *monitors[i]));
-  }
-
-  // Stop injecting `drain` after the last update completes.
-  std::size_t done_count = 0;
-  harness.ctrl->set_on_update_done(
-      [&](const controller::UpdateMetrics&) {
-        if (++done_count != instances.size()) return;
-        // Give in-flight packets and the monitor a drain window.
-        // (set_stop is monotone: injection checks the new bound.)
-        for (auto& source : sources)
-          if (source) source->set_stop(harness.sim.now() + config.drain);
-      });
-
-  for (auto& source : sources)
-    if (source) source->start();
-
-  // Submit all requests at the end of the warmup (the paper's queue: they
-  // arrive together, the controller serializes them).
-  harness.sim.schedule(config.warmup, [&]() {
-    for (std::size_t i = 0; i < instances.size(); ++i) {
-      harness.ctrl->submit(controller::request_from_schedule(
-          *instances[i], *schedules[i], config.flow + i, config.priority,
-          config.interval));
-    }
-  });
-
-  harness.sim.run();
-
-  if (!harness.ctrl->idle() ||
-      harness.ctrl->completed().size() != instances.size())
-    return make_error(Errc::kFailedPrecondition,
-                      "simulation drained before all updates completed");
-
-  std::vector<ExecutionResult> results(instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    ExecutionResult& result = results[i];
-    result.update = harness.ctrl->completed()[i];
-    result.traffic = monitors[i]->report();
-    result.timeline = monitors[i]->timeline();
-    result.timeline_bucket = monitors[i]->bucket_width();
-    result.frames_sent = harness.total_frames();
-    result.control_bytes = harness.total_bytes();
-    result.packets_injected =
-        (config.with_traffic && i < sources.size() && sources[i])
-            ? sources[i]->injected()
-            : 0;
-  }
-  return results;
+Result<MultiFlowExecutionResult> execute_multiflow(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config) {
+  Result<RunOutput> out =
+      run_updates(instances, schedules, config, config.controller);
+  if (!out.ok()) return out.error();
+  MultiFlowExecutionResult result;
+  result.flows = std::move(out.value().flows);
+  result.aggregate = out.value().aggregate;
+  result.frames_sent = out.value().frames_sent;
+  result.control_bytes = out.value().control_bytes;
+  result.messages_sent = out.value().messages_sent;
+  result.max_in_flight_observed = out.value().max_in_flight_observed;
+  result.makespan = out.value().makespan;
+  return result;
 }
 
 Result<MergedExecutionResult> execute_merged(
@@ -199,7 +293,7 @@ Result<MergedExecutionResult> execute_merged(
       update::merge_policies(instances, schedules);
   if (!merged.ok()) return merged.error();
 
-  Harness harness(config);
+  Harness harness(config, config.controller);
   for (const update::Instance* inst : instances)
     add_instance_switches(harness, *inst, config);
   for (std::size_t i = 0; i < instances.size(); ++i)
@@ -209,26 +303,9 @@ Result<MergedExecutionResult> execute_merged(
   for (std::size_t i = 0; i < instances.size(); ++i)
     flows[i] = config.flow + i;
 
-  std::vector<std::unique_ptr<dataplane::ConsistencyMonitor>> monitors;
-  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources;
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    monitors.push_back(std::make_unique<dataplane::ConsistencyMonitor>());
-    if (!config.with_traffic) continue;
-    const update::Instance& inst = *instances[i];
-    dataplane::TrafficConfig traffic;
-    traffic.flow = flows[i];
-    traffic.ingress = inst.source();
-    traffic.egress = inst.destination();
-    traffic.waypoint = inst.waypoint();
-    traffic.interarrival = config.traffic_interarrival;
-    traffic.link_latency = config.link_latency;
-    traffic.ttl = config.ttl;
-    traffic.start = 0;
-    traffic.stop = std::numeric_limits<sim::SimTime>::max();
-    sources.push_back(std::make_unique<dataplane::TrafficSource>(
-        harness.sim, harness.switches, traffic, harness.rng.fork(),
-        *monitors[i]));
-  }
+  dataplane::MultiFlowMonitor monitors;
+  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources =
+      make_sources(harness, monitors, instances, config);
 
   harness.ctrl->set_on_update_done(
       [&](const controller::UpdateMetrics&) {
@@ -252,8 +329,11 @@ Result<MergedExecutionResult> execute_merged(
 
   MergedExecutionResult result;
   result.update = harness.ctrl->completed().front();
-  for (const auto& monitor : monitors)
+  for (const FlowId flow : flows) {
+    const dataplane::ConsistencyMonitor* monitor = monitors.find(flow);
+    TSU_ASSERT(monitor != nullptr);
     result.traffic.push_back(monitor->report());
+  }
   result.frames_sent = harness.total_frames();
   return result;
 }

@@ -57,8 +57,32 @@ Result<ExecutionResult> execute(const update::Instance& inst,
                                 const ExecutorConfig& config = {});
 
 // Executes several updates through one controller back-to-back (the paper's
-// message queue; bench E8). Results are per-request, in completion order.
+// message queue; bench E8). The controller is forced to max_in_flight = 1,
+// so results are per-request in submission order.
 Result<std::vector<ExecutionResult>> execute_queue(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config = {});
+
+// Executes several updates CONCURRENTLY through one controller: up to
+// config.controller.max_in_flight requests progress at once, their rounds
+// interleaving on the shared control plane, while per-flow traffic and the
+// consistency monitor observe every flow simultaneously. With
+// config.controller.batch_frames the controller coalesces same-instant
+// messages per switch into Batch frames.
+struct MultiFlowExecutionResult {
+  std::vector<ExecutionResult> flows;     // indexed like the input lists
+  dataplane::MonitorReport aggregate;     // outcome counts over all flows
+  std::size_t frames_sent = 0;            // control-channel frames, total
+  std::size_t control_bytes = 0;
+  std::size_t messages_sent = 0;          // logical messages (>= frames)
+  std::size_t max_in_flight_observed = 0;
+  sim::Duration makespan = 0;             // first start -> last finish
+
+  double makespan_ms() const noexcept { return sim::to_ms(makespan); }
+};
+
+Result<MultiFlowExecutionResult> execute_multiflow(
     const std::vector<const update::Instance*>& instances,
     const std::vector<const update::Schedule*>& schedules,
     const ExecutorConfig& config = {});

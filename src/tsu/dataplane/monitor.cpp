@@ -55,6 +55,32 @@ void ConsistencyMonitor::record(sim::SimTime at, PacketOutcome outcome) {
   }
 }
 
+ConsistencyMonitor& MultiFlowMonitor::monitor(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it != flows_.end()) return it->second;
+  return flows_.emplace(flow, ConsistencyMonitor(bucket_width_))
+      .first->second;
+}
+
+const ConsistencyMonitor* MultiFlowMonitor::find(FlowId flow) const noexcept {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+MonitorReport MultiFlowMonitor::aggregate() const {
+  MonitorReport sum;
+  for (const auto& [flow, monitor] : flows_) {
+    const MonitorReport& r = monitor.report();
+    sum.total += r.total;
+    sum.delivered += r.delivered;
+    sum.bypassed += r.bypassed;
+    sum.looped += r.looped;
+    sum.blackholed += r.blackholed;
+    sum.ttl_expired += r.ttl_expired;
+  }
+  return sum;
+}
+
 std::string ConsistencyMonitor::timeline_to_string() const {
   std::ostringstream out;
   for (std::size_t i = 0; i < timeline_.size(); ++i) {

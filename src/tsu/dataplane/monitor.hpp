@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +69,33 @@ class ConsistencyMonitor {
   sim::Duration bucket_width_;
   MonitorReport report_;
   std::vector<Bucket> timeline_;
+};
+
+// Per-flow consistency monitors for a concurrent multi-flow run: every
+// in-flight update gets its own ConsistencyMonitor (stable references, so
+// traffic sources can hold them across the run) plus an aggregate view over
+// all flows observed simultaneously.
+class MultiFlowMonitor {
+ public:
+  explicit MultiFlowMonitor(sim::Duration bucket_width =
+                                sim::milliseconds(1))
+      : bucket_width_(bucket_width) {}
+
+  // The monitor watching `flow`; created on first use.
+  ConsistencyMonitor& monitor(FlowId flow);
+  const ConsistencyMonitor* find(FlowId flow) const noexcept;
+
+  const std::map<FlowId, ConsistencyMonitor>& flows() const noexcept {
+    return flows_;
+  }
+  std::size_t flow_count() const noexcept { return flows_.size(); }
+
+  // Outcome counts summed across every flow.
+  MonitorReport aggregate() const;
+
+ private:
+  sim::Duration bucket_width_;
+  std::map<FlowId, ConsistencyMonitor> flows_;
 };
 
 }  // namespace tsu::dataplane

@@ -105,9 +105,26 @@ struct BodyEncoder {
   }
   void operator()(const BarrierRequest&) const {}
   void operator()(const BarrierReply&) const {}
+  void operator()(const Batch& batch) const {
+    TSU_ASSERT_MSG(batch.messages.size() <= 0xffff, "batch too large");
+    w.u16(static_cast<std::uint16_t>(batch.messages.size()));
+    // Each element is a full self-delimiting frame.
+    for (const Message& m : batch.messages) {
+      TSU_ASSERT_MSG(m.type() != MsgType::kBatch, "batch inside batch");
+      w.bytes(encode(m));
+    }
+  }
 };
 
-Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size) {
+// `depth` guards batch nesting: a kBatch body at depth > 0 is rejected
+// BEFORE its elements are decoded, so adversarial deeply-nested batch
+// frames cannot recurse the decoder more than two levels.
+Result<Message> decode_impl(std::span<const std::byte> data, int depth);
+Result<DecodeStreamResult> decode_stream_impl(std::span<const std::byte> data,
+                                              int depth);
+
+Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size,
+                         int depth) {
   switch (type) {
     case MsgType::kHello: return Body{Hello{}};
     case MsgType::kError: {
@@ -183,26 +200,28 @@ Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size) {
     }
     case MsgType::kBarrierRequest: return Body{BarrierRequest{}};
     case MsgType::kBarrierReply: return Body{BarrierReply{}};
+    case MsgType::kBatch: {
+      if (depth > 0)
+        return make_error(Errc::kParseError, "batch inside batch");
+      const Result<std::uint16_t> count = r.u16();
+      if (!count.ok()) return count.error();
+      Result<std::vector<std::byte>> raw = r.bytes(r.remaining());
+      if (!raw.ok()) return raw.error();
+      // Elements are ordinary self-delimiting frames: reuse the streaming
+      // decoder, then insist the declared count consumed the body exactly.
+      Result<DecodeStreamResult> elements =
+          decode_stream_impl(raw.value(), depth + 1);
+      if (!elements.ok()) return elements.error();
+      if (elements.value().consumed != raw.value().size() ||
+          elements.value().messages.size() != count.value())
+        return make_error(Errc::kParseError, "batch framing mismatch");
+      return Body{Batch{std::move(elements).value().messages}};
+    }
   }
   return make_error(Errc::kParseError, "unknown message type");
 }
 
-}  // namespace
-
-std::vector<std::byte> encode(const Message& message) {
-  Writer w;
-  w.u8(kProtocolVersion);
-  w.u8(static_cast<std::uint8_t>(message.type()));
-  const std::size_t length_offset = w.size();
-  w.u16(0);  // patched below
-  w.u32(message.xid);
-  std::visit(BodyEncoder{w}, message.body);
-  TSU_ASSERT_MSG(w.size() <= kMaxFrame, "frame exceeds 64 KiB");
-  w.patch_u16(length_offset, static_cast<std::uint16_t>(w.size()));
-  return std::move(w).take();
-}
-
-Result<Message> decode(std::span<const std::byte> data) {
+Result<Message> decode_impl(std::span<const std::byte> data, int depth) {
   Reader r(data);
   const Result<std::uint8_t> version = r.u8();
   if (!version.ok()) return version.error();
@@ -212,7 +231,7 @@ Result<Message> decode(std::span<const std::byte> data) {
   if (!type_raw.ok()) return type_raw.error();
   switch (type_raw.value()) {
     case 0: case 1: case 2: case 3: case 5: case 6: case 13: case 14:
-    case 20: case 21:
+    case 20: case 21: case 22:
       break;
     default:
       return make_error(Errc::kParseError, "unknown message type");
@@ -231,7 +250,7 @@ Result<Message> decode(std::span<const std::byte> data) {
   // Restrict the reader to the declared frame so a body cannot read into a
   // following frame.
   Reader body_reader(data.subspan(kHeaderSize, body_size));
-  Result<Body> body = decode_body(type, body_reader, body_size);
+  Result<Body> body = decode_body(type, body_reader, body_size, depth);
   if (!body.ok()) return body.error();
   if (body_reader.remaining() != 0)
     return make_error(Errc::kParseError, "trailing bytes in frame body");
@@ -244,7 +263,8 @@ Result<Message> decode(std::span<const std::byte> data) {
   return message;
 }
 
-Result<DecodeStreamResult> decode_stream(std::span<const std::byte> data) {
+Result<DecodeStreamResult> decode_stream_impl(std::span<const std::byte> data,
+                                              int depth) {
   DecodeStreamResult result;
   while (data.size() - result.consumed >= kHeaderSize) {
     const std::span<const std::byte> rest = data.subspan(result.consumed);
@@ -252,12 +272,35 @@ Result<DecodeStreamResult> decode_stream(std::span<const std::byte> data) {
         static_cast<std::size_t>(static_cast<std::uint8_t>(rest[2])) << 8 |
         static_cast<std::size_t>(static_cast<std::uint8_t>(rest[3]));
     if (declared > rest.size()) break;  // incomplete frame; stop cleanly
-    Result<Message> message = decode(rest.subspan(0, declared));
+    Result<Message> message = decode_impl(rest.subspan(0, declared), depth);
     if (!message.ok()) return message.error();
     result.messages.push_back(std::move(message).value());
     result.consumed += declared;
   }
   return result;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& message) {
+  Writer w;
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(message.type()));
+  const std::size_t length_offset = w.size();
+  w.u16(0);  // patched below
+  w.u32(message.xid);
+  std::visit(BodyEncoder{w}, message.body);
+  TSU_ASSERT_MSG(w.size() <= kMaxFrame, "frame exceeds 64 KiB");
+  w.patch_u16(length_offset, static_cast<std::uint16_t>(w.size()));
+  return std::move(w).take();
+}
+
+Result<Message> decode(std::span<const std::byte> data) {
+  return decode_impl(data, 0);
+}
+
+Result<DecodeStreamResult> decode_stream(std::span<const std::byte> data) {
+  return decode_stream_impl(data, 0);
 }
 
 }  // namespace tsu::proto

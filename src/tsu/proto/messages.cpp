@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "tsu/util/assert.hpp"
+
 namespace tsu::proto {
 
 const char* to_string(MsgType type) noexcept {
@@ -16,6 +18,7 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kFlowMod: return "FLOW_MOD";
     case MsgType::kBarrierRequest: return "BARRIER_REQUEST";
     case MsgType::kBarrierReply: return "BARRIER_REPLY";
+    case MsgType::kBatch: return "BATCH";
   }
   return "?";
 }
@@ -52,6 +55,7 @@ struct TypeVisitor {
   MsgType operator()(const BarrierReply&) const {
     return MsgType::kBarrierReply;
   }
+  MsgType operator()(const Batch&) const { return MsgType::kBatch; }
 };
 
 }  // namespace
@@ -66,6 +70,8 @@ std::string Message::to_string() const {
   if (const auto* mod = std::get_if<FlowMod>(&body)) {
     out << " " << proto::to_string(mod->command) << " prio=" << mod->priority
         << " " << mod->match.to_string() << " -> " << mod->action.to_string();
+  } else if (const auto* batch = std::get_if<Batch>(&body)) {
+    out << " n=" << batch->messages.size();
   }
   return out.str();
 }
@@ -92,6 +98,12 @@ Message make_flow_mod(Xid xid, FlowMod mod) {
 
 Message make_error(Xid xid, std::uint16_t code, std::string text) {
   return Message{xid, Error{code, std::move(text)}};
+}
+
+Message make_batch(Xid xid, std::vector<Message> messages) {
+  for (const Message& m : messages)
+    TSU_ASSERT_MSG(m.type() != MsgType::kBatch, "batch inside batch");
+  return Message{xid, Batch{std::move(messages)}};
 }
 
 }  // namespace tsu::proto

@@ -28,6 +28,10 @@ enum class MsgType : std::uint8_t {
   kFlowMod = 14,
   kBarrierRequest = 20,
   kBarrierReply = 21,
+  // Extension beyond OF 1.3: one frame carrying several coalesced messages
+  // (the controller's cross-flow batching; see controller.hpp). Nesting a
+  // batch inside a batch is rejected by the codec.
+  kBatch = 22,
 };
 
 const char* to_string(MsgType type) noexcept;
@@ -76,8 +80,19 @@ struct PacketOut {
 struct BarrierRequest {};
 struct BarrierReply {};
 
+struct Message;
+
+// Several messages for the same switch coalesced into one control frame.
+// Delivery is atomic per frame; the receiver processes the contained
+// messages in order, so FlowMod-then-Barrier sequences keep their fencing
+// semantics. Batches must not contain batches.
+struct Batch {
+  std::vector<Message> messages;
+};
+
 using Body = std::variant<Hello, Error, Echo, FeaturesRequest, FeaturesReply,
-                          FlowMod, PacketOut, BarrierRequest, BarrierReply>;
+                          FlowMod, PacketOut, BarrierRequest, BarrierReply,
+                          Batch>;
 
 struct Message {
   Xid xid = 0;
@@ -94,5 +109,7 @@ Message make_barrier_request(Xid xid);
 Message make_barrier_reply(Xid xid);
 Message make_flow_mod(Xid xid, FlowMod mod);
 Message make_error(Xid xid, std::uint16_t code, std::string text);
+// Asserts that no element is itself a batch.
+Message make_batch(Xid xid, std::vector<Message> messages);
 
 }  // namespace tsu::proto

@@ -5,7 +5,17 @@
 namespace tsu::switchsim {
 
 void SimSwitch::receive(const proto::Message& message) {
-  inbox_.push_back(message);
+  if (message.type() == proto::MsgType::kBatch) {
+    // Unpack atomically: the contained messages enter the FIFO in order, so
+    // a FlowMod-then-Barrier sequence keeps its fencing semantics while the
+    // whole group paid only one channel frame.
+    ++batches_received_;
+    for (const proto::Message& m :
+         std::get<proto::Batch>(message.body).messages)
+      inbox_.push_back(m);
+  } else {
+    inbox_.push_back(message);
+  }
   if (!busy_) start_next();
 }
 

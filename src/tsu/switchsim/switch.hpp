@@ -61,6 +61,7 @@ class SimSwitch {
 
   std::size_t flow_mods_applied() const noexcept { return flow_mods_applied_; }
   std::size_t barriers_replied() const noexcept { return barriers_replied_; }
+  std::size_t batches_received() const noexcept { return batches_received_; }
   const stats::Summary& install_times() const noexcept {
     return install_times_;
   }
@@ -83,6 +84,7 @@ class SimSwitch {
 
   std::size_t flow_mods_applied_ = 0;
   std::size_t barriers_replied_ = 0;
+  std::size_t batches_received_ = 0;
   stats::Summary install_times_;  // ns
 };
 

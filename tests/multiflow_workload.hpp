@@ -1,0 +1,41 @@
+// Shared multi-flow test workload: `count` disjoint policy updates, each
+// in its own node block of 6 — old route <b, b+1, b+2, b+3>, new route
+// <b, b+4, b+5, b+3> — with Peacock (loop- and blackhole-free) schedules,
+// so a correct execution shows zero transient violations on every flow.
+#pragma once
+
+#include <vector>
+
+#include "tsu/update/instance.hpp"
+#include "tsu/update/schedule.hpp"
+#include "tsu/update/schedulers.hpp"
+
+namespace tsu::testutil {
+
+inline update::Instance offset_instance(NodeId base) {
+  const graph::Path old_path{base, base + 1, base + 2, base + 3};
+  const graph::Path new_path{base, base + 4, base + 5, base + 3};
+  return update::Instance::make(old_path, new_path).value();
+}
+
+struct Workload {
+  std::vector<update::Instance> instances;
+  std::vector<update::Schedule> schedules;
+  std::vector<const update::Instance*> instance_ptrs;
+  std::vector<const update::Schedule*> schedule_ptrs;
+};
+
+inline Workload disjoint_workload(std::size_t count) {
+  Workload w;
+  for (std::size_t i = 0; i < count; ++i)
+    w.instances.push_back(offset_instance(static_cast<NodeId>(i * 6)));
+  for (const update::Instance& inst : w.instances)
+    w.schedules.push_back(update::plan_peacock(inst).value());
+  for (std::size_t i = 0; i < count; ++i) {
+    w.instance_ptrs.push_back(&w.instances[i]);
+    w.schedule_ptrs.push_back(&w.schedules[i]);
+  }
+  return w;
+}
+
+}  // namespace tsu::testutil

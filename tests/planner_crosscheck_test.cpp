@@ -1,0 +1,105 @@
+// Randomized cross-check over every planner: on ~500 seeded random
+// instances, each planner's rounds must exactly partition
+// Instance::touched() (validate_schedule) and every round must pass the
+// safety oracle for the property mask the algorithm claims to guarantee.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "tsu/topo/instances.hpp"
+#include "tsu/update/oracle.hpp"
+#include "tsu/update/schedule.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu::update {
+namespace {
+
+struct PlannerCase {
+  const char* name;
+  // Property mask the algorithm claims for every transient state (0 for
+  // the baselines, which guarantee nothing beyond a valid partition).
+  std::uint32_t claimed;
+  std::function<Result<Schedule>(const Instance&)> plan;
+};
+
+std::vector<PlannerCase> planner_cases() {
+  return {
+      {"oneshot", 0, [](const Instance& i) { return plan_oneshot(i); }},
+      {"twophase", 0, [](const Instance& i) { return plan_twophase(i); }},
+      {"wayup", kWayUpGuarantee,
+       [](const Instance& i) { return plan_wayup(i); }},
+      {"peacock", kPeacockGuarantee,
+       [](const Instance& i) { return plan_peacock(i); }},
+      {"slf_greedy", kSlfGuarantee,
+       [](const Instance& i) { return plan_slf_greedy(i); }},
+      {"secure", kTransientlySecure,
+       [](const Instance& i) { return plan_secure(i); }},
+  };
+}
+
+TEST(PlannerCrossCheckTest, AllPlannersPartitionAndSatisfyClaimedMask) {
+  constexpr std::size_t kInstances = 500;
+  Rng rng(0xc405cec);
+  topo::RandomInstanceOptions options;  // defaults include a waypoint
+  std::vector<PlannerCase> cases = planner_cases();
+  std::vector<std::size_t> successes(cases.size(), 0);
+
+  for (std::size_t n = 0; n < kInstances; ++n) {
+    const Instance inst = topo::random_instance(rng, options);
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      const PlannerCase& planner = cases[c];
+      const Result<Schedule> planned = planner.plan(inst);
+      // Planners may legitimately decline (infeasible instance, search
+      // limits); what they return must still be correct.
+      if (!planned.ok()) continue;
+      ++successes[c];
+      const Schedule& schedule = planned.value();
+      const Status valid = validate_schedule(inst, schedule);
+      EXPECT_TRUE(valid.ok())
+          << planner.name << " on instance " << n << ": "
+          << valid.error().to_string() << "\n" << inst.to_string();
+      if (planner.claimed == 0) continue;
+      for (std::size_t r = 0; r < schedule.rounds.size(); ++r) {
+        const StateMask applied = state_after_rounds(inst, schedule, r);
+        EXPECT_TRUE(round_safe(inst, applied, schedule.rounds[r],
+                               planner.claimed))
+            << planner.name << " round " << r << " unsafe on instance " << n
+            << "\n" << inst.to_string() << "\n" << schedule.to_string();
+      }
+    }
+  }
+
+  // The sweep must actually have exercised every planner.
+  for (std::size_t c = 0; c < cases.size(); ++c)
+    EXPECT_GT(successes[c], 0u) << cases[c].name << " never succeeded";
+  // The unconditional baseline plans every instance.
+  EXPECT_EQ(successes[0], kInstances);
+}
+
+TEST(PlannerCrossCheckTest, NoWaypointFamilyAlsoHolds) {
+  constexpr std::size_t kInstances = 200;
+  Rng rng(0xbead);
+  topo::RandomInstanceOptions options;
+  options.with_waypoint = false;
+  std::size_t peacock_ok = 0;
+  for (std::size_t n = 0; n < kInstances; ++n) {
+    const Instance inst = topo::random_instance(rng, options);
+    const Result<Schedule> planned = plan_peacock(inst);
+    if (!planned.ok()) continue;
+    ++peacock_ok;
+    EXPECT_TRUE(validate_schedule(inst, planned.value()).ok());
+    for (std::size_t r = 0; r < planned.value().rounds.size(); ++r) {
+      const StateMask applied = state_after_rounds(inst, planned.value(), r);
+      EXPECT_TRUE(round_safe(inst, applied, planned.value().rounds[r],
+                             kPeacockGuarantee))
+          << "peacock round " << r << " unsafe on instance " << n;
+    }
+  }
+  EXPECT_GT(peacock_ok, kInstances / 2);
+}
+
+}  // namespace
+}  // namespace tsu::update

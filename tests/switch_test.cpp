@@ -156,6 +156,32 @@ TEST(SwitchTest, InstallTimesRecorded) {
   EXPECT_DOUBLE_EQ(sw.install_times().mean(), 1e6);  // constant 1 ms
 }
 
+TEST(SwitchTest, BatchExpandsInOrderAndKeepsBarrierFencing) {
+  sim::Simulator sim;
+  SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
+  bool barrier_replied = false;
+  sw.set_controller_link([&](const proto::Message& m) {
+    if (m.type() == proto::MsgType::kBarrierReply) {
+      barrier_replied = true;
+      // The barrier reply must come only after both mods applied.
+      EXPECT_EQ(sw.flow_mods_applied(), 2u);
+    }
+  });
+  std::vector<proto::Message> group;
+  group.push_back(add_rule(1, 5, 2));
+  group.push_back(add_rule(2, 5, 9));
+  group.push_back(proto::make_barrier_request(3));
+  sw.receive(proto::make_batch(7, std::move(group)));
+  sim.run();
+  EXPECT_TRUE(barrier_replied);
+  EXPECT_EQ(sw.batches_received(), 1u);
+  EXPECT_EQ(sw.flow_mods_applied(), 2u);
+  // FIFO within the batch: the later mod for the same match wins.
+  flow::Packet p;
+  p.flow = 5;
+  EXPECT_EQ(sw.table().lookup(p)->action, flow::Action::forward(9));
+}
+
 TEST(SwitchTest, QuiescentReflectsPendingWork) {
   sim::Simulator sim;
   SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
