@@ -1,10 +1,16 @@
 // Scenario driver: run any scheduler on any built-in workload from the
 // command line, optionally under a JSON-configured environment.
 //
-//   $ ./build/examples/sim_cli --algorithm wayup --workload fig1 --seeds 20
-//   $ ./build/examples/sim_cli --algorithm peacock --workload reversal:24
-//   $ ./build/examples/sim_cli --algorithm oneshot --workload random:9
+//   $ ./build/sim_cli --algorithm wayup --workload fig1 --seeds 20
+//   $ ./build/sim_cli --algorithm peacock --workload reversal:24
+//   $ ./build/sim_cli --algorithm oneshot --workload random:9
 //         --config env.json   (flags may be combined freely)
+//
+// Multi-flow mode drives the concurrent update engine instead: N flows
+// over a shared switch pool, admitted under the chosen policy.
+//
+//   $ ./build/sim_cli --flows 256 --switches 60
+//         --admission conflict_aware --max-in-flight 256 --batch
 //
 // Workloads: fig1 | reversal:<n> | random:<seed>
 #include <cstdio>
@@ -25,9 +31,56 @@ void usage() {
   std::fprintf(stderr,
                "usage: sim_cli [--algorithm NAME] [--workload SPEC]\n"
                "               [--seeds N] [--config FILE.json]\n"
+               "               [--flows N] [--switches S]\n"
+               "               [--admission blind|conflict_aware|serialize]\n"
+               "               [--max-in-flight K] [--batch]\n"
                "  algorithms: oneshot twophase wayup peacock slf-greedy "
                "secure optimal\n"
-               "  workloads : fig1 | reversal:<n> | random:<seed>\n");
+               "  workloads : fig1 | reversal:<n> | random:<seed>\n"
+               "  --flows >1 runs the concurrent multi-flow engine on a\n"
+               "  shared pool of --switches switches (default 6 per flow)\n");
+}
+
+// Multi-flow mode: N peacock-planned flows over a shared switch pool,
+// executed concurrently under the configured admission policy.
+int run_multiflow(std::size_t flows, std::size_t switches,
+                  tsu::core::ExecutorConfig config) {
+  using namespace tsu;
+  Result<topo::PlannedPoolWorkload> workload =
+      topo::planned_pool_workload(flows, switches);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 workload.error().to_string().c_str());
+    return 1;
+  }
+  const topo::PlannedPoolWorkload w = std::move(workload).value();
+
+  std::printf("flows    : %zu over %zu switches\n", flows, switches);
+  std::printf("admission: %s, max_in_flight %zu, batching %s\n",
+              controller::to_string(config.controller.admission),
+              config.controller.max_in_flight,
+              config.controller.batch_frames ? "on" : "off");
+
+  const Result<core::MultiFlowExecutionResult> run =
+      core::execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 run.error().to_string().c_str());
+    return 1;
+  }
+  const core::MultiFlowExecutionResult& result = run.value();
+  std::printf("makespan : %.2f ms (max %zu in flight)\n",
+              result.makespan_ms(), result.max_in_flight_observed);
+  std::printf("admission: %llu conflict edges, %llu blocked submissions\n",
+              static_cast<unsigned long long>(result.conflict_edges),
+              static_cast<unsigned long long>(result.blocked_submissions));
+  std::printf("frames   : %zu (%zu logical messages)\n", result.frames_sent,
+              result.messages_sent);
+  std::printf("traffic  : %zu packets, %zu bypassed, %zu looped, "
+              "%zu blackholed\n",
+              result.aggregate.total, result.aggregate.bypassed,
+              result.aggregate.looped, result.aggregate.blackholed);
+  return 0;
 }
 
 std::optional<tsu::update::Instance> make_workload(const std::string& spec) {
@@ -55,7 +108,14 @@ int main(int argc, char** argv) {
   std::string algorithm_name = "wayup";
   std::string workload = "fig1";
   std::size_t seeds = 10;
+  std::size_t flows = 1;
+  std::size_t switches = 0;  // 0: sized from --flows (6 per flow)
   core::ExecutorConfig config;
+  // Controller flags are collected separately and applied after the loop,
+  // so they win over a --config file regardless of argument order.
+  std::optional<controller::AdmissionPolicy> admission_flag;
+  std::optional<std::size_t> max_in_flight_flag;
+  bool batch_flag = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -75,6 +135,30 @@ int main(int argc, char** argv) {
       const auto n = v != nullptr ? parse_int(v) : std::nullopt;
       if (!n.has_value() || *n < 1) return usage(), 1;
       seeds = static_cast<std::size_t>(*n);
+    } else if (arg == "--flows") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1) return usage(), 1;
+      flows = static_cast<std::size_t>(*n);
+    } else if (arg == "--switches") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 6) return usage(), 1;
+      switches = static_cast<std::size_t>(*n);
+    } else if (arg == "--admission") {
+      const char* v = next();
+      const auto policy = v != nullptr
+                              ? controller::admission_policy_from_string(v)
+                              : std::nullopt;
+      if (!policy.has_value()) return usage(), 1;
+      admission_flag = *policy;
+    } else if (arg == "--max-in-flight") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1) return usage(), 1;
+      max_in_flight_flag = static_cast<std::size_t>(*n);
+    } else if (arg == "--batch") {
+      batch_flag = true;
     } else if (arg == "--config") {
       const char* v = next();
       if (v == nullptr) return usage(), 1;
@@ -98,6 +182,17 @@ int main(int argc, char** argv) {
       usage();
       return arg == "--help" ? 0 : 1;
     }
+  }
+
+  if (admission_flag.has_value())
+    config.controller.admission = *admission_flag;
+  if (max_in_flight_flag.has_value())
+    config.controller.max_in_flight = *max_in_flight_flag;
+  if (batch_flag) config.controller.batch_frames = true;
+
+  if (flows > 1) {
+    if (switches == 0) switches = flows * 6;
+    return run_multiflow(flows, switches, config);
   }
 
   const auto algorithm = core::algorithm_from_string(algorithm_name);

@@ -1,0 +1,141 @@
+#include "tsu/controller/admission.hpp"
+
+#include <algorithm>
+
+#include "tsu/util/assert.hpp"
+
+namespace tsu::controller {
+
+const char* to_string(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kBlind: return "blind";
+    case AdmissionPolicy::kConflictAware: return "conflict_aware";
+    case AdmissionPolicy::kSerialize: return "serialize";
+  }
+  return "?";
+}
+
+std::optional<AdmissionPolicy> admission_policy_from_string(
+    std::string_view name) noexcept {
+  if (name == "blind") return AdmissionPolicy::kBlind;
+  if (name == "conflict_aware") return AdmissionPolicy::kConflictAware;
+  if (name == "serialize") return AdmissionPolicy::kSerialize;
+  return std::nullopt;
+}
+
+Footprint Footprint::of(const UpdateRequest& request) {
+  Footprint footprint;
+  for (const std::vector<RoundOp>& round : request.rounds)
+    for (const RoundOp& op : round)
+      footprint.add(RuleRef{op.node, op.mod.table, op.mod.match});
+  return footprint;
+}
+
+void Footprint::add(RuleRef ref) {
+  if (std::find(rules_.begin(), rules_.end(), ref) != rules_.end()) return;
+  rules_.push_back(std::move(ref));
+}
+
+bool Footprint::conflicts_with(const Footprint& other) const noexcept {
+  for (const RuleRef& mine : rules_)
+    for (const RuleRef& theirs : other.rules_)
+      if (mine.conflicts_with(theirs)) return true;
+  return false;
+}
+
+bool AdmissionQueue::submit(Id id, Footprint footprint) {
+  TSU_ASSERT_MSG(entries_.find(id) == entries_.end(),
+                 "admission id submitted twice");
+  Entry entry;
+  entry.seq = next_seq_++;
+
+  switch (policy_) {
+    case AdmissionPolicy::kBlind:
+      break;  // no edges: capacity is the only gate
+    case AdmissionPolicy::kSerialize:
+      // The paper's message queue: wait for every earlier live request.
+      for (auto& [other_id, other] : entries_) {
+        entry.blocked_on.insert(other_id);
+        other.blocks.push_back(id);
+        ++conflict_edges_;
+      }
+      break;
+    case AdmissionPolicy::kConflictAware:
+      // Rule-level dependency tracking: consult only rules co-located on
+      // the switches this footprint touches.
+      for (const RuleRef& rule : footprint.rules()) {
+        const auto bucket = by_node_.find(rule.node);
+        if (bucket == by_node_.end()) continue;
+        for (const auto& [other_id, other_rule] : bucket->second) {
+          if (!rule.conflicts_with(other_rule)) continue;
+          if (entry.blocked_on.insert(other_id).second) {
+            entries_.at(other_id).blocks.push_back(id);
+            ++conflict_edges_;
+          }
+        }
+      }
+      break;
+  }
+
+  // Only conflict-aware admission ever consults the rule index; skip the
+  // bookkeeping (and its Match copies) for the other policies.
+  if (policy_ == AdmissionPolicy::kConflictAware)
+    for (const RuleRef& rule : footprint.rules())
+      by_node_[rule.node].emplace_back(id, rule);
+
+  const bool admitted = entry.blocked_on.empty();
+  if (!admitted) ++blocked_submissions_;
+  entry.footprint = std::move(footprint);
+  entries_.emplace(id, std::move(entry));
+  return admitted;
+}
+
+bool AdmissionQueue::admissible(Id id) const noexcept {
+  const auto it = entries_.find(id);
+  return it != entries_.end() && it->second.blocked_on.empty();
+}
+
+std::vector<AdmissionQueue::Id> AdmissionQueue::release(Id id) {
+  const auto it = entries_.find(id);
+  TSU_ASSERT_MSG(it != entries_.end(), "release of unknown admission id");
+
+  // Drop this request's rules from the per-switch index (only populated
+  // under conflict-aware admission).
+  if (policy_ == AdmissionPolicy::kConflictAware) {
+    for (const RuleRef& rule : it->second.footprint.rules()) {
+      const auto bucket = by_node_.find(rule.node);
+      if (bucket == by_node_.end()) continue;
+      auto& entries = bucket->second;
+      entries.erase(
+          std::remove_if(entries.begin(), entries.end(),
+                         [id](const auto& e) { return e.first == id; }),
+          entries.end());
+      if (entries.empty()) by_node_.erase(bucket);
+    }
+  }
+
+  std::vector<Id> unblocked;
+  for (const Id waiter : it->second.blocks) {
+    const auto waiter_it = entries_.find(waiter);
+    if (waiter_it == entries_.end()) continue;  // already released
+    Entry& entry = waiter_it->second;
+    if (entry.blocked_on.erase(id) == 1 && entry.blocked_on.empty())
+      unblocked.push_back(waiter);
+  }
+  entries_.erase(it);
+
+  std::sort(unblocked.begin(), unblocked.end(),
+            [this](Id a, Id b) {
+              return entries_.at(a).seq < entries_.at(b).seq;
+            });
+  return unblocked;
+}
+
+std::size_t AdmissionQueue::blocked() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [id, entry] : entries_)
+    if (!entry.blocked_on.empty()) ++count;
+  return count;
+}
+
+}  // namespace tsu::controller

@@ -1,0 +1,136 @@
+// Conflict-aware admission for the concurrent update engine.
+//
+// PR 1's `max_in_flight` admits blindly: two in-flight updates whose
+// FlowMods touch overlapping rules can race on rule installs - exactly the
+// transient-violation window the paper exists to close. The cure is
+// rule-level dependency tracking: every UpdateRequest has a *footprint*,
+// the set of (switch, table, match) triples its FlowMods touch across all
+// rounds, and a request is admitted the moment its footprint no longer
+// overlaps anything live. Overlapping updates queue behind their conflicts
+// instead of either racing or serializing globally.
+//
+// The AdmissionQueue maintains a dependency DAG over live (pending or
+// in-flight) requests: on submit, a request gains a blocked-on edge to
+// every *earlier* live request it conflicts with, so edges always point
+// backwards in arrival order - the graph is acyclic by construction and the
+// earliest live request is always admissible (liveness). Releasing a
+// finished request erases its edges; requests whose blocked-on set drains
+// become admissible in arrival order.
+//
+// Three policies:
+//   kBlind        - no conflict edges; pure max_in_flight (PR 1 behaviour).
+//   kConflictAware- edges exactly where rule footprints overlap.
+//   kSerialize    - every request blocks on every earlier one: the paper's
+//                   strictly serializing message queue, as a special case.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "tsu/controller/update_request.hpp"
+#include "tsu/flow/match.hpp"
+#include "tsu/util/ids.hpp"
+
+namespace tsu::controller {
+
+enum class AdmissionPolicy : std::uint8_t {
+  kBlind = 0,
+  kConflictAware = 1,
+  kSerialize = 2,
+};
+
+const char* to_string(AdmissionPolicy policy) noexcept;
+std::optional<AdmissionPolicy> admission_policy_from_string(
+    std::string_view name) noexcept;
+
+// One rule a request touches: a switch's table slot filtered by a match.
+struct RuleRef {
+  NodeId node = kInvalidNode;
+  std::uint8_t table = 0;
+  flow::Match match;
+
+  // Same switch, same table, intersecting matches.
+  bool conflicts_with(const RuleRef& other) const noexcept {
+    return node == other.node && table == other.table &&
+           match.overlaps(other.match);
+  }
+  bool operator==(const RuleRef&) const = default;
+};
+
+// The touched-rule set of one UpdateRequest, deduplicated.
+class Footprint {
+ public:
+  // Collects (node, table, match) over every round's FlowMods, including
+  // the cleanup deletes. A merged multi-policy request's footprint covers
+  // every member policy.
+  static Footprint of(const UpdateRequest& request);
+
+  void add(RuleRef ref);
+
+  bool conflicts_with(const Footprint& other) const noexcept;
+
+  const std::vector<RuleRef>& rules() const noexcept { return rules_; }
+  std::size_t size() const noexcept { return rules_.size(); }
+  bool empty() const noexcept { return rules_.empty(); }
+
+ private:
+  std::vector<RuleRef> rules_;
+};
+
+// The dependency DAG. Ids are the caller's (the controller uses its
+// UpdateIds); arrival order is submission order.
+class AdmissionQueue {
+ public:
+  using Id = std::uint64_t;
+
+  explicit AdmissionQueue(AdmissionPolicy policy = AdmissionPolicy::kBlind)
+      : policy_(policy) {}
+
+  AdmissionPolicy policy() const noexcept { return policy_; }
+
+  // Registers a live request. Returns true when it is immediately
+  // admissible (conflicts with nothing live under the policy).
+  bool submit(Id id, Footprint footprint);
+
+  // True when the request's blocked-on set is empty. The caller still
+  // gates actual starts on its own capacity (max_in_flight).
+  bool admissible(Id id) const noexcept;
+
+  // Removes a finished (or started-and-finished) request from the graph.
+  // Returns the ids that became admissible, in arrival order.
+  std::vector<Id> release(Id id);
+
+  std::size_t live() const noexcept { return entries_.size(); }
+  // Live requests currently blocked on at least one conflict.
+  std::size_t blocked() const noexcept;
+
+  // Total dependency edges ever created (a measure of workload conflict).
+  std::uint64_t conflict_edges() const noexcept { return conflict_edges_; }
+  // Submissions that entered the queue blocked.
+  std::uint64_t blocked_submissions() const noexcept {
+    return blocked_submissions_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;  // arrival order
+    Footprint footprint;
+    std::unordered_set<Id> blocked_on;  // earlier live conflicting requests
+    std::vector<Id> blocks;             // later requests waiting on this one
+  };
+
+  AdmissionPolicy policy_;
+  std::unordered_map<Id, Entry> entries_;
+  // Rule index: per switch, the live requests' rules on it, so conflict
+  // detection touches only co-located rules instead of every live pair.
+  std::unordered_map<NodeId, std::vector<std::pair<Id, RuleRef>>> by_node_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t conflict_edges_ = 0;
+  std::uint64_t blocked_submissions_ = 0;
+};
+
+}  // namespace tsu::controller

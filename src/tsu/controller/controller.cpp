@@ -21,28 +21,47 @@ void Controller::attach_switch(NodeId node, SendFn send) {
 }
 
 void Controller::submit(UpdateRequest request) {
-  UpdateMetrics metrics;
-  metrics.name = request.name;
-  metrics.flow = request.flow;
-  metrics.submitted = sim_.now();
-  queue_.push_back(std::move(request));
-  submitted_metrics_.push_back(metrics);
+  PendingUpdate pending;
+  pending.id = update_counter_++;
+  pending.metrics.name = request.name;
+  pending.metrics.flow = request.flow;
+  pending.metrics.submitted = sim_.now();
+  // Register in the conflict DAG before anything can start: a later
+  // submission must see this request's footprint. Only conflict-aware
+  // admission reads footprints; don't compute them for the other policies.
+  admission_.submit(pending.id,
+                    config_.admission == AdmissionPolicy::kConflictAware
+                        ? Footprint::of(request)
+                        : Footprint{});
+  pending.request = std::move(request);
+  queue_.push_back(std::move(pending));
   maybe_start_next_request();
 }
 
 void Controller::maybe_start_next_request() {
-  while (active_.size() < config_.max_in_flight && !queue_.empty()) {
-    const UpdateId id = update_counter_++;
-    ActiveUpdate active;
-    active.request = std::move(queue_.front());
-    queue_.pop_front();
-    active.metrics = submitted_metrics_.front();
-    submitted_metrics_.pop_front();
-    active.metrics.started = sim_.now();
-    active_.emplace(id, std::move(active));
-    max_in_flight_observed_ =
-        std::max(max_in_flight_observed_, active_.size());
-    start_round(id);
+  // Start every admissible request in arrival order while capacity lasts;
+  // blocked requests are skipped, not waited on, so a conflicting head
+  // never holds back independent work behind it. The scan restarts after
+  // each start because start_round can synchronously finish a degenerate
+  // update and re-enter here, invalidating any held iterator.
+  bool started = true;
+  while (started && active_.size() < config_.max_in_flight) {
+    started = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!admission_.admissible(it->id)) continue;
+      const UpdateId id = it->id;
+      ActiveUpdate active;
+      active.request = std::move(it->request);
+      active.metrics = std::move(it->metrics);
+      active.metrics.started = sim_.now();
+      queue_.erase(it);
+      active_.emplace(id, std::move(active));
+      max_in_flight_observed_ =
+          std::max(max_in_flight_observed_, active_.size());
+      start_round(id);
+      started = true;
+      break;
+    }
   }
 }
 
@@ -215,6 +234,9 @@ void Controller::finish_update(UpdateId id) {
   it->second.metrics.finished = sim_.now();
   completed_.push_back(std::move(it->second.metrics));
   active_.erase(it);
+  // Drop the finished request's footprint from the conflict DAG so the
+  // requests it blocked become admissible.
+  admission_.release(id);
   const UpdateMetrics& done = completed_.back();
   if (on_update_done_) on_update_done_(done);
   // "...deletes the message from the queue and starts processing the next

@@ -16,9 +16,12 @@
 // This implementation generalizes the paper's one-message-at-a-time FSM to
 // a concurrent multi-flow engine: up to `max_in_flight` update requests are
 // drained from the queue and their rounds progress independently, each
-// request tracking its own outstanding-barrier set. Concurrency is safe
-// because distinct requests update distinct flows (disjoint rules); barrier
-// replies are routed back to the owning request by xid. With
+// request tracking its own outstanding-barrier set; barrier replies are
+// routed back to the owning request by xid. Concurrency is made safe by the
+// admission policy (admission.hpp): conflict-aware admission computes each
+// request's touched-rule footprint and only starts it once it overlaps
+// nothing in flight, so overlapping updates queue behind their conflicts
+// while disjoint ones parallelize. With
 // `batch_frames`, all messages bound for the same switch within one
 // simulation instant - FlowMods and barrier requests, across all in-flight
 // flows - coalesce into a single Batch control frame, the way a production
@@ -36,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "tsu/controller/admission.hpp"
 #include "tsu/controller/update_request.hpp"
 #include "tsu/proto/messages.hpp"
 #include "tsu/sim/simulator.hpp"
@@ -51,6 +55,10 @@ struct ControllerConfig {
   // Coalesce all messages bound for one switch within one simulation
   // instant into a single Batch frame.
   bool batch_frames = false;
+  // How requests are admitted into the in-flight set (see admission.hpp):
+  // blind capacity-only, rule-level conflict tracking, or global
+  // serialization regardless of max_in_flight.
+  AdmissionPolicy admission = AdmissionPolicy::kBlind;
 };
 
 struct RoundMetrics {
@@ -81,7 +89,7 @@ class Controller {
   using SendFn = std::function<void(const proto::Message&)>;
 
   Controller(sim::Simulator& simulator, ControllerConfig config)
-      : sim_(simulator), config_(config) {
+      : sim_(simulator), config_(config), admission_(config.admission) {
     if (config_.max_in_flight == 0) config_.max_in_flight = 1;
   }
 
@@ -108,6 +116,18 @@ class Controller {
   }
   std::size_t batches_sent() const noexcept { return batches_sent_; }
 
+  // Admission stats: dependency edges the conflict DAG created and
+  // requests that entered the queue blocked on a conflict.
+  std::uint64_t conflict_edges() const noexcept {
+    return admission_.conflict_edges();
+  }
+  std::uint64_t blocked_submissions() const noexcept {
+    return admission_.blocked_submissions();
+  }
+  // Pending requests currently blocked on an in-flight or earlier pending
+  // conflict (a subset of queued()).
+  std::size_t blocked() const noexcept { return admission_.blocked(); }
+
   // In completion order (identical to submission order when
   // max_in_flight == 1).
   const std::vector<UpdateMetrics>& completed() const noexcept {
@@ -122,6 +142,12 @@ class Controller {
 
  private:
   using UpdateId = std::uint64_t;
+
+  struct PendingUpdate {
+    UpdateId id = 0;
+    UpdateRequest request;
+    UpdateMetrics metrics;  // carries the submission timestamp
+  };
 
   struct ActiveUpdate {
     UpdateRequest request;
@@ -143,10 +169,11 @@ class Controller {
 
   sim::Simulator& sim_;
   ControllerConfig config_;
+  AdmissionQueue admission_;
   std::unordered_map<NodeId, SendFn> switches_;
-  std::deque<UpdateRequest> queue_;
-  // Parallel to queue_: metrics stubs carrying the submission timestamps.
-  std::deque<UpdateMetrics> submitted_metrics_;
+  // Submitted but not yet started, in arrival order. Under conflict-aware
+  // admission a later entry may start before an earlier blocked one.
+  std::deque<PendingUpdate> queue_;
   std::unordered_map<UpdateId, ActiveUpdate> active_;
   // Outstanding barrier xid -> (owning update, switch it fences).
   std::unordered_map<Xid, std::pair<UpdateId, NodeId>> waiting_;

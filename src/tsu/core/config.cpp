@@ -155,6 +155,25 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
       if (!field.is_bool())
         return make_error(Errc::kParseError, "'use_barriers' must be a bool");
       config.controller.use_barriers = field.as_bool();
+    } else if (key == "max_in_flight") {
+      if (!field.is_number() || field.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'max_in_flight' must be >= 1");
+      config.controller.max_in_flight =
+          static_cast<std::size_t>(field.as_int());
+    } else if (key == "batch_frames") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError, "'batch_frames' must be a bool");
+      config.controller.batch_frames = field.as_bool();
+    } else if (key == "admission") {
+      if (!field.is_string())
+        return make_error(Errc::kParseError, "'admission' must be a string");
+      const std::optional<controller::AdmissionPolicy> policy =
+          controller::admission_policy_from_string(field.as_string());
+      if (!policy.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown admission policy '" + field.as_string() +
+                              "' (blind | conflict_aware | serialize)");
+      config.controller.admission = *policy;
     } else if (key == "flow") {
       if (!field.is_number() || field.as_int() < 0)
         return make_error(Errc::kParseError, "'flow' must be >= 0");
@@ -266,6 +285,11 @@ json::Value config_to_json(const ExecutorConfig& config) {
   root.set("switch", json::Value(std::move(sw)));
 
   root.set("use_barriers", json::Value(config.controller.use_barriers));
+  root.set("max_in_flight", json::Value(static_cast<std::int64_t>(
+                                config.controller.max_in_flight)));
+  root.set("batch_frames", json::Value(config.controller.batch_frames));
+  root.set("admission",
+           json::Value(controller::to_string(config.controller.admission)));
   root.set("flow", json::Value(static_cast<std::int64_t>(config.flow)));
   root.set("priority",
            json::Value(static_cast<std::int64_t>(config.priority)));

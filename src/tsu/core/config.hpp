@@ -10,6 +10,8 @@
 //   "switch":   { "install": <latency>, "barrier_us": 100,
 //                 "processing_us": 10 },
 //   "use_barriers": true,
+//   "max_in_flight": 1, "batch_frames": false,
+//   "admission": "blind" | "conflict_aware" | "serialize",
 //   "flow": 1, "priority": 100, "interval_ms": 0,
 //   "traffic":  { "enabled": true, "interarrival": <latency>,
 //                 "link": <latency>, "ttl": 64,

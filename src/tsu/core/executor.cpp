@@ -129,28 +129,40 @@ std::vector<std::unique_ptr<dataplane::TrafficSource>> make_sources(
   return sources;
 }
 
-// The shared engine behind execute_queue and execute_multiflow: wire the
-// control plane, run traffic, submit every request at the end of the
-// warmup, and collect per-flow results (flows[i] belongs to instances[i],
-// regardless of completion order).
-struct RunOutput {
-  std::vector<ExecutionResult> flows;
+// The shared engine behind every execute_* entry point: wire the control
+// plane, run per-policy traffic, submit every prepared request at the end
+// of the warmup, and route completed metrics back by key flow. A request
+// may cover one policy (execute_queue / execute_multiflow) or several (a
+// merged multi-policy request); either way it goes through the controller's
+// admission path, so merged and independent requests compose.
+struct EngineRequest {
+  controller::UpdateRequest request;
+  std::vector<std::size_t> policies;  // instance indexes this request updates
+};
+
+struct EngineOutput {
+  std::vector<controller::UpdateMetrics> updates;  // per request, input order
   dataplane::MonitorReport aggregate;
+  std::vector<dataplane::MonitorReport> traffic;   // per policy
+  std::vector<std::vector<dataplane::ConsistencyMonitor::Bucket>> timelines;
+  sim::Duration timeline_bucket = 0;
+  std::vector<std::size_t> packets_injected;       // per policy
   std::size_t frames_sent = 0;
   std::size_t control_bytes = 0;
   std::size_t messages_sent = 0;
   std::size_t max_in_flight_observed = 0;
+  std::uint64_t conflict_edges = 0;
+  std::uint64_t blocked_submissions = 0;
   sim::Duration makespan = 0;
 };
 
-Result<RunOutput> run_updates(
+Result<EngineOutput> run_engine(
     const std::vector<const update::Instance*>& instances,
-    const std::vector<const update::Schedule*>& schedules,
-    const ExecutorConfig& config,
+    std::vector<EngineRequest> requests, const ExecutorConfig& config,
     const controller::ControllerConfig& controller_config) {
-  if (instances.size() != schedules.size() || instances.empty())
+  if (instances.empty() || requests.empty())
     return make_error(Errc::kInvalidArgument,
-                      "need matching, non-empty instance/schedule lists");
+                      "need non-empty instance and request lists");
 
   Harness harness(config, controller_config);
   for (const update::Instance* inst : instances)
@@ -162,11 +174,19 @@ Result<RunOutput> run_updates(
   std::vector<std::unique_ptr<dataplane::TrafficSource>> sources =
       make_sources(harness, monitors, instances, config);
 
+  // Requests are identified in the completed list by their key flow (a
+  // request's `flow` is the first flow it updates; each policy belongs to
+  // exactly one request, so key flows are unique).
+  std::vector<FlowId> key_flows;
+  key_flows.reserve(requests.size());
+  for (const EngineRequest& r : requests)
+    key_flows.push_back(r.request.flow);
+
   // Stop injecting `drain` after the last update completes.
   std::size_t done_count = 0;
   harness.ctrl->set_on_update_done(
       [&](const controller::UpdateMetrics&) {
-        if (++done_count != instances.size()) return;
+        if (++done_count != requests.size()) return;
         // Give in-flight packets and the monitor a drain window.
         // (set_stop is monotone: injection checks the new bound.)
         for (auto& source : sources)
@@ -178,62 +198,97 @@ Result<RunOutput> run_updates(
 
   // Submit all requests at the end of the warmup (the paper's queue: they
   // arrive together; how many progress at once is the controller's
-  // max_in_flight).
+  // max_in_flight under its admission policy).
   harness.sim.schedule(config.warmup, [&]() {
-    for (std::size_t i = 0; i < instances.size(); ++i) {
-      harness.ctrl->submit(controller::request_from_schedule(
-          *instances[i], *schedules[i], config.flow + i, config.priority,
-          config.interval));
-    }
+    for (EngineRequest& r : requests)
+      harness.ctrl->submit(std::move(r.request));
   });
 
   harness.sim.run();
 
   if (!harness.ctrl->idle() ||
-      harness.ctrl->completed().size() != instances.size())
+      harness.ctrl->completed().size() != requests.size())
     return make_error(Errc::kFailedPrecondition,
                       "simulation drained before all updates completed");
 
   // Completion order need not match submission order when updates run
-  // concurrently; route metrics back to their request by flow id.
+  // concurrently; route metrics back to their request by key flow.
   std::unordered_map<FlowId, const controller::UpdateMetrics*> by_flow;
   for (const controller::UpdateMetrics& m : harness.ctrl->completed())
     by_flow[m.flow] = &m;
 
-  RunOutput out;
+  EngineOutput out;
   out.frames_sent = harness.total_frames();
   out.control_bytes = harness.total_bytes();
   out.messages_sent = harness.total_messages();
   out.max_in_flight_observed = harness.ctrl->max_in_flight_observed();
+  out.conflict_edges = harness.ctrl->conflict_edges();
+  out.blocked_submissions = harness.ctrl->blocked_submissions();
   out.aggregate = monitors.aggregate();
 
   sim::SimTime first_start = std::numeric_limits<sim::SimTime>::max();
   sim::SimTime last_finish = 0;
-  out.flows.resize(instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    const FlowId flow = config.flow + i;
-    const auto it = by_flow.find(flow);
+  out.updates.reserve(requests.size());
+  for (const FlowId key : key_flows) {
+    const auto it = by_flow.find(key);
     if (it == by_flow.end())
       return make_error(Errc::kFailedPrecondition,
-                        "no completed update for flow");
-    ExecutionResult& result = out.flows[i];
-    result.update = *it->second;
-    const dataplane::ConsistencyMonitor* monitor = monitors.find(flow);
-    TSU_ASSERT(monitor != nullptr);
-    result.traffic = monitor->report();
-    result.timeline = monitor->timeline();
-    result.timeline_bucket = monitor->bucket_width();
-    result.frames_sent = out.frames_sent;
-    result.control_bytes = out.control_bytes;
-    result.packets_injected =
-        (config.with_traffic && i < sources.size() && sources[i])
-            ? sources[i]->injected()
-            : 0;
-    first_start = std::min(first_start, result.update.started);
-    last_finish = std::max(last_finish, result.update.finished);
+                        "no completed update for request");
+    out.updates.push_back(*it->second);
+    first_start = std::min(first_start, it->second->started);
+    last_finish = std::max(last_finish, it->second->finished);
   }
   out.makespan = last_finish - first_start;
+
+  out.traffic.resize(instances.size());
+  out.timelines.resize(instances.size());
+  out.packets_injected.assign(instances.size(), 0);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const dataplane::ConsistencyMonitor* monitor =
+        monitors.find(config.flow + i);
+    TSU_ASSERT(monitor != nullptr);
+    out.traffic[i] = monitor->report();
+    out.timelines[i] = monitor->timeline();
+    out.timeline_bucket = monitor->bucket_width();
+    if (config.with_traffic && i < sources.size() && sources[i])
+      out.packets_injected[i] = sources[i]->injected();
+  }
   return out;
+}
+
+// One request per policy, flows numbered config.flow + i.
+std::vector<EngineRequest> per_policy_requests(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config) {
+  std::vector<EngineRequest> requests;
+  requests.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EngineRequest r;
+    r.request = controller::request_from_schedule(
+        *instances[i], *schedules[i], config.flow + i, config.priority,
+        config.interval);
+    r.policies = {i};
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// Per-policy ExecutionResults assembled from an engine run where request i
+// covers exactly policy i.
+std::vector<ExecutionResult> per_policy_results(const EngineOutput& out) {
+  std::vector<ExecutionResult> flows(out.updates.size());
+  for (std::size_t i = 0; i < out.updates.size(); ++i) {
+    ExecutionResult& result = flows[i];
+    result.update = out.updates[i];
+    result.traffic = out.traffic[i];
+    result.timeline = out.timelines[i];
+    result.timeline_bucket = out.timeline_bucket;
+    result.frames_sent = out.frames_sent;
+    result.control_bytes = out.control_bytes;
+    result.packets_injected = out.packets_injected[i];
+  }
+  return flows;
 }
 
 }  // namespace
@@ -254,29 +309,39 @@ Result<std::vector<ExecutionResult>> execute_queue(
     const std::vector<const update::Instance*>& instances,
     const std::vector<const update::Schedule*>& schedules,
     const ExecutorConfig& config) {
+  if (instances.size() != schedules.size() || instances.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "need matching, non-empty instance/schedule lists");
   // The paper's strictly serializing message queue.
   controller::ControllerConfig serialized = config.controller;
   serialized.max_in_flight = 1;
-  Result<RunOutput> out =
-      run_updates(instances, schedules, config, serialized);
+  Result<EngineOutput> out =
+      run_engine(instances, per_policy_requests(instances, schedules, config),
+                 config, serialized);
   if (!out.ok()) return out.error();
-  return std::move(out.value().flows);
+  return per_policy_results(out.value());
 }
 
 Result<MultiFlowExecutionResult> execute_multiflow(
     const std::vector<const update::Instance*>& instances,
     const std::vector<const update::Schedule*>& schedules,
     const ExecutorConfig& config) {
-  Result<RunOutput> out =
-      run_updates(instances, schedules, config, config.controller);
+  if (instances.size() != schedules.size() || instances.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "need matching, non-empty instance/schedule lists");
+  Result<EngineOutput> out =
+      run_engine(instances, per_policy_requests(instances, schedules, config),
+                 config, config.controller);
   if (!out.ok()) return out.error();
   MultiFlowExecutionResult result;
-  result.flows = std::move(out.value().flows);
+  result.flows = per_policy_results(out.value());
   result.aggregate = out.value().aggregate;
   result.frames_sent = out.value().frames_sent;
   result.control_bytes = out.value().control_bytes;
   result.messages_sent = out.value().messages_sent;
   result.max_in_flight_observed = out.value().max_in_flight_observed;
+  result.conflict_edges = out.value().conflict_edges;
+  result.blocked_submissions = out.value().blocked_submissions;
   result.makespan = out.value().makespan;
   return result;
 }
@@ -288,53 +353,89 @@ Result<MergedExecutionResult> execute_merged(
   if (instances.size() != schedules.size() || instances.empty())
     return make_error(Errc::kInvalidArgument,
                       "need matching, non-empty instance/schedule lists");
-
-  Result<update::MergedSchedule> merged =
-      update::merge_policies(instances, schedules);
-  if (!merged.ok()) return merged.error();
-
-  Harness harness(config, config.controller);
-  for (const update::Instance* inst : instances)
-    add_instance_switches(harness, *inst, config);
-  for (std::size_t i = 0; i < instances.size(); ++i)
-    harness.install_initial(*instances[i], config.flow + i, config.priority);
-
-  std::vector<FlowId> flows(instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i)
-    flows[i] = config.flow + i;
-
-  dataplane::MultiFlowMonitor monitors;
-  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources =
-      make_sources(harness, monitors, instances, config);
-
-  harness.ctrl->set_on_update_done(
-      [&](const controller::UpdateMetrics&) {
-        for (auto& source : sources)
-          if (source) source->set_stop(harness.sim.now() + config.drain);
-      });
-  for (auto& source : sources)
-    if (source) source->start();
-
-  harness.sim.schedule(config.warmup, [&]() {
-    harness.ctrl->submit(controller::request_from_merged(
-        instances, schedules, merged.value(), flows, config.priority,
-        config.interval));
-  });
-
-  harness.sim.run();
-
-  if (!harness.ctrl->idle() || harness.ctrl->completed().size() != 1)
-    return make_error(Errc::kFailedPrecondition,
-                      "simulation drained before the merged update finished");
+  std::vector<std::size_t> all(instances.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Result<MixedExecutionResult> mixed =
+      execute_mixed(instances, schedules, {all}, config);
+  if (!mixed.ok()) return mixed.error();
 
   MergedExecutionResult result;
-  result.update = harness.ctrl->completed().front();
-  for (const FlowId flow : flows) {
-    const dataplane::ConsistencyMonitor* monitor = monitors.find(flow);
-    TSU_ASSERT(monitor != nullptr);
-    result.traffic.push_back(monitor->report());
+  result.update = std::move(mixed.value().updates.front());
+  result.traffic = std::move(mixed.value().traffic);
+  result.frames_sent = mixed.value().frames_sent;
+  return result;
+}
+
+Result<MixedExecutionResult> execute_mixed(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const std::vector<std::vector<std::size_t>>& groups,
+    const ExecutorConfig& config) {
+  if (instances.size() != schedules.size() || instances.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "need matching, non-empty instance/schedule lists");
+  if (groups.empty())
+    return make_error(Errc::kInvalidArgument, "need at least one group");
+
+  // Groups must partition the policy indexes.
+  std::vector<bool> seen(instances.size(), false);
+  for (const std::vector<std::size_t>& group : groups) {
+    if (group.empty())
+      return make_error(Errc::kInvalidArgument, "empty group");
+    for (const std::size_t i : group) {
+      if (i >= instances.size() || seen[i])
+        return make_error(Errc::kInvalidArgument,
+                          "groups must partition the policy indexes");
+      seen[i] = true;
+    }
   }
-  result.frames_sent = harness.total_frames();
+  for (const bool covered : seen)
+    if (!covered)
+      return make_error(Errc::kInvalidArgument,
+                        "groups must cover every policy");
+
+  std::vector<EngineRequest> requests;
+  requests.reserve(groups.size());
+  for (const std::vector<std::size_t>& group : groups) {
+    EngineRequest r;
+    r.policies = group;
+    if (group.size() == 1) {
+      const std::size_t i = group.front();
+      r.request = controller::request_from_schedule(
+          *instances[i], *schedules[i], config.flow + i, config.priority,
+          config.interval);
+    } else {
+      std::vector<const update::Instance*> members;
+      std::vector<const update::Schedule*> member_schedules;
+      std::vector<FlowId> flows;
+      for (const std::size_t i : group) {
+        members.push_back(instances[i]);
+        member_schedules.push_back(schedules[i]);
+        flows.push_back(config.flow + i);
+      }
+      Result<update::MergedSchedule> merged =
+          update::merge_policies(members, member_schedules);
+      if (!merged.ok()) return merged.error();
+      r.request = controller::request_from_merged(
+          members, member_schedules, merged.value(), flows, config.priority,
+          config.interval);
+    }
+    requests.push_back(std::move(r));
+  }
+
+  Result<EngineOutput> out =
+      run_engine(instances, std::move(requests), config, config.controller);
+  if (!out.ok()) return out.error();
+
+  MixedExecutionResult result;
+  result.updates = std::move(out.value().updates);
+  result.traffic = std::move(out.value().traffic);
+  result.aggregate = out.value().aggregate;
+  result.frames_sent = out.value().frames_sent;
+  result.max_in_flight_observed = out.value().max_in_flight_observed;
+  result.conflict_edges = out.value().conflict_edges;
+  result.blocked_submissions = out.value().blocked_submissions;
+  result.makespan = out.value().makespan;
   return result;
 }
 

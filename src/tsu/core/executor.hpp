@@ -77,6 +77,10 @@ struct MultiFlowExecutionResult {
   std::size_t control_bytes = 0;
   std::size_t messages_sent = 0;          // logical messages (>= frames)
   std::size_t max_in_flight_observed = 0;
+  // Admission stats (see controller/admission.hpp): dependency edges the
+  // conflict DAG created, and requests that had to wait on a conflict.
+  std::uint64_t conflict_edges = 0;
+  std::uint64_t blocked_submissions = 0;
   sim::Duration makespan = 0;             // first start -> last finish
 
   double makespan_ms() const noexcept { return sim::to_ms(makespan); }
@@ -102,6 +106,33 @@ struct MergedExecutionResult {
 Result<MergedExecutionResult> execute_merged(
     const std::vector<const update::Instance*>& instances,
     const std::vector<const update::Schedule*>& schedules,
+    const ExecutorConfig& config = {});
+
+// Executes a MIX of merged and independent requests through one controller:
+// `groups` partitions the policy indexes; each singleton group becomes an
+// ordinary per-flow request, each larger group is merged
+// (update::merge_policies) into one multi-policy request, and all requests
+// then compose through the controller's admission policy - a merged request
+// runs concurrently with any independent request whose rule footprint it
+// does not overlap. This is execute_merged and execute_multiflow on the
+// same control plane at once.
+struct MixedExecutionResult {
+  std::vector<controller::UpdateMetrics> updates;  // per group, input order
+  std::vector<dataplane::MonitorReport> traffic;   // per policy, input order
+  dataplane::MonitorReport aggregate;
+  std::size_t frames_sent = 0;
+  std::size_t max_in_flight_observed = 0;
+  std::uint64_t conflict_edges = 0;
+  std::uint64_t blocked_submissions = 0;
+  sim::Duration makespan = 0;
+
+  double makespan_ms() const noexcept { return sim::to_ms(makespan); }
+};
+
+Result<MixedExecutionResult> execute_mixed(
+    const std::vector<const update::Instance*>& instances,
+    const std::vector<const update::Schedule*>& schedules,
+    const std::vector<std::vector<std::size_t>>& groups,
     const ExecutorConfig& config = {});
 
 }  // namespace tsu::core

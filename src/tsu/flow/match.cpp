@@ -23,6 +23,17 @@ bool Match::subsumes(const Match& other) const noexcept {
          field_subsumes(in_port, other.in_port);
 }
 
+bool Match::overlaps(const Match& other) const noexcept {
+  const auto field_overlaps = [](const auto& mine, const auto& theirs) {
+    // Only two concrete, different values separate the matches.
+    return !mine.has_value() || !theirs.has_value() || *mine == *theirs;
+  };
+  return field_overlaps(flow, other.flow) &&
+         field_overlaps(src_host, other.src_host) &&
+         field_overlaps(dst_host, other.dst_host) &&
+         field_overlaps(in_port, other.in_port);
+}
+
 int Match::specificity() const noexcept {
   int fields = 0;
   if (flow.has_value()) ++fields;

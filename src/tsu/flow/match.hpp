@@ -35,6 +35,12 @@ struct Match {
   // vs. non-strict FlowMod deletion semantics).
   bool subsumes(const Match& other) const noexcept;
 
+  // True if some packet is covered by both matches. Two matches are
+  // disjoint exactly when some field is concrete in both with different
+  // values; everything else (wildcards included) intersects. This is the
+  // conservative rule-overlap test behind conflict-aware admission.
+  bool overlaps(const Match& other) const noexcept;
+
   // Exact equality of the match structure (OpenFlow "strict" comparisons).
   bool operator==(const Match&) const = default;
 

@@ -90,6 +90,7 @@ struct BodyEncoder {
   }
   void operator()(const FlowMod& mod) const {
     w.u8(static_cast<std::uint8_t>(mod.command));
+    w.u8(mod.table);
     w.u16(mod.priority);
     w.u64(mod.cookie);
     encode_match(w, mod.match);
@@ -160,6 +161,8 @@ Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size,
       if (command.value() != 0 && command.value() != 1 &&
           command.value() != 3 && command.value() != 4)
         return make_error(Errc::kParseError, "unknown FlowMod command");
+      const Result<std::uint8_t> table = r.u8();
+      if (!table.ok()) return table.error();
       const Result<std::uint16_t> priority = r.u16();
       if (!priority.ok()) return priority.error();
       const Result<std::uint64_t> cookie = r.u64();
@@ -170,6 +173,7 @@ Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size,
       if (!action.ok()) return action.error();
       FlowMod mod;
       mod.command = static_cast<FlowModCommand>(command.value());
+      mod.table = table.value();
       mod.priority = priority.value();
       mod.cookie = cookie.value();
       mod.match = std::move(match).value();

@@ -66,6 +66,10 @@ const char* to_string(FlowModCommand command) noexcept;
 
 struct FlowMod {
   FlowModCommand command = FlowModCommand::kAdd;
+  // Target flow table (OpenFlow table_id). The simulated switches hold one
+  // table per id today, but the id already scopes rule footprints for
+  // conflict-aware admission: mods to different tables never conflict.
+  std::uint8_t table = 0;
   std::uint16_t priority = 100;
   std::uint64_t cookie = 0;
   flow::Match match;

@@ -160,6 +160,24 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
       message.interval_ms = value.as_double();
       if (message.interval_ms < 0)
         return make_error(Errc::kOutOfRange, "'interval' must be >= 0");
+    } else if (key == "admission") {
+      if (!value.is_string())
+        return make_error(Errc::kParseError, "'admission' must be a string");
+      const std::optional<controller::AdmissionPolicy> policy =
+          controller::admission_policy_from_string(value.as_string());
+      if (!policy.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown admission policy '" + value.as_string() +
+                              "' (blind | conflict_aware | serialize)");
+      message.admission = *policy;
+    } else if (key == "max_in_flight") {
+      if (!value.is_number() || value.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'max_in_flight' must be >= 1");
+      message.max_in_flight = static_cast<std::size_t>(value.as_int());
+    } else if (key == "batch_frames") {
+      if (!value.is_bool())
+        return make_error(Errc::kParseError, "'batch_frames' must be a bool");
+      message.batch_frames = value.as_bool();
     } else {
       Result<proto::FlowModCommand> command = command_for_key(key);
       if (!command.ok()) return command.error();
@@ -193,6 +211,14 @@ std::string to_json(const RestUpdateMessage& message) {
   if (message.waypoint.has_value())
     root.set("wp", json::Value(static_cast<std::int64_t>(*message.waypoint)));
   root.set("interval", json::Value(message.interval_ms));
+  if (message.admission.has_value())
+    root.set("admission",
+             json::Value(controller::to_string(*message.admission)));
+  if (message.max_in_flight.has_value())
+    root.set("max_in_flight",
+             json::Value(static_cast<std::int64_t>(*message.max_in_flight)));
+  if (message.batch_frames.has_value())
+    root.set("batch_frames", json::Value(*message.batch_frames));
 
   json::Array add, modify, del;
   for (const FlowModSpec& spec : message.flow_mods) {
@@ -283,6 +309,15 @@ Result<update::Instance> to_instance(const RestUpdateMessage& message,
 
   return update::Instance::make(std::move(old_path).value(),
                                 std::move(new_path).value(), waypoint);
+}
+
+void apply_controller_overrides(const RestUpdateMessage& message,
+                                controller::ControllerConfig& config) {
+  if (message.admission.has_value()) config.admission = *message.admission;
+  if (message.max_in_flight.has_value())
+    config.max_in_flight = *message.max_in_flight;
+  if (message.batch_frames.has_value())
+    config.batch_frames = *message.batch_frames;
 }
 
 }  // namespace tsu::rest

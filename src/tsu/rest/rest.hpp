@@ -16,11 +16,14 @@
 // waypoint is a string, which can be converted to an integer value").
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "tsu/controller/admission.hpp"
+#include "tsu/controller/controller.hpp"
 #include "tsu/proto/messages.hpp"
 #include "tsu/topo/topology.hpp"
 #include "tsu/update/instance.hpp"
@@ -40,6 +43,12 @@ struct RestUpdateMessage {
   std::optional<DatapathId> waypoint;
   double interval_ms = 0;
   std::vector<FlowModSpec> flow_mods;
+  // Optional controller knobs carried in the header, beyond the paper's
+  // schema: how the serving controller should admit this and concurrent
+  // requests. Absent fields leave the controller's configuration alone.
+  std::optional<controller::AdmissionPolicy> admission;
+  std::optional<std::size_t> max_in_flight;
+  std::optional<bool> batch_frames;
 };
 
 // Parses the JSON request body. Unknown body keys are rejected; "add",
@@ -53,5 +62,10 @@ std::string to_json(const RestUpdateMessage& message);
 // an update instance.
 Result<update::Instance> to_instance(const RestUpdateMessage& message,
                                      const topo::Topology& topology);
+
+// Applies the message's optional controller knobs (admission policy,
+// max_in_flight, batch_frames) onto a controller configuration.
+void apply_controller_overrides(const RestUpdateMessage& message,
+                                controller::ControllerConfig& config);
 
 }  // namespace tsu::rest

@@ -1,5 +1,7 @@
 #include "tsu/sim/event_queue.hpp"
 
+#include <utility>
+
 #include "tsu/util/assert.hpp"
 
 namespace tsu::sim {
@@ -7,7 +9,7 @@ namespace tsu::sim {
 EventId EventQueue::push(SimTime at, EventFn fn) {
   const EventId id = next_id_++;
   heap_.push(Entry{at, id});
-  pending_.emplace(id, std::move(fn));
+  pending_.emplace(id, Pending{at, std::move(fn)});
   ++live_;
   return id;
 }
@@ -17,7 +19,18 @@ bool EventQueue::cancel(EventId id) {
   if (it == pending_.end()) return false;
   pending_.erase(it);
   --live_;
+  maybe_compact();
   return true;
+}
+
+void EventQueue::maybe_compact() {
+  if (heap_.size() < kCompactMinimum) return;
+  if (heap_.size() <= kCompactSlack * live_) return;
+  std::vector<Entry> entries;
+  entries.reserve(pending_.size());
+  for (const auto& [id, pending] : pending_)
+    entries.push_back(Entry{pending.time, id});
+  heap_ = std::priority_queue<Entry>(std::less<Entry>{}, std::move(entries));
 }
 
 bool EventQueue::empty() const noexcept { return live_ == 0; }
@@ -40,7 +53,7 @@ EventQueue::Fired EventQueue::pop() {
     heap_.pop();
     const auto it = pending_.find(top.id);
     if (it == pending_.end()) continue;  // cancelled
-    Fired fired{top.time, std::move(it->second)};
+    Fired fired{top.time, std::move(it->second.fn)};
     pending_.erase(it);
     --live_;
     return fired;

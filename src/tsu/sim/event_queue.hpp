@@ -1,6 +1,12 @@
 // Event queue for the discrete-event simulator: a min-heap on (time, seq)
 // where seq is a monotonically increasing tie-breaker, so simultaneous
 // events fire in scheduling order and runs are fully deterministic.
+//
+// Cancellation is lazy - the slot stays in the heap and is skimmed off when
+// it reaches the top - but the heap compacts itself (a rebuild from the
+// live pending set) whenever cancelled entries outnumber live ones past a
+// threshold, so heavy cancel churn (retransmit timers that almost always
+// get cancelled) cannot grow the heap without bound.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,10 @@ class EventQueue {
 
   bool empty() const noexcept;
   std::size_t size() const noexcept { return live_; }
+  // Heap slots currently allocated, including lazily cancelled ones. The
+  // compaction invariant keeps this within kCompactSlack * size() + a
+  // small constant; exposed so tests can pin the bound.
+  std::size_t heap_size() const noexcept { return heap_.size(); }
   SimTime next_time() const;
 
   // Pops and returns the next live event; callers must check empty() first.
@@ -34,6 +44,12 @@ class EventQueue {
     EventFn fn;
   };
   Fired pop();
+
+  // Compaction tuning (exposed for the regression test): rebuild once the
+  // heap holds more than kCompactSlack x the live count and at least
+  // kCompactMinimum entries.
+  static constexpr std::size_t kCompactSlack = 2;
+  static constexpr std::size_t kCompactMinimum = 64;
 
  private:
   struct Entry {
@@ -46,9 +62,19 @@ class EventQueue {
     }
   };
 
+  struct Pending {
+    SimTime time;
+    EventFn fn;
+  };
+
+  // Rebuilds the heap from pending_ when the cancelled fraction crosses
+  // the threshold. O(live) and amortized free: a rebuild only happens
+  // after at least as many cancels as live entries.
+  void maybe_compact();
+
   std::priority_queue<Entry> heap_;
-  // id -> handler; erased on fire/cancel.
-  std::unordered_map<EventId, EventFn> pending_;
+  // id -> (time, handler); erased on fire/cancel.
+  std::unordered_map<EventId, Pending> pending_;
 
   EventId next_id_ = 0;
   std::size_t live_ = 0;

@@ -64,7 +64,9 @@ void SimSwitch::complete(const proto::Message& message) {
       if (to_controller_) {
         proto::Message reply;
         reply.xid = message.xid;
-        reply.body = proto::FeaturesReply{dpid_, 1};
+        reply.body = proto::FeaturesReply{
+            dpid_, static_cast<std::uint32_t>(
+                       tables_.empty() ? 1 : tables_.size())};
         to_controller_(reply);
       }
       break;
@@ -76,19 +78,22 @@ void SimSwitch::complete(const proto::Message& message) {
 }
 
 void SimSwitch::apply_flow_mod(const proto::FlowMod& mod) {
+  // Mods mutate the table named in the message, so updates admitted as
+  // non-conflicting on the table dimension really touch disjoint state.
+  flow::FlowTable& target = table(mod.table);
   switch (mod.command) {
     case proto::FlowModCommand::kAdd:
-      table_.add(flow::FlowRule{mod.match, mod.action, mod.priority,
+      target.add(flow::FlowRule{mod.match, mod.action, mod.priority,
                                 mod.cookie});
       break;
     case proto::FlowModCommand::kModify:
-      table_.modify(mod.match, mod.priority, mod.action, mod.cookie);
+      target.modify(mod.match, mod.priority, mod.action, mod.cookie);
       break;
     case proto::FlowModCommand::kDelete:
-      table_.remove(mod.match);
+      target.remove(mod.match);
       break;
     case proto::FlowModCommand::kDeleteStrict:
-      table_.remove_strict(mod.match, mod.priority);
+      target.remove_strict(mod.match, mod.priority);
       break;
   }
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 
 #include "tsu/flow/table.hpp"
 #include "tsu/proto/messages.hpp"
@@ -52,9 +53,22 @@ class SimSwitch {
   // Inbound path: the channel delivers controller messages here.
   void receive(const proto::Message& message);
 
-  // Live table as the data plane sees it right now.
-  const flow::FlowTable& table() const noexcept { return table_; }
-  flow::FlowTable& table() noexcept { return table_; }
+  // Live table 0 - the pipeline entry the data plane matches against - as
+  // it stands right now.
+  const flow::FlowTable& table() const noexcept { return table(0); }
+  flow::FlowTable& table() noexcept { return tables_[0]; }
+
+  // A specific flow table by id. FlowMods route to the table named in
+  // their `table` field, so mods on different table ids really do mutate
+  // different state - the physical grounding of the admission footprint's
+  // table dimension. (Packet lookups stay in table 0: the pipeline model
+  // has no goto-table.)
+  const flow::FlowTable& table(std::uint8_t id) const noexcept {
+    static const flow::FlowTable kEmpty;
+    const auto it = tables_.find(id);
+    return it != tables_.end() ? it->second : kEmpty;
+  }
+  flow::FlowTable& table(std::uint8_t id) noexcept { return tables_[id]; }
 
   // True when no message is being processed and the inbox is empty.
   bool quiescent() const noexcept { return !busy_ && inbox_.empty(); }
@@ -78,7 +92,9 @@ class SimSwitch {
   Rng rng_;
   SendFn to_controller_;
 
-  flow::FlowTable table_;
+  // Flow tables by table id; created on first touch. Table 0 serves the
+  // data plane.
+  std::map<std::uint8_t, flow::FlowTable> tables_;
   std::deque<proto::Message> inbox_;
   bool busy_ = false;
 

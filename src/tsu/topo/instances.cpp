@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "tsu/graph/path.hpp"
+#include "tsu/update/schedulers.hpp"
+#include "tsu/util/assert.hpp"
 
 namespace tsu::topo {
 
@@ -111,6 +114,39 @@ update::Instance random_instance(Rng& rng,
   // Unreachable; keeps the compiler happy.
   return std::move(
       update::Instance::make({0, 1}, {0, 1}, std::nullopt)).value();
+}
+
+std::vector<update::Instance> pool_workload(std::size_t count,
+                                            std::size_t pool_switches) {
+  const std::size_t blocks = pool_switches / 6;
+  TSU_ASSERT_MSG(blocks > 0, "pool_workload needs at least 6 switches");
+  std::vector<update::Instance> instances;
+  instances.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId base = static_cast<NodeId>((i % blocks) * 6);
+    const graph::Path old_path{base, base + 1, base + 2, base + 3};
+    const graph::Path new_path{base, base + 4, base + 5, base + 3};
+    instances.push_back(
+        std::move(update::Instance::make(old_path, new_path)).value());
+  }
+  return instances;
+}
+
+Result<PlannedPoolWorkload> planned_pool_workload(std::size_t count,
+                                                  std::size_t pool_switches) {
+  PlannedPoolWorkload w;
+  w.instances = pool_workload(count, pool_switches);
+  w.schedules.reserve(count);
+  for (const update::Instance& inst : w.instances) {
+    Result<update::Schedule> schedule = update::plan_peacock(inst);
+    if (!schedule.ok()) return schedule.error();
+    w.schedules.push_back(std::move(schedule).value());
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    w.instance_ptrs.push_back(&w.instances[i]);
+    w.schedule_ptrs.push_back(&w.schedules[i]);
+  }
+  return w;
 }
 
 Topology topology_for(const update::Instance& inst) {

@@ -4,10 +4,13 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "tsu/topo/topology.hpp"
 #include "tsu/update/instance.hpp"
+#include "tsu/update/schedule.hpp"
 #include "tsu/util/rng.hpp"
+#include "tsu/util/status.hpp"
 
 namespace tsu::topo {
 
@@ -55,5 +58,30 @@ update::Instance random_instance(Rng& rng,
 // made bidirectional), hosts at the endpoints. Gives the data-plane
 // simulator something to route over.
 Topology topology_for(const update::Instance& inst);
+
+// Shared-pool workload for admission and scale experiments: `count` update
+// instances whose nodes come from a pool of `pool_switches` switches
+// (rounded down to whole blocks of 6). Instance i lives in block
+// i % (pool / 6): old route <b, b+1, b+2, b+3>, new route
+// <b, b+4, b+5, b+3>. With more instances than blocks, instances share
+// switches (switch-level overlap) while their rules stay disjoint per flow
+// - the workload where rule-level admission beats switch-level and blind
+// stays safe. Requires pool_switches >= 6.
+std::vector<update::Instance> pool_workload(std::size_t count,
+                                            std::size_t pool_switches);
+
+// pool_workload with Peacock schedules already planned, plus the pointer
+// lists the executors take. The pointer vectors reference this struct's
+// own storage (stable across moves: the vectors' heap buffers move with
+// it).
+struct PlannedPoolWorkload {
+  std::vector<update::Instance> instances;
+  std::vector<update::Schedule> schedules;
+  std::vector<const update::Instance*> instance_ptrs;
+  std::vector<const update::Schedule*> schedule_ptrs;
+};
+
+Result<PlannedPoolWorkload> planned_pool_workload(std::size_t count,
+                                                  std::size_t pool_switches);
 
 }  // namespace tsu::topo

@@ -107,8 +107,22 @@ TEST(ConfigTest, RangeChecks) {
   EXPECT_FALSE(parse(R"({"interval_ms": -2})").ok());
   EXPECT_FALSE(parse(R"({"traffic": {"ttl": 0}})").ok());
   EXPECT_FALSE(parse(R"({"use_barriers": "yes"})").ok());
+  EXPECT_FALSE(parse(R"({"max_in_flight": 0})").ok());
+  EXPECT_FALSE(parse(R"({"batch_frames": 1})").ok());
+  EXPECT_FALSE(parse(R"({"admission": "optimistic"})").ok());
   EXPECT_FALSE(parse(R"(42)").ok());
   EXPECT_FALSE(parse(R"(not json)").ok());
+}
+
+TEST(ConfigTest, ControllerKnobsParse) {
+  const Result<ExecutorConfig> parsed = parse(
+      R"({"max_in_flight": 64, "batch_frames": true,
+          "admission": "conflict_aware"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().controller.max_in_flight, 64u);
+  EXPECT_TRUE(parsed.value().controller.batch_frames);
+  EXPECT_EQ(parsed.value().controller.admission,
+            controller::AdmissionPolicy::kConflictAware);
 }
 
 TEST(ConfigTest, RoundTripThroughJson) {
@@ -119,6 +133,9 @@ TEST(ConfigTest, RoundTripThroughJson) {
                                 sim::milliseconds(50), 1.3);
   config.channel.loss_probability = 0.02;
   config.controller.use_barriers = false;
+  config.controller.max_in_flight = 32;
+  config.controller.batch_frames = true;
+  config.controller.admission = controller::AdmissionPolicy::kSerialize;
   config.with_traffic = false;
   config.ttl = 48;
   config.interval = sim::milliseconds(7);
@@ -133,6 +150,9 @@ TEST(ConfigTest, RoundTripThroughJson) {
   EXPECT_NEAR(c.channel.latency.c, 1.3, 1e-9);
   EXPECT_DOUBLE_EQ(c.channel.loss_probability, 0.02);
   EXPECT_FALSE(c.controller.use_barriers);
+  EXPECT_EQ(c.controller.max_in_flight, 32u);
+  EXPECT_TRUE(c.controller.batch_frames);
+  EXPECT_EQ(c.controller.admission, controller::AdmissionPolicy::kSerialize);
   EXPECT_FALSE(c.with_traffic);
   EXPECT_EQ(c.ttl, 48);
   EXPECT_EQ(c.interval, sim::milliseconds(7));

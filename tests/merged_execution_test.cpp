@@ -5,6 +5,7 @@
 #include "tsu/core/executor.hpp"
 #include "tsu/core/planner.hpp"
 #include "tsu/topo/instances.hpp"
+#include "tsu/update/schedulers.hpp"
 #include "tsu/util/rng.hpp"
 
 namespace tsu::core {
@@ -103,6 +104,79 @@ TEST(MergedExecutionTest, FlowsRemainIsolatedInTables) {
 
 TEST(MergedExecutionTest, RejectsEmptyInput) {
   EXPECT_FALSE(execute_merged({}, {}, ExecutorConfig{}).ok());
+}
+
+TEST(MixedExecutionTest, MergedRequestComposesWithIndependentRequests) {
+  // One merged request (two policies sharing switches 3 and 5) plus two
+  // rule-disjoint independent policies, all through one controller under
+  // conflict-aware admission: the independents must overlap the merged
+  // request in time, and every policy stays violation-free. Waypoint-free
+  // variants of the shared-switch policies, so Peacock's loop- and
+  // blackhole-free guarantee makes every monitor count zero.
+  const update::Instance a =
+      std::move(update::Instance::make({1, 2, 3, 4, 8, 5, 6, 12},
+                                       {1, 7, 5, 3, 2, 9, 10, 11, 12}))
+          .value();
+  const update::Instance b =
+      std::move(update::Instance::make({20, 3, 5, 21}, {20, 22, 3, 5, 21}))
+          .value();
+  std::vector<update::Instance> pool = topo::pool_workload(2, 12);
+  // Shift the pool policies out of a/b's node range (a/b use ids < 23).
+  std::vector<update::Instance> independents;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const NodeId base = static_cast<NodeId>(30 + i * 6);
+    const graph::Path old_path{base, base + 1, base + 2, base + 3};
+    const graph::Path new_path{base, base + 4, base + 5, base + 3};
+    independents.push_back(
+        std::move(update::Instance::make(old_path, new_path)).value());
+  }
+  const update::Schedule sa = plan(a, Algorithm::kPeacock).value().schedule;
+  const update::Schedule sb = plan(b, Algorithm::kPeacock).value().schedule;
+  const update::Schedule s0 = update::plan_peacock(independents[0]).value();
+  const update::Schedule s1 = update::plan_peacock(independents[1]).value();
+
+  ExecutorConfig config = jittery(11);
+  config.controller.max_in_flight = 3;
+  config.controller.admission = controller::AdmissionPolicy::kConflictAware;
+
+  const std::vector<const update::Instance*> instances{
+      &a, &b, &independents[0], &independents[1]};
+  const std::vector<const update::Schedule*> schedules{&sa, &sb, &s0, &s1};
+  const Result<MixedExecutionResult> run = execute_mixed(
+      instances, schedules, {{0, 1}, {2}, {3}}, config);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const MixedExecutionResult& result = run.value();
+
+  ASSERT_EQ(result.updates.size(), 3u);  // merged + two independents
+  ASSERT_EQ(result.traffic.size(), 4u);  // per policy
+  for (const dataplane::MonitorReport& report : result.traffic) {
+    EXPECT_GT(report.total, 0u);
+    EXPECT_EQ(report.bypassed, 0u);
+    EXPECT_EQ(report.looped, 0u);
+    EXPECT_EQ(report.blackholed, 0u);
+  }
+
+  // No rule overlap between the merged request and the independents, so
+  // all three requests ran concurrently.
+  EXPECT_EQ(result.conflict_edges, 0u);
+  EXPECT_EQ(result.max_in_flight_observed, 3u);
+  const controller::UpdateMetrics& merged_update = result.updates[0];
+  for (std::size_t r = 1; r < result.updates.size(); ++r)
+    EXPECT_LT(result.updates[r].started, merged_update.finished);
+}
+
+TEST(MixedExecutionTest, RejectsNonPartitionGroups) {
+  const update::Instance a = policy_one();
+  const update::Instance b = policy_two();
+  const update::Schedule sa = plan(a, Algorithm::kWayUp).value().schedule;
+  const update::Schedule sb = plan(b, Algorithm::kWayUp).value().schedule;
+  const std::vector<const update::Instance*> instances{&a, &b};
+  const std::vector<const update::Schedule*> schedules{&sa, &sb};
+  EXPECT_FALSE(execute_mixed(instances, schedules, {{0}}, {}).ok());
+  EXPECT_FALSE(execute_mixed(instances, schedules, {{0, 0}, {1}}, {}).ok());
+  EXPECT_FALSE(execute_mixed(instances, schedules, {{0, 2}, {1}}, {}).ok());
+  EXPECT_FALSE(execute_mixed(instances, schedules, {}, {}).ok());
+  EXPECT_FALSE(execute_mixed(instances, schedules, {{0}, {}}, {}).ok());
 }
 
 TEST(MergedExecutionTest, ManyRandomPoliciesMerge) {

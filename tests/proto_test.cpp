@@ -121,6 +121,7 @@ TEST(CodecTest, FlowModAllCommands) {
         FlowModCommand::kDeleteStrict}) {
     FlowMod mod;
     mod.command = command;
+    mod.table = 3;
     mod.priority = 321;
     mod.cookie = 0x1122334455667788ULL;
     mod.match.flow = 99;
@@ -128,6 +129,7 @@ TEST(CodecTest, FlowModAllCommands) {
     const Message m = round_trip(make_flow_mod(11, mod));
     const auto& decoded = std::get<FlowMod>(m.body);
     EXPECT_EQ(decoded.command, command);
+    EXPECT_EQ(decoded.table, 3);
     EXPECT_EQ(decoded.priority, 321);
     EXPECT_EQ(decoded.cookie, mod.cookie);
     EXPECT_EQ(decoded.match, mod.match);

@@ -61,6 +61,49 @@ TEST(RestParseTest, WaypointAndBodyOptional) {
   EXPECT_DOUBLE_EQ(parsed.value().interval_ms, 0.0);
 }
 
+TEST(RestParseTest, ControllerKnobsParsedAndApplied) {
+  const Result<RestUpdateMessage> parsed = parse_update_message(
+      R"({"oldpath": [1, 2], "newpath": [1, 2],
+          "admission": "conflict_aware", "max_in_flight": 16,
+          "batch_frames": true})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().admission,
+            controller::AdmissionPolicy::kConflictAware);
+  EXPECT_EQ(parsed.value().max_in_flight, 16u);
+  EXPECT_EQ(parsed.value().batch_frames, true);
+
+  controller::ControllerConfig config;
+  apply_controller_overrides(parsed.value(), config);
+  EXPECT_EQ(config.admission, controller::AdmissionPolicy::kConflictAware);
+  EXPECT_EQ(config.max_in_flight, 16u);
+  EXPECT_TRUE(config.batch_frames);
+
+  // Absent knobs leave the config alone.
+  const Result<RestUpdateMessage> plain =
+      parse_update_message(R"({"oldpath": [1, 2], "newpath": [1, 2]})");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().admission.has_value());
+  controller::ControllerConfig untouched;
+  untouched.max_in_flight = 4;
+  apply_controller_overrides(plain.value(), untouched);
+  EXPECT_EQ(untouched.max_in_flight, 4u);
+  EXPECT_EQ(untouched.admission, controller::AdmissionPolicy::kBlind);
+}
+
+TEST(RestParseTest, RejectsBadControllerKnobs) {
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1],
+                       "admission": "optimistic"})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1], "max_in_flight": 0})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1],
+                       "batch_frames": "yes"})")
+                   .ok());
+}
+
 TEST(RestParseTest, RejectsMissingPaths) {
   EXPECT_FALSE(parse_update_message(R"({"newpath": [1, 2]})").ok());
   EXPECT_FALSE(parse_update_message(R"({"oldpath": [1, 2]})").ok());
@@ -141,6 +184,21 @@ TEST(RestRoundTripTest, ToJsonParsesBack) {
     EXPECT_EQ(second.value().flow_mods[i].mod.action,
               first.value().flow_mods[i].mod.action);
   }
+}
+
+TEST(RestRoundTripTest, ControllerKnobsSurviveRoundTrip) {
+  RestUpdateMessage message;
+  message.old_path = {1, 2};
+  message.new_path = {1, 2};
+  message.admission = controller::AdmissionPolicy::kSerialize;
+  message.max_in_flight = 8;
+  message.batch_frames = false;
+  const Result<RestUpdateMessage> back =
+      parse_update_message(to_json(message));
+  ASSERT_TRUE(back.ok()) << to_json(message);
+  EXPECT_EQ(back.value().admission, controller::AdmissionPolicy::kSerialize);
+  EXPECT_EQ(back.value().max_in_flight, 8u);
+  EXPECT_EQ(back.value().batch_frames, false);
 }
 
 TEST(RestToInstanceTest, MapsDatapathsToNodes) {

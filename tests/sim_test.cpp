@@ -65,6 +65,57 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
 
 // -------------------------------------------------------------- Simulator --
 
+TEST(EventQueueTest, CompactionBoundsHeapUnderCancelChurn) {
+  // Retransmit-timer pattern: almost every scheduled event gets cancelled.
+  // Lazy cancellation alone would grow the heap to the total push count;
+  // compaction must keep it within the documented bound throughout.
+  EventQueue q;
+  std::vector<EventId> batch;
+  for (int round = 0; round < 200; ++round) {
+    batch.clear();
+    for (int i = 0; i < 500; ++i)
+      batch.push_back(q.push(1000 + round, []() {}));
+    // Cancel all but one per round (the one that "times out").
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) q.cancel(batch[i]);
+    ASSERT_LE(q.heap_size(), EventQueue::kCompactSlack * q.size() +
+                                 EventQueue::kCompactMinimum)
+        << "round " << round;
+  }
+  EXPECT_EQ(q.size(), 200u);  // one survivor per round
+  // The heap is within a small factor of the live count, not the ~100k
+  // events ever pushed.
+  EXPECT_LE(q.heap_size(), EventQueue::kCompactSlack * q.size() +
+                               EventQueue::kCompactMinimum);
+  // Surviving events still fire in order after all those rebuilds.
+  SimTime last = 0;
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    const auto event = q.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+    ++fired;
+  }
+  EXPECT_EQ(fired, 200u);
+}
+
+TEST(EventQueueTest, CompactionPreservesCancelSemantics) {
+  // Cancelling an id that survived a rebuild must still work, and ids of
+  // compacted-away entries must stay invalid.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 300; ++i) ids.push_back(q.push(10 + i, []() {}));
+  for (int i = 0; i < 290; ++i) EXPECT_TRUE(q.cancel(ids[i]));  // compacts
+  EXPECT_FALSE(q.cancel(ids[0]));      // already cancelled
+  EXPECT_TRUE(q.cancel(ids[295]));     // survivor, still cancellable
+  EXPECT_EQ(q.size(), 9u);
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 9u);
+}
+
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
   Simulator sim;
   EXPECT_EQ(sim.now(), 0u);
