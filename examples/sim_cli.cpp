@@ -14,6 +14,7 @@
 //
 // Workloads: fig1 | reversal:<n> | random:<seed>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -34,11 +35,16 @@ void usage() {
                "               [--flows N] [--switches S]\n"
                "               [--admission blind|conflict_aware|serialize]\n"
                "               [--max-in-flight K] [--batch]\n"
+               "               [--batch-mode off|instant|window|adaptive]\n"
+               "               [--batch-window-ms MS] [--batch-bytes N]\n"
                "  algorithms: oneshot twophase wayup peacock slf-greedy "
                "secure optimal\n"
                "  workloads : fig1 | reversal:<n> | random:<seed>\n"
                "  --flows >1 runs the concurrent multi-flow engine on a\n"
-               "  shared pool of --switches switches (default 6 per flow)\n");
+               "  shared pool of --switches switches (default 6 per flow)\n"
+               "  --batch is the legacy alias for --batch-mode instant;\n"
+               "  window/adaptive hold a per-switch outbox up to the window\n"
+               "  (or byte budget) to pack cross-flow frames\n");
 }
 
 // Multi-flow mode: N peacock-planned flows over a shared switch pool,
@@ -56,10 +62,14 @@ int run_multiflow(std::size_t flows, std::size_t switches,
   const topo::PlannedPoolWorkload w = std::move(workload).value();
 
   std::printf("flows    : %zu over %zu switches\n", flows, switches);
-  std::printf("admission: %s, max_in_flight %zu, batching %s\n",
+  std::printf("admission: %s, max_in_flight %zu, batch_mode %s "
+              "(window %.2f ms, budget %zu B)\n",
               controller::to_string(config.controller.admission),
               config.controller.max_in_flight,
-              config.controller.batch_frames ? "on" : "off");
+              controller::to_string(
+                  controller::effective_batch_mode(config.controller)),
+              sim::to_ms(config.controller.batch_window),
+              config.controller.batch_bytes);
 
   const Result<core::MultiFlowExecutionResult> run =
       core::execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
@@ -76,6 +86,12 @@ int run_multiflow(std::size_t flows, std::size_t switches,
               static_cast<unsigned long long>(result.blocked_submissions));
   std::printf("frames   : %zu (%zu logical messages)\n", result.frames_sent,
               result.messages_sent);
+  std::printf("batching : %zu batches (%zu coalesced), %zu timer / %zu "
+              "budget flushes, max hold %.3f ms\n",
+              result.batching.batches_sent,
+              result.batching.messages_coalesced,
+              result.batching.timer_flushes, result.batching.budget_flushes,
+              result.batching.max_hold_ms());
   std::printf("traffic  : %zu packets, %zu bypassed, %zu looped, "
               "%zu blackholed\n",
               result.aggregate.total, result.aggregate.bypassed,
@@ -116,6 +132,9 @@ int main(int argc, char** argv) {
   std::optional<controller::AdmissionPolicy> admission_flag;
   std::optional<std::size_t> max_in_flight_flag;
   bool batch_flag = false;
+  std::optional<controller::BatchMode> batch_mode_flag;
+  std::optional<double> batch_window_ms_flag;
+  std::optional<std::size_t> batch_bytes_flag;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -159,6 +178,23 @@ int main(int argc, char** argv) {
       max_in_flight_flag = static_cast<std::size_t>(*n);
     } else if (arg == "--batch") {
       batch_flag = true;
+    } else if (arg == "--batch-mode") {
+      const char* v = next();
+      const auto mode =
+          v != nullptr ? controller::batch_mode_from_string(v) : std::nullopt;
+      if (!mode.has_value()) return usage(), 1;
+      batch_mode_flag = *mode;
+    } else if (arg == "--batch-window-ms") {
+      const char* v = next();
+      char* endp = nullptr;
+      const double ms = v != nullptr ? std::strtod(v, &endp) : -1;
+      if (v == nullptr || endp == v || ms < 0) return usage(), 1;
+      batch_window_ms_flag = ms;
+    } else if (arg == "--batch-bytes") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1) return usage(), 1;
+      batch_bytes_flag = static_cast<std::size_t>(*n);
     } else if (arg == "--config") {
       const char* v = next();
       if (v == nullptr) return usage(), 1;
@@ -189,6 +225,16 @@ int main(int argc, char** argv) {
   if (max_in_flight_flag.has_value())
     config.controller.max_in_flight = *max_in_flight_flag;
   if (batch_flag) config.controller.batch_frames = true;
+  if (batch_mode_flag.has_value()) {
+    config.controller.batch_mode = *batch_mode_flag;
+    // Explicit mode retires the legacy alias: --batch-mode off wins over
+    // --batch and over a config file's batch_frames.
+    config.controller.batch_frames = false;
+  }
+  if (batch_window_ms_flag.has_value())
+    config.controller.batch_window = sim::from_ms(*batch_window_ms_flag);
+  if (batch_bytes_flag.has_value())
+    config.controller.batch_bytes = *batch_bytes_flag;
 
   if (flows > 1) {
     if (switches == 0) switches = flows * 6;

@@ -4,16 +4,41 @@
 #include <unordered_set>
 #include <utility>
 
+#include "tsu/proto/codec.hpp"
 #include "tsu/util/log.hpp"
 
 namespace tsu::controller {
 
 namespace {
 
-// Keep batch frames comfortably below the codec's 64 KiB frame cap.
+// Keep batch frames comfortably below the codec's 64 KiB frame cap: a
+// flush splits its outbox into chunks bounded by both limits.
 constexpr std::size_t kMaxBatchMessages = 128;
+constexpr std::size_t kMaxBatchBytes = 48 * 1024;
+
+// kAdaptive: the hold window grows linearly with queue pressure (in-flight
+// plus queued updates) and reaches the full batch_window here.
+constexpr std::size_t kAdaptiveSaturation = 8;
 
 }  // namespace
+
+const char* to_string(BatchMode mode) noexcept {
+  switch (mode) {
+    case BatchMode::kOff: return "off";
+    case BatchMode::kInstant: return "instant";
+    case BatchMode::kWindow: return "window";
+    case BatchMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<BatchMode> batch_mode_from_string(std::string_view name) {
+  if (name == "off") return BatchMode::kOff;
+  if (name == "instant") return BatchMode::kInstant;
+  if (name == "window") return BatchMode::kWindow;
+  if (name == "adaptive") return BatchMode::kAdaptive;
+  return std::nullopt;
+}
 
 void Controller::attach_switch(NodeId node, SendFn send) {
   TSU_ASSERT_MSG(send != nullptr, "null switch link");
@@ -65,43 +90,116 @@ void Controller::maybe_start_next_request() {
   }
 }
 
+sim::Duration Controller::adaptive_window() const noexcept {
+  // Round-boundary collapse: with at most one update in the system, a
+  // round's trailing barrier is provably the last message for its switches
+  // until the replies return - holding it would buy nothing but latency.
+  const std::size_t pressure = active_.size() + queue_.size();
+  if (pressure <= 1) return 0;
+  if (pressure >= kAdaptiveSaturation) return config_.batch_window;
+  return config_.batch_window * pressure / kAdaptiveSaturation;
+}
+
 void Controller::send_to_switch(NodeId node, proto::Message message) {
   const auto it = switches_.find(node);
   TSU_ASSERT_MSG(it != switches_.end(), "message for unattached switch");
-  if (!config_.batch_frames) {
+  if (batch_mode_ == BatchMode::kOff) {
     it->second(message);
     return;
   }
-  outbox_[node].push_back(std::move(message));
-  if (!flush_scheduled_) {
-    flush_scheduled_ = true;
-    sim_.schedule(0, [this]() { flush_outbox(); });
+
+  Outbox& box = outbox_[node];
+  const std::size_t bytes = proto::encoded_size(message);
+  box.bytes += bytes;
+  box.entries.push_back(OutboxEntry{std::move(message), sim_.now(), bytes});
+
+  if (batch_mode_ == BatchMode::kInstant) {
+    // Same-instant coalescing: one zero-delay event ships every outbox.
+    if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      sim_.schedule(0, [this]() {
+        flush_scheduled_ = false;
+        flush_all(FlushTrigger::kInstant);
+      });
+    }
+    return;
+  }
+
+  // kWindow / kAdaptive: the byte budget (or frame cap) force-flushes
+  // ahead of the hold window...
+  if (box.bytes >= config_.batch_bytes ||
+      box.entries.size() >= kMaxBatchMessages) {
+    flush_switch(node, FlushTrigger::kBudget);
+    return;
+  }
+  // ...otherwise the first message of a fill arms the cancellable flush
+  // timer. Arming on first-touch is what bounds the hold: every later
+  // message of this fill waits strictly less than the full window.
+  if (!box.timer_armed) {
+    box.timer_armed = true;
+    const sim::Duration window = batch_mode_ == BatchMode::kAdaptive
+                                     ? adaptive_window()
+                                     : config_.batch_window;
+    box.timer = sim_.schedule(window, [this, node]() {
+      outbox_.at(node).timer_armed = false;
+      flush_switch(node, FlushTrigger::kTimer);
+    });
   }
 }
 
-void Controller::flush_outbox() {
-  flush_scheduled_ = false;
-  std::map<NodeId, std::vector<proto::Message>> outbox;
-  outbox.swap(outbox_);
-  for (auto& [node, messages] : outbox) {
-    const SendFn& send = switches_.at(node);
-    for (std::size_t begin = 0; begin < messages.size();
-         begin += kMaxBatchMessages) {
-      const std::size_t end =
-          std::min(messages.size(), begin + kMaxBatchMessages);
-      // A chunk of one (lone message, or the tail of an exact-multiple
-      // split) gains nothing from batch framing: send it plain.
-      if (end - begin == 1) {
-        send(messages[begin]);
-        continue;
-      }
-      std::vector<proto::Message> chunk(
-          std::make_move_iterator(messages.begin() + begin),
-          std::make_move_iterator(messages.begin() + end));
+void Controller::flush_switch(NodeId node, FlushTrigger trigger) {
+  Outbox& box = outbox_.at(node);
+  if (box.timer_armed) {
+    box.timer_armed = false;
+    sim_.cancel(box.timer);
+    ++flush_timers_cancelled_;
+  }
+  if (box.entries.empty()) return;
+  switch (trigger) {
+    case FlushTrigger::kInstant: break;
+    case FlushTrigger::kTimer: ++timer_flushes_; break;
+    case FlushTrigger::kBudget: ++budget_flushes_; break;
+  }
+
+  std::vector<OutboxEntry> entries;
+  entries.swap(box.entries);
+  box.bytes = 0;
+  const sim::SimTime now = sim_.now();
+  for (const OutboxEntry& entry : entries)
+    max_hold_ = std::max(max_hold_, now - entry.enqueued);
+
+  const SendFn& send = switches_.at(node);
+  std::size_t begin = 0;
+  while (begin < entries.size()) {
+    // Grow the chunk until either frame limit would be crossed.
+    std::size_t end = begin + 1;
+    std::size_t chunk_bytes = entries[begin].bytes;
+    while (end < entries.size() && end - begin < kMaxBatchMessages &&
+           chunk_bytes + entries[end].bytes <= kMaxBatchBytes) {
+      chunk_bytes += entries[end].bytes;
+      ++end;
+    }
+    // A chunk of one (lone message, or the tail of a split) gains nothing
+    // from batch framing: send it plain.
+    if (end - begin == 1) {
+      send(entries[begin].message);
+    } else {
+      std::vector<proto::Message> chunk;
+      chunk.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        chunk.push_back(std::move(entries[i].message));
       messages_coalesced_ += chunk.size();
       ++batches_sent_;
       send(proto::make_batch(next_xid(), std::move(chunk)));
     }
+    begin = end;
+  }
+}
+
+void Controller::flush_all(FlushTrigger trigger) {
+  for (auto& [node, box] : outbox_) {
+    (void)box;
+    flush_switch(node, trigger);
   }
 }
 

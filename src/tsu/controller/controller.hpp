@@ -21,11 +21,34 @@
 // admission policy (admission.hpp): conflict-aware admission computes each
 // request's touched-rule footprint and only starts it once it overlaps
 // nothing in flight, so overlapping updates queue behind their conflicts
-// while disjoint ones parallelize. With
-// `batch_frames`, all messages bound for the same switch within one
-// simulation instant - FlowMods and barrier requests, across all in-flight
-// flows - coalesce into a single Batch control frame, the way a production
-// controller packs messages into one TCP segment.
+// while disjoint ones parallelize.
+//
+// Outbound messages flow through a per-switch OUTBOX (BatchMode): every
+// message bound for one switch - FlowMods and barrier requests, across all
+// in-flight flows - accumulates in that switch's outbox and ships as a
+// single Batch control frame, the way a production controller packs
+// messages into one TCP segment. When the outbox flushes is the mode:
+//
+//   kOff      every message is its own frame (no outbox).
+//   kInstant  a zero-delay event flushes all outboxes, so only messages of
+//             the same simulation instant coalesce (the PR-1 behaviour,
+//             still reachable via the legacy `batch_frames` bool).
+//   kWindow   each outbox holds its messages up to `batch_window` behind a
+//             cancellable flush timer, so messages of *different* instants
+//             share a frame; the accumulated encoded-byte budget
+//             `batch_bytes` (and the frame-size cap) force-flush early.
+//   kAdaptive kWindow, but the hold window scales with queue pressure
+//             (in-flight + queued updates): an idle control plane - where a
+//             round's trailing barrier is provably the last message until
+//             its replies return - collapses to an immediate flush, a
+//             saturated one holds the full window.
+//
+// Liveness invariant for every windowed mode: a non-empty outbox always has
+// a pending flush event, so a round's barriers reach the switch at most
+// `batch_window` after readiness and rounds cannot deadlock - batching
+// trades a bounded per-round latency for fewer, larger frames and never
+// changes per-switch message order (outboxes are FIFO; the switch unpacks
+// batches in order, preserving FlowMod-then-barrier fencing).
 //
 // `use_barriers = false` gives the reckless variant for the barrier-cost
 // ablation (bench E7): all rounds are blasted out back-to-back and a single
@@ -36,6 +59,8 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -47,19 +72,45 @@
 
 namespace tsu::controller {
 
+// When the per-switch outbox flushes; see the file comment.
+enum class BatchMode : std::uint8_t {
+  kOff = 0,
+  kInstant = 1,
+  kWindow = 2,
+  kAdaptive = 3,
+};
+
+const char* to_string(BatchMode mode) noexcept;
+std::optional<BatchMode> batch_mode_from_string(std::string_view name);
+
 struct ControllerConfig {
   bool use_barriers = true;
   // How many update requests may progress concurrently. 1 reproduces the
   // paper's strictly serializing message queue.
   std::size_t max_in_flight = 1;
-  // Coalesce all messages bound for one switch within one simulation
-  // instant into a single Batch frame.
+  // Legacy knob predating BatchMode: true upgrades kOff to kInstant (the
+  // coalescing it used to select). Layers that let a caller set batch_mode
+  // explicitly (config JSON, REST overrides, sim_cli) clear this alias
+  // alongside, so an explicit "off" really turns batching off.
   bool batch_frames = false;
+  // Outbox flush policy and its two budgets: the hold window for
+  // kWindow/kAdaptive and the per-switch encoded-byte force-flush budget.
+  BatchMode batch_mode = BatchMode::kOff;
+  sim::Duration batch_window = sim::microseconds(500);
+  std::size_t batch_bytes = 16 * 1024;
   // How requests are admitted into the in-flight set (see admission.hpp):
   // blind capacity-only, rule-level conflict tracking, or global
   // serialization regardless of max_in_flight.
   AdmissionPolicy admission = AdmissionPolicy::kBlind;
 };
+
+// The flush policy after legacy-knob normalization: `batch_frames` only
+// means kInstant when no explicit mode is set.
+inline BatchMode effective_batch_mode(const ControllerConfig& config) noexcept {
+  if (config.batch_mode == BatchMode::kOff && config.batch_frames)
+    return BatchMode::kInstant;
+  return config.batch_mode;
+}
 
 struct RoundMetrics {
   sim::SimTime started = 0;
@@ -91,6 +142,7 @@ class Controller {
   Controller(sim::Simulator& simulator, ControllerConfig config)
       : sim_(simulator), config_(config), admission_(config.admission) {
     if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+    batch_mode_ = effective_batch_mode(config_);
   }
 
   // Registers the outbound channel towards a switch.
@@ -115,6 +167,18 @@ class Controller {
     return messages_coalesced_;
   }
   std::size_t batches_sent() const noexcept { return batches_sent_; }
+
+  // Outbox observability (kWindow/kAdaptive): flush counts by trigger,
+  // flush timers cancelled by an earlier byte-budget/forced flush, and the
+  // longest any message sat in an outbox past readiness. The latency
+  // regression suite pins max_hold() <= batch_window.
+  std::size_t timer_flushes() const noexcept { return timer_flushes_; }
+  std::size_t budget_flushes() const noexcept { return budget_flushes_; }
+  std::size_t flush_timers_cancelled() const noexcept {
+    return flush_timers_cancelled_;
+  }
+  sim::Duration max_hold() const noexcept { return max_hold_; }
+  BatchMode batch_mode() const noexcept { return batch_mode_; }
 
   // Admission stats: dependency edges the conflict DAG created and
   // requests that entered the queue blocked on a conflict.
@@ -157,11 +221,16 @@ class Controller {
     std::size_t waiting = 0;
   };
 
+  // Why an outbox shipped; drives the observability counters.
+  enum class FlushTrigger { kInstant, kTimer, kBudget };
+
   void maybe_start_next_request();
   void start_round(UpdateId id);
   void send_round_ops(ActiveUpdate& active, const std::vector<RoundOp>& ops);
   void send_to_switch(NodeId node, proto::Message message);
-  void flush_outbox();
+  void flush_switch(NodeId node, FlushTrigger trigger);
+  void flush_all(FlushTrigger trigger);
+  sim::Duration adaptive_window() const noexcept;
   void finish_round(UpdateId id);
   void finish_update(UpdateId id);
 
@@ -184,12 +253,33 @@ class Controller {
   std::size_t max_in_flight_observed_ = 0;
   std::size_t messages_coalesced_ = 0;
   std::size_t batches_sent_ = 0;
+  std::size_t timer_flushes_ = 0;
+  std::size_t budget_flushes_ = 0;
+  std::size_t flush_timers_cancelled_ = 0;
+  sim::Duration max_hold_ = 0;
 
-  // Per-switch messages accumulated within the current instant, flushed by
-  // a zero-delay event (batch_frames mode only). Ordered map so the flush
-  // order is deterministic.
-  std::map<NodeId, std::vector<proto::Message>> outbox_;
-  bool flush_scheduled_ = false;
+  // One pending message of a per-switch outbox: readiness instant and
+  // encoded size, so flushes can account hold latency and byte budgets.
+  struct OutboxEntry {
+    proto::Message message;
+    sim::SimTime enqueued = 0;
+    std::size_t bytes = 0;
+  };
+  struct Outbox {
+    std::vector<OutboxEntry> entries;
+    std::size_t bytes = 0;
+    // Cancellable per-switch flush timer (kWindow/kAdaptive). A budget or
+    // forced flush cancels it; the lazy-cancel event queue compacts the
+    // dead slots (see sim/event_queue.hpp).
+    bool timer_armed = false;
+    sim::EventId timer = 0;
+  };
+
+  // Normalized flush policy (legacy batch_frames folded in at
+  // construction). Ordered map so flush-all order is deterministic.
+  BatchMode batch_mode_ = BatchMode::kOff;
+  std::map<NodeId, Outbox> outbox_;
+  bool flush_scheduled_ = false;  // kInstant: one zero-delay flush-all event
 };
 
 }  // namespace tsu::controller

@@ -97,6 +97,7 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
   if (!value.is_object())
     return make_error(Errc::kParseError, "config must be an object");
   ExecutorConfig config;
+  bool saw_batch_mode = false;
 
   for (const auto& [key, field] : value.as_object()) {
     if (key == "seed") {
@@ -164,6 +165,26 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
       if (!field.is_bool())
         return make_error(Errc::kParseError, "'batch_frames' must be a bool");
       config.controller.batch_frames = field.as_bool();
+    } else if (key == "batch_mode") {
+      if (!field.is_string())
+        return make_error(Errc::kParseError, "'batch_mode' must be a string");
+      const std::optional<controller::BatchMode> mode =
+          controller::batch_mode_from_string(field.as_string());
+      if (!mode.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown batch mode '" + field.as_string() +
+                              "' (off | instant | window | adaptive)");
+      config.controller.batch_mode = *mode;
+      saw_batch_mode = true;
+    } else if (key == "batch_window_ms") {
+      if (!field.is_number() || field.as_double() < 0)
+        return make_error(Errc::kOutOfRange, "'batch_window_ms' must be >= 0");
+      config.controller.batch_window = ms(field.as_double());
+    } else if (key == "batch_bytes") {
+      if (!field.is_number() || field.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'batch_bytes' must be >= 1");
+      config.controller.batch_bytes =
+          static_cast<std::size_t>(field.as_int());
     } else if (key == "admission") {
       if (!field.is_string())
         return make_error(Errc::kParseError, "'admission' must be a string");
@@ -227,6 +248,10 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
                         "unknown config field '" + key + "'");
     }
   }
+  // An explicit batch_mode retires the legacy alias, whatever the key
+  // order: "batch_mode": "off" really means off even next to
+  // "batch_frames": true.
+  if (saw_batch_mode) config.controller.batch_frames = false;
   return config;
 }
 
@@ -288,6 +313,16 @@ json::Value config_to_json(const ExecutorConfig& config) {
   root.set("max_in_flight", json::Value(static_cast<std::int64_t>(
                                 config.controller.max_in_flight)));
   root.set("batch_frames", json::Value(config.controller.batch_frames));
+  // Emitted only when explicit: parsing treats a present batch_mode as
+  // retiring the legacy batch_frames alias, so writing "off" here would
+  // strip instant-mode batching from a legacy config on a round trip.
+  if (config.controller.batch_mode != controller::BatchMode::kOff)
+    root.set("batch_mode",
+             json::Value(controller::to_string(config.controller.batch_mode)));
+  root.set("batch_window_ms",
+           json::Value(sim::to_ms(config.controller.batch_window)));
+  root.set("batch_bytes", json::Value(static_cast<std::int64_t>(
+                              config.controller.batch_bytes)));
   root.set("admission",
            json::Value(controller::to_string(config.controller.admission)));
   root.set("flow", json::Value(static_cast<std::int64_t>(config.flow)));

@@ -11,6 +11,8 @@
 //                 "processing_us": 10 },
 //   "use_barriers": true,
 //   "max_in_flight": 1, "batch_frames": false,
+//   "batch_mode": "off" | "instant" | "window" | "adaptive",
+//   "batch_window_ms": 0.5, "batch_bytes": 16384,
 //   "admission": "blind" | "conflict_aware" | "serialize",
 //   "flow": 1, "priority": 100, "interval_ms": 0,
 //   "traffic":  { "enabled": true, "interarrival": <latency>,

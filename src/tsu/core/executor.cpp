@@ -95,6 +95,54 @@ struct Harness {
   }
 };
 
+// FNV-1a mixing of one 64-bit word into a running digest.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t rule_hash(const flow::FlowRule& rule) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_optional = [&h](const auto& field) {
+    h = mix(h, field.has_value() ? 1 : 0);
+    h = mix(h, field.has_value() ? static_cast<std::uint64_t>(*field) : 0);
+  };
+  mix_optional(rule.match.flow);
+  mix_optional(rule.match.src_host);
+  mix_optional(rule.match.dst_host);
+  mix_optional(rule.match.in_port);
+  h = mix(h, static_cast<std::uint64_t>(rule.action.kind));
+  h = mix(h, rule.action.port);
+  h = mix(h, rule.priority);
+  h = mix(h, rule.cookie);
+  return h;
+}
+
+// Digest of every switch's final forwarding state. Within one table the
+// per-rule hashes combine commutatively (wrapping sum): rules from
+// independent flows may be installed in any interleaving, and the same rule
+// SET must digest identically whatever order batching delivered it in.
+std::uint64_t final_state_digest(const Harness& harness) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (NodeId node = 0; node < harness.switches.size(); ++node) {
+    const switchsim::SimSwitch* sw = harness.switches[node];
+    if (sw == nullptr) continue;
+    h = mix(h, node);
+    for (const auto& [table_id, table] : sw->tables()) {
+      h = mix(h, table_id);
+      h = mix(h, table.size());
+      std::uint64_t rules = 0;
+      for (const flow::FlowRule& rule : table.rules())
+        rules += rule_hash(rule);
+      h = mix(h, rules);
+    }
+  }
+  return h;
+}
+
 void add_instance_switches(Harness& harness, const update::Instance& inst,
                            const ExecutorConfig& config) {
   for (NodeId v = 0; v < inst.node_count(); ++v)
@@ -153,6 +201,8 @@ struct EngineOutput {
   std::size_t max_in_flight_observed = 0;
   std::uint64_t conflict_edges = 0;
   std::uint64_t blocked_submissions = 0;
+  BatchingStats batching;
+  std::uint64_t state_digest = 0;
   sim::Duration makespan = 0;
 };
 
@@ -224,6 +274,13 @@ Result<EngineOutput> run_engine(
   out.max_in_flight_observed = harness.ctrl->max_in_flight_observed();
   out.conflict_edges = harness.ctrl->conflict_edges();
   out.blocked_submissions = harness.ctrl->blocked_submissions();
+  out.batching.batches_sent = harness.ctrl->batches_sent();
+  out.batching.messages_coalesced = harness.ctrl->messages_coalesced();
+  out.batching.timer_flushes = harness.ctrl->timer_flushes();
+  out.batching.budget_flushes = harness.ctrl->budget_flushes();
+  out.batching.flush_timers_cancelled = harness.ctrl->flush_timers_cancelled();
+  out.batching.max_hold = harness.ctrl->max_hold();
+  out.state_digest = final_state_digest(harness);
   out.aggregate = monitors.aggregate();
 
   sim::SimTime first_start = std::numeric_limits<sim::SimTime>::max();
@@ -342,6 +399,8 @@ Result<MultiFlowExecutionResult> execute_multiflow(
   result.max_in_flight_observed = out.value().max_in_flight_observed;
   result.conflict_edges = out.value().conflict_edges;
   result.blocked_submissions = out.value().blocked_submissions;
+  result.batching = out.value().batching;
+  result.final_state_digest = out.value().state_digest;
   result.makespan = out.value().makespan;
   return result;
 }
@@ -435,6 +494,8 @@ Result<MixedExecutionResult> execute_mixed(
   result.max_in_flight_observed = out.value().max_in_flight_observed;
   result.conflict_edges = out.value().conflict_edges;
   result.blocked_submissions = out.value().blocked_submissions;
+  result.batching = out.value().batching;
+  result.final_state_digest = out.value().state_digest;
   result.makespan = out.value().makespan;
   return result;
 }

@@ -70,6 +70,20 @@ Result<std::vector<ExecutionResult>> execute_queue(
 // consistency monitor observe every flow simultaneously. With
 // config.controller.batch_frames the controller coalesces same-instant
 // messages per switch into Batch frames.
+// Batching observability of one engine run (see controller::BatchMode):
+// frames actually batched, what triggered the flushes, and the longest any
+// message was held in an outbox past readiness (bounded by batch_window).
+struct BatchingStats {
+  std::size_t batches_sent = 0;
+  std::size_t messages_coalesced = 0;
+  std::size_t timer_flushes = 0;
+  std::size_t budget_flushes = 0;
+  std::size_t flush_timers_cancelled = 0;
+  sim::Duration max_hold = 0;
+
+  double max_hold_ms() const noexcept { return sim::to_ms(max_hold); }
+};
+
 struct MultiFlowExecutionResult {
   std::vector<ExecutionResult> flows;     // indexed like the input lists
   dataplane::MonitorReport aggregate;     // outcome counts over all flows
@@ -81,6 +95,11 @@ struct MultiFlowExecutionResult {
   // conflict DAG created, and requests that had to wait on a conflict.
   std::uint64_t conflict_edges = 0;
   std::uint64_t blocked_submissions = 0;
+  BatchingStats batching;
+  // Order-insensitive digest of every switch's final flow tables; two runs
+  // installed the same forwarding state iff their digests match (the
+  // batched-vs-unbatched equivalence oracle).
+  std::uint64_t final_state_digest = 0;
   sim::Duration makespan = 0;             // first start -> last finish
 
   double makespan_ms() const noexcept { return sim::to_ms(makespan); }
@@ -124,6 +143,8 @@ struct MixedExecutionResult {
   std::size_t max_in_flight_observed = 0;
   std::uint64_t conflict_edges = 0;
   std::uint64_t blocked_submissions = 0;
+  BatchingStats batching;
+  std::uint64_t final_state_digest = 0;
   sim::Duration makespan = 0;
 
   double makespan_ms() const noexcept { return sim::to_ms(makespan); }

@@ -299,6 +299,44 @@ std::vector<std::byte> encode(const Message& message) {
   return std::move(w).take();
 }
 
+namespace {
+
+std::size_t match_size(const flow::Match& match) {
+  std::size_t n = 1;  // presence bitmap
+  if (match.flow.has_value()) n += 8;
+  if (match.src_host.has_value()) n += 4;
+  if (match.dst_host.has_value()) n += 4;
+  if (match.in_port.has_value()) n += 4;
+  return n;
+}
+
+// Mirrors BodyEncoder field for field; proto_test pins
+// encoded_size(m) == encode(m).size() so the two cannot drift.
+struct BodySizer {
+  std::size_t operator()(const Hello&) const { return 0; }
+  std::size_t operator()(const Error& e) const { return 4 + e.text.size(); }
+  std::size_t operator()(const Echo& e) const { return e.payload.size(); }
+  std::size_t operator()(const FeaturesRequest&) const { return 0; }
+  std::size_t operator()(const FeaturesReply&) const { return 12; }
+  std::size_t operator()(const FlowMod& mod) const {
+    return 1 + 1 + 2 + 8 + match_size(mod.match) + 5;  // action: kind + port
+  }
+  std::size_t operator()(const PacketOut&) const { return 28; }
+  std::size_t operator()(const BarrierRequest&) const { return 0; }
+  std::size_t operator()(const BarrierReply&) const { return 0; }
+  std::size_t operator()(const Batch& batch) const {
+    std::size_t n = 2;  // element count
+    for (const Message& m : batch.messages) n += encoded_size(m);
+    return n;
+  }
+};
+
+}  // namespace
+
+std::size_t encoded_size(const Message& message) {
+  return kHeaderSize + std::visit(BodySizer{}, message.body);
+}
+
 Result<Message> decode(std::span<const std::byte> data) {
   return decode_impl(data, 0);
 }

@@ -20,6 +20,12 @@ namespace tsu::proto {
 
 std::vector<std::byte> encode(const Message& message);
 
+// Encoded frame size in bytes, computed from the message layout without
+// encoding (allocation-free). The controller's outbox uses this to account
+// its per-switch byte budget against real wire bytes; a codec test pins it
+// to encode().size().
+std::size_t encoded_size(const Message& message);
+
 // Decodes exactly one frame from the start of `data`.
 Result<Message> decode(std::span<const std::byte> data);
 

@@ -178,6 +178,24 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
       if (!value.is_bool())
         return make_error(Errc::kParseError, "'batch_frames' must be a bool");
       message.batch_frames = value.as_bool();
+    } else if (key == "batch_mode") {
+      if (!value.is_string())
+        return make_error(Errc::kParseError, "'batch_mode' must be a string");
+      const std::optional<controller::BatchMode> mode =
+          controller::batch_mode_from_string(value.as_string());
+      if (!mode.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown batch mode '" + value.as_string() +
+                              "' (off | instant | window | adaptive)");
+      message.batch_mode = *mode;
+    } else if (key == "batch_window_ms") {
+      if (!value.is_number() || value.as_double() < 0)
+        return make_error(Errc::kOutOfRange, "'batch_window_ms' must be >= 0");
+      message.batch_window_ms = value.as_double();
+    } else if (key == "batch_bytes") {
+      if (!value.is_number() || value.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'batch_bytes' must be >= 1");
+      message.batch_bytes = static_cast<std::size_t>(value.as_int());
     } else {
       Result<proto::FlowModCommand> command = command_for_key(key);
       if (!command.ok()) return command.error();
@@ -219,6 +237,14 @@ std::string to_json(const RestUpdateMessage& message) {
              json::Value(static_cast<std::int64_t>(*message.max_in_flight)));
   if (message.batch_frames.has_value())
     root.set("batch_frames", json::Value(*message.batch_frames));
+  if (message.batch_mode.has_value())
+    root.set("batch_mode",
+             json::Value(controller::to_string(*message.batch_mode)));
+  if (message.batch_window_ms.has_value())
+    root.set("batch_window_ms", json::Value(*message.batch_window_ms));
+  if (message.batch_bytes.has_value())
+    root.set("batch_bytes",
+             json::Value(static_cast<std::int64_t>(*message.batch_bytes)));
 
   json::Array add, modify, del;
   for (const FlowModSpec& spec : message.flow_mods) {
@@ -318,6 +344,16 @@ void apply_controller_overrides(const RestUpdateMessage& message,
     config.max_in_flight = *message.max_in_flight;
   if (message.batch_frames.has_value())
     config.batch_frames = *message.batch_frames;
+  if (message.batch_mode.has_value()) {
+    config.batch_mode = *message.batch_mode;
+    // The explicit mode retires the legacy alias: "off" must be able to
+    // override a server-side batch_frames = true.
+    config.batch_frames = false;
+  }
+  if (message.batch_window_ms.has_value())
+    config.batch_window = sim::from_ms(*message.batch_window_ms);
+  if (message.batch_bytes.has_value())
+    config.batch_bytes = *message.batch_bytes;
 }
 
 }  // namespace tsu::rest

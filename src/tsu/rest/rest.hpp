@@ -45,10 +45,14 @@ struct RestUpdateMessage {
   std::vector<FlowModSpec> flow_mods;
   // Optional controller knobs carried in the header, beyond the paper's
   // schema: how the serving controller should admit this and concurrent
-  // requests. Absent fields leave the controller's configuration alone.
+  // requests, and how its per-switch outbox batches frames. Absent fields
+  // leave the controller's configuration alone.
   std::optional<controller::AdmissionPolicy> admission;
   std::optional<std::size_t> max_in_flight;
   std::optional<bool> batch_frames;
+  std::optional<controller::BatchMode> batch_mode;
+  std::optional<double> batch_window_ms;
+  std::optional<std::size_t> batch_bytes;
 };
 
 // Parses the JSON request body. Unknown body keys are rejected; "add",
@@ -64,7 +68,8 @@ Result<update::Instance> to_instance(const RestUpdateMessage& message,
                                      const topo::Topology& topology);
 
 // Applies the message's optional controller knobs (admission policy,
-// max_in_flight, batch_frames) onto a controller configuration.
+// max_in_flight, and the batching knobs batch_frames / batch_mode /
+// batch_window_ms / batch_bytes) onto a controller configuration.
 void apply_controller_overrides(const RestUpdateMessage& message,
                                 controller::ControllerConfig& config);
 

@@ -1,5 +1,7 @@
 #include "tsu/switchsim/switch.hpp"
 
+#include <algorithm>
+
 #include "tsu/util/log.hpp"
 
 namespace tsu::switchsim {
@@ -10,9 +12,10 @@ void SimSwitch::receive(const proto::Message& message) {
     // a FlowMod-then-Barrier sequence keeps its fencing semantics while the
     // whole group paid only one channel frame.
     ++batches_received_;
-    for (const proto::Message& m :
-         std::get<proto::Batch>(message.body).messages)
-      inbox_.push_back(m);
+    const proto::Batch& batch = std::get<proto::Batch>(message.body);
+    batched_messages_received_ += batch.messages.size();
+    largest_batch_ = std::max(largest_batch_, batch.messages.size());
+    for (const proto::Message& m : batch.messages) inbox_.push_back(m);
   } else {
     inbox_.push_back(message);
   }

@@ -70,12 +70,23 @@ class SimSwitch {
   }
   flow::FlowTable& table(std::uint8_t id) noexcept { return tables_[id]; }
 
+  // Every flow table by id (for whole-switch state digests).
+  const std::map<std::uint8_t, flow::FlowTable>& tables() const noexcept {
+    return tables_;
+  }
+
   // True when no message is being processed and the inbox is empty.
   bool quiescent() const noexcept { return !busy_ && inbox_.empty(); }
 
   std::size_t flow_mods_applied() const noexcept { return flow_mods_applied_; }
   std::size_t barriers_replied() const noexcept { return barriers_replied_; }
   std::size_t batches_received() const noexcept { return batches_received_; }
+  // Batch expansion: logical messages unpacked from batch frames, and the
+  // largest single batch seen (how hard the outbox actually packed).
+  std::size_t batched_messages_received() const noexcept {
+    return batched_messages_received_;
+  }
+  std::size_t largest_batch() const noexcept { return largest_batch_; }
   const stats::Summary& install_times() const noexcept {
     return install_times_;
   }
@@ -101,6 +112,8 @@ class SimSwitch {
   std::size_t flow_mods_applied_ = 0;
   std::size_t barriers_replied_ = 0;
   std::size_t batches_received_ = 0;
+  std::size_t batched_messages_received_ = 0;
+  std::size_t largest_batch_ = 0;
   stats::Summary install_times_;  // ns
 };
 

@@ -178,6 +178,46 @@ TEST(CodecTest, LengthFieldMatchesFrameSize) {
   EXPECT_EQ(declared, wire.size());
 }
 
+TEST(CodecTest, EncodedSizeMatchesEncodeForEveryBodyShape) {
+  // encoded_size computes frame sizes from the layout without encoding;
+  // this pins it to the encoder so the two cannot drift (the controller's
+  // outbox byte budget depends on it).
+  std::vector<Message> messages;
+  messages.push_back(make_hello(1));
+  messages.push_back(make_barrier_request(2));
+  messages.push_back(make_barrier_reply(3));
+  messages.push_back(make_error(4, 7, "try again"));
+  messages.push_back(make_echo_request(5, {std::byte{1}, std::byte{2}}));
+  messages.push_back(make_echo_reply(6));
+  {
+    Message features;
+    features.xid = 7;
+    features.body = FeaturesReply{42, 3};
+    messages.push_back(features);
+  }
+  {
+    Message out;
+    out.xid = 8;
+    out.body = PacketOut{flow::Packet{9, 1, 2, 3, 64}, 5};
+    messages.push_back(out);
+  }
+  // FlowMods across every match-presence combination.
+  for (int bits = 0; bits < 16; ++bits) {
+    FlowMod mod;
+    if ((bits & 1) != 0) mod.match.flow = 12;
+    if ((bits & 2) != 0) mod.match.src_host = 3;
+    if ((bits & 4) != 0) mod.match.dst_host = 4;
+    if ((bits & 8) != 0) mod.match.in_port = 5;
+    mod.action = flow::Action::forward(9);
+    messages.push_back(make_flow_mod(100 + bits, mod));
+  }
+  for (const Message& m : messages)
+    EXPECT_EQ(encoded_size(m), encode(m).size()) << m.to_string();
+  // And a batch of all of the above.
+  const Message batch = make_batch(999, messages);
+  EXPECT_EQ(encoded_size(batch), encode(batch).size());
+}
+
 TEST(CodecTest, TruncatedFrameRejected) {
   std::vector<std::byte> wire = encode(make_error(5, 1, "text"));
   wire.resize(wire.size() - 3);

@@ -90,6 +90,35 @@ TEST(RestParseTest, ControllerKnobsParsedAndApplied) {
   EXPECT_EQ(untouched.admission, controller::AdmissionPolicy::kBlind);
 }
 
+TEST(RestParseTest, BatchingKnobsParsedAndApplied) {
+  const Result<RestUpdateMessage> parsed = parse_update_message(
+      R"({"oldpath": [1, 2], "newpath": [1, 2],
+          "batch_mode": "adaptive", "batch_window_ms": 0.25,
+          "batch_bytes": 4096})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().batch_mode, controller::BatchMode::kAdaptive);
+  EXPECT_DOUBLE_EQ(*parsed.value().batch_window_ms, 0.25);
+  EXPECT_EQ(parsed.value().batch_bytes, 4096u);
+
+  controller::ControllerConfig config;
+  apply_controller_overrides(parsed.value(), config);
+  EXPECT_EQ(config.batch_mode, controller::BatchMode::kAdaptive);
+  EXPECT_EQ(config.batch_window, sim::microseconds(250));
+  EXPECT_EQ(config.batch_bytes, 4096u);
+  EXPECT_EQ(controller::effective_batch_mode(config),
+            controller::BatchMode::kAdaptive);
+
+  // An explicit "off" header overrides a server-side legacy batch_frames.
+  const Result<RestUpdateMessage> off = parse_update_message(
+      R"({"oldpath": [1, 2], "newpath": [1, 2], "batch_mode": "off"})");
+  ASSERT_TRUE(off.ok());
+  controller::ControllerConfig legacy;
+  legacy.batch_frames = true;
+  apply_controller_overrides(off.value(), legacy);
+  EXPECT_EQ(controller::effective_batch_mode(legacy),
+            controller::BatchMode::kOff);
+}
+
 TEST(RestParseTest, RejectsBadControllerKnobs) {
   EXPECT_FALSE(parse_update_message(
                    R"({"oldpath": [1], "newpath": [1],
@@ -101,6 +130,17 @@ TEST(RestParseTest, RejectsBadControllerKnobs) {
   EXPECT_FALSE(parse_update_message(
                    R"({"oldpath": [1], "newpath": [1],
                        "batch_frames": "yes"})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1],
+                       "batch_mode": "eager"})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1],
+                       "batch_window_ms": -1})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1], "batch_bytes": 0})")
                    .ok());
 }
 
@@ -193,12 +233,18 @@ TEST(RestRoundTripTest, ControllerKnobsSurviveRoundTrip) {
   message.admission = controller::AdmissionPolicy::kSerialize;
   message.max_in_flight = 8;
   message.batch_frames = false;
+  message.batch_mode = controller::BatchMode::kWindow;
+  message.batch_window_ms = 0.5;
+  message.batch_bytes = 2048;
   const Result<RestUpdateMessage> back =
       parse_update_message(to_json(message));
   ASSERT_TRUE(back.ok()) << to_json(message);
   EXPECT_EQ(back.value().admission, controller::AdmissionPolicy::kSerialize);
   EXPECT_EQ(back.value().max_in_flight, 8u);
   EXPECT_EQ(back.value().batch_frames, false);
+  EXPECT_EQ(back.value().batch_mode, controller::BatchMode::kWindow);
+  EXPECT_DOUBLE_EQ(*back.value().batch_window_ms, 0.5);
+  EXPECT_EQ(back.value().batch_bytes, 2048u);
 }
 
 TEST(RestToInstanceTest, MapsDatapathsToNodes) {

@@ -4,8 +4,10 @@
 // honest parallelism (conflict-aware beats serialize on makespan and
 // matches blind on this rule-disjoint workload), and a wall-clock budget.
 //
-// Registered as a Release-only CTest with an explicit TIMEOUT (see
-// CMakeLists.txt): the run is timing-meaningless under -O0 or sanitizers.
+// Registered at full scale as a Release CTest with an explicit TIMEOUT
+// (see CMakeLists.txt); Debug and sanitizer builds compile a slim variant
+// (TSU_STRESS_SLIM: 100 flows x 32 switches, wall-clock budget waived) so
+// ASan/UBSan exercise the stress path too instead of skipping it.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -18,9 +20,14 @@
 namespace tsu::core {
 namespace {
 
+#ifdef TSU_STRESS_SLIM
+constexpr std::size_t kFlows = 100;
+constexpr std::size_t kSwitches = 32;   // 5 blocks of 6: 20 flows/block
+#else
 constexpr std::size_t kFlows = 1000;
 constexpr std::size_t kSwitches = 210;  // 35 blocks of 6: ~29 flows/block
 constexpr double kWallClockBudgetSeconds = 60.0;
+#endif
 
 // Fast control plane so even the fully serialized run stays within the
 // budget; sparse per-flow traffic still yields thousands of oracle-checked
@@ -37,7 +44,10 @@ ExecutorConfig stress_config(controller::AdmissionPolicy admission) {
   config.warmup = sim::milliseconds(2);
   config.drain = sim::milliseconds(10);
   config.controller.max_in_flight = kFlows;
-  config.controller.batch_frames = true;
+  // The adaptive outbox at full pressure: heavy cross-flow frame packing
+  // with a bounded hold, exercised at scale under every admission policy.
+  config.controller.batch_mode = controller::BatchMode::kAdaptive;
+  config.controller.batch_window = sim::microseconds(200);
   config.controller.admission = admission;
   return config;
 }
@@ -105,12 +115,21 @@ TEST(ScaleStressTest, ThousandFlowsUnderEveryAdmissionPolicy) {
     ASSERT_EQ(ca.blackholed, s.blackholed) << "flow " << i;
   }
 
+  // The adaptive hold window is bounded even at full scale.
+  EXPECT_LE(blind.value().batching.max_hold, sim::microseconds(200));
+  EXPECT_LE(conflict_aware.value().batching.max_hold, sim::microseconds(200));
+  EXPECT_GT(conflict_aware.value().batching.batches_sent, 0u);
+
+#ifdef TSU_STRESS_SLIM
+  (void)wall_start;  // wall-clock means nothing under -O0 / sanitizers
+#else
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
   EXPECT_LT(wall_seconds, kWallClockBudgetSeconds)
       << "stress run blew its wall-clock budget";
+#endif
 }
 
 }  // namespace

@@ -98,6 +98,41 @@ TEST(EventQueueTest, CompactionBoundsHeapUnderCancelChurn) {
   EXPECT_EQ(fired, 200u);
 }
 
+TEST(EventQueueTest, FlushTimerCancelChurnStaysBoundedAmidLiveEvents) {
+  // The controller's windowed outbox arms one cancellable flush timer per
+  // switch fill and cancels it whenever the byte budget ships the outbox
+  // first - so under budget-heavy batching churn nearly every timer dies
+  // cancelled while channel-delivery events stay live and keep firing.
+  // The lazy-cancel heap must stay within its compaction bound the whole
+  // time, and surviving events must keep firing in order.
+  EventQueue q;
+  SimTime now = 0;
+  SimTime last_fired = 0;
+  for (int round = 0; round < 5000; ++round) {
+    // Budget flush: the armed flush timer is cancelled before it fires.
+    const EventId timer = q.push(now + 500, []() {});
+    ASSERT_TRUE(q.cancel(timer));
+    // Interleaved live work (frame deliveries, installs) that does fire.
+    q.push(now + 100, []() {});
+    if (round % 2 == 0) {
+      const auto fired = q.pop();
+      EXPECT_GE(fired.time, last_fired);
+      last_fired = fired.time;
+    }
+    ASSERT_LE(q.heap_size(), EventQueue::kCompactSlack * q.size() +
+                                 EventQueue::kCompactMinimum)
+        << "round " << round;
+    ++now;
+  }
+  // Draining the survivors works after all that churn.
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++fired;
+  }
+  EXPECT_GT(fired, 0u);
+}
+
 TEST(EventQueueTest, CompactionPreservesCancelSemantics) {
   // Cancelling an id that survived a rebuild must still work, and ids of
   // compacted-away entries must stay invalid.
