@@ -34,17 +34,29 @@ void usage() {
                "               [--seeds N] [--config FILE.json]\n"
                "               [--flows N] [--switches S]\n"
                "               [--admission blind|conflict_aware|serialize]\n"
+               "               [--admission-release request|round]\n"
                "               [--max-in-flight K] [--batch]\n"
                "               [--batch-mode off|instant|window|adaptive]\n"
                "               [--batch-window-ms MS] [--batch-bytes N]\n"
+               "               [--batch-replies]\n"
+               "               [--shards N] [--partition hash|block]\n"
                "  algorithms: oneshot twophase wayup peacock slf-greedy "
                "secure optimal\n"
                "  workloads : fig1 | reversal:<n> | random:<seed>\n"
                "  --flows >1 runs the concurrent multi-flow engine on a\n"
                "  shared pool of --switches switches (default 6 per flow)\n"
-               "  --batch is the legacy alias for --batch-mode instant;\n"
-               "  window/adaptive hold a per-switch outbox up to the window\n"
-               "  (or byte budget) to pack cross-flow frames\n");
+               "  --batch is the legacy alias for --batch-mode instant; an\n"
+               "  explicit --batch-mode (from flag or config file, including\n"
+               "  'off') overrides the alias. window/adaptive hold a\n"
+               "  per-switch outbox up to the window (or byte budget) to\n"
+               "  pack cross-flow frames; --batch-replies coalesces\n"
+               "  same-instant switch->controller replies too\n"
+               "  --shards N partitions the switches across N controller\n"
+               "  shards (hash scatters NodeIds, block keeps contiguous\n"
+               "  ranges shard-local); cross-shard updates synchronize\n"
+               "  round-by-round through the shard coordinator\n"
+               "  --admission-release round frees a request's conflict\n"
+               "  footprint per completed round instead of at completion\n");
 }
 
 // Multi-flow mode: N peacock-planned flows over a shared switch pool,
@@ -62,14 +74,20 @@ int run_multiflow(std::size_t flows, std::size_t switches,
   const topo::PlannedPoolWorkload w = std::move(workload).value();
 
   std::printf("flows    : %zu over %zu switches\n", flows, switches);
-  std::printf("admission: %s, max_in_flight %zu, batch_mode %s "
-              "(window %.2f ms, budget %zu B)\n",
+  std::printf("admission: %s (release per %s), max_in_flight %zu/shard, "
+              "batch_mode %s (window %.2f ms, budget %zu B)\n",
               controller::to_string(config.controller.admission),
+              controller::to_string(config.controller.admission_release),
               config.controller.max_in_flight,
               controller::to_string(
                   controller::effective_batch_mode(config.controller)),
               sim::to_ms(config.controller.batch_window),
               config.controller.batch_bytes);
+  std::printf("shards   : %zu (%s partition)%s\n",
+              config.controller.shards,
+              topo::to_string(config.controller.partition),
+              config.switch_config.batch_replies ? ", reply batching on"
+                                                 : "");
 
   const Result<core::MultiFlowExecutionResult> run =
       core::execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
@@ -92,6 +110,12 @@ int run_multiflow(std::size_t flows, std::size_t switches,
               result.batching.messages_coalesced,
               result.batching.timer_flushes, result.batching.budget_flushes,
               result.batching.max_hold_ms());
+  if (result.sharding.shards > 1)
+    std::printf("sharding : %zu cross-shard updates, %zu rounds synced, "
+                "%.3f ms sync overhead\n",
+                result.sharding.cross_shard_updates,
+                result.sharding.rounds_synced,
+                result.sharding.sync_overhead_ms());
   std::printf("traffic  : %zu packets, %zu bypassed, %zu looped, "
               "%zu blackholed\n",
               result.aggregate.total, result.aggregate.bypassed,
@@ -130,11 +154,15 @@ int main(int argc, char** argv) {
   // Controller flags are collected separately and applied after the loop,
   // so they win over a --config file regardless of argument order.
   std::optional<controller::AdmissionPolicy> admission_flag;
+  std::optional<controller::AdmissionRelease> admission_release_flag;
   std::optional<std::size_t> max_in_flight_flag;
   bool batch_flag = false;
   std::optional<controller::BatchMode> batch_mode_flag;
   std::optional<double> batch_window_ms_flag;
   std::optional<std::size_t> batch_bytes_flag;
+  bool batch_replies_flag = false;
+  std::optional<std::size_t> shards_flag;
+  std::optional<topo::PartitionScheme> partition_flag;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -195,6 +223,28 @@ int main(int argc, char** argv) {
       const auto n = v != nullptr ? parse_int(v) : std::nullopt;
       if (!n.has_value() || *n < 1) return usage(), 1;
       batch_bytes_flag = static_cast<std::size_t>(*n);
+    } else if (arg == "--batch-replies") {
+      batch_replies_flag = true;
+    } else if (arg == "--admission-release") {
+      const char* v = next();
+      const auto release =
+          v != nullptr ? controller::admission_release_from_string(v)
+                       : std::nullopt;
+      if (!release.has_value()) return usage(), 1;
+      admission_release_flag = *release;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1 ||
+          *n > static_cast<std::int64_t>(proto::kMaxXidShards))
+        return usage(), 1;
+      shards_flag = static_cast<std::size_t>(*n);
+    } else if (arg == "--partition") {
+      const char* v = next();
+      const auto scheme =
+          v != nullptr ? topo::partition_scheme_from_string(v) : std::nullopt;
+      if (!scheme.has_value()) return usage(), 1;
+      partition_flag = *scheme;
     } else if (arg == "--config") {
       const char* v = next();
       if (v == nullptr) return usage(), 1;
@@ -235,6 +285,12 @@ int main(int argc, char** argv) {
     config.controller.batch_window = sim::from_ms(*batch_window_ms_flag);
   if (batch_bytes_flag.has_value())
     config.controller.batch_bytes = *batch_bytes_flag;
+  if (batch_replies_flag) config.switch_config.batch_replies = true;
+  if (admission_release_flag.has_value())
+    config.controller.admission_release = *admission_release_flag;
+  if (shards_flag.has_value()) config.controller.shards = *shards_flag;
+  if (partition_flag.has_value())
+    config.controller.partition = *partition_flag;
 
   if (flows > 1) {
     if (switches == 0) switches = flows * 6;

@@ -36,6 +36,11 @@ void Footprint::add(RuleRef ref) {
   rules_.push_back(std::move(ref));
 }
 
+void Footprint::remove(const RuleRef& ref) {
+  const auto it = std::find(rules_.begin(), rules_.end(), ref);
+  if (it != rules_.end()) rules_.erase(it);
+}
+
 bool Footprint::conflicts_with(const Footprint& other) const noexcept {
   for (const RuleRef& mine : rules_)
     for (const RuleRef& theirs : other.rules_)
@@ -123,6 +128,48 @@ std::vector<AdmissionQueue::Id> AdmissionQueue::release(Id id) {
       unblocked.push_back(waiter);
   }
   entries_.erase(it);
+
+  std::sort(unblocked.begin(), unblocked.end(),
+            [this](Id a, Id b) {
+              return entries_.at(a).seq < entries_.at(b).seq;
+            });
+  return unblocked;
+}
+
+std::vector<AdmissionQueue::Id> AdmissionQueue::release_rules(
+    Id id, const std::vector<RuleRef>& rules) {
+  if (policy_ != AdmissionPolicy::kConflictAware || rules.empty()) return {};
+  const auto it = entries_.find(id);
+  TSU_ASSERT_MSG(it != entries_.end(), "release_rules of unknown admission id");
+  Entry& entry = it->second;
+
+  for (const RuleRef& rule : rules) {
+    entry.footprint.remove(rule);
+    const auto bucket = by_node_.find(rule.node);
+    if (bucket == by_node_.end()) continue;
+    auto& index = bucket->second;
+    index.erase(std::remove_if(index.begin(), index.end(),
+                               [&](const auto& e) {
+                                 return e.first == id && e.second == rule;
+                               }),
+                index.end());
+    if (index.empty()) by_node_.erase(bucket);
+  }
+
+  // Waiters blocked on this request may only have conflicted with the
+  // released rules; re-check each against the shrunken footprint. The
+  // blocks list keeps stale entries (harmless: release() tolerates
+  // already-dropped edges via the erase-count guard).
+  std::vector<Id> unblocked;
+  for (const Id waiter : entry.blocks) {
+    const auto waiter_it = entries_.find(waiter);
+    if (waiter_it == entries_.end()) continue;
+    Entry& waiting = waiter_it->second;
+    if (waiting.blocked_on.find(id) == waiting.blocked_on.end()) continue;
+    if (waiting.footprint.conflicts_with(entry.footprint)) continue;
+    waiting.blocked_on.erase(id);
+    if (waiting.blocked_on.empty()) unblocked.push_back(waiter);
+  }
 
   std::sort(unblocked.begin(), unblocked.end(),
             [this](Id a, Id b) {

@@ -70,6 +70,9 @@ class Footprint {
   static Footprint of(const UpdateRequest& request);
 
   void add(RuleRef ref);
+  // Drops one rule (no-op when absent): per-round footprint release
+  // shrinks a live request's footprint as rounds retire.
+  void remove(const RuleRef& ref);
 
   bool conflicts_with(const Footprint& other) const noexcept;
 
@@ -103,6 +106,14 @@ class AdmissionQueue {
   // Removes a finished (or started-and-finished) request from the graph.
   // Returns the ids that became admissible, in arrival order.
   std::vector<Id> release(Id id);
+
+  // Finer-grained release (admission_release = round): drops only `rules`
+  // from a live request's footprint - rules its remaining rounds will
+  // never touch again - and re-checks the requests blocked on it against
+  // the shrunken footprint. Returns the ids that became admissible, in
+  // arrival order. Only meaningful under kConflictAware (the other
+  // policies track no footprints); a later release(id) finishes the job.
+  std::vector<Id> release_rules(Id id, const std::vector<RuleRef>& rules);
 
   std::size_t live() const noexcept { return entries_.size(); }
   // Live requests currently blocked on at least one conflict.

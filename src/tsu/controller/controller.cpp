@@ -12,8 +12,8 @@ namespace tsu::controller {
 namespace {
 
 // Keep batch frames comfortably below the codec's 64 KiB frame cap: a
-// flush splits its outbox into chunks bounded by both limits.
-constexpr std::size_t kMaxBatchMessages = 128;
+// flush splits its outbox into chunks bounded by the shared message bound
+// (proto::kMaxBatchMessages) and this byte budget.
 constexpr std::size_t kMaxBatchBytes = 48 * 1024;
 
 // kAdaptive: the hold window grows linearly with queue pressure (in-flight
@@ -37,6 +37,21 @@ std::optional<BatchMode> batch_mode_from_string(std::string_view name) {
   if (name == "instant") return BatchMode::kInstant;
   if (name == "window") return BatchMode::kWindow;
   if (name == "adaptive") return BatchMode::kAdaptive;
+  return std::nullopt;
+}
+
+const char* to_string(AdmissionRelease release) noexcept {
+  switch (release) {
+    case AdmissionRelease::kRequest: return "request";
+    case AdmissionRelease::kRound: return "round";
+  }
+  return "?";
+}
+
+std::optional<AdmissionRelease> admission_release_from_string(
+    std::string_view name) noexcept {
+  if (name == "request") return AdmissionRelease::kRequest;
+  if (name == "round") return AdmissionRelease::kRound;
   return std::nullopt;
 }
 
@@ -66,27 +81,138 @@ void Controller::submit(UpdateRequest request) {
 void Controller::maybe_start_next_request() {
   // Start every admissible request in arrival order while capacity lasts;
   // blocked requests are skipped, not waited on, so a conflicting head
-  // never holds back independent work behind it. The scan restarts after
-  // each start because start_round can synchronously finish a degenerate
-  // update and re-enter here, invalidating any held iterator.
+  // never holds back independent work behind it. Held coordinated
+  // sub-requests are also skipped: they start only when the coordinator
+  // has every participating shard ready. The scan restarts after each
+  // start because start_round can synchronously finish a degenerate update
+  // and re-enter here, invalidating any held iterator.
   bool started = true;
   while (started && active_.size() < config_.max_in_flight) {
     started = false;
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->held) continue;
       if (!admission_.admissible(it->id)) continue;
-      const UpdateId id = it->id;
-      ActiveUpdate active;
-      active.request = std::move(it->request);
-      active.metrics = std::move(it->metrics);
-      active.metrics.started = sim_.now();
-      queue_.erase(it);
-      active_.emplace(id, std::move(active));
-      max_in_flight_observed_ =
-          std::max(max_in_flight_observed_, active_.size());
-      start_round(id);
+      start_pending(it);
       started = true;
       break;
     }
+  }
+}
+
+void Controller::start_pending(std::deque<PendingUpdate>::iterator it) {
+  const UpdateId id = it->id;
+  ActiveUpdate active;
+  active.request = std::move(it->request);
+  active.metrics = std::move(it->metrics);
+  active.metrics.started = sim_.now();
+  active.coordinated = it->held;
+  active.token = it->token;
+  // Per-round footprint release only means anything when footprints exist
+  // (conflict-aware) and rounds complete one at a time (barriers on).
+  if (config_.admission_release == AdmissionRelease::kRound &&
+      config_.admission == AdmissionPolicy::kConflictAware &&
+      config_.use_barriers)
+    active.release_plan = make_release_plan(active.request);
+  queue_.erase(it);
+  active_.emplace(id, std::move(active));
+  max_in_flight_observed_ = std::max(max_in_flight_observed_, active_.size());
+  start_round(id);
+}
+
+std::vector<std::vector<RuleRef>> Controller::make_release_plan(
+    const UpdateRequest& request) const {
+  // Key every footprint rule by the LAST round touching it: once that
+  // round's barriers return, no later round of this request can write the
+  // rule again, so its admission entry is safe to release early.
+  std::vector<std::vector<RuleRef>> plan(request.rounds.size());
+  std::vector<std::pair<RuleRef, std::size_t>> last;
+  for (std::size_t r = 0; r < request.rounds.size(); ++r) {
+    for (const RoundOp& op : request.rounds[r]) {
+      RuleRef ref{op.node, op.mod.table, op.mod.match};
+      const auto it =
+          std::find_if(last.begin(), last.end(),
+                       [&](const auto& e) { return e.first == ref; });
+      if (it == last.end())
+        last.emplace_back(std::move(ref), r);
+      else
+        it->second = r;
+    }
+  }
+  for (auto& [ref, round] : last) plan[round].push_back(std::move(ref));
+  return plan;
+}
+
+void Controller::release_completed_round_rules(UpdateId id) {
+  const auto it = active_.find(id);
+  TSU_ASSERT(it != active_.end());
+  ActiveUpdate& active = it->second;
+  if (active.release_plan.empty()) return;
+  const std::size_t round = active.next_round - 1;  // the just-completed one
+  if (round >= active.release_plan.size()) return;
+  // Move the slice out first: starting an unblocked request below can
+  // rehash active_ and invalidate the reference into it.
+  std::vector<RuleRef> rules = std::move(active.release_plan[round]);
+  active.release_plan[round].clear();
+  if (rules.empty()) return;
+  const std::vector<AdmissionQueue::Id> unblocked =
+      admission_.release_rules(id, rules);
+  if (unblocked.empty()) return;
+  maybe_start_next_request();
+  if (hooks_ != nullptr) hooks_->on_progress(shard_id_);
+}
+
+void Controller::submit_coordinated(UpdateRequest request,
+                                    std::uint64_t token) {
+  PendingUpdate pending;
+  pending.id = update_counter_++;
+  pending.held = true;
+  pending.token = token;
+  pending.metrics.name = request.name;
+  pending.metrics.flow = request.flow;
+  pending.metrics.submitted = sim_.now();
+  admission_.submit(pending.id,
+                    config_.admission == AdmissionPolicy::kConflictAware
+                        ? Footprint::of(request)
+                        : Footprint{});
+  pending.request = std::move(request);
+  coordinated_ids_[token] = pending.id;
+  queue_.push_back(std::move(pending));
+  // No start attempt: a held entry adds no start opportunity for the local
+  // queue, and its own start is the coordinator's call.
+}
+
+bool Controller::coordinated_admissible(std::uint64_t token) const noexcept {
+  const auto it = coordinated_ids_.find(token);
+  return it != coordinated_ids_.end() && admission_.admissible(it->second);
+}
+
+void Controller::start_coordinated(std::uint64_t token) {
+  const auto id_it = coordinated_ids_.find(token);
+  TSU_ASSERT_MSG(id_it != coordinated_ids_.end(),
+                 "start of unknown coordinated token");
+  const UpdateId id = id_it->second;
+  TSU_ASSERT_MSG(admission_.admissible(id) && has_capacity(),
+                 "coordinated start without admission or capacity");
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [id](const PendingUpdate& p) { return p.id == id; });
+  TSU_ASSERT_MSG(it != queue_.end(),
+                 "coordinated start of a non-pending update");
+  start_pending(it);
+}
+
+void Controller::release_round(std::uint64_t token) {
+  const auto id_it = coordinated_ids_.find(token);
+  TSU_ASSERT_MSG(id_it != coordinated_ids_.end(),
+                 "round release of unknown coordinated token");
+  const UpdateId id = id_it->second;
+  const auto it = active_.find(id);
+  TSU_ASSERT_MSG(it != active_.end(), "round release of an inactive update");
+  const sim::Duration interval = it->second.request.interval;
+  if (interval == 0) {
+    start_round(id);
+  } else {
+    sim_.schedule(interval, [this, id]() { start_round(id); });
   }
 }
 
@@ -128,7 +254,7 @@ void Controller::send_to_switch(NodeId node, proto::Message message) {
   // kWindow / kAdaptive: the byte budget (or frame cap) force-flushes
   // ahead of the hold window...
   if (box.bytes >= config_.batch_bytes ||
-      box.entries.size() >= kMaxBatchMessages) {
+      box.entries.size() >= proto::kMaxBatchMessages) {
     flush_switch(node, FlushTrigger::kBudget);
     return;
   }
@@ -174,7 +300,7 @@ void Controller::flush_switch(NodeId node, FlushTrigger trigger) {
     // Grow the chunk until either frame limit would be crossed.
     std::size_t end = begin + 1;
     std::size_t chunk_bytes = entries[begin].bytes;
-    while (end < entries.size() && end - begin < kMaxBatchMessages &&
+    while (end < entries.size() && end - begin < proto::kMaxBatchMessages &&
            chunk_bytes + entries[end].bytes <= kMaxBatchBytes) {
       chunk_bytes += entries[end].bytes;
       ++end;
@@ -286,6 +412,14 @@ void Controller::on_message(NodeId from, const proto::Message& message) {
       if (--update_it->second.waiting == 0) finish_round(id);
       return;
     }
+    case proto::MsgType::kBatch: {
+      // Reply batching (switchsim): a switch coalesced several replies of
+      // one instant into a single frame; unpack and dispatch in order.
+      for (const proto::Message& m :
+           std::get<proto::Batch>(message.body).messages)
+        on_message(from, m);
+      return;
+    }
     case proto::MsgType::kEchoRequest: {
       const auto it = switches_.find(from);
       if (it != switches_.end())
@@ -308,14 +442,41 @@ void Controller::on_message(NodeId from, const proto::Message& message) {
 }
 
 void Controller::finish_round(UpdateId id) {
+  {
+    const auto it = active_.find(id);
+    TSU_ASSERT(it != active_.end());
+    it->second.metrics.rounds.back().finished = sim_.now();
+  }
+  // Per-round footprint release may start unblocked requests, which can
+  // rehash active_ - refetch the entry afterwards.
+  release_completed_round_rules(id);
   const auto it = active_.find(id);
   TSU_ASSERT(it != active_.end());
   ActiveUpdate& active = it->second;
-  active.metrics.rounds.back().finished = sim_.now();
 
   const bool more_rounds = active.next_round < active.request.rounds.size();
   if (!more_rounds || !config_.use_barriers) {
+    // A coordinated sub-request still confirms its final round (the
+    // coordinator's sync accounting sees the full spread; with no next
+    // round the confirmation releases nothing), then finishes locally:
+    // its installed slice never changes again, so holding its footprint
+    // for the other shards would only serialize needlessly.
+    const bool coordinated = active.coordinated;
+    const std::uint64_t token = active.token;
+    const std::size_t round = active.next_round - 1;
+    if (coordinated && config_.use_barriers && hooks_ != nullptr)
+      hooks_->on_round_done(shard_id_, token, round);
     finish_update(id);
+    return;
+  }
+  if (active.coordinated) {
+    // Two-phase round barrier: confirm round completion and hold until
+    // the coordinator releases the next round. The hook may synchronously
+    // call release_round() when this was the last outstanding
+    // confirmation, so nothing may touch `active` afterwards.
+    const std::uint64_t token = active.token;
+    const std::size_t round = active.next_round - 1;
+    if (hooks_ != nullptr) hooks_->on_round_done(shard_id_, token, round);
     return;
   }
   const sim::Duration interval = active.request.interval;
@@ -330,16 +491,33 @@ void Controller::finish_update(UpdateId id) {
   const auto it = active_.find(id);
   TSU_ASSERT(it != active_.end());
   it->second.metrics.finished = sim_.now();
-  completed_.push_back(std::move(it->second.metrics));
+  const bool coordinated = it->second.coordinated;
+  const std::uint64_t token = it->second.token;
+  UpdateMetrics metrics = std::move(it->second.metrics);
   active_.erase(it);
   // Drop the finished request's footprint from the conflict DAG so the
   // requests it blocked become admissible.
   admission_.release(id);
+
+  if (coordinated) {
+    // A cross-shard slice: the coordinator merges the per-shard metrics
+    // and owns the completed list; this shard only frees its slot.
+    coordinated_ids_.erase(token);
+    maybe_start_next_request();
+    if (hooks_ != nullptr) {
+      hooks_->on_coordinated_done(shard_id_, token, std::move(metrics));
+      hooks_->on_progress(shard_id_);
+    }
+    return;
+  }
+
+  completed_.push_back(std::move(metrics));
   const UpdateMetrics& done = completed_.back();
   if (on_update_done_) on_update_done_(done);
   // "...deletes the message from the queue and starts processing the next
   //  message."
   maybe_start_next_request();
+  if (hooks_ != nullptr) hooks_->on_progress(shard_id_);
 }
 
 }  // namespace tsu::controller

@@ -53,6 +53,19 @@
 // `use_barriers = false` gives the reckless variant for the barrier-cost
 // ablation (bench E7): all rounds are blasted out back-to-back and a single
 // trailing barrier per touched switch detects completion.
+//
+// SHARDING (PR 4): this class is also the per-shard engine of the sharded
+// controller (controller/shard.hpp). A ShardCoordinator partitions the
+// switches across N Controllers, forwards shard-local requests verbatim,
+// and splits cross-shard requests into per-shard sub-requests submitted
+// through submit_coordinated(): a coordinated sub-request enters this
+// shard's admission DAG at its global arrival position but is HELD - it
+// starts only via start_coordinated() (the coordinator starts it on every
+// shard in one instant, once all are admissible with free slots), and after
+// each round it confirms to the coordinator and waits for release_round()
+// instead of advancing on its own. Xids carry the shard id in their top
+// byte (proto::make_shard_xid); shard 0 - the unsharded controller - emits
+// exactly the xids it always did.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +81,7 @@
 #include "tsu/controller/update_request.hpp"
 #include "tsu/proto/messages.hpp"
 #include "tsu/sim/simulator.hpp"
+#include "tsu/topo/partition.hpp"
 #include "tsu/util/ids.hpp"
 
 namespace tsu::controller {
@@ -82,6 +96,21 @@ enum class BatchMode : std::uint8_t {
 
 const char* to_string(BatchMode mode) noexcept;
 std::optional<BatchMode> batch_mode_from_string(std::string_view name);
+
+// When a request's admission footprint leaves the conflict DAG:
+//   kRequest  at request completion (the PR 2 behaviour).
+//   kRound    per completed round: rules no later round touches are
+//             released as soon as their last round's barriers return,
+//             shrinking the blocked window for long multi-round updates.
+//             Only meaningful under kConflictAware with barriers on.
+enum class AdmissionRelease : std::uint8_t {
+  kRequest = 0,
+  kRound = 1,
+};
+
+const char* to_string(AdmissionRelease release) noexcept;
+std::optional<AdmissionRelease> admission_release_from_string(
+    std::string_view name) noexcept;
 
 struct ControllerConfig {
   bool use_barriers = true;
@@ -102,6 +131,14 @@ struct ControllerConfig {
   // blind capacity-only, rule-level conflict tracking, or global
   // serialization regardless of max_in_flight.
   AdmissionPolicy admission = AdmissionPolicy::kBlind;
+  // When footprints leave the conflict DAG (see AdmissionRelease).
+  AdmissionRelease admission_release = AdmissionRelease::kRequest;
+  // Sharded control plane (controller/shard.hpp): how many controller
+  // shards the switches are partitioned across - max_in_flight applies PER
+  // SHARD - and how switches map to shards. shards = 1 is the single
+  // controller, bit-identical to the pre-sharding engine.
+  std::size_t shards = 1;
+  topo::PartitionScheme partition = topo::PartitionScheme::kHash;
 };
 
 // The flush policy after legacy-knob normalization: `batch_frames` only
@@ -204,6 +241,50 @@ class Controller {
     on_update_done_ = std::move(fn);
   }
 
+  // --- sharded operation (driven by the ShardCoordinator; shard.hpp) ----
+  // A cross-shard update runs as per-shard sub-requests whose rounds
+  // advance in lockstep: after every round the shard confirms completion
+  // and holds until release_round(), so no shard releases round k+1
+  // barriers before every shard confirmed round k's installs.
+  class CoordinationHooks {
+   public:
+    virtual ~CoordinationHooks() = default;
+    // Round `round` of sub-request `token` completed on shard `shard`.
+    virtual void on_round_done(std::uint8_t shard, std::uint64_t token,
+                               std::size_t round) = 0;
+    // The shard-local slice of `token` ran out of rounds; `metrics` is
+    // this shard's slice of the update's timings and counters.
+    virtual void on_coordinated_done(std::uint8_t shard, std::uint64_t token,
+                                     UpdateMetrics metrics) = 0;
+    // Capacity or admissibility changed on `shard`; held sub-requests may
+    // now be startable.
+    virtual void on_progress(std::uint8_t shard) = 0;
+  };
+
+  void set_shard(std::uint8_t shard_id, CoordinationHooks* hooks) noexcept {
+    shard_id_ = shard_id;
+    hooks_ = hooks;
+  }
+  std::uint8_t shard_id() const noexcept { return shard_id_; }
+
+  // Registers a HELD sub-request of a cross-shard update: it enters the
+  // admission DAG at its global arrival position (so per-shard dependency
+  // edges stay consistent with one global arrival order) but only starts
+  // through start_coordinated().
+  void submit_coordinated(UpdateRequest request, std::uint64_t token);
+  bool coordinated_admissible(std::uint64_t token) const noexcept;
+  bool has_capacity() const noexcept {
+    return active_.size() < config_.max_in_flight;
+  }
+  // Starts a held sub-request. The coordinator only calls this when every
+  // participating shard is admissible AND has a free slot, and then starts
+  // all of them in the same instant - atomic capacity acquisition, so two
+  // cross-shard updates can never deadlock on partially grabbed slots.
+  void start_coordinated(std::uint64_t token);
+  // Releases the two-phase round barrier: starts the sub-request's next
+  // round (after the request's inter-round interval).
+  void release_round(std::uint64_t token);
+
  private:
   using UpdateId = std::uint64_t;
 
@@ -211,6 +292,9 @@ class Controller {
     UpdateId id = 0;
     UpdateRequest request;
     UpdateMetrics metrics;  // carries the submission timestamp
+    // Coordinated sub-request: held until the ShardCoordinator starts it.
+    bool held = false;
+    std::uint64_t token = 0;
   };
 
   struct ActiveUpdate {
@@ -219,12 +303,20 @@ class Controller {
     std::size_t next_round = 0;
     // Outstanding barriers of this update's in-flight round.
     std::size_t waiting = 0;
+    // Cross-shard sub-request: rounds gated by the coordinator.
+    bool coordinated = false;
+    std::uint64_t token = 0;
+    // admission_release = round: footprint rules keyed by the last round
+    // touching them; slot k is released when round k completes. Empty when
+    // per-round release is off.
+    std::vector<std::vector<RuleRef>> release_plan;
   };
 
   // Why an outbox shipped; drives the observability counters.
   enum class FlushTrigger { kInstant, kTimer, kBudget };
 
   void maybe_start_next_request();
+  void start_pending(std::deque<PendingUpdate>::iterator it);
   void start_round(UpdateId id);
   void send_round_ops(ActiveUpdate& active, const std::vector<RoundOp>& ops);
   void send_to_switch(NodeId node, proto::Message message);
@@ -233,8 +325,17 @@ class Controller {
   sim::Duration adaptive_window() const noexcept;
   void finish_round(UpdateId id);
   void finish_update(UpdateId id);
+  std::vector<std::vector<RuleRef>> make_release_plan(
+      const UpdateRequest& request) const;
+  void release_completed_round_rules(UpdateId id);
 
-  Xid next_xid() noexcept { return xid_counter_++; }
+  Xid next_xid() noexcept {
+    // Fail fast on 24-bit sequence wrap: a reused masked xid could route a
+    // stale barrier reply into the wrong update's round.
+    TSU_ASSERT_MSG((xid_counter_ & ~proto::kXidSeqMask) == 0,
+                   "per-shard xid sequence exhausted");
+    return proto::make_shard_xid(shard_id_, xid_counter_++);
+  }
 
   sim::Simulator& sim_;
   ControllerConfig config_;
@@ -248,6 +349,12 @@ class Controller {
   std::unordered_map<Xid, std::pair<UpdateId, NodeId>> waiting_;
   std::vector<UpdateMetrics> completed_;
   std::function<void(const UpdateMetrics&)> on_update_done_;
+  // Sharding: this engine's shard id (tags xids) and the coordinator's
+  // hooks; both unset when the controller runs standalone.
+  std::uint8_t shard_id_ = 0;
+  CoordinationHooks* hooks_ = nullptr;
+  // Coordinated sub-requests live (pending or active) on this shard.
+  std::unordered_map<std::uint64_t, UpdateId> coordinated_ids_;
   Xid xid_counter_ = 1;
   UpdateId update_counter_ = 1;
   std::size_t max_in_flight_observed_ = 0;

@@ -147,6 +147,11 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
           if (!v.ok()) return v.error();
           config.switch_config.message_processing =
               static_cast<sim::Duration>(v.value() * 1e3);
+        } else if (skey == "batch_replies") {
+          if (!sval.is_bool())
+            return make_error(Errc::kParseError,
+                              "'batch_replies' must be a bool");
+          config.switch_config.batch_replies = sval.as_bool();
         } else {
           return make_error(Errc::kParseError,
                             "unknown switch field '" + skey + "'");
@@ -195,6 +200,33 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
                           "unknown admission policy '" + field.as_string() +
                               "' (blind | conflict_aware | serialize)");
       config.controller.admission = *policy;
+    } else if (key == "admission_release") {
+      if (!field.is_string())
+        return make_error(Errc::kParseError,
+                          "'admission_release' must be a string");
+      const std::optional<controller::AdmissionRelease> release =
+          controller::admission_release_from_string(field.as_string());
+      if (!release.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown admission release '" + field.as_string() +
+                              "' (request | round)");
+      config.controller.admission_release = *release;
+    } else if (key == "shards") {
+      if (!field.is_number() || field.as_int() < 1 ||
+          field.as_int() >
+              static_cast<std::int64_t>(proto::kMaxXidShards))
+        return make_error(Errc::kOutOfRange, "'shards' must be in [1, 256]");
+      config.controller.shards = static_cast<std::size_t>(field.as_int());
+    } else if (key == "partition") {
+      if (!field.is_string())
+        return make_error(Errc::kParseError, "'partition' must be a string");
+      const std::optional<topo::PartitionScheme> scheme =
+          topo::partition_scheme_from_string(field.as_string());
+      if (!scheme.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown partition scheme '" + field.as_string() +
+                              "' (hash | block)");
+      config.controller.partition = *scheme;
     } else if (key == "flow") {
       if (!field.is_number() || field.as_int() < 0)
         return make_error(Errc::kParseError, "'flow' must be >= 0");
@@ -307,6 +339,7 @@ json::Value config_to_json(const ExecutorConfig& config) {
          json::Value(sim::to_us(config.switch_config.barrier_processing)));
   sw.set("processing_us",
          json::Value(sim::to_us(config.switch_config.message_processing)));
+  sw.set("batch_replies", json::Value(config.switch_config.batch_replies));
   root.set("switch", json::Value(std::move(sw)));
 
   root.set("use_barriers", json::Value(config.controller.use_barriers));
@@ -325,6 +358,13 @@ json::Value config_to_json(const ExecutorConfig& config) {
                               config.controller.batch_bytes)));
   root.set("admission",
            json::Value(controller::to_string(config.controller.admission)));
+  root.set("admission_release",
+           json::Value(
+               controller::to_string(config.controller.admission_release)));
+  root.set("shards", json::Value(static_cast<std::int64_t>(
+                         config.controller.shards)));
+  root.set("partition",
+           json::Value(topo::to_string(config.controller.partition)));
   root.set("flow", json::Value(static_cast<std::int64_t>(config.flow)));
   root.set("priority",
            json::Value(static_cast<std::int64_t>(config.priority)));

@@ -8,12 +8,14 @@
 //   "channel":  { "latency": <latency>, "loss": 0.01,
 //                 "retransmit_timeout_ms": 50 },
 //   "switch":   { "install": <latency>, "barrier_us": 100,
-//                 "processing_us": 10 },
+//                 "processing_us": 10, "batch_replies": false },
 //   "use_barriers": true,
 //   "max_in_flight": 1, "batch_frames": false,
 //   "batch_mode": "off" | "instant" | "window" | "adaptive",
 //   "batch_window_ms": 0.5, "batch_bytes": 16384,
 //   "admission": "blind" | "conflict_aware" | "serialize",
+//   "admission_release": "request" | "round",
+//   "shards": 1, "partition": "hash" | "block",
 //   "flow": 1, "priority": 100, "interval_ms": 0,
 //   "traffic":  { "enabled": true, "interarrival": <latency>,
 //                 "link": <latency>, "ttl": 64,

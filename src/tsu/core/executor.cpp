@@ -5,7 +5,9 @@
 #include <memory>
 #include <unordered_map>
 
+#include "tsu/sim/sharded.hpp"
 #include "tsu/sim/simulator.hpp"
+#include "tsu/topo/partition.hpp"
 #include "tsu/util/log.hpp"
 
 namespace tsu::core {
@@ -16,34 +18,50 @@ flow::FlowRule rule_from_mod(const proto::FlowMod& mod) {
   return flow::FlowRule{mod.match, mod.action, mod.priority, mod.cookie};
 }
 
-// Everything one simulated run needs, wired together.
+// Everything one simulated run needs, wired together. The switches are
+// partitioned across config.controller.shards controller shards; each
+// switch, its duplex channel and its owning shard live on that shard's
+// event queue of the sharded logical clock.
 struct Harness {
-  sim::Simulator sim;
+  sim::ShardedSim sim;
   Rng rng;
+  topo::SwitchPartition partition;
   std::vector<std::unique_ptr<switchsim::SimSwitch>> switch_storage;
   std::vector<switchsim::SimSwitch*> switches;  // by NodeId
   std::vector<std::unique_ptr<channel::DuplexChannel>> channels;
-  std::unique_ptr<controller::Controller> ctrl;
+  std::unique_ptr<controller::ShardCoordinator> ctrl;
 
   Harness(const ExecutorConfig& config,
-          const controller::ControllerConfig& controller_config)
-      : rng(config.seed) {
-    ctrl = std::make_unique<controller::Controller>(sim, controller_config);
+          const controller::ControllerConfig& controller_config,
+          std::size_t node_count)
+      : sim(controller_config.shards == 0 ? 1 : controller_config.shards),
+        rng(config.seed),
+        partition(controller_config.shards == 0 ? 1
+                                                : controller_config.shards,
+                  controller_config.partition, node_count) {
+    ctrl = std::make_unique<controller::ShardCoordinator>(sim, partition,
+                                                          controller_config);
+  }
+
+  // The event queue everything owned by `node`'s shard schedules on.
+  sim::Simulator& sim_of(NodeId node) {
+    return sim.shard(partition.shard_of(node));
   }
 
   void add_switch(NodeId node, const ExecutorConfig& config) {
     if (node < switches.size() && switches[node] != nullptr) return;
     if (switches.size() <= node) switches.resize(node + 1, nullptr);
 
+    sim::Simulator& shard_sim = sim_of(node);
     auto sw = std::make_unique<switchsim::SimSwitch>(
-        sim, node, static_cast<DatapathId>(node), config.switch_config,
+        shard_sim, node, static_cast<DatapathId>(node), config.switch_config,
         rng.fork());
     auto duplex = std::make_unique<channel::DuplexChannel>(
-        sim, config.channel, rng);
+        shard_sim, config.channel, rng);
 
     switchsim::SimSwitch* sw_ptr = sw.get();
     channel::DuplexChannel* duplex_ptr = duplex.get();
-    controller::Controller* ctrl_ptr = ctrl.get();
+    controller::ShardCoordinator* ctrl_ptr = ctrl.get();
 
     duplex_ptr->to_switch.set_receiver(
         [sw_ptr](const proto::Message& m) { sw_ptr->receive(m); });
@@ -171,8 +189,10 @@ std::vector<std::unique_ptr<dataplane::TrafficSource>> make_sources(
     traffic.ttl = config.ttl;
     traffic.start = 0;
     traffic.stop = std::numeric_limits<sim::SimTime>::max();
+    // A flow's packet events live on its ingress switch's shard queue.
     sources.push_back(std::make_unique<dataplane::TrafficSource>(
-        harness.sim, harness.switches, traffic, harness.rng.fork(), monitor));
+        harness.sim_of(inst.source()), harness.switches, traffic,
+        harness.rng.fork(), monitor));
   }
   return sources;
 }
@@ -202,6 +222,7 @@ struct EngineOutput {
   std::uint64_t conflict_edges = 0;
   std::uint64_t blocked_submissions = 0;
   BatchingStats batching;
+  ShardStats sharding;
   std::uint64_t state_digest = 0;
   sim::Duration makespan = 0;
 };
@@ -213,8 +234,16 @@ Result<EngineOutput> run_engine(
   if (instances.empty() || requests.empty())
     return make_error(Errc::kInvalidArgument,
                       "need non-empty instance and request lists");
+  if (controller_config.shards > proto::kMaxXidShards)
+    return make_error(Errc::kOutOfRange, "shards must be in [1, 256]");
 
-  Harness harness(config, controller_config);
+  // The block partitioner carves contiguous NodeId ranges, so it needs the
+  // extent of the id space the instances use.
+  std::size_t node_count = 0;
+  for (const update::Instance* inst : instances)
+    node_count = std::max(node_count, inst->node_count());
+
+  Harness harness(config, controller_config, node_count);
   for (const update::Instance* inst : instances)
     add_instance_switches(harness, *inst, config);
   for (std::size_t i = 0; i < instances.size(); ++i)
@@ -280,6 +309,10 @@ Result<EngineOutput> run_engine(
   out.batching.budget_flushes = harness.ctrl->budget_flushes();
   out.batching.flush_timers_cancelled = harness.ctrl->flush_timers_cancelled();
   out.batching.max_hold = harness.ctrl->max_hold();
+  out.sharding.shards = harness.ctrl->shard_count();
+  out.sharding.cross_shard_updates = harness.ctrl->cross_shard_updates();
+  out.sharding.rounds_synced = harness.ctrl->rounds_synced();
+  out.sharding.sync_overhead = harness.ctrl->sync_overhead();
   out.state_digest = final_state_digest(harness);
   out.aggregate = monitors.aggregate();
 
@@ -400,6 +433,7 @@ Result<MultiFlowExecutionResult> execute_multiflow(
   result.conflict_edges = out.value().conflict_edges;
   result.blocked_submissions = out.value().blocked_submissions;
   result.batching = out.value().batching;
+  result.sharding = out.value().sharding;
   result.final_state_digest = out.value().state_digest;
   result.makespan = out.value().makespan;
   return result;
@@ -495,6 +529,7 @@ Result<MixedExecutionResult> execute_mixed(
   result.conflict_edges = out.value().conflict_edges;
   result.blocked_submissions = out.value().blocked_submissions;
   result.batching = out.value().batching;
+  result.sharding = out.value().sharding;
   result.final_state_digest = out.value().state_digest;
   result.makespan = out.value().makespan;
   return result;

@@ -3,6 +3,13 @@
 // route installed, traffic flows, the controller pushes the schedule round
 // by round over asynchronous channels with barriers, and the consistency
 // monitor watches every packet.
+//
+// The engine behind every entry point runs over CONTROLLER SHARDS
+// (controller/shard.hpp): config.controller.shards partitions the switches
+// across that many controller instances on a sharded logical clock
+// (sim/sharded.hpp), with cross-shard updates coordinated round-by-round.
+// The default shards = 1 is the single controller, bit-identical to the
+// pre-sharding engine.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +17,7 @@
 
 #include "tsu/channel/channel.hpp"
 #include "tsu/controller/controller.hpp"
+#include "tsu/controller/shard.hpp"
 #include "tsu/dataplane/monitor.hpp"
 #include "tsu/dataplane/traffic.hpp"
 #include "tsu/switchsim/switch.hpp"
@@ -84,6 +92,21 @@ struct BatchingStats {
   double max_hold_ms() const noexcept { return sim::to_ms(max_hold); }
 };
 
+// Sharding observability of one engine run (see controller/shard.hpp):
+// how many updates spanned shards and what the two-phase round barrier
+// cost - the summed spread between the first and last shard confirming
+// each cross-shard round.
+struct ShardStats {
+  std::size_t shards = 1;
+  std::size_t cross_shard_updates = 0;
+  std::size_t rounds_synced = 0;
+  sim::Duration sync_overhead = 0;
+
+  double sync_overhead_ms() const noexcept {
+    return sim::to_ms(sync_overhead);
+  }
+};
+
 struct MultiFlowExecutionResult {
   std::vector<ExecutionResult> flows;     // indexed like the input lists
   dataplane::MonitorReport aggregate;     // outcome counts over all flows
@@ -96,9 +119,11 @@ struct MultiFlowExecutionResult {
   std::uint64_t conflict_edges = 0;
   std::uint64_t blocked_submissions = 0;
   BatchingStats batching;
+  ShardStats sharding;
   // Order-insensitive digest of every switch's final flow tables; two runs
   // installed the same forwarding state iff their digests match (the
-  // batched-vs-unbatched equivalence oracle).
+  // batched-vs-unbatched equivalence oracle, and the sharded-vs-single
+  // controller one).
   std::uint64_t final_state_digest = 0;
   sim::Duration makespan = 0;             // first start -> last finish
 
@@ -144,6 +169,7 @@ struct MixedExecutionResult {
   std::uint64_t conflict_edges = 0;
   std::uint64_t blocked_submissions = 0;
   BatchingStats batching;
+  ShardStats sharding;
   std::uint64_t final_state_digest = 0;
   sim::Duration makespan = 0;
 

@@ -5,6 +5,7 @@
 // HELLO/ECHO/ERROR for session plumbing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -16,6 +17,22 @@
 namespace tsu::proto {
 
 inline constexpr std::uint8_t kProtocolVersion = 0x04;  // mirrors OF 1.3
+
+// Shard-tagged xids: the controller shard that issued a message owns the
+// top byte of the xid, so a reply routes back to its shard and the
+// per-shard xid counters can never collide. The unsharded controller is
+// shard 0, whose tagged xids equal the raw counter - the sharding refactor
+// leaves every single-controller xid unchanged.
+inline constexpr unsigned kXidShardShift = 24;
+inline constexpr std::size_t kMaxXidShards = 256;
+inline constexpr Xid kXidSeqMask = (Xid{1} << kXidShardShift) - 1;
+
+inline constexpr Xid make_shard_xid(std::uint8_t shard, Xid seq) noexcept {
+  return (static_cast<Xid>(shard) << kXidShardShift) | (seq & kXidSeqMask);
+}
+inline constexpr std::uint8_t xid_shard(Xid xid) noexcept {
+  return static_cast<std::uint8_t>(xid >> kXidShardShift);
+}
 
 enum class MsgType : std::uint8_t {
   kHello = 0,
@@ -93,6 +110,12 @@ struct Message;
 struct Batch {
   std::vector<Message> messages;
 };
+
+// Messages per batch frame that keep the encoded size comfortably below
+// the codec's 64 KiB frame cap (codec.hpp kMaxFrame); both batching
+// directions - the controller outbox and the switch reply flush - chunk
+// against this one bound.
+inline constexpr std::size_t kMaxBatchMessages = 128;
 
 using Body = std::variant<Hello, Error, Echo, FeaturesRequest, FeaturesReply,
                           FlowMod, PacketOut, BarrierRequest, BarrierReply,

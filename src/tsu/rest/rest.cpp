@@ -170,6 +170,33 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
                           "unknown admission policy '" + value.as_string() +
                               "' (blind | conflict_aware | serialize)");
       message.admission = *policy;
+    } else if (key == "admission_release") {
+      if (!value.is_string())
+        return make_error(Errc::kParseError,
+                          "'admission_release' must be a string");
+      const std::optional<controller::AdmissionRelease> release =
+          controller::admission_release_from_string(value.as_string());
+      if (!release.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown admission release '" + value.as_string() +
+                              "' (request | round)");
+      message.admission_release = *release;
+    } else if (key == "shards") {
+      if (!value.is_number() || value.as_int() < 1 ||
+          value.as_int() >
+              static_cast<std::int64_t>(proto::kMaxXidShards))
+        return make_error(Errc::kOutOfRange, "'shards' must be in [1, 256]");
+      message.shards = static_cast<std::size_t>(value.as_int());
+    } else if (key == "partition") {
+      if (!value.is_string())
+        return make_error(Errc::kParseError, "'partition' must be a string");
+      const std::optional<topo::PartitionScheme> scheme =
+          topo::partition_scheme_from_string(value.as_string());
+      if (!scheme.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown partition scheme '" + value.as_string() +
+                              "' (hash | block)");
+      message.partition = *scheme;
     } else if (key == "max_in_flight") {
       if (!value.is_number() || value.as_int() < 1)
         return make_error(Errc::kOutOfRange, "'max_in_flight' must be >= 1");
@@ -232,6 +259,14 @@ std::string to_json(const RestUpdateMessage& message) {
   if (message.admission.has_value())
     root.set("admission",
              json::Value(controller::to_string(*message.admission)));
+  if (message.admission_release.has_value())
+    root.set("admission_release",
+             json::Value(controller::to_string(*message.admission_release)));
+  if (message.shards.has_value())
+    root.set("shards",
+             json::Value(static_cast<std::int64_t>(*message.shards)));
+  if (message.partition.has_value())
+    root.set("partition", json::Value(topo::to_string(*message.partition)));
   if (message.max_in_flight.has_value())
     root.set("max_in_flight",
              json::Value(static_cast<std::int64_t>(*message.max_in_flight)));
@@ -340,6 +375,10 @@ Result<update::Instance> to_instance(const RestUpdateMessage& message,
 void apply_controller_overrides(const RestUpdateMessage& message,
                                 controller::ControllerConfig& config) {
   if (message.admission.has_value()) config.admission = *message.admission;
+  if (message.admission_release.has_value())
+    config.admission_release = *message.admission_release;
+  if (message.shards.has_value()) config.shards = *message.shards;
+  if (message.partition.has_value()) config.partition = *message.partition;
   if (message.max_in_flight.has_value())
     config.max_in_flight = *message.max_in_flight;
   if (message.batch_frames.has_value())

@@ -25,6 +25,7 @@
 #include "tsu/controller/admission.hpp"
 #include "tsu/controller/controller.hpp"
 #include "tsu/proto/messages.hpp"
+#include "tsu/topo/partition.hpp"
 #include "tsu/topo/topology.hpp"
 #include "tsu/update/instance.hpp"
 #include "tsu/util/ids.hpp"
@@ -45,14 +46,18 @@ struct RestUpdateMessage {
   std::vector<FlowModSpec> flow_mods;
   // Optional controller knobs carried in the header, beyond the paper's
   // schema: how the serving controller should admit this and concurrent
-  // requests, and how its per-switch outbox batches frames. Absent fields
-  // leave the controller's configuration alone.
+  // requests, how its per-switch outbox batches frames, and how the
+  // control plane is sharded (controller/shard.hpp). Absent fields leave
+  // the controller's configuration alone.
   std::optional<controller::AdmissionPolicy> admission;
+  std::optional<controller::AdmissionRelease> admission_release;
   std::optional<std::size_t> max_in_flight;
   std::optional<bool> batch_frames;
   std::optional<controller::BatchMode> batch_mode;
   std::optional<double> batch_window_ms;
   std::optional<std::size_t> batch_bytes;
+  std::optional<std::size_t> shards;
+  std::optional<topo::PartitionScheme> partition;
 };
 
 // Parses the JSON request body. Unknown body keys are rejected; "add",
@@ -67,9 +72,10 @@ std::string to_json(const RestUpdateMessage& message);
 Result<update::Instance> to_instance(const RestUpdateMessage& message,
                                      const topo::Topology& topology);
 
-// Applies the message's optional controller knobs (admission policy,
-// max_in_flight, and the batching knobs batch_frames / batch_mode /
-// batch_window_ms / batch_bytes) onto a controller configuration.
+// Applies the message's optional controller knobs (admission policy and
+// release granularity, max_in_flight, the batching knobs batch_frames /
+// batch_mode / batch_window_ms / batch_bytes, and the sharding knobs
+// shards / partition) onto a controller configuration.
 void apply_controller_overrides(const RestUpdateMessage& message,
                                 controller::ControllerConfig& config);
 

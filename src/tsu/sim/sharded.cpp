@@ -1,0 +1,28 @@
+#include "tsu/sim/sharded.hpp"
+
+namespace tsu::sim {
+
+std::size_t ShardedSim::run(SimTime until) {
+  std::size_t processed = 0;
+  while (true) {
+    // Earliest next event across shards; ties go to the lowest shard
+    // index (strict <), which is what makes merged runs deterministic.
+    std::size_t best = shards_.size();
+    SimTime best_time = std::numeric_limits<SimTime>::max();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const SimTime t = shards_[i]->next_event_time();
+      if (t < best_time) {
+        best_time = t;
+        best = i;
+      }
+    }
+    if (best == shards_.size() || best_time > until) break;
+    shards_[best]->step();
+    ++processed;
+  }
+  if (now_ < until && until != std::numeric_limits<SimTime>::max())
+    now_ = until;
+  return processed;
+}
+
+}  // namespace tsu::sim

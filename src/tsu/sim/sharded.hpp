@@ -1,0 +1,72 @@
+// The sharded logical clock: one global simulation time driving N
+// per-shard event queues. Within a shard, events fire in (time, insertion)
+// order exactly as in a lone Simulator; across shards the merger always
+// steps the shard with the earliest next event, breaking timestamp ties
+// towards the lowest shard index, so every run is fully deterministic and
+// a 1-shard group is event-for-event identical to a lone Simulator (the
+// `shards = 1` bit-compatibility guarantee rests on this).
+//
+// Shards only interact through messages that cross shard boundaries as
+// scheduled events, so a later revision can step independent shards on
+// worker threads between cross-shard synchronization points; today the
+// merger is single-threaded and the structure is what buys the option.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "tsu/sim/simulator.hpp"
+#include "tsu/sim/time.hpp"
+#include "tsu/util/assert.hpp"
+
+namespace tsu::sim {
+
+class ShardedSim {
+ public:
+  explicit ShardedSim(std::size_t shards = 1) {
+    const std::size_t count = shards == 0 ? 1 : shards;
+    shards_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      shards_.push_back(std::make_unique<Simulator>(&now_));
+  }
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  Simulator& shard(std::size_t i) {
+    TSU_ASSERT_MSG(i < shards_.size(), "shard index out of range");
+    return *shards_[i];
+  }
+  const Simulator& shard(std::size_t i) const {
+    TSU_ASSERT_MSG(i < shards_.size(), "shard index out of range");
+    return *shards_[i];
+  }
+
+  SimTime now() const noexcept { return now_; }
+
+  // Harness-level events (warmup submissions and the like) land on shard 0.
+  EventId schedule(Duration delay, EventFn fn) {
+    return shards_[0]->schedule(delay, std::move(fn));
+  }
+
+  // Merged run: repeatedly steps the shard with the earliest pending event
+  // until every queue drains or `until` is reached (events at exactly
+  // `until` still fire). Returns the number of events processed.
+  std::size_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  std::size_t pending() const noexcept {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->pending();
+    return total;
+  }
+
+ private:
+  SimTime now_ = 0;
+  // unique_ptr: each shard's &now_ must stay valid, and Simulator is
+  // intentionally non-copyable.
+  std::vector<std::unique_ptr<Simulator>> shards_;
+};
+
+}  // namespace tsu::sim

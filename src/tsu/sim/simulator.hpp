@@ -1,5 +1,8 @@
 // The discrete-event simulator driving controller, channels, switches and
-// data-plane packets on one logical clock.
+// data-plane packets on one logical clock. A Simulator either owns its
+// clock (the default) or shares the clock of a ShardedSim group (see
+// sharded.hpp), in which case it is one shard's event queue and the group
+// merger steps the shards in global time order.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +16,21 @@ namespace tsu::sim {
 
 class Simulator {
  public:
-  SimTime now() const noexcept { return now_; }
+  Simulator() noexcept : now_(&own_now_) {}
+  // A shard of a ShardedSim: shares the group's clock so delays scheduled
+  // from any shard land at the correct global time.
+  explicit Simulator(SimTime* shared_now) noexcept : now_(shared_now) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return *now_; }
 
   // Schedules `fn` to run `delay` after the current time.
   EventId schedule(Duration delay, EventFn fn) {
-    return queue_.push(now_ + delay, std::move(fn));
+    return queue_.push(*now_ + delay, std::move(fn));
   }
   EventId schedule_at(SimTime at, EventFn fn) {
-    TSU_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+    TSU_ASSERT_MSG(at >= *now_, "cannot schedule into the past");
     return queue_.push(at, std::move(fn));
   }
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -32,6 +42,13 @@ class Simulator {
   // Runs at most one event; returns false if none was pending.
   bool step();
 
+  // The next pending event's time; SimTime max when the queue is empty.
+  // The ShardedSim merger uses this to pick the shard to step.
+  SimTime next_event_time() const {
+    return queue_.empty() ? std::numeric_limits<SimTime>::max()
+                          : queue_.next_time();
+  }
+
   std::size_t pending() const noexcept { return queue_.size(); }
   // Heap slots including lazily cancelled ones (see EventQueue::heap_size);
   // exposed so cancel-heavy clients (the controller's flush timers) can pin
@@ -40,7 +57,8 @@ class Simulator {
 
  private:
   EventQueue queue_;
-  SimTime now_ = 0;
+  SimTime own_now_ = 0;
+  SimTime* now_;
 };
 
 }  // namespace tsu::sim

@@ -1,6 +1,7 @@
 #include "tsu/switchsim/switch.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "tsu/util/log.hpp"
 
@@ -41,6 +42,10 @@ void SimSwitch::start_next() {
     complete(message);
     busy_ = false;
     start_next();
+    // Arm (or re-arm) the reply flush AFTER start_next scheduled the next
+    // completion: the flush event then sorts after every completion of
+    // this instant, so all same-instant replies share one frame.
+    maybe_flush_replies();
   });
 }
 
@@ -52,31 +57,77 @@ void SimSwitch::complete(const proto::Message& message) {
       break;
     case proto::MsgType::kBarrierRequest:
       ++barriers_replied_;
-      if (to_controller_)
-        to_controller_(proto::make_barrier_reply(message.xid));
+      send_to_controller(proto::make_barrier_reply(message.xid));
       break;
     case proto::MsgType::kEchoRequest:
-      if (to_controller_)
-        to_controller_(proto::make_echo_reply(
-            message.xid, std::get<proto::Echo>(message.body).payload));
+      send_to_controller(proto::make_echo_reply(
+          message.xid, std::get<proto::Echo>(message.body).payload));
       break;
     case proto::MsgType::kHello:
-      if (to_controller_) to_controller_(proto::make_hello(message.xid));
+      send_to_controller(proto::make_hello(message.xid));
       break;
-    case proto::MsgType::kFeaturesRequest:
-      if (to_controller_) {
-        proto::Message reply;
-        reply.xid = message.xid;
-        reply.body = proto::FeaturesReply{
-            dpid_, static_cast<std::uint32_t>(
-                       tables_.empty() ? 1 : tables_.size())};
-        to_controller_(reply);
-      }
+    case proto::MsgType::kFeaturesRequest: {
+      proto::Message reply;
+      reply.xid = message.xid;
+      reply.body = proto::FeaturesReply{
+          dpid_, static_cast<std::uint32_t>(
+                     tables_.empty() ? 1 : tables_.size())};
+      send_to_controller(std::move(reply));
       break;
+    }
     default:
       TSU_LOG(kDebug) << "switch " << node_ << " ignoring "
                       << message.to_string();
       break;
+  }
+}
+
+void SimSwitch::send_to_controller(proto::Message message) {
+  if (to_controller_ == nullptr) return;
+  if (!config_.batch_replies) {
+    to_controller_(message);
+    return;
+  }
+  // Same-instant coalescing towards the controller: collect until the
+  // zero-delay flush (armed by the completion event), mirroring the
+  // controller's kInstant outbox.
+  reply_outbox_.push_back(std::move(message));
+}
+
+void SimSwitch::maybe_flush_replies() {
+  if (reply_outbox_.empty()) return;
+  // Re-arming on every completion keeps the flush sorted after the last
+  // same-instant completion; the lazy-cancel event queue absorbs the
+  // churn (see sim/event_queue.hpp).
+  if (reply_flush_scheduled_) sim_.cancel(reply_flush_event_);
+  reply_flush_scheduled_ = true;
+  reply_flush_event_ = sim_.schedule(0, [this]() { flush_replies(); });
+}
+
+void SimSwitch::flush_replies() {
+  reply_flush_scheduled_ = false;
+  if (reply_outbox_.empty() || to_controller_ == nullptr) return;
+  std::vector<proto::Message> replies;
+  replies.swap(reply_outbox_);
+  // Chunk against the shared frame-cap-derived bound (proto).
+  std::size_t begin = 0;
+  while (begin < replies.size()) {
+    const std::size_t end =
+        std::min(begin + proto::kMaxBatchMessages, replies.size());
+    // A lone reply gains nothing from batch framing: send it plain. The
+    // batch frame's own xid carries no routing information (each contained
+    // reply keeps its shard-tagged xid), so 0 is fine.
+    if (end - begin == 1) {
+      to_controller_(replies[begin]);
+    } else {
+      std::vector<proto::Message> chunk(
+          std::make_move_iterator(replies.begin() + begin),
+          std::make_move_iterator(replies.begin() + end));
+      batched_replies_sent_ += chunk.size();
+      ++reply_batches_sent_;
+      to_controller_(proto::make_batch(0, std::move(chunk)));
+    }
+    begin = end;
   }
 }
 

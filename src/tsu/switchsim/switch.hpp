@@ -10,12 +10,21 @@
 //
 // The flow table mutates at the *completion* instant of each FlowMod, so
 // the data plane observes rule changes with realistic skew.
+//
+// Reply batching (`batch_replies`): the switch->controller direction can
+// coalesce too. Replies produced within one simulation instant (barrier
+// replies, echoes - a burst of batched barriers completes several at once)
+// collect in a reply outbox flushed by a zero-delay event as one
+// proto::Batch frame towards the owning controller shard, mirroring the
+// controller's kInstant outbox. Off by default: reply timing is unchanged
+// unless asked for.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "tsu/flow/table.hpp"
 #include "tsu/proto/messages.hpp"
@@ -33,6 +42,8 @@ struct SwitchConfig {
       sim::LatencyModel::lognormal(sim::milliseconds(1), 0.5);
   sim::Duration barrier_processing = sim::microseconds(100);
   sim::Duration message_processing = sim::microseconds(10);
+  // Coalesce same-instant switch->controller replies into one Batch frame.
+  bool batch_replies = false;
 };
 
 class SimSwitch {
@@ -87,6 +98,14 @@ class SimSwitch {
     return batched_messages_received_;
   }
   std::size_t largest_batch() const noexcept { return largest_batch_; }
+  // Reply direction of the batch-expansion stats: Batch frames this switch
+  // shipped towards the controller and the replies they carried.
+  std::size_t reply_batches_sent() const noexcept {
+    return reply_batches_sent_;
+  }
+  std::size_t batched_replies_sent() const noexcept {
+    return batched_replies_sent_;
+  }
   const stats::Summary& install_times() const noexcept {
     return install_times_;
   }
@@ -95,6 +114,9 @@ class SimSwitch {
   void start_next();
   void complete(const proto::Message& message);
   void apply_flow_mod(const proto::FlowMod& mod);
+  void send_to_controller(proto::Message message);
+  void maybe_flush_replies();
+  void flush_replies();
 
   sim::Simulator& sim_;
   NodeId node_;
@@ -109,11 +131,20 @@ class SimSwitch {
   std::deque<proto::Message> inbox_;
   bool busy_ = false;
 
+  // Reply outbox (batch_replies): same-instant replies awaiting the
+  // zero-delay flush, whose event is re-armed per completion so it always
+  // fires after the instant's last reply.
+  std::vector<proto::Message> reply_outbox_;
+  bool reply_flush_scheduled_ = false;
+  sim::EventId reply_flush_event_ = 0;
+
   std::size_t flow_mods_applied_ = 0;
   std::size_t barriers_replied_ = 0;
   std::size_t batches_received_ = 0;
   std::size_t batched_messages_received_ = 0;
   std::size_t largest_batch_ = 0;
+  std::size_t reply_batches_sent_ = 0;
+  std::size_t batched_replies_sent_ = 0;
   stats::Summary install_times_;  // ns
 };
 

@@ -1,0 +1,50 @@
+#include "tsu/topo/partition.hpp"
+
+#include <algorithm>
+
+namespace tsu::topo {
+
+namespace {
+
+// splitmix64 finalizer: cheap, stateless, well-mixed over dense NodeIds.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(PartitionScheme scheme) noexcept {
+  switch (scheme) {
+    case PartitionScheme::kHash: return "hash";
+    case PartitionScheme::kBlock: return "block";
+  }
+  return "?";
+}
+
+std::optional<PartitionScheme> partition_scheme_from_string(
+    std::string_view name) noexcept {
+  if (name == "hash") return PartitionScheme::kHash;
+  if (name == "block") return PartitionScheme::kBlock;
+  return std::nullopt;
+}
+
+SwitchPartition::SwitchPartition(std::size_t shards, PartitionScheme scheme,
+                                 std::size_t node_count)
+    : shards_(shards == 0 ? 1 : shards),
+      scheme_(scheme),
+      node_count_(node_count) {}
+
+std::size_t SwitchPartition::shard_of(NodeId node) const noexcept {
+  if (shards_ <= 1) return 0;
+  if (scheme_ == PartitionScheme::kHash)
+    return static_cast<std::size_t>(splitmix64(node) % shards_);
+  // kBlock: equal contiguous ranges over [0, node_count_).
+  const std::size_t count = node_count_ == 0 ? 1 : node_count_;
+  const std::size_t clamped = std::min<std::size_t>(node, count - 1);
+  return std::min(clamped * shards_ / count, shards_ - 1);
+}
+
+}  // namespace tsu::topo

@@ -1,0 +1,56 @@
+// Switch -> controller-shard partitioners for the sharded control plane
+// (controller/shard.hpp). Two schemes:
+//
+//   kHash   stateless splitmix64 over the NodeId: spreads any topology
+//           evenly and makes most multi-switch updates span shards - the
+//           stress case for the coordinator's cross-shard round protocol.
+//   kBlock  contiguous, topology-aware ranges over [0, node_count):
+//           consecutive NodeIds - which the generators lay out along paths
+//           and pool blocks - stay on one shard, so most updates are
+//           shard-local and coordination only pays at range boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "tsu/util/ids.hpp"
+
+namespace tsu::topo {
+
+enum class PartitionScheme : std::uint8_t {
+  kHash = 0,
+  kBlock = 1,
+};
+
+const char* to_string(PartitionScheme scheme) noexcept;
+std::optional<PartitionScheme> partition_scheme_from_string(
+    std::string_view name) noexcept;
+
+// Maps every switch to the controller shard that owns it. Pure function of
+// (shards, scheme, node_count): every layer that needs the mapping - the
+// executor harness, the coordinator's request splitter, reply routing -
+// derives the same partition from the same config.
+class SwitchPartition {
+ public:
+  // Everything on shard 0 (the unsharded controller).
+  SwitchPartition() = default;
+
+  // `node_count` bounds the id space for kBlock's contiguous ranges (ids
+  // at or beyond it fall into the last range); kHash ignores it.
+  SwitchPartition(std::size_t shards, PartitionScheme scheme,
+                  std::size_t node_count);
+
+  std::size_t shards() const noexcept { return shards_; }
+  PartitionScheme scheme() const noexcept { return scheme_; }
+
+  std::size_t shard_of(NodeId node) const noexcept;
+
+ private:
+  std::size_t shards_ = 1;
+  PartitionScheme scheme_ = PartitionScheme::kHash;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace tsu::topo

@@ -185,6 +185,50 @@ TEST(AdmissionQueueTest, BlindAdmitsEverythingSerializeNothing) {
   EXPECT_EQ(serialize.release(2), (std::vector<AdmissionQueue::Id>{3}));
 }
 
+TEST(AdmissionQueueTest, ReleaseRulesUnblocksWhenLastConflictRetires) {
+  AdmissionQueue q(AdmissionPolicy::kConflictAware);
+  // A holds rules on switches 1 and 2; B conflicts with A only on 1.
+  EXPECT_TRUE(q.submit(1, flow_on_nodes(1, {1, 2})));
+  EXPECT_FALSE(q.submit(2, flow_on_nodes(1, {1, 3})));
+  // Releasing A's non-conflicting rule changes nothing for B...
+  EXPECT_TRUE(
+      q.release_rules(1, {RuleRef{2, 0, flow::Match::exact_flow(1)}}).empty());
+  EXPECT_FALSE(q.admissible(2));
+  // ...releasing the conflicting rule unblocks B while A stays live.
+  const std::vector<AdmissionQueue::Id> unblocked =
+      q.release_rules(1, {RuleRef{1, 0, flow::Match::exact_flow(1)}});
+  ASSERT_EQ(unblocked.size(), 1u);
+  EXPECT_EQ(unblocked.front(), 2u);
+  EXPECT_TRUE(q.admissible(2));
+  EXPECT_EQ(q.live(), 2u);
+  // A's eventual full release tolerates the already-released rules.
+  EXPECT_TRUE(q.release(1).empty());
+  EXPECT_EQ(q.live(), 1u);
+}
+
+TEST(AdmissionQueueTest, ReleaseRulesRetiresRulesForNewArrivalsToo) {
+  AdmissionQueue q(AdmissionPolicy::kConflictAware);
+  EXPECT_TRUE(q.submit(1, flow_on_nodes(1, {1, 2})));
+  q.release_rules(1, {RuleRef{1, 0, flow::Match::exact_flow(1)}});
+  // A new arrival on the retired rule sees no live conflict; one on A's
+  // remaining rule still blocks.
+  EXPECT_TRUE(q.submit(2, flow_on_nodes(1, {1})));
+  EXPECT_FALSE(q.submit(3, flow_on_nodes(1, {2})));
+  // A partially-conflicting release keeps the rest of the edge intact: B
+  // blocked on two rules stays blocked until the last one retires.
+  AdmissionQueue q2(AdmissionPolicy::kConflictAware);
+  EXPECT_TRUE(q2.submit(1, flow_on_nodes(1, {1, 2})));
+  EXPECT_FALSE(q2.submit(2, flow_on_nodes(1, {1, 2})));
+  EXPECT_TRUE(
+      q2.release_rules(1, {RuleRef{1, 0, flow::Match::exact_flow(1)}})
+          .empty());
+  EXPECT_FALSE(q2.admissible(2));
+  const std::vector<AdmissionQueue::Id> unblocked =
+      q2.release_rules(1, {RuleRef{2, 0, flow::Match::exact_flow(1)}});
+  ASSERT_EQ(unblocked.size(), 1u);
+  EXPECT_TRUE(q2.admissible(2));
+}
+
 TEST(AdmissionQueueTest, LivenessUnderRandomizedArrivalAndCompletion) {
   // 500 seeded instances: random footprints over a small switch pool
   // (dense conflicts), submitted in random order, completions interleaved
@@ -411,6 +455,39 @@ TEST(ConflictAwareControllerTest, BlockedHeadDoesNotStallIndependentWork) {
   for (const UpdateMetrics& m : bed.ctrl.completed()) by_name[m.name] = &m;
   EXPECT_EQ(by_name.at("d")->queueing_delay(), 0u);
   EXPECT_GT(by_name.at("a2")->queueing_delay(), 0u);
+}
+
+TEST(ConflictAwareControllerTest, RoundReleaseShrinksBlockedWindow) {
+  // a's round 0 touches switch 1 and its round 1 touches switch 2; b
+  // conflicts with a only on the round-0 rule. Per-round release lets b
+  // start as soon as that round's barriers return - while a still runs
+  // round 1 - whereas per-request release holds b to a's completion.
+  for (const AdmissionRelease release :
+       {AdmissionRelease::kRequest, AdmissionRelease::kRound}) {
+    ControllerConfig config;
+    config.max_in_flight = 4;
+    config.admission = AdmissionPolicy::kConflictAware;
+    config.admission_release = release;
+    TestBed bed{config};
+    bed.add_switch(1);
+    bed.add_switch(2);
+    bed.ctrl.submit(two_round_request("a", 1, 1, 2, 7));
+    UpdateRequest b;
+    b.name = "b";
+    b.flow = 1;
+    b.rounds = {{op(1, 1, 9)}};
+    bed.ctrl.submit(std::move(b));
+    EXPECT_EQ(bed.ctrl.in_flight(), 1u);  // b blocked on a's round-0 rule
+    bed.sim.run();
+    ASSERT_EQ(bed.ctrl.completed().size(), 2u);
+    std::map<std::string, const UpdateMetrics*> by_name;
+    for (const UpdateMetrics& m : bed.ctrl.completed()) by_name[m.name] = &m;
+    if (release == AdmissionRelease::kRound) {
+      EXPECT_LT(by_name.at("b")->started, by_name.at("a")->finished);
+    } else {
+      EXPECT_GE(by_name.at("b")->started, by_name.at("a")->finished);
+    }
+  }
 }
 
 }  // namespace

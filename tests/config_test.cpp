@@ -113,8 +113,35 @@ TEST(ConfigTest, RangeChecks) {
   EXPECT_FALSE(parse(R"({"batch_window_ms": -0.5})").ok());
   EXPECT_FALSE(parse(R"({"batch_bytes": 0})").ok());
   EXPECT_FALSE(parse(R"({"admission": "optimistic"})").ok());
+  EXPECT_FALSE(parse(R"({"admission_release": "eventually"})").ok());
+  EXPECT_FALSE(parse(R"({"shards": 0})").ok());
+  EXPECT_FALSE(parse(R"({"shards": 257})").ok());
+  EXPECT_FALSE(parse(R"({"partition": "modulo"})").ok());
+  EXPECT_FALSE(parse(R"({"switch": {"batch_replies": 1}})").ok());
   EXPECT_FALSE(parse(R"(42)").ok());
   EXPECT_FALSE(parse(R"(not json)").ok());
+}
+
+TEST(ConfigTest, ShardingKnobsParse) {
+  const Result<ExecutorConfig> parsed = parse(
+      R"({"shards": 8, "partition": "block",
+          "admission_release": "round",
+          "switch": {"batch_replies": true}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().controller.shards, 8u);
+  EXPECT_EQ(parsed.value().controller.partition,
+            topo::PartitionScheme::kBlock);
+  EXPECT_EQ(parsed.value().controller.admission_release,
+            controller::AdmissionRelease::kRound);
+  EXPECT_TRUE(parsed.value().switch_config.batch_replies);
+
+  // Defaults: the single controller, per-request release, plain replies.
+  const Result<ExecutorConfig> defaults = parse("{}");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().controller.shards, 1u);
+  EXPECT_EQ(defaults.value().controller.admission_release,
+            controller::AdmissionRelease::kRequest);
+  EXPECT_FALSE(defaults.value().switch_config.batch_replies);
 }
 
 TEST(ConfigTest, ControllerKnobsParse) {
@@ -180,6 +207,10 @@ TEST(ConfigTest, RoundTripThroughJson) {
   config.controller.batch_window = sim::microseconds(750);
   config.controller.batch_bytes = 4096;
   config.controller.admission = controller::AdmissionPolicy::kSerialize;
+  config.controller.admission_release = controller::AdmissionRelease::kRound;
+  config.controller.shards = 4;
+  config.controller.partition = topo::PartitionScheme::kBlock;
+  config.switch_config.batch_replies = true;
   config.with_traffic = false;
   config.ttl = 48;
   config.interval = sim::milliseconds(7);
@@ -203,6 +234,11 @@ TEST(ConfigTest, RoundTripThroughJson) {
   EXPECT_EQ(c.controller.batch_window, sim::microseconds(750));
   EXPECT_EQ(c.controller.batch_bytes, 4096u);
   EXPECT_EQ(c.controller.admission, controller::AdmissionPolicy::kSerialize);
+  EXPECT_EQ(c.controller.admission_release,
+            controller::AdmissionRelease::kRound);
+  EXPECT_EQ(c.controller.shards, 4u);
+  EXPECT_EQ(c.controller.partition, topo::PartitionScheme::kBlock);
+  EXPECT_TRUE(c.switch_config.batch_replies);
   EXPECT_FALSE(c.with_traffic);
   EXPECT_EQ(c.ttl, 48);
   EXPECT_EQ(c.interval, sim::milliseconds(7));

@@ -142,6 +142,49 @@ TEST(RestParseTest, RejectsBadControllerKnobs) {
   EXPECT_FALSE(parse_update_message(
                    R"({"oldpath": [1], "newpath": [1], "batch_bytes": 0})")
                    .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1], "shards": 0})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1], "shards": 300})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1],
+                       "partition": "modulo"})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1],
+                       "admission_release": "never"})")
+                   .ok());
+}
+
+TEST(RestParseTest, ShardingKnobsParsedAndApplied) {
+  const Result<RestUpdateMessage> parsed = parse_update_message(
+      R"({"oldpath": [1, 2], "newpath": [1, 2],
+          "shards": 4, "partition": "block",
+          "admission_release": "round"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().shards, 4u);
+  EXPECT_EQ(parsed.value().partition, topo::PartitionScheme::kBlock);
+  EXPECT_EQ(parsed.value().admission_release,
+            controller::AdmissionRelease::kRound);
+
+  controller::ControllerConfig config;
+  apply_controller_overrides(parsed.value(), config);
+  EXPECT_EQ(config.shards, 4u);
+  EXPECT_EQ(config.partition, topo::PartitionScheme::kBlock);
+  EXPECT_EQ(config.admission_release, controller::AdmissionRelease::kRound);
+
+  // Absent sharding knobs leave the server's configuration alone.
+  const Result<RestUpdateMessage> plain =
+      parse_update_message(R"({"oldpath": [1, 2], "newpath": [1, 2]})");
+  ASSERT_TRUE(plain.ok());
+  controller::ControllerConfig untouched;
+  untouched.shards = 2;
+  apply_controller_overrides(plain.value(), untouched);
+  EXPECT_EQ(untouched.shards, 2u);
+  EXPECT_EQ(untouched.admission_release,
+            controller::AdmissionRelease::kRequest);
 }
 
 TEST(RestParseTest, RejectsMissingPaths) {
@@ -236,6 +279,9 @@ TEST(RestRoundTripTest, ControllerKnobsSurviveRoundTrip) {
   message.batch_mode = controller::BatchMode::kWindow;
   message.batch_window_ms = 0.5;
   message.batch_bytes = 2048;
+  message.shards = 4;
+  message.partition = topo::PartitionScheme::kHash;
+  message.admission_release = controller::AdmissionRelease::kRound;
   const Result<RestUpdateMessage> back =
       parse_update_message(to_json(message));
   ASSERT_TRUE(back.ok()) << to_json(message);
@@ -245,6 +291,10 @@ TEST(RestRoundTripTest, ControllerKnobsSurviveRoundTrip) {
   EXPECT_EQ(back.value().batch_mode, controller::BatchMode::kWindow);
   EXPECT_DOUBLE_EQ(*back.value().batch_window_ms, 0.5);
   EXPECT_EQ(back.value().batch_bytes, 2048u);
+  EXPECT_EQ(back.value().shards, 4u);
+  EXPECT_EQ(back.value().partition, topo::PartitionScheme::kHash);
+  EXPECT_EQ(back.value().admission_release,
+            controller::AdmissionRelease::kRound);
 }
 
 TEST(RestToInstanceTest, MapsDatapathsToNodes) {

@@ -182,6 +182,51 @@ TEST(SwitchTest, BatchExpandsInOrderAndKeepsBarrierFencing) {
   EXPECT_EQ(sw.table().lookup(p)->action, flow::Action::forward(9));
 }
 
+TEST(SwitchTest, ReplyBatchingCoalescesSameInstantReplies) {
+  // Zero processing times force several barrier replies into one instant;
+  // with batch_replies they must ship as ONE Batch frame carrying every
+  // reply in completion order, counted in the reply-direction stats.
+  sim::Simulator sim;
+  SwitchConfig config = fast_config();
+  config.barrier_processing = 0;
+  config.message_processing = 0;
+  config.batch_replies = true;
+  SimSwitch sw(sim, 1, 1, config, Rng(1));
+  std::vector<proto::Message> out;
+  sw.set_controller_link([&](const proto::Message& m) { out.push_back(m); });
+  sw.receive(proto::make_barrier_request(1));
+  sw.receive(proto::make_barrier_request(2));
+  sw.receive(proto::make_barrier_request(3));
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].type(), proto::MsgType::kBatch);
+  const proto::Batch& batch = std::get<proto::Batch>(out[0].body);
+  ASSERT_EQ(batch.messages.size(), 3u);
+  for (Xid xid = 1; xid <= 3; ++xid) {
+    EXPECT_EQ(batch.messages[xid - 1].type(), proto::MsgType::kBarrierReply);
+    EXPECT_EQ(batch.messages[xid - 1].xid, xid);
+  }
+  EXPECT_EQ(sw.reply_batches_sent(), 1u);
+  EXPECT_EQ(sw.batched_replies_sent(), 3u);
+}
+
+TEST(SwitchTest, ReplyBatchingSendsLoneRepliesPlain) {
+  // A reply with no same-instant company pays no batch framing, and the
+  // default config keeps the reply path untouched.
+  sim::Simulator sim;
+  SwitchConfig batched = fast_config();
+  batched.batch_replies = true;
+  SimSwitch sw(sim, 1, 1, batched, Rng(1));
+  std::vector<proto::Message> out;
+  sw.set_controller_link([&](const proto::Message& m) { out.push_back(m); });
+  sw.receive(proto::make_barrier_request(5));
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type(), proto::MsgType::kBarrierReply);
+  EXPECT_EQ(sw.reply_batches_sent(), 0u);
+  EXPECT_EQ(sw.batched_replies_sent(), 0u);
+}
+
 TEST(SwitchTest, QuiescentReflectsPendingWork) {
   sim::Simulator sim;
   SimSwitch sw(sim, 1, 1, fast_config(), Rng(1));
