@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 
 #include "tsu/json/json.hpp"
+#include "tsu/sim/thread_pool.hpp"
 #include "tsu/topo/instances.hpp"
 #include "tsu/update/optimizer.hpp"
 #include "tsu/update/schedulers.hpp"
@@ -446,6 +447,108 @@ bool run(const char* json_path) {
   }
   bench::print_table(shard_table);
 
+  // Parallel execution wall-clock: the 1000-flow pool with live traffic
+  // (the data plane is where the parallelizable work lives), greedy-cut
+  // partitioned so shards stay independent, sequential vs parallel at
+  // 1/2/4/8 shards. Simulated results are bit-identical by construction
+  // (the equivalence suite pins it; the digest check here guards the
+  // bench itself) - the only thing allowed to move is wall-clock time,
+  // recorded into the CI JSON so BENCH_*.json carries a perf trajectory.
+  // NOTE: the speedup column only means something with >= shards hardware
+  // threads; hardware_threads is recorded alongside for that reason.
+  bool parallel_failed = false;
+  std::printf("\nparallel stepping: %zu flows over %zu switches "
+              "(greedy_cut partition, live traffic), %zu hardware threads:\n",
+              kBatchFlows, kBatchSwitches,
+              sim::ThreadPool::hardware_threads());
+  stats::Table parallel_table({"shards", "exec", "wall ms", "speedup",
+                               "epochs", "stalls", "cut", "makespan ms"});
+  json::Array parallel_json;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    double sequential_wall_ms = 0;
+    std::uint64_t sequential_digest = 0;
+    for (const sim::ExecMode exec :
+         {sim::ExecMode::kSequential, sim::ExecMode::kParallel}) {
+      core::ExecutorConfig config;
+      config.seed = 4242;
+      config.channel.latency =
+          sim::LatencyModel::constant(sim::microseconds(100));
+      config.switch_config.install_latency =
+          sim::LatencyModel::constant(sim::microseconds(50));
+      config.switch_config.batch_replies = true;
+      config.traffic_interarrival =
+          sim::LatencyModel::constant(sim::microseconds(400));
+      config.link_latency = sim::LatencyModel::constant(sim::microseconds(20));
+      config.warmup = sim::milliseconds(2);
+      config.drain = sim::milliseconds(10);
+      config.controller.max_in_flight = kBatchFlows;
+      config.controller.admission =
+          controller::AdmissionPolicy::kConflictAware;
+      config.controller.batch_mode = controller::BatchMode::kAdaptive;
+      config.controller.batch_window = sim::microseconds(300);
+      config.controller.shards = shards;
+      config.controller.partition = topo::PartitionScheme::kGreedyCut;
+      config.controller.exec = exec;
+      config.controller.threads = shards;
+      const Result<core::MultiFlowExecutionResult> run =
+          core::execute_multiflow(batch_pool.instance_ptrs,
+                                  batch_pool.schedule_ptrs, config);
+      if (!run.ok()) {
+        std::fprintf(stderr, "parallel bench failed for %zu shards %s: %s\n",
+                     shards, sim::to_string(exec),
+                     run.error().to_string().c_str());
+        parallel_failed = true;
+        continue;
+      }
+      const core::MultiFlowExecutionResult& result = run.value();
+      if (exec == sim::ExecMode::kSequential) {
+        sequential_wall_ms = result.sharding.wall_ms;
+        sequential_digest = result.final_state_digest;
+      } else if (result.final_state_digest != sequential_digest) {
+        std::fprintf(stderr,
+                     "parallel digest diverged at %zu shards - BENCH BUG\n",
+                     shards);
+        parallel_failed = true;
+      }
+      const double speedup =
+          exec == sim::ExecMode::kSequential || result.sharding.wall_ms <= 0
+              ? 1.0
+              : sequential_wall_ms / result.sharding.wall_ms;
+      parallel_table.add_row(
+          {std::to_string(shards), sim::to_string(exec),
+           bench::fmt(result.sharding.wall_ms),
+           exec == sim::ExecMode::kSequential ? "-" : bench::fmt(speedup),
+           std::to_string(result.sharding.parallel_epochs),
+           std::to_string(result.sharding.horizon_stalls),
+           std::to_string(result.sharding.partition_cut_weight),
+           bench::fmt(result.makespan_ms())});
+      json::Object entry;
+      entry.set("shards", json::Value(static_cast<std::int64_t>(shards)));
+      entry.set("exec", json::Value(sim::to_string(exec)));
+      entry.set("threads", json::Value(static_cast<std::int64_t>(
+                               result.sharding.threads)));
+      entry.set("hardware_threads",
+                json::Value(static_cast<std::int64_t>(
+                    sim::ThreadPool::hardware_threads())));
+      entry.set("partition", json::Value("greedy_cut"));
+      entry.set("wall_ms", json::Value(result.sharding.wall_ms));
+      if (exec == sim::ExecMode::kParallel)
+        entry.set("speedup_vs_sequential", json::Value(speedup));
+      entry.set("parallel_epochs", json::Value(static_cast<std::int64_t>(
+                                       result.sharding.parallel_epochs)));
+      entry.set("horizon_stalls", json::Value(static_cast<std::int64_t>(
+                                      result.sharding.horizon_stalls)));
+      entry.set("partition_cut_weight",
+                json::Value(static_cast<std::int64_t>(
+                    result.sharding.partition_cut_weight)));
+      entry.set("makespan_ms", json::Value(result.makespan_ms()));
+      entry.set("packets", json::Value(static_cast<std::int64_t>(
+                               result.aggregate.total)));
+      parallel_json.push_back(json::Value(std::move(entry)));
+    }
+  }
+  bench::print_table(parallel_table);
+
   if (json_path != nullptr) {
     json::Object doc;
     doc.set("bench",
@@ -453,6 +556,7 @@ bool run(const char* json_path) {
     doc.set("results", json::Value(std::move(admission_json)));
     doc.set("batching", json::Value(std::move(batching_json)));
     doc.set("sharding", json::Value(std::move(sharding_json)));
+    doc.set("parallel", json::Value(std::move(parallel_json)));
     std::ofstream out(json_path);
     out << json::write(json::Value(std::move(doc))) << "\n";
     std::printf("admission+batching+sharding JSON written to %s\n",
@@ -473,7 +577,8 @@ bool run(const char* json_path) {
       "overhead column sums each cross-shard round's confirmation spread\n"
       "(first shard done -> last shard done) over all concurrent updates,\n"
       "i.e. the slack the two-phase barrier absorbs off the critical path.\n");
-  return !admission_failed && !batching_failed && !sharding_failed;
+  return !admission_failed && !batching_failed && !sharding_failed &&
+         !parallel_failed;
 }
 
 }  // namespace

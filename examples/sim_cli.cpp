@@ -39,7 +39,9 @@ void usage() {
                "               [--batch-mode off|instant|window|adaptive]\n"
                "               [--batch-window-ms MS] [--batch-bytes N]\n"
                "               [--batch-replies]\n"
-               "               [--shards N] [--partition hash|block]\n"
+               "               [--shards N]\n"
+               "               [--partition hash|block|greedy_cut]\n"
+               "               [--exec sequential|parallel] [--threads N]\n"
                "  algorithms: oneshot twophase wayup peacock slf-greedy "
                "secure optimal\n"
                "  workloads : fig1 | reversal:<n> | random:<seed>\n"
@@ -53,8 +55,12 @@ void usage() {
                "  same-instant switch->controller replies too\n"
                "  --shards N partitions the switches across N controller\n"
                "  shards (hash scatters NodeIds, block keeps contiguous\n"
-               "  ranges shard-local); cross-shard updates synchronize\n"
-               "  round-by-round through the shard coordinator\n"
+               "  ranges shard-local, greedy_cut packs switches that share\n"
+               "  updates onto one shard to minimize the cross-shard cut);\n"
+               "  cross-shard updates synchronize round-by-round through\n"
+               "  the shard coordinator. --exec parallel steps independent\n"
+               "  shards on --threads workers (0 = auto) between safe\n"
+               "  horizons - bit-identical results, less wall-clock\n"
                "  --admission-release round frees a request's conflict\n"
                "  footprint per completed round instead of at completion\n");
 }
@@ -83,9 +89,10 @@ int run_multiflow(std::size_t flows, std::size_t switches,
                   controller::effective_batch_mode(config.controller)),
               sim::to_ms(config.controller.batch_window),
               config.controller.batch_bytes);
-  std::printf("shards   : %zu (%s partition)%s\n",
+  std::printf("shards   : %zu (%s partition, %s exec)%s\n",
               config.controller.shards,
               topo::to_string(config.controller.partition),
+              sim::to_string(config.controller.exec),
               config.switch_config.batch_replies ? ", reply batching on"
                                                  : "");
 
@@ -110,12 +117,20 @@ int run_multiflow(std::size_t flows, std::size_t switches,
               result.batching.messages_coalesced,
               result.batching.timer_flushes, result.batching.budget_flushes,
               result.batching.max_hold_ms());
-  if (result.sharding.shards > 1)
+  if (result.sharding.shards > 1) {
     std::printf("sharding : %zu cross-shard updates, %zu rounds synced, "
-                "%.3f ms sync overhead\n",
+                "%.3f ms sync overhead, cut weight %zu\n",
                 result.sharding.cross_shard_updates,
                 result.sharding.rounds_synced,
-                result.sharding.sync_overhead_ms());
+                result.sharding.sync_overhead_ms(),
+                result.sharding.partition_cut_weight);
+    if (result.sharding.exec == sim::ExecMode::kParallel)
+      std::printf("parallel : %zu epochs, %zu horizon stalls, %zu threads, "
+                  "%.1f ms wall\n",
+                  result.sharding.parallel_epochs,
+                  result.sharding.horizon_stalls, result.sharding.threads,
+                  result.sharding.wall_ms);
+  }
   std::printf("traffic  : %zu packets, %zu bypassed, %zu looped, "
               "%zu blackholed\n",
               result.aggregate.total, result.aggregate.bypassed,
@@ -163,6 +178,8 @@ int main(int argc, char** argv) {
   bool batch_replies_flag = false;
   std::optional<std::size_t> shards_flag;
   std::optional<topo::PartitionScheme> partition_flag;
+  std::optional<sim::ExecMode> exec_flag;
+  std::optional<std::size_t> threads_flag;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -245,6 +262,17 @@ int main(int argc, char** argv) {
           v != nullptr ? topo::partition_scheme_from_string(v) : std::nullopt;
       if (!scheme.has_value()) return usage(), 1;
       partition_flag = *scheme;
+    } else if (arg == "--exec") {
+      const char* v = next();
+      const auto mode =
+          v != nullptr ? sim::exec_mode_from_string(v) : std::nullopt;
+      if (!mode.has_value()) return usage(), 1;
+      exec_flag = *mode;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 0) return usage(), 1;
+      threads_flag = static_cast<std::size_t>(*n);
     } else if (arg == "--config") {
       const char* v = next();
       if (v == nullptr) return usage(), 1;
@@ -291,6 +319,8 @@ int main(int argc, char** argv) {
   if (shards_flag.has_value()) config.controller.shards = *shards_flag;
   if (partition_flag.has_value())
     config.controller.partition = *partition_flag;
+  if (exec_flag.has_value()) config.controller.exec = *exec_flag;
+  if (threads_flag.has_value()) config.controller.threads = *threads_flag;
 
   if (flows > 1) {
     if (switches == 0) switches = flows * 6;

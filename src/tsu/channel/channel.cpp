@@ -28,11 +28,14 @@ void ControlChannel::send(const proto::Message& message) {
   if (deliver_at < last_delivery_) deliver_at = last_delivery_;
   last_delivery_ = deliver_at;
 
-  sim_.schedule_at(deliver_at, [this, frame = std::move(frame)]() {
-    Result<proto::Message> decoded = proto::decode(frame);
-    TSU_ASSERT_MSG(decoded.ok(), "channel produced an undecodable frame");
-    receiver_(decoded.value());
-  });
+  sim_.schedule_at(
+      deliver_at,
+      [this, frame = std::move(frame)]() {
+        Result<proto::Message> decoded = proto::decode(frame);
+        TSU_ASSERT_MSG(decoded.ok(), "channel produced an undecodable frame");
+        receiver_(decoded.value());
+      },
+      delivery_scope_);
 }
 
 }  // namespace tsu::channel

@@ -243,10 +243,15 @@ void Controller::send_to_switch(NodeId node, proto::Message message) {
     // Same-instant coalescing: one zero-delay event ships every outbox.
     if (!flush_scheduled_) {
       flush_scheduled_ = true;
-      sim_.schedule(0, [this]() {
-        flush_scheduled_ = false;
-        flush_all(FlushTrigger::kInstant);
-      });
+      // kLocal: a flush only ships this shard's outboxes through this
+      // shard's channels; it can never complete an update or cross shards.
+      sim_.schedule(
+          0,
+          [this]() {
+            flush_scheduled_ = false;
+            flush_all(FlushTrigger::kInstant);
+          },
+          sim::EventScope::kLocal);
     }
     return;
   }
@@ -266,10 +271,14 @@ void Controller::send_to_switch(NodeId node, proto::Message message) {
     const sim::Duration window = batch_mode_ == BatchMode::kAdaptive
                                      ? adaptive_window()
                                      : config_.batch_window;
-    box.timer = sim_.schedule(window, [this, node]() {
-      outbox_.at(node).timer_armed = false;
-      flush_switch(node, FlushTrigger::kTimer);
-    });
+    // kLocal: same argument as the instant flush above.
+    box.timer = sim_.schedule(
+        window,
+        [this, node]() {
+          outbox_.at(node).timer_armed = false;
+          flush_switch(node, FlushTrigger::kTimer);
+        },
+        sim::EventScope::kLocal);
   }
 }
 

@@ -80,6 +80,7 @@
 #include "tsu/controller/admission.hpp"
 #include "tsu/controller/update_request.hpp"
 #include "tsu/proto/messages.hpp"
+#include "tsu/sim/exec_mode.hpp"
 #include "tsu/sim/simulator.hpp"
 #include "tsu/topo/partition.hpp"
 #include "tsu/util/ids.hpp"
@@ -139,6 +140,14 @@ struct ControllerConfig {
   // controller, bit-identical to the pre-sharding engine.
   std::size_t shards = 1;
   topo::PartitionScheme partition = topo::PartitionScheme::kHash;
+  // How the sharded clock steps (sim/sharded.hpp): the sequential merger,
+  // or parallel epochs on a worker pool between safe horizons. Parallel
+  // mode is digest- and oracle-identical to sequential for every seed (the
+  // equivalence matrix pins it); it only changes wall-clock time.
+  sim::ExecMode exec = sim::ExecMode::kSequential;
+  // Worker threads for exec = parallel; 0 picks
+  // min(shards, hardware threads).
+  std::size_t threads = 0;
 };
 
 // The flush policy after legacy-knob normalization: `batch_frames` only

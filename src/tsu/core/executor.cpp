@@ -1,12 +1,14 @@
 #include "tsu/core/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <unordered_map>
 
 #include "tsu/sim/sharded.hpp"
 #include "tsu/sim/simulator.hpp"
+#include "tsu/sim/thread_pool.hpp"
 #include "tsu/topo/partition.hpp"
 #include "tsu/util/log.hpp"
 
@@ -33,12 +35,10 @@ struct Harness {
 
   Harness(const ExecutorConfig& config,
           const controller::ControllerConfig& controller_config,
-          std::size_t node_count)
-      : sim(controller_config.shards == 0 ? 1 : controller_config.shards),
+          topo::SwitchPartition switch_partition)
+      : sim(switch_partition.shards()),
         rng(config.seed),
-        partition(controller_config.shards == 0 ? 1
-                                                : controller_config.shards,
-                  controller_config.partition, node_count) {
+        partition(std::move(switch_partition)) {
     ctrl = std::make_unique<controller::ShardCoordinator>(sim, partition,
                                                           controller_config);
   }
@@ -63,6 +63,11 @@ struct Harness {
     channel::DuplexChannel* duplex_ptr = duplex.get();
     controller::ShardCoordinator* ctrl_ptr = ctrl.get();
 
+    // Controller->switch deliveries stay on the switch's own shard and
+    // only touch its state: safe inside parallel epochs. The reply
+    // direction keeps the kShared default - reply processing can complete
+    // updates and cross shards through the coordinator.
+    duplex_ptr->to_switch.set_delivery_scope(sim::EventScope::kLocal);
     duplex_ptr->to_switch.set_receiver(
         [sw_ptr](const proto::Message& m) { sw_ptr->receive(m); });
     duplex_ptr->to_controller.set_receiver(
@@ -189,9 +194,11 @@ std::vector<std::unique_ptr<dataplane::TrafficSource>> make_sources(
     traffic.ttl = config.ttl;
     traffic.start = 0;
     traffic.stop = std::numeric_limits<sim::SimTime>::max();
-    // A flow's packet events live on its ingress switch's shard queue.
+    // A flow's injection lives on its ingress switch's shard queue; hops
+    // then follow the packet onto whichever shard owns each switch, with
+    // cross-shard hand-offs through the group mailboxes (traffic.hpp).
     sources.push_back(std::make_unique<dataplane::TrafficSource>(
-        harness.sim_of(inst.source()), harness.switches, traffic,
+        harness.sim, harness.partition, harness.switches, traffic,
         harness.rng.fork(), monitor));
   }
   return sources;
@@ -227,6 +234,52 @@ struct EngineOutput {
   sim::Duration makespan = 0;
 };
 
+// The workload's switch co-occurrence graph: one weighted edge per switch
+// pair some instance touches together. Input of the greedy-cut partitioner
+// and of the cut-size accounting in ShardStats.
+std::vector<topo::SwitchAffinity> affinity_edges(
+    const std::vector<const update::Instance*>& instances) {
+  std::unordered_map<std::uint64_t, std::size_t> weights;
+  for (const update::Instance* inst : instances) {
+    std::vector<NodeId> touched;
+    for (NodeId v = 0; v < inst->node_count(); ++v)
+      if (inst->on_old(v) || inst->on_new(v)) touched.push_back(v);
+    for (std::size_t i = 0; i < touched.size(); ++i)
+      for (std::size_t j = i + 1; j < touched.size(); ++j) {
+        const NodeId lo = std::min(touched[i], touched[j]);
+        const NodeId hi = std::max(touched[i], touched[j]);
+        ++weights[(static_cast<std::uint64_t>(lo) << 32) | hi];
+      }
+  }
+  std::vector<topo::SwitchAffinity> edges;
+  edges.reserve(weights.size());
+  for (const auto& [key, weight] : weights)
+    edges.push_back(topo::SwitchAffinity{
+        static_cast<NodeId>(key >> 32),
+        static_cast<NodeId>(key & 0xffffffffull), weight});
+  // The map iterates in hash order; sort so the partitioner's input - and
+  // with it the partition itself - is deterministic.
+  std::sort(edges.begin(), edges.end(),
+            [](const topo::SwitchAffinity& a, const topo::SwitchAffinity& b) {
+              if (a.a != b.a) return a.a < b.a;
+              return a.b < b.b;
+            });
+  return edges;
+}
+
+// The lower bound on any cross-shard interaction a kLocal event can
+// create: switch replies mature one channel latency after the send, and a
+// packet's next hop one link latency after the current one. The parallel
+// stepper widens its epochs to exactly this bound (sim/sharded.hpp);
+// unbounded-below latency models collapse it to 0, which degenerates to
+// sequential stepping - correct, just not concurrent.
+sim::Duration cross_shard_lookahead(const ExecutorConfig& config) {
+  sim::Duration lookahead = config.channel.latency.min_delay();
+  if (config.with_traffic)
+    lookahead = std::min(lookahead, config.link_latency.min_delay());
+  return lookahead;
+}
+
 Result<EngineOutput> run_engine(
     const std::vector<const update::Instance*>& instances,
     std::vector<EngineRequest> requests, const ExecutorConfig& config,
@@ -243,7 +296,17 @@ Result<EngineOutput> run_engine(
   for (const update::Instance* inst : instances)
     node_count = std::max(node_count, inst->node_count());
 
-  Harness harness(config, controller_config, node_count);
+  const std::size_t shard_count =
+      controller_config.shards == 0 ? 1 : controller_config.shards;
+  const std::vector<topo::SwitchAffinity> affinity =
+      affinity_edges(instances);
+  topo::SwitchPartition partition =
+      controller_config.partition == topo::PartitionScheme::kGreedyCut
+          ? topo::make_greedy_cut_partition(shard_count, node_count, affinity)
+          : topo::SwitchPartition(shard_count, controller_config.partition,
+                                  node_count);
+
+  Harness harness(config, controller_config, std::move(partition));
   for (const update::Instance* inst : instances)
     add_instance_switches(harness, *inst, config);
   for (std::size_t i = 0; i < instances.size(); ++i)
@@ -277,13 +340,52 @@ Result<EngineOutput> run_engine(
 
   // Submit all requests at the end of the warmup (the paper's queue: they
   // arrive together; how many progress at once is the controller's
-  // max_in_flight under its admission policy).
-  harness.sim.schedule(config.warmup, [&]() {
-    for (EngineRequest& r : requests)
-      harness.ctrl->submit(std::move(r.request));
-  });
+  // max_in_flight under its admission policy). Each request's submission
+  // event lands on its HOME shard - the lowest shard its FlowMods touch -
+  // so warmup submissions no longer serialize through shard 0's queue;
+  // merged order at the shared warmup instant stays deterministic (shard
+  // ascending, then input order within a shard). Submission events are
+  // kShared: submitting reaches the coordinator and can start work on
+  // several shards at once.
+  std::vector<std::vector<std::size_t>> by_home(harness.sim.shard_count());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    std::size_t home = harness.sim.shard_count();
+    for (const std::vector<controller::RoundOp>& round :
+         requests[i].request.rounds)
+      for (const controller::RoundOp& op : round)
+        home = std::min(home, harness.partition.shard_of(op.node));
+    by_home[home == harness.sim.shard_count() ? 0 : home].push_back(i);
+  }
+  for (std::size_t s = 0; s < by_home.size(); ++s) {
+    if (by_home[s].empty()) continue;
+    harness.sim.schedule_on(s, config.warmup, [&, s]() {
+      for (const std::size_t i : by_home[s])
+        harness.ctrl->submit(std::move(requests[i].request));
+    });
+  }
 
-  harness.sim.run();
+  const bool parallel =
+      controller_config.exec == sim::ExecMode::kParallel;
+  // An epoch dispatches exactly shard_count tasks, so more lanes than
+  // shards would only sleep; the clamp also keeps a typo'd `threads`
+  // from asking the OS for an absurd thread count.
+  const std::size_t pool_threads =
+      !parallel ? 1
+      : controller_config.threads != 0
+          ? std::min(controller_config.threads, harness.sim.shard_count())
+          : std::min(harness.sim.shard_count(),
+                     sim::ThreadPool::hardware_threads());
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (parallel) {
+    sim::ThreadPool pool(pool_threads);
+    harness.sim.run_parallel(pool, cross_shard_lookahead(config));
+  } else {
+    harness.sim.run();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   if (!harness.ctrl->idle() ||
       harness.ctrl->completed().size() != requests.size())
@@ -310,9 +412,16 @@ Result<EngineOutput> run_engine(
   out.batching.flush_timers_cancelled = harness.ctrl->flush_timers_cancelled();
   out.batching.max_hold = harness.ctrl->max_hold();
   out.sharding.shards = harness.ctrl->shard_count();
+  out.sharding.exec = controller_config.exec;
+  out.sharding.threads = pool_threads;
   out.sharding.cross_shard_updates = harness.ctrl->cross_shard_updates();
   out.sharding.rounds_synced = harness.ctrl->rounds_synced();
   out.sharding.sync_overhead = harness.ctrl->sync_overhead();
+  out.sharding.parallel_epochs = harness.sim.parallel_epochs();
+  out.sharding.horizon_stalls = harness.sim.horizon_stalls();
+  out.sharding.events_per_shard = harness.sim.events_per_shard();
+  out.sharding.partition_cut_weight = harness.partition.cut_weight(affinity);
+  out.sharding.wall_ms = wall_ms;
   out.state_digest = final_state_digest(harness);
   out.aggregate = monitors.aggregate();
 

@@ -92,15 +92,29 @@ struct BatchingStats {
   double max_hold_ms() const noexcept { return sim::to_ms(max_hold); }
 };
 
-// Sharding observability of one engine run (see controller/shard.hpp):
-// how many updates spanned shards and what the two-phase round barrier
-// cost - the summed spread between the first and last shard confirming
-// each cross-shard round.
+// Sharding observability of one engine run (see controller/shard.hpp and
+// sim/sharded.hpp): how many updates spanned shards, what the two-phase
+// round barrier cost - the summed spread between the first and last shard
+// confirming each cross-shard round - and how the stepping engine ran:
+// epochs that stepped shards concurrently, sequential fallback steps at
+// collapsed horizons, per-shard event counts (identical across reruns of a
+// seed; the parallel determinism test pins this), the workload cut the
+// partition paid, and the wall-clock cost of the run loop (steady-clock;
+// the simulation itself never reads wall time).
 struct ShardStats {
   std::size_t shards = 1;
+  sim::ExecMode exec = sim::ExecMode::kSequential;
+  std::size_t threads = 1;  // pool lanes actually used (1 when sequential)
   std::size_t cross_shard_updates = 0;
   std::size_t rounds_synced = 0;
   sim::Duration sync_overhead = 0;
+  std::size_t parallel_epochs = 0;
+  std::size_t horizon_stalls = 0;
+  std::vector<std::size_t> events_per_shard;
+  // Affinity weight of the workload's switch co-occurrence graph crossing
+  // shards under the chosen partition (topo::SwitchPartition::cut_weight).
+  std::size_t partition_cut_weight = 0;
+  double wall_ms = 0;
 
   double sync_overhead_ms() const noexcept {
     return sim::to_ms(sync_overhead);

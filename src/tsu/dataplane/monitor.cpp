@@ -35,6 +35,7 @@ std::string MonitorReport::to_string() const {
 }
 
 void ConsistencyMonitor::record(sim::SimTime at, PacketOutcome outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++report_.total;
   switch (outcome) {
     case PacketOutcome::kDelivered: ++report_.delivered; break;
@@ -58,8 +59,8 @@ void ConsistencyMonitor::record(sim::SimTime at, PacketOutcome outcome) {
 ConsistencyMonitor& MultiFlowMonitor::monitor(FlowId flow) {
   const auto it = flows_.find(flow);
   if (it != flows_.end()) return it->second;
-  return flows_.emplace(flow, ConsistencyMonitor(bucket_width_))
-      .first->second;
+  // try_emplace: ConsistencyMonitor owns a mutex and cannot be moved.
+  return flows_.try_emplace(flow, bucket_width_).first->second;
 }
 
 const ConsistencyMonitor* MultiFlowMonitor::find(FlowId flow) const noexcept {

@@ -8,7 +8,7 @@ TrafficSource::TrafficSource(sim::Simulator& simulator,
                              std::vector<switchsim::SimSwitch*> switches,
                              TrafficConfig config, Rng rng,
                              ConsistencyMonitor& monitor)
-    : sim_(simulator), switches_(std::move(switches)), config_(config),
+    : home_sim_(&simulator), switches_(std::move(switches)), config_(config),
       rng_(rng), monitor_(monitor) {
   TSU_ASSERT(config_.ingress < switches_.size() &&
              switches_[config_.ingress] != nullptr);
@@ -16,28 +16,57 @@ TrafficSource::TrafficSource(sim::Simulator& simulator,
              switches_[config_.egress] != nullptr);
 }
 
+TrafficSource::TrafficSource(sim::ShardedSim& group,
+                             const topo::SwitchPartition& partition,
+                             std::vector<switchsim::SimSwitch*> switches,
+                             TrafficConfig config, Rng rng,
+                             ConsistencyMonitor& monitor)
+    : home_sim_(&group.shard(partition.shard_of(config.ingress))),
+      group_(&group), partition_(&partition), switches_(std::move(switches)),
+      config_(config), rng_(rng), monitor_(monitor) {
+  TSU_ASSERT(config_.ingress < switches_.size() &&
+             switches_[config_.ingress] != nullptr);
+  TSU_ASSERT(config_.egress < switches_.size() &&
+             switches_[config_.egress] != nullptr);
+}
+
+std::size_t TrafficSource::shard_of(NodeId node) const noexcept {
+  return partition_ == nullptr ? 0 : partition_->shard_of(node);
+}
+
+sim::Simulator& TrafficSource::sim_of(NodeId node) {
+  return group_ == nullptr ? *home_sim_ : group_->shard(shard_of(node));
+}
+
 void TrafficSource::start() {
-  sim_.schedule_at(config_.start, [this]() { inject(); });
+  // kLocal: injection reads source-local state and starts the packet on
+  // the ingress switch, which lives on this very shard.
+  home_sim_->schedule_at(config_.start, [this]() { inject(); },
+                         sim::EventScope::kLocal);
 }
 
 void TrafficSource::inject() {
-  if (sim_.now() >= config_.stop) return;
+  if (home_sim_->now() >= config_.stop) return;
 
-  LivePacket live;
+  // Fork in injection order: the packet's latency stream is deterministic
+  // however its hops later interleave with other packets'.
+  LivePacket live(rng_.fork());
   live.packet.flow = config_.flow;
   live.packet.src_host = config_.ingress;
   live.packet.dst_host = config_.egress;
   live.packet.ttl = config_.ttl;
   live.visited.assign(switches_.size(), false);
   ++injected_;
-  ++in_flight_;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   hop(std::move(live), config_.ingress);
 
-  sim_.schedule(config_.interarrival.sample(rng_), [this]() { inject(); });
+  home_sim_->schedule(config_.interarrival.sample(rng_),
+                      [this]() { inject(); }, sim::EventScope::kLocal);
 }
 
 void TrafficSource::hop(LivePacket live, NodeId at) {
   TSU_ASSERT(at < switches_.size() && switches_[at] != nullptr);
+  sim::Simulator& here = sim_of(at);
 
   if (config_.waypoint.has_value() && at == *config_.waypoint)
     live.crossed_waypoint = true;
@@ -47,48 +76,65 @@ void TrafficSource::hop(LivePacket live, NodeId at) {
   const std::optional<flow::FlowRule> rule =
       switches_[at]->table().lookup(live.packet);
   if (!rule.has_value() || rule->action.kind == flow::ActionKind::kDrop) {
-    finish(live, PacketOutcome::kBlackholed);
+    finish(live, PacketOutcome::kBlackholed, here.now());
     return;
   }
   if (rule->action.kind == flow::ActionKind::kDeliver) {
     if (at == config_.egress) {
       const bool needs_waypoint = config_.waypoint.has_value();
-      finish(live, needs_waypoint && !live.crossed_waypoint
-                       ? PacketOutcome::kBypassedWaypoint
-                       : PacketOutcome::kDelivered);
+      finish(live,
+             needs_waypoint && !live.crossed_waypoint
+                 ? PacketOutcome::kBypassedWaypoint
+                 : PacketOutcome::kDelivered,
+             here.now());
     } else {
       // Delivered to the wrong host: treat as a drop.
-      finish(live, PacketOutcome::kBlackholed);
+      finish(live, PacketOutcome::kBlackholed, here.now());
     }
     return;
   }
 
   // Forwarding.
   if (live.visited[at]) {
-    finish(live, PacketOutcome::kLooped);
+    finish(live, PacketOutcome::kLooped, here.now());
     return;
   }
   live.visited[at] = true;
   if (--live.packet.ttl <= 0) {
-    finish(live, PacketOutcome::kTtlExpired);
+    finish(live, PacketOutcome::kTtlExpired, here.now());
     return;
   }
   const NodeId next = rule->action.port;
   if (next >= switches_.size() || switches_[next] == nullptr) {
-    finish(live, PacketOutcome::kBlackholed);
+    finish(live, PacketOutcome::kBlackholed, here.now());
     return;
   }
   live.packet.in_port = at;
-  sim_.schedule(config_.link_latency.sample(rng_),
-                [this, live = std::move(live), next]() mutable {
-                  hop(std::move(live), next);
-                });
+  const sim::Duration latency = config_.link_latency.sample(live.rng);
+  const std::size_t here_shard = shard_of(at);
+  const std::size_t next_shard = shard_of(next);
+  if (group_ == nullptr || next_shard == here_shard) {
+    // kLocal: the hop reads only `next`'s tables, owned by this shard.
+    here.schedule(latency,
+                  [this, live = std::move(live), next]() mutable {
+                    hop(std::move(live), next);
+                  },
+                  sim::EventScope::kLocal);
+  } else {
+    // Cross-shard hand-off: into the owner's mailbox, never into its
+    // queue mid-step (see sim/sharded.hpp).
+    group_->post(next_shard, here_shard, here.now() + latency,
+                 [this, live = std::move(live), next]() mutable {
+                   hop(std::move(live), next);
+                 });
+  }
 }
 
-void TrafficSource::finish(const LivePacket& live, PacketOutcome outcome) {
+void TrafficSource::finish(const LivePacket& live, PacketOutcome outcome,
+                           sim::SimTime at) {
   (void)live;
-  --in_flight_;
-  monitor_.record(sim_.now(), outcome);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  monitor_.record(at, outcome);
 }
 
 }  // namespace tsu::dataplane

@@ -3,16 +3,30 @@
 // mutate underneath it as FlowMods complete), so transient inconsistencies
 // show up exactly as they would in the Mininet demo: loops, drops, and
 // packets that slip past the waypoint.
+//
+// SHARDED OPERATION. When constructed over a ShardedSim + SwitchPartition,
+// every hop event executes on the event queue of the shard OWNING the
+// switch it reads, so a hop only ever touches shard-local flow tables - the
+// invariant that lets parallel epochs run hops concurrently. A hop whose
+// next switch lives on a foreign shard hands the packet off through the
+// group's per-shard mailbox (ShardedSim::post) instead of scheduling into
+// the foreign queue directly. Each packet carries its own forked Rng for
+// link-latency sampling: samples then depend only on the packet's own hop
+// sequence, never on how concurrently-flying packets interleave, which
+// keeps parallel runs bit-identical to sequential ones.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
 #include "tsu/dataplane/monitor.hpp"
 #include "tsu/flow/match.hpp"
 #include "tsu/sim/distributions.hpp"
+#include "tsu/sim/sharded.hpp"
 #include "tsu/sim/simulator.hpp"
 #include "tsu/switchsim/switch.hpp"
+#include "tsu/topo/partition.hpp"
 #include "tsu/util/ids.hpp"
 #include "tsu/util/rng.hpp"
 
@@ -34,8 +48,16 @@ struct TrafficConfig {
 
 class TrafficSource {
  public:
+  // Single-queue operation: everything runs on `simulator`.
   // `switches` is indexed by NodeId; entries may be null for non-switch ids.
   TrafficSource(sim::Simulator& simulator,
+                std::vector<switchsim::SimSwitch*> switches,
+                TrafficConfig config, Rng rng, ConsistencyMonitor& monitor);
+
+  // Sharded operation (see the file comment): injection lives on the
+  // ingress switch's shard; hops follow the packet across shard queues.
+  // `partition` must outlive the source.
+  TrafficSource(sim::ShardedSim& group, const topo::SwitchPartition& partition,
                 std::vector<switchsim::SimSwitch*> switches,
                 TrafficConfig config, Rng rng, ConsistencyMonitor& monitor);
 
@@ -45,10 +67,14 @@ class TrafficSource {
 
   std::size_t injected() const noexcept { return injected_; }
   // Packets still traversing the network.
-  std::size_t in_flight() const noexcept { return in_flight_; }
+  std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
   // Moves the injection stop time (e.g. once the update under observation
-  // has completed and the drain window is known).
+  // has completed and the drain window is known). Only safe at a sync
+  // point (the executor calls it from update-completion handlers, which
+  // are kShared events): injection reads it from inside parallel epochs.
   void set_stop(sim::SimTime stop) noexcept { config_.stop = stop; }
 
  private:
@@ -56,19 +82,30 @@ class TrafficSource {
     flow::Packet packet;
     std::vector<bool> visited;
     bool crossed_waypoint = false;
+    // Per-packet latency stream (see the file comment).
+    Rng rng;
+    explicit LivePacket(Rng packet_rng) : rng(packet_rng) {}
   };
 
-  void inject();
-  void hop(LivePacket live, NodeId at);
-  void finish(const LivePacket& live, PacketOutcome outcome);
+  // The event queue owning switch `node` (home_sim_ when unsharded).
+  sim::Simulator& sim_of(NodeId node);
+  std::size_t shard_of(NodeId node) const noexcept;
 
-  sim::Simulator& sim_;
+  void inject();
+  // Runs on the queue of `at`'s owning shard.
+  void hop(LivePacket live, NodeId at);
+  void finish(const LivePacket& live, PacketOutcome outcome, sim::SimTime at);
+
+  sim::Simulator* home_sim_;                       // ingress shard's queue
+  sim::ShardedSim* group_ = nullptr;               // null when unsharded
+  const topo::SwitchPartition* partition_ = nullptr;
   std::vector<switchsim::SimSwitch*> switches_;
   TrafficConfig config_;
   Rng rng_;
   ConsistencyMonitor& monitor_;
   std::size_t injected_ = 0;
-  std::size_t in_flight_ = 0;
+  // Decremented by whichever shard finishes the packet.
+  std::atomic<std::size_t> in_flight_{0};
 };
 
 }  // namespace tsu::dataplane

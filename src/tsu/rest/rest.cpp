@@ -195,8 +195,22 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
       if (!scheme.has_value())
         return make_error(Errc::kParseError,
                           "unknown partition scheme '" + value.as_string() +
-                              "' (hash | block)");
+                              "' (hash | block | greedy_cut)");
       message.partition = *scheme;
+    } else if (key == "exec") {
+      if (!value.is_string())
+        return make_error(Errc::kParseError, "'exec' must be a string");
+      const std::optional<sim::ExecMode> mode =
+          sim::exec_mode_from_string(value.as_string());
+      if (!mode.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown exec mode '" + value.as_string() +
+                              "' (sequential | parallel)");
+      message.exec = *mode;
+    } else if (key == "threads") {
+      if (!value.is_number() || value.as_int() < 0)
+        return make_error(Errc::kOutOfRange, "'threads' must be >= 0");
+      message.threads = static_cast<std::size_t>(value.as_int());
     } else if (key == "max_in_flight") {
       if (!value.is_number() || value.as_int() < 1)
         return make_error(Errc::kOutOfRange, "'max_in_flight' must be >= 1");
@@ -267,6 +281,11 @@ std::string to_json(const RestUpdateMessage& message) {
              json::Value(static_cast<std::int64_t>(*message.shards)));
   if (message.partition.has_value())
     root.set("partition", json::Value(topo::to_string(*message.partition)));
+  if (message.exec.has_value())
+    root.set("exec", json::Value(sim::to_string(*message.exec)));
+  if (message.threads.has_value())
+    root.set("threads",
+             json::Value(static_cast<std::int64_t>(*message.threads)));
   if (message.max_in_flight.has_value())
     root.set("max_in_flight",
              json::Value(static_cast<std::int64_t>(*message.max_in_flight)));
@@ -379,6 +398,8 @@ void apply_controller_overrides(const RestUpdateMessage& message,
     config.admission_release = *message.admission_release;
   if (message.shards.has_value()) config.shards = *message.shards;
   if (message.partition.has_value()) config.partition = *message.partition;
+  if (message.exec.has_value()) config.exec = *message.exec;
+  if (message.threads.has_value()) config.threads = *message.threads;
   if (message.max_in_flight.has_value())
     config.max_in_flight = *message.max_in_flight;
   if (message.batch_frames.has_value())

@@ -58,6 +58,10 @@ struct RestUpdateMessage {
   std::optional<std::size_t> batch_bytes;
   std::optional<std::size_t> shards;
   std::optional<topo::PartitionScheme> partition;
+  // How the sharded clock steps (sequential merge or parallel epochs) and
+  // with how many worker threads (0 = auto); see sim/sharded.hpp.
+  std::optional<sim::ExecMode> exec;
+  std::optional<std::size_t> threads;
 };
 
 // Parses the JSON request body. Unknown body keys are rejected; "add",
@@ -75,7 +79,7 @@ Result<update::Instance> to_instance(const RestUpdateMessage& message,
 // Applies the message's optional controller knobs (admission policy and
 // release granularity, max_in_flight, the batching knobs batch_frames /
 // batch_mode / batch_window_ms / batch_bytes, and the sharding knobs
-// shards / partition) onto a controller configuration.
+// shards / partition / exec / threads) onto a controller configuration.
 void apply_controller_overrides(const RestUpdateMessage& message,
                                 controller::ControllerConfig& config);
 

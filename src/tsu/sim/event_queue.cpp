@@ -1,15 +1,17 @@
 #include "tsu/sim/event_queue.hpp"
 
+#include <limits>
 #include <utility>
 
 #include "tsu/util/assert.hpp"
 
 namespace tsu::sim {
 
-EventId EventQueue::push(SimTime at, EventFn fn) {
+EventId EventQueue::push(SimTime at, EventFn fn, EventScope scope, Band band) {
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  pending_.emplace(id, Pending{at, std::move(fn)});
+  heap_.push(Entry{at, band, id});
+  if (scope == EventScope::kShared) shared_heap_.push(Entry{at, band, id});
+  pending_.emplace(id, Pending{at, scope, band, std::move(fn)});
   ++live_;
   return id;
 }
@@ -27,10 +29,16 @@ void EventQueue::maybe_compact() {
   if (heap_.size() < kCompactMinimum) return;
   if (heap_.size() <= kCompactSlack * live_) return;
   std::vector<Entry> entries;
+  std::vector<Entry> shared;
   entries.reserve(pending_.size());
-  for (const auto& [id, pending] : pending_)
-    entries.push_back(Entry{pending.time, id});
+  for (const auto& [id, pending] : pending_) {
+    entries.push_back(Entry{pending.time, pending.band, id});
+    if (pending.scope == EventScope::kShared)
+      shared.push_back(Entry{pending.time, pending.band, id});
+  }
   heap_ = std::priority_queue<Entry>(std::less<Entry>{}, std::move(entries));
+  shared_heap_ =
+      std::priority_queue<Entry>(std::less<Entry>{}, std::move(shared));
 }
 
 bool EventQueue::empty() const noexcept { return live_ == 0; }
@@ -46,6 +54,16 @@ SimTime EventQueue::next_time() const {
   return heap_.top().time;
 }
 
+SimTime EventQueue::next_shared_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->shared_heap_.empty() &&
+         self->pending_.find(self->shared_heap_.top().id) ==
+             self->pending_.end())
+    self->shared_heap_.pop();
+  return shared_heap_.empty() ? std::numeric_limits<SimTime>::max()
+                              : shared_heap_.top().time;
+}
+
 EventQueue::Fired EventQueue::pop() {
   TSU_ASSERT_MSG(!empty(), "pop on empty queue");
   while (!heap_.empty()) {
@@ -53,13 +71,22 @@ EventQueue::Fired EventQueue::pop() {
     heap_.pop();
     const auto it = pending_.find(top.id);
     if (it == pending_.end()) continue;  // cancelled
-    Fired fired{top.time, std::move(it->second.fn)};
+    Fired fired{top.time, std::move(it->second.fn), it->second.scope};
     pending_.erase(it);
     --live_;
+    if (fired.scope == EventScope::kShared) {
+      // A fired kShared event is the minimum of heap_, hence of the
+      // subset shared_heap_ too: skim it (and any cancelled entries
+      // above it) off now, so sequential runs - which never call
+      // next_shared_time() - cannot grow the index without bound.
+      while (!shared_heap_.empty() &&
+             pending_.find(shared_heap_.top().id) == pending_.end())
+        shared_heap_.pop();
+    }
     return fired;
   }
   TSU_ASSERT_MSG(false, "live_ count out of sync with heap");
-  return Fired{0, nullptr};
+  return Fired{0, nullptr, EventScope::kShared};
 }
 
 }  // namespace tsu::sim

@@ -1,6 +1,24 @@
-// Event queue for the discrete-event simulator: a min-heap on (time, seq)
-// where seq is a monotonically increasing tie-breaker, so simultaneous
+// Event queue for the discrete-event simulator: a min-heap on (time, band,
+// seq) where seq is a monotonically increasing tie-breaker, so simultaneous
 // events fire in scheduling order and runs are fully deterministic.
+//
+// Two orthogonal labels support the parallel sharded engine (sharded.hpp):
+//
+//   scope  kLocal events are guaranteed by their scheduler to touch only
+//          state owned by this queue's shard, so a parallel epoch may run
+//          them without cross-shard synchronization. kShared (the safe
+//          default) events may read or mutate foreign-shard state and are
+//          only ever executed at horizon sync points. next_shared_time()
+//          is the earliest pending kShared event - one input of the safe-
+//          horizon computation.
+//
+//   band   kNative events were scheduled by this shard's own execution;
+//          kRemote events arrived through a cross-shard mailbox. At equal
+//          timestamps every remote event sorts after every native one, so
+//          the relative order of a hand-off against same-instant local work
+//          is a property of the timestamps alone - not of WHEN the mailbox
+//          was drained - which is what keeps sequential and parallel drains
+//          bit-identical.
 //
 // Cancellation is lazy - the slot stays in the heap and is skimmed off when
 // it reaches the top - but the heap compacts itself (a rebuild from the
@@ -22,9 +40,17 @@ namespace tsu::sim {
 using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
+// See the file comment. kShared is the default: only call sites that can
+// prove shard-locality opt into kLocal.
+enum class EventScope : std::uint8_t { kShared = 0, kLocal = 1 };
+
 class EventQueue {
  public:
-  EventId push(SimTime at, EventFn fn);
+  // Which tie-break band an event occupies at its timestamp.
+  enum class Band : std::uint8_t { kNative = 0, kRemote = 1 };
+
+  EventId push(SimTime at, EventFn fn, EventScope scope = EventScope::kShared,
+               Band band = Band::kNative);
 
   // Cancels a pending event (lazy: the slot stays in the heap but fires as
   // a no-op). Returns false if the event already fired or was cancelled.
@@ -37,11 +63,14 @@ class EventQueue {
   // small constant; exposed so tests can pin the bound.
   std::size_t heap_size() const noexcept { return heap_.size(); }
   SimTime next_time() const;
+  // Earliest pending kShared event; SimTime max when none is pending.
+  SimTime next_shared_time() const;
 
   // Pops and returns the next live event; callers must check empty() first.
   struct Fired {
     SimTime time;
     EventFn fn;
+    EventScope scope;
   };
   Fired pop();
 
@@ -54,26 +83,34 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
+    Band band;
     EventId id;
-    // min-heap: invert comparison.
+    // min-heap: invert comparison. Equal times break remote-after-native,
+    // then scheduling order.
     bool operator<(const Entry& other) const {
       if (time != other.time) return time > other.time;
+      if (band != other.band) return band > other.band;
       return id > other.id;
     }
   };
 
   struct Pending {
     SimTime time;
+    EventScope scope;
+    Band band;
     EventFn fn;
   };
 
-  // Rebuilds the heap from pending_ when the cancelled fraction crosses
+  // Rebuilds the heaps from pending_ when the cancelled fraction crosses
   // the threshold. O(live) and amortized free: a rebuild only happens
   // after at least as many cancels as live entries.
   void maybe_compact();
 
   std::priority_queue<Entry> heap_;
-  // id -> (time, handler); erased on fire/cancel.
+  // Index of pending kShared events only, skimmed lazily like heap_; keeps
+  // next_shared_time() O(log shared) instead of a scan.
+  std::priority_queue<Entry> shared_heap_;
+  // id -> (time, scope, band, handler); erased on fire/cancel.
   std::unordered_map<EventId, Pending> pending_;
 
   EventId next_id_ = 0;

@@ -1,0 +1,19 @@
+#include "tsu/sim/exec_mode.hpp"
+
+namespace tsu::sim {
+
+const char* to_string(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::kSequential: return "sequential";
+    case ExecMode::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+std::optional<ExecMode> exec_mode_from_string(std::string_view name) noexcept {
+  if (name == "sequential") return ExecMode::kSequential;
+  if (name == "parallel") return ExecMode::kParallel;
+  return std::nullopt;
+}
+
+}  // namespace tsu::sim

@@ -1,0 +1,20 @@
+// How a ShardedSim (sim/sharded.hpp) steps its shards. Split out so
+// configuration layers (controller config, REST, JSON) can name the enum
+// without pulling in the sharded stepper and its threading headers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tsu::sim {
+
+enum class ExecMode : std::uint8_t {
+  kSequential = 0,  // single-threaded global merge (the PR 4 engine)
+  kParallel = 1,    // worker-pool epochs between safe horizons
+};
+
+const char* to_string(ExecMode mode) noexcept;
+std::optional<ExecMode> exec_mode_from_string(std::string_view name) noexcept;
+
+}  // namespace tsu::sim

@@ -1,27 +1,146 @@
 #include "tsu/sim/sharded.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace tsu::sim {
+
+void ShardedSim::post(std::size_t target, std::size_t poster, SimTime at,
+                      EventFn fn, EventScope scope) {
+  TSU_ASSERT_MSG(target < shards_.size() && poster < shards_.size(),
+                 "mailbox post outside the shard group");
+  if (!buffering_) {
+    // Sequential merger (or a sync point): the hand-off schedules straight
+    // through. The remote band makes the resulting order a function of the
+    // timestamps alone, so the buffered path below lands identically.
+    shards_[target]->push_remote(at, std::move(fn), scope);
+    return;
+  }
+  Post post;
+  post.at = at;
+  post.posted_at = shards_[poster]->now();
+  post.poster = poster;
+  post.seq = post_seq_[poster]++;  // poster-owned slot: no lock needed
+  post.scope = scope;
+  post.fn = std::move(fn);
+  Mailbox& box = mailboxes_[target];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  box.posts.push_back(std::move(post));
+}
+
+void ShardedSim::drain_mailbox(std::size_t target) {
+  Mailbox& box = mailboxes_[target];
+  // Sync point: workers are quiescent, the lock is uncontended.
+  std::vector<Post> posts;
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    posts.swap(box.posts);
+  }
+  if (posts.empty()) return;
+  // The sequential merger fires posting events in (post time, shard, seq)
+  // order and schedules each hand-off on the spot; sorting a buffered
+  // batch the same way reproduces its insertion order exactly.
+  std::sort(posts.begin(), posts.end(), [](const Post& a, const Post& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.posted_at != b.posted_at) return a.posted_at < b.posted_at;
+    if (a.poster != b.poster) return a.poster < b.poster;
+    return a.seq < b.seq;
+  });
+  for (Post& post : posts)
+    shards_[target]->push_remote(post.at, std::move(post.fn), post.scope);
+}
+
+bool ShardedSim::step_earliest(SimTime until) {
+  // Earliest next event across shards; ties go to the lowest shard index
+  // (strict <), which is what makes merged runs deterministic.
+  std::size_t best = shards_.size();
+  SimTime best_time = std::numeric_limits<SimTime>::max();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const SimTime t = shards_[i]->next_event_time();
+    if (t < best_time) {
+      best_time = t;
+      best = i;
+    }
+  }
+  if (best == shards_.size() || best_time > until) return false;
+  shards_[best]->step();
+  ++events_[best];
+  return true;
+}
 
 std::size_t ShardedSim::run(SimTime until) {
   std::size_t processed = 0;
-  while (true) {
-    // Earliest next event across shards; ties go to the lowest shard
-    // index (strict <), which is what makes merged runs deterministic.
-    std::size_t best = shards_.size();
-    SimTime best_time = std::numeric_limits<SimTime>::max();
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      const SimTime t = shards_[i]->next_event_time();
-      if (t < best_time) {
-        best_time = t;
-        best = i;
-      }
-    }
-    if (best == shards_.size() || best_time > until) break;
-    shards_[best]->step();
-    ++processed;
-  }
+  while (step_earliest(until)) ++processed;
   if (now_ < until && until != std::numeric_limits<SimTime>::max())
     now_ = until;
+  return processed;
+}
+
+std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
+                                     SimTime until) {
+  const SimTime kMax = std::numeric_limits<SimTime>::max();
+  std::size_t processed = 0;
+  std::vector<std::size_t> counts(shards_.size(), 0);
+  while (true) {
+    SimTime earliest = kMax;
+    SimTime shared_min = kMax;
+    std::size_t eligible = 0;  // shards with work strictly below the horizon
+    for (const auto& shard : shards_) {
+      earliest = std::min(earliest, shard->next_event_time());
+      shared_min = std::min(shared_min, shard->next_shared_time());
+    }
+    if (earliest == kMax || earliest > until) break;
+
+    // The safe horizon: nothing may run concurrently at or beyond the
+    // earliest possible cross-shard interaction (see the file comment).
+    SimTime horizon = shared_min;
+    const SimTime creation_bound =
+        lookahead > kMax - earliest ? kMax : earliest + lookahead;
+    horizon = std::min(horizon, creation_bound);
+    if (until != kMax && horizon > until)
+      horizon = until == kMax - 1 ? kMax : until + 1;  // events AT until fire
+
+    if (horizon <= earliest) {
+      // Collapsed horizon: the earliest event is (or ties with) a kShared
+      // one. One sequential merge step is always safe; kLocal posts made
+      // by it schedule straight through (buffering_ is false here).
+      const bool stepped = step_earliest(until);
+      TSU_ASSERT(stepped);
+      ++processed;
+      ++horizon_stalls_;
+      continue;
+    }
+
+    for (const auto& shard : shards_)
+      if (shard->next_event_time() < horizon) ++eligible;
+
+    if (eligible <= 1) {
+      // One busy shard: run its epoch inline, skip the pool round-trip.
+      for (std::size_t i = 0; i < shards_.size(); ++i)
+        if (shards_[i]->next_event_time() < horizon) {
+          buffering_ = true;
+          const std::size_t n = shards_[i]->run_epoch(horizon);
+          buffering_ = false;
+          events_[i] += n;
+          processed += n;
+          now_ = std::max(now_, shards_[i]->epoch_now());
+        }
+    } else {
+      buffering_ = true;
+      pool.parallel(shards_.size(), [&](std::size_t i) {
+        counts[i] = shards_[i]->run_epoch(horizon);
+      });
+      buffering_ = false;
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        events_[i] += counts[i];
+        processed += counts[i];
+        if (counts[i] > 0) now_ = std::max(now_, shards_[i]->epoch_now());
+      }
+    }
+    ++parallel_epochs_;
+    for (std::size_t i = 0; i < shards_.size(); ++i) drain_mailbox(i);
+  }
+  if (now_ < until && until != kMax) now_ = until;
   return processed;
 }
 

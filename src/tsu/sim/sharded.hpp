@@ -1,23 +1,52 @@
 // The sharded logical clock: one global simulation time driving N
-// per-shard event queues. Within a shard, events fire in (time, insertion)
-// order exactly as in a lone Simulator; across shards the merger always
-// steps the shard with the earliest next event, breaking timestamp ties
-// towards the lowest shard index, so every run is fully deterministic and
-// a 1-shard group is event-for-event identical to a lone Simulator (the
-// `shards = 1` bit-compatibility guarantee rests on this).
+// per-shard event queues. Within a shard, events fire in (time, band,
+// insertion) order exactly as in a lone Simulator; across shards the
+// merger always steps the shard with the earliest next event, breaking
+// timestamp ties towards the lowest shard index, so every run is fully
+// deterministic and a 1-shard group is event-for-event identical to a lone
+// Simulator (the `shards = 1` bit-compatibility guarantee rests on this).
 //
-// Shards only interact through messages that cross shard boundaries as
-// scheduled events, so a later revision can step independent shards on
-// worker threads between cross-shard synchronization points; today the
-// merger is single-threaded and the structure is what buys the option.
+// EXECUTION MODES. run() is the sequential merger. run_parallel() steps
+// independent shards on a worker pool between cross-shard synchronization
+// points: each iteration computes a SAFE HORIZON
+//
+//   H = min( earliest pending kShared event across shards,   // inbound
+//            earliest pending event + lookahead )             // creation
+//
+// - the earliest instant at which any cross-shard interaction can occur.
+// kShared events (inbound control-plane deliveries, coordinator round
+// barriers, harness submissions) only ever run at sync points on the
+// merging thread; `lookahead` is the caller's lower bound on the delay of
+// any kShared event or cross-shard mailbox post CREATED by a kLocal event
+// (the executor derives it from the latency models), so nothing scheduled
+// mid-epoch can mature below H. If H admits no local work the merger falls
+// back to one sequential step (a HORIZON STALL); otherwise every shard
+// runs its sub-horizon events concurrently on a private clock copy, the
+// pool joins, mailboxes drain, and the global clock advances. Every event
+// keeps the timestamp, shard and intra-shard order it has under run(), so
+// both modes are bit-identical - the equivalence suite pins this.
+//
+// MAILBOXES. Shards never schedule into a foreign shard's queue mid-step.
+// A cross-shard hand-off (today: a data-plane packet hopping to a switch
+// owned by another shard) is posted into the target shard's mailbox -
+// mutex-guarded MPSC, one per shard - and drained at the next sync point
+// in a deterministic order: (delivery time, post time, posting shard,
+// per-shard post sequence). Drained entries enter the target queue in the
+// REMOTE band (event_queue.hpp), so their order against same-instant
+// native events is fixed by timestamps alone and the sequential merger -
+// which drains posts immediately - produces the identical schedule.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "tsu/sim/exec_mode.hpp"
 #include "tsu/sim/simulator.hpp"
+#include "tsu/sim/thread_pool.hpp"
 #include "tsu/sim/time.hpp"
 #include "tsu/util/assert.hpp"
 
@@ -30,6 +59,9 @@ class ShardedSim {
     shards_.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
       shards_.push_back(std::make_unique<Simulator>(&now_));
+    mailboxes_ = std::vector<Mailbox>(count);
+    post_seq_.assign(count, 0);
+    events_.assign(count, 0);
   }
   ShardedSim(const ShardedSim&) = delete;
   ShardedSim& operator=(const ShardedSim&) = delete;
@@ -46,15 +78,36 @@ class ShardedSim {
 
   SimTime now() const noexcept { return now_; }
 
-  // Harness-level events (warmup submissions and the like) land on shard 0.
-  EventId schedule(Duration delay, EventFn fn) {
-    return shards_[0]->schedule(delay, std::move(fn));
+  // Harness-level events (warmup submissions and the like) land on shard 0
+  // unless schedule_on targets the shard that owns the work.
+  EventId schedule(Duration delay, EventFn fn,
+                   EventScope scope = EventScope::kShared) {
+    return shards_[0]->schedule(delay, std::move(fn), scope);
   }
+  EventId schedule_on(std::size_t shard, Duration delay, EventFn fn,
+                      EventScope scope = EventScope::kShared) {
+    TSU_ASSERT_MSG(shard < shards_.size(), "shard index out of range");
+    return shards_[shard]->schedule(delay, std::move(fn), scope);
+  }
+
+  // Cross-shard hand-off from `poster`'s execution into `target`'s queue
+  // at absolute time `at` (see the file comment). Callable from a worker
+  // thread mid-epoch; the entry becomes visible to the target at the next
+  // sync point (immediately, under the sequential merger).
+  void post(std::size_t target, std::size_t poster, SimTime at, EventFn fn,
+            EventScope scope = EventScope::kLocal);
 
   // Merged run: repeatedly steps the shard with the earliest pending event
   // until every queue drains or `until` is reached (events at exactly
   // `until` still fire). Returns the number of events processed.
   std::size_t run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  // Parallel run (see the file comment). `lookahead` must lower-bound the
+  // delay of every kShared event / mailbox post a kLocal event can create;
+  // 0 degenerates to per-event sequential stepping (always correct, never
+  // concurrent). Bit-identical to run() by construction.
+  std::size_t run_parallel(ThreadPool& pool, Duration lookahead,
+                           SimTime until = std::numeric_limits<SimTime>::max());
 
   std::size_t pending() const noexcept {
     std::size_t total = 0;
@@ -62,11 +115,48 @@ class ShardedSim {
     return total;
   }
 
+  // Observability of the stepping engine: epochs that ran shards
+  // concurrently, sequential fallback steps at collapsed horizons, and
+  // events processed per shard (equal across reruns of one seed - the
+  // parallel determinism test pins this).
+  std::size_t parallel_epochs() const noexcept { return parallel_epochs_; }
+  std::size_t horizon_stalls() const noexcept { return horizon_stalls_; }
+  const std::vector<std::size_t>& events_per_shard() const noexcept {
+    return events_;
+  }
+
  private:
+  struct Post {
+    SimTime at = 0;         // absolute delivery time
+    SimTime posted_at = 0;  // poster's clock when the post was made
+    std::size_t poster = 0;
+    std::uint64_t seq = 0;  // per-poster monotone sequence
+    EventScope scope = EventScope::kLocal;
+    EventFn fn;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::vector<Post> posts;
+  };
+
+  // One sequential merge step: fires the earliest event across shards
+  // (ties to the lowest shard index). Returns false when nothing is
+  // pending at or before `until`.
+  bool step_earliest(SimTime until);
+  void drain_mailbox(std::size_t target);
+
   SimTime now_ = 0;
   // unique_ptr: each shard's &now_ must stay valid, and Simulator is
   // intentionally non-copyable.
   std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::uint64_t> post_seq_;
+  std::vector<std::size_t> events_;
+  // True while workers are inside an epoch: posts buffer in the mailbox
+  // instead of scheduling straight through.
+  bool buffering_ = false;
+  std::size_t parallel_epochs_ = 0;
+  std::size_t horizon_stalls_ = 0;
 };
 
 }  // namespace tsu::sim

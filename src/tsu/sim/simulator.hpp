@@ -3,6 +3,12 @@
 // clock (the default) or shares the clock of a ShardedSim group (see
 // sharded.hpp), in which case it is one shard's event queue and the group
 // merger steps the shards in global time order.
+//
+// For the PARALLEL sharded engine the simulator additionally understands
+// event scopes (see event_queue.hpp): run_epoch() executes the pending
+// kLocal events up to a horizon on a PRIVATE copy of the clock, so worker
+// threads can step disjoint shards concurrently without touching the
+// group's shared `now` - the group re-syncs the global clock at the join.
 #pragma once
 
 #include <cstdint>
@@ -19,19 +25,32 @@ class Simulator {
   Simulator() noexcept : now_(&own_now_) {}
   // A shard of a ShardedSim: shares the group's clock so delays scheduled
   // from any shard land at the correct global time.
-  explicit Simulator(SimTime* shared_now) noexcept : now_(shared_now) {}
+  explicit Simulator(SimTime* shared_now) noexcept
+      : now_(shared_now), shared_now_(shared_now) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const noexcept { return *now_; }
 
-  // Schedules `fn` to run `delay` after the current time.
-  EventId schedule(Duration delay, EventFn fn) {
-    return queue_.push(*now_ + delay, std::move(fn));
+  // Schedules `fn` to run `delay` after the current time. The scope is a
+  // PROMISE by the caller: kLocal asserts the handler touches only this
+  // shard's state (see event_queue.hpp); when unsure, keep the kShared
+  // default - it only costs parallelism, never correctness.
+  EventId schedule(Duration delay, EventFn fn,
+                   EventScope scope = EventScope::kShared) {
+    return queue_.push(*now_ + delay, std::move(fn), scope);
   }
-  EventId schedule_at(SimTime at, EventFn fn) {
+  EventId schedule_at(SimTime at, EventFn fn,
+                      EventScope scope = EventScope::kShared) {
     TSU_ASSERT_MSG(at >= *now_, "cannot schedule into the past");
-    return queue_.push(at, std::move(fn));
+    return queue_.push(at, std::move(fn), scope);
+  }
+  // A cross-shard mailbox delivery (sharded.hpp drains these): lands in the
+  // remote band, so at equal timestamps it sorts after every natively
+  // scheduled event whatever instant the mailbox was drained at.
+  EventId push_remote(SimTime at, EventFn fn,
+                      EventScope scope = EventScope::kShared) {
+    return queue_.push(at, std::move(fn), scope, EventQueue::Band::kRemote);
   }
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -42,12 +61,24 @@ class Simulator {
   // Runs at most one event; returns false if none was pending.
   bool step();
 
+  // Parallel-epoch stepping (only meaningful for a shared-clock shard):
+  // processes every pending event strictly before `horizon` on a local
+  // clock copy, asserting each is kLocal - the ShardedSim horizon
+  // computation guarantees no kShared event can mature below the horizon.
+  // Returns the number of events processed; epoch_now() reports how far
+  // the local clock advanced.
+  std::size_t run_epoch(SimTime horizon);
+  SimTime epoch_now() const noexcept { return own_now_; }
+
   // The next pending event's time; SimTime max when the queue is empty.
   // The ShardedSim merger uses this to pick the shard to step.
   SimTime next_event_time() const {
     return queue_.empty() ? std::numeric_limits<SimTime>::max()
                           : queue_.next_time();
   }
+  // The next pending kShared event's time; SimTime max when none. One
+  // input of the ShardedSim safe-horizon computation.
+  SimTime next_shared_time() const { return queue_.next_shared_time(); }
 
   std::size_t pending() const noexcept { return queue_.size(); }
   // Heap slots including lazily cancelled ones (see EventQueue::heap_size);
@@ -59,6 +90,9 @@ class Simulator {
   EventQueue queue_;
   SimTime own_now_ = 0;
   SimTime* now_;
+  // The group clock this shard rejoins after a run_epoch (null for a
+  // self-clocked simulator, which never runs epochs).
+  SimTime* shared_now_ = nullptr;
 };
 
 }  // namespace tsu::sim

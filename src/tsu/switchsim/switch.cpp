@@ -38,15 +38,21 @@ void SimSwitch::start_next() {
     processing = config_.barrier_processing;
   }
 
-  sim_.schedule(processing, [this, message = std::move(message)]() {
-    complete(message);
-    busy_ = false;
-    start_next();
-    // Arm (or re-arm) the reply flush AFTER start_next scheduled the next
-    // completion: the flush event then sorts after every completion of
-    // this instant, so all same-instant replies share one frame.
-    maybe_flush_replies();
-  });
+  // kLocal: a switch only touches its own tables and its own channel, all
+  // of which live on this switch's shard (see sim/event_queue.hpp).
+  sim_.schedule(
+      processing,
+      [this, message = std::move(message)]() {
+        complete(message);
+        busy_ = false;
+        start_next();
+        // Arm (or re-arm) the reply flush AFTER start_next scheduled the
+        // next completion: the flush event then sorts after every
+        // completion of this instant, so all same-instant replies share
+        // one frame.
+        maybe_flush_replies();
+      },
+      sim::EventScope::kLocal);
 }
 
 void SimSwitch::complete(const proto::Message& message) {
@@ -101,7 +107,8 @@ void SimSwitch::maybe_flush_replies() {
   // churn (see sim/event_queue.hpp).
   if (reply_flush_scheduled_) sim_.cancel(reply_flush_event_);
   reply_flush_scheduled_ = true;
-  reply_flush_event_ = sim_.schedule(0, [this]() { flush_replies(); });
+  reply_flush_event_ = sim_.schedule(0, [this]() { flush_replies(); },
+                                     sim::EventScope::kLocal);
 }
 
 void SimSwitch::flush_replies() {

@@ -1,4 +1,5 @@
-// Sharded-vs-single-controller equivalence and cross-shard liveness.
+// Sharded-vs-single-controller equivalence, sequential-vs-parallel
+// equivalence, and cross-shard liveness.
 //
 // Equivalence: whatever the shard count, partition scheme, admission
 // policy, release granularity or batch mode, a run must install exactly
@@ -8,11 +9,22 @@
 // and coordination timing, never WHAT gets installed or the transient
 // guarantees. 100 seeds x shards in {1, 2, 4, 8}.
 //
+// Parallel equivalence (the hard deliverable of the parallel stepper,
+// sim/sharded.hpp): for every one of those runs, exec = parallel on a
+// 4-thread pool must be BIT-IDENTICAL to exec = sequential - same final
+// state digest, same frame count, same makespan, same per-flow packet
+// oracle, same coordination counters. Parallelism may only change
+// wall-clock time, never a single simulated event.
+//
 // Liveness: 500 seeds of flows deliberately spanning shard boundaries
 // (hash partition scatters each flow's switches) under tight per-shard
 // capacity and every admission policy. Completion IS the assertion: the
 // engine errors out if the simulation drains with updates still pending,
 // so any cross-shard admission/capacity deadlock fails the sweep.
+//
+// TSU_EQUIV_SLIM (ThreadSanitizer CI): same matrices, fewer seeds - TSan's
+// ~10x slowdown would blow the job budget at full seed counts, and the
+// interleaving coverage comes from the thread schedules, not the seeds.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -25,6 +37,77 @@
 
 namespace tsu::core {
 namespace {
+
+#ifdef TSU_EQUIV_SLIM
+constexpr std::uint64_t kEquivalenceSeeds = 12;
+constexpr std::uint64_t kLivenessSeeds = 60;
+#else
+constexpr std::uint64_t kEquivalenceSeeds = 100;
+constexpr std::uint64_t kLivenessSeeds = 500;
+#endif
+
+// The sequential run is the baseline; the parallel rerun of the same
+// config must reproduce it event-for-event. Everything observable from
+// one engine run is compared.
+void expect_parallel_bit_identical(const MultiFlowExecutionResult& sequential,
+                                   const MultiFlowExecutionResult& parallel,
+                                   std::uint64_t seed, std::size_t shards) {
+  EXPECT_EQ(parallel.final_state_digest, sequential.final_state_digest)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.frames_sent, sequential.frames_sent)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.control_bytes, sequential.control_bytes)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.messages_sent, sequential.messages_sent)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.makespan, sequential.makespan)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.max_in_flight_observed,
+            sequential.max_in_flight_observed)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.conflict_edges, sequential.conflict_edges)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.sharding.cross_shard_updates,
+            sequential.sharding.cross_shard_updates)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.sharding.rounds_synced,
+            sequential.sharding.rounds_synced)
+      << "seed " << seed << " shards " << shards;
+  EXPECT_EQ(parallel.sharding.sync_overhead,
+            sequential.sharding.sync_overhead)
+      << "seed " << seed << " shards " << shards;
+  // The event SCHEDULE is identical, not just the outcomes: every shard
+  // processed exactly the events it processes under the merger.
+  ASSERT_EQ(parallel.sharding.events_per_shard.size(),
+            sequential.sharding.events_per_shard.size());
+  for (std::size_t s = 0; s < parallel.sharding.events_per_shard.size(); ++s)
+    EXPECT_EQ(parallel.sharding.events_per_shard[s],
+              sequential.sharding.events_per_shard[s])
+        << "seed " << seed << " shards " << shards << " shard " << s;
+  ASSERT_EQ(parallel.flows.size(), sequential.flows.size());
+  for (std::size_t i = 0; i < parallel.flows.size(); ++i) {
+    const dataplane::MonitorReport& got = parallel.flows[i].traffic;
+    const dataplane::MonitorReport& want = sequential.flows[i].traffic;
+    EXPECT_EQ(got.total, want.total)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(got.delivered, want.delivered)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(got.bypassed, want.bypassed)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(got.looped, want.looped)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(got.blackholed, want.blackholed)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(got.ttl_expired, want.ttl_expired)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(parallel.flows[i].packets_injected,
+              sequential.flows[i].packets_injected)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+    EXPECT_EQ(parallel.flows[i].update.finished,
+              sequential.flows[i].update.finished)
+        << "seed " << seed << " shards " << shards << " flow " << i;
+  }
+}
 
 ExecutorConfig fast_config(std::uint64_t seed) {
   ExecutorConfig config;
@@ -43,7 +126,7 @@ ExecutorConfig fast_config(std::uint64_t seed) {
 TEST(ShardEquivalenceTest, ShardCountsMatchSingleControllerAcross100Seeds) {
   constexpr std::size_t kShardCounts[] = {2, 4, 8};
   std::size_t cross_updates_seen = 0;
-  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+  for (std::uint64_t seed = 1; seed <= kEquivalenceSeeds; ++seed) {
     Rng rng(seed);
     const std::size_t flows = 3 + rng.index(6);           // 3..8
     const std::size_t switches = 6 * (1 + rng.index(3));  // 6, 12 or 18
@@ -67,8 +150,10 @@ TEST(ShardEquivalenceTest, ShardCountsMatchSingleControllerAcross100Seeds) {
                                       ? topo::PartitionScheme::kHash
                                       : topo::PartitionScheme::kBlock;
 
-    // shards = 1: the single controller, the equivalence baseline.
+    // shards = 1: the single controller, the equivalence baseline. The
+    // 1-shard group must also be exec-mode invariant.
     config.controller.shards = 1;
+    config.controller.exec = sim::ExecMode::kSequential;
     const Result<MultiFlowExecutionResult> single =
         execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
     ASSERT_TRUE(single.ok()) << "seed " << seed << ": "
@@ -77,9 +162,21 @@ TEST(ShardEquivalenceTest, ShardCountsMatchSingleControllerAcross100Seeds) {
     EXPECT_GT(baseline.aggregate.total, 0u) << "seed " << seed;
     EXPECT_EQ(baseline.sharding.shards, 1u);
     EXPECT_EQ(baseline.sharding.cross_shard_updates, 0u);
+    {
+      config.controller.exec = sim::ExecMode::kParallel;
+      config.controller.threads = 4;
+      const Result<MultiFlowExecutionResult> single_parallel =
+          execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+      ASSERT_TRUE(single_parallel.ok()) << "seed " << seed;
+      expect_parallel_bit_identical(baseline, single_parallel.value(), seed,
+                                    1);
+      config.controller.exec = sim::ExecMode::kSequential;
+      config.controller.threads = 0;
+    }
 
     for (const std::size_t shards : kShardCounts) {
       config.controller.shards = shards;
+      config.controller.exec = sim::ExecMode::kSequential;
       const Result<MultiFlowExecutionResult> run =
           execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
       ASSERT_TRUE(run.ok()) << "seed " << seed << " shards " << shards
@@ -87,6 +184,20 @@ TEST(ShardEquivalenceTest, ShardCountsMatchSingleControllerAcross100Seeds) {
       const MultiFlowExecutionResult& result = run.value();
       ASSERT_EQ(result.flows.size(), flows);
       cross_updates_seen += result.sharding.cross_shard_updates;
+
+      // The same config on the parallel stepper: bit-identical, seed by
+      // seed, shard count by shard count.
+      config.controller.exec = sim::ExecMode::kParallel;
+      config.controller.threads = 4;
+      const Result<MultiFlowExecutionResult> parallel_run =
+          execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+      ASSERT_TRUE(parallel_run.ok())
+          << "seed " << seed << " shards " << shards << " (parallel): "
+          << parallel_run.error().to_string();
+      expect_parallel_bit_identical(result, parallel_run.value(), seed,
+                                    shards);
+      config.controller.exec = sim::ExecMode::kSequential;
+      config.controller.threads = 0;
 
       // Identical final forwarding state, rule by rule.
       EXPECT_EQ(result.final_state_digest, baseline.final_state_digest)
@@ -168,13 +279,97 @@ TEST(ShardEquivalenceTest, ShardedRunsAreDeterministicPerSeed) {
   }
 }
 
+TEST(ShardEquivalenceTest, ParallelRunsAreDeterministicPerSeed) {
+  // The parallel determinism pin: one seed, run twice on a 4-thread pool,
+  // must process exactly the same number of events on every shard and land
+  // on identical digests, frames and makespan - whatever the OS made of
+  // the thread schedules. Both partitions that matter: hash (cross-shard
+  // heavy, most horizon stalls) and greedy_cut (shard-local, most epochs).
+  const topo::PlannedPoolWorkload w =
+      topo::planned_pool_workload(8, 12).value();
+  for (const topo::PartitionScheme scheme :
+       {topo::PartitionScheme::kHash, topo::PartitionScheme::kGreedyCut}) {
+    ExecutorConfig config = fast_config(42);
+    config.controller.max_in_flight = 8;
+    config.controller.admission = controller::AdmissionPolicy::kConflictAware;
+    config.controller.batch_mode = controller::BatchMode::kAdaptive;
+    config.controller.shards = 4;
+    config.controller.partition = scheme;
+    config.controller.exec = sim::ExecMode::kParallel;
+    config.controller.threads = 4;
+    const Result<MultiFlowExecutionResult> a =
+        execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+    const Result<MultiFlowExecutionResult> b =
+        execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+    ASSERT_TRUE(a.ok()) << topo::to_string(scheme);
+    ASSERT_TRUE(b.ok()) << topo::to_string(scheme);
+    ASSERT_EQ(a.value().sharding.events_per_shard.size(), 4u);
+    for (std::size_t s = 0; s < 4; ++s)
+      EXPECT_EQ(a.value().sharding.events_per_shard[s],
+                b.value().sharding.events_per_shard[s])
+          << topo::to_string(scheme) << " shard " << s;
+    EXPECT_EQ(a.value().final_state_digest, b.value().final_state_digest)
+        << topo::to_string(scheme);
+    EXPECT_EQ(a.value().frames_sent, b.value().frames_sent)
+        << topo::to_string(scheme);
+    EXPECT_EQ(a.value().makespan, b.value().makespan)
+        << topo::to_string(scheme);
+    EXPECT_EQ(a.value().sharding.parallel_epochs,
+              b.value().sharding.parallel_epochs)
+        << topo::to_string(scheme);
+    EXPECT_EQ(a.value().sharding.horizon_stalls,
+              b.value().sharding.horizon_stalls)
+        << topo::to_string(scheme);
+    // The workload actually exercised the engine: some events ran.
+    std::size_t total_events = 0;
+    for (const std::size_t n : a.value().sharding.events_per_shard)
+      total_events += n;
+    EXPECT_GT(total_events, 0u) << topo::to_string(scheme);
+  }
+}
+
+TEST(ShardEquivalenceTest, GreedyCutPartitionCutsTheWorkloadCut) {
+  // The pool workload's flows live in disjoint 6-switch blocks, so a
+  // workload-aware partition can place every block wholly on one shard:
+  // greedy_cut must reach (near-)zero cut weight and zero cross-shard
+  // updates where hash pays a heavy cut, and its results must still match
+  // the hash run's digest (partitioning never changes WHAT is installed).
+  const topo::PlannedPoolWorkload w =
+      topo::planned_pool_workload(12, 24).value();
+  ExecutorConfig config = fast_config(7);
+  config.controller.max_in_flight = 12;
+  config.controller.shards = 4;
+
+  config.controller.partition = topo::PartitionScheme::kHash;
+  const Result<MultiFlowExecutionResult> hash =
+      execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+  ASSERT_TRUE(hash.ok());
+
+  config.controller.partition = topo::PartitionScheme::kGreedyCut;
+  const Result<MultiFlowExecutionResult> greedy =
+      execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+  ASSERT_TRUE(greedy.ok());
+
+  EXPECT_GT(hash.value().sharding.partition_cut_weight, 0u);
+  EXPECT_LT(greedy.value().sharding.partition_cut_weight,
+            hash.value().sharding.partition_cut_weight / 2);
+  EXPECT_EQ(greedy.value().sharding.cross_shard_updates, 0u);
+  EXPECT_EQ(greedy.value().final_state_digest,
+            hash.value().final_state_digest);
+  // All four shards own switches (the balance cap held).
+  ASSERT_EQ(greedy.value().sharding.events_per_shard.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_GT(greedy.value().sharding.events_per_shard[s], 0u)
+        << "shard " << s;
+}
+
 TEST(ShardEquivalenceTest, CrossShardFlowLivenessSweep500Seeds) {
   // Flows spanning shard boundaries under tight per-shard capacity: 500
   // seeds, every admission policy and release granularity, shards 2..5.
   // run_engine fails ("simulation drained before all updates completed")
   // on any deadlock, so completion is the liveness proof.
   std::size_t cross_updates_seen = 0;
-  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+  for (std::uint64_t seed = 1; seed <= kLivenessSeeds; ++seed) {
     Rng rng(seed);
     const std::size_t flows = 4 + rng.index(7);           // 4..10
     const std::size_t switches = 12 + 6 * rng.index(3);   // 12, 18 or 24
@@ -197,6 +392,12 @@ TEST(ShardEquivalenceTest, CrossShardFlowLivenessSweep500Seeds) {
     config.controller.batch_mode =
         static_cast<controller::BatchMode>(rng.index(4));
     config.switch_config.batch_replies = rng.index(2) == 1;
+    // Half the sweep runs the parallel stepper: cross-shard liveness must
+    // not depend on the execution mode either.
+    if (rng.index(2) == 1) {
+      config.controller.exec = sim::ExecMode::kParallel;
+      config.controller.threads = 2 + rng.index(3);  // 2..4
+    }
 
     const Result<MultiFlowExecutionResult> run =
         execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);

@@ -1,0 +1,108 @@
+// The parallel engine's worker pool (sim/thread_pool.hpp): every index of
+// a batch runs exactly once, the pool survives reuse across many epochs
+// (the sharded stepper dispatches thousands of small batches), task
+// exceptions propagate to the caller deterministically (lowest index wins,
+// whatever the completion order), and the size-1 / single-index paths run
+// inline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tsu/sim/thread_pool.hpp"
+
+namespace tsu::sim {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyEpochs) {
+  // The sharded stepper reuses one pool for every epoch of a run; pin that
+  // thousands of small batches on one pool all complete fully.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  constexpr std::size_t kEpochs = 2000;
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch)
+    pool.parallel(4, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), kEpochs * 4);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesAfterBatchCompletes) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 32;
+  std::vector<std::atomic<int>> hits(kCount);
+  const auto batch = [&]() {
+    pool.parallel(kCount, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      if (i == 7 || i == 21)
+        throw std::runtime_error("task " + std::to_string(i));
+    });
+  };
+  EXPECT_THROW(batch(), std::runtime_error);
+  // The whole batch still ran - an exception never strands later indexes.
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  // The rethrown error is the LOWEST throwing index, independent of the
+  // nondeterministic completion order.
+  try {
+    batch();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 7");
+  }
+  // The pool survives a throwing batch.
+  std::atomic<std::size_t> total{0};
+  pool.parallel(8, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(5);
+  std::size_t order_sum = 0;
+  pool.parallel(5, [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+    order_sum = order_sum * 10 + i;  // unsynchronized: must be single-thread
+  });
+  for (const std::thread::id& id : ran) EXPECT_EQ(id, caller);
+  EXPECT_EQ(order_sum, 1234u);  // 0,1,2,3,4 in order on the caller
+  // Exceptions propagate from the inline path too.
+  EXPECT_THROW(
+      pool.parallel(2, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleIndexBatchRunsOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.parallel(1, [&](std::size_t) { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+  pool.parallel(0, [&](std::size_t) { FAIL() << "empty batch ran a task"; });
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace tsu::sim
