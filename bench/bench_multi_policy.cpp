@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 
 #include "tsu/json/json.hpp"
+#include "tsu/sim/faults.hpp"
 #include "tsu/sim/thread_pool.hpp"
 #include "tsu/topo/instances.hpp"
 #include "tsu/update/optimizer.hpp"
@@ -549,6 +550,136 @@ bool run(const char* json_path) {
   }
   bench::print_table(parallel_table);
 
+  // Fault recovery: seeded chaos schedules (sim/faults.hpp) against the
+  // admission pool, once per failure response. Tracked per PR: recovery
+  // latency percentiles, resync traffic, rollback counts and the makespan
+  // inflation faults cost over the fault-free run.
+  bool faults_failed = false;
+  constexpr std::size_t kFaultSeeds = 5;
+  std::printf("\nfault recovery: %zu flows over %zu switches, "
+              "%zu chaos seeds per response:\n",
+              kAdmissionFlows, kAdmissionSwitches, kFaultSeeds);
+  stats::Table fault_table({"response", "makespan ms", "inflation ms",
+                            "recovery p50 ms", "recovery p99 ms", "resyncs",
+                            "resync frames", "retries", "rollbacks",
+                            "frames lost"});
+  json::Array faults_json;
+  const auto fault_config = [] {
+    core::ExecutorConfig config;
+    config.seed = 4242;
+    config.channel.latency =
+        sim::LatencyModel::constant(sim::microseconds(100));
+    config.switch_config.install_latency =
+        sim::LatencyModel::constant(sim::microseconds(50));
+    config.traffic_interarrival =
+        sim::LatencyModel::constant(sim::milliseconds(2));
+    config.link_latency = sim::LatencyModel::constant(sim::microseconds(20));
+    config.warmup = sim::milliseconds(2);
+    config.drain = sim::milliseconds(10);
+    config.controller.max_in_flight = kAdmissionFlows;
+    // Above the loaded round RTT (~3 ms with every flow in flight), so
+    // only real faults trip the liveness machinery.
+    config.controller.liveness_timeout = sim::milliseconds(10);
+    return config;
+  };
+  sim::ChaosOptions fault_options;
+  fault_options.node_count = kAdmissionSwitches;
+  fault_options.start_ms = 1.5;
+  fault_options.horizon_ms = 10;
+  fault_options.crashes = 2;
+  fault_options.link_downs = 1;
+  fault_options.blackholes = 1;
+  fault_options.min_down_ms = 0.5;
+  fault_options.max_down_ms = 2.5;
+  const Result<core::MultiFlowExecutionResult> fault_free =
+      core::execute_multiflow(pool.instance_ptrs, pool.schedule_ptrs,
+                              fault_config());
+  if (!fault_free.ok()) {
+    std::fprintf(stderr, "fault bench baseline failed: %s\n",
+                 fault_free.error().to_string().c_str());
+    faults_failed = true;
+  }
+  const double clean_ms =
+      fault_free.ok() ? fault_free.value().makespan_ms() : 0.0;
+  for (const controller::FailureResponse response :
+       {controller::FailureResponse::kWait,
+        controller::FailureResponse::kRollback}) {
+    sim::FaultStats merged;
+    double makespan_sum_ms = 0;
+    std::size_t runs = 0;
+    for (std::size_t seed = 1; seed <= kFaultSeeds; ++seed) {
+      core::ExecutorConfig config = fault_config();
+      config.controller.failure_response = response;
+      config.faults = sim::FaultSchedule::random(seed, fault_options);
+      const Result<core::MultiFlowExecutionResult> run =
+          core::execute_multiflow(pool.instance_ptrs, pool.schedule_ptrs,
+                                  config);
+      if (!run.ok()) {
+        std::fprintf(stderr, "fault bench failed for %s seed %zu: %s\n",
+                     controller::to_string(response), seed,
+                     run.error().to_string().c_str());
+        faults_failed = true;
+        continue;
+      }
+      const sim::FaultStats& faults = run.value().faults;
+      merged.crashes += faults.crashes;
+      merged.link_downs += faults.link_downs;
+      merged.blackholes += faults.blackholes;
+      merged.frames_lost += faults.frames_lost;
+      merged.timeouts += faults.timeouts;
+      merged.resyncs += faults.resyncs;
+      merged.resync_frames += faults.resync_frames;
+      merged.rollbacks += faults.rollbacks;
+      merged.retries += faults.retries;
+      merged.resubmissions += faults.resubmissions;
+      merged.recovery_ms.insert(merged.recovery_ms.end(),
+                                faults.recovery_ms.begin(),
+                                faults.recovery_ms.end());
+      makespan_sum_ms += run.value().makespan_ms();
+      ++runs;
+    }
+    if (runs == 0) continue;
+    const double mean_ms = makespan_sum_ms / static_cast<double>(runs);
+    fault_table.add_row(
+        {controller::to_string(response), bench::fmt(mean_ms),
+         bench::fmt(mean_ms - clean_ms), bench::fmt(merged.recovery_p50_ms()),
+         bench::fmt(merged.recovery_p99_ms()),
+         std::to_string(merged.resyncs),
+         std::to_string(merged.resync_frames),
+         std::to_string(merged.retries), std::to_string(merged.rollbacks),
+         std::to_string(merged.frames_lost)});
+    json::Object entry;
+    entry.set("response", json::Value(controller::to_string(response)));
+    entry.set("seeds", json::Value(static_cast<std::int64_t>(runs)));
+    entry.set("flows",
+              json::Value(static_cast<std::int64_t>(kAdmissionFlows)));
+    entry.set("switches",
+              json::Value(static_cast<std::int64_t>(kAdmissionSwitches)));
+    entry.set("makespan_ms", json::Value(mean_ms));
+    entry.set("clean_makespan_ms", json::Value(clean_ms));
+    entry.set("recovery_p50_ms", json::Value(merged.recovery_p50_ms()));
+    entry.set("recovery_p99_ms", json::Value(merged.recovery_p99_ms()));
+    entry.set("crashes", json::Value(static_cast<std::int64_t>(merged.crashes)));
+    entry.set("link_downs",
+              json::Value(static_cast<std::int64_t>(merged.link_downs)));
+    entry.set("blackholes",
+              json::Value(static_cast<std::int64_t>(merged.blackholes)));
+    entry.set("frames_lost",
+              json::Value(static_cast<std::int64_t>(merged.frames_lost)));
+    entry.set("timeouts",
+              json::Value(static_cast<std::int64_t>(merged.timeouts)));
+    entry.set("resyncs", json::Value(static_cast<std::int64_t>(merged.resyncs)));
+    entry.set("resync_frames",
+              json::Value(static_cast<std::int64_t>(merged.resync_frames)));
+    entry.set("retries", json::Value(static_cast<std::int64_t>(merged.retries)));
+    entry.set("rollbacks",
+              json::Value(static_cast<std::int64_t>(merged.rollbacks)));
+    entry.set("resubmissions",
+              json::Value(static_cast<std::int64_t>(merged.resubmissions)));
+    faults_json.push_back(json::Value(std::move(entry)));
+  }
+  bench::print_table(fault_table);
+
   if (json_path != nullptr) {
     json::Object doc;
     doc.set("bench",
@@ -557,6 +688,7 @@ bool run(const char* json_path) {
     doc.set("batching", json::Value(std::move(batching_json)));
     doc.set("sharding", json::Value(std::move(sharding_json)));
     doc.set("parallel", json::Value(std::move(parallel_json)));
+    doc.set("faults", json::Value(std::move(faults_json)));
     std::ofstream out(json_path);
     out << json::write(json::Value(std::move(doc))) << "\n";
     std::printf("admission+batching+sharding JSON written to %s\n",
@@ -578,7 +710,7 @@ bool run(const char* json_path) {
       "(first shard done -> last shard done) over all concurrent updates,\n"
       "i.e. the slack the two-phase barrier absorbs off the critical path.\n");
   return !admission_failed && !batching_failed && !sharding_failed &&
-         !parallel_failed;
+         !parallel_failed && !faults_failed;
 }
 
 }  // namespace

@@ -42,6 +42,8 @@ void usage() {
                "               [--shards N]\n"
                "               [--partition hash|block|greedy_cut]\n"
                "               [--exec sequential|parallel] [--threads N]\n"
+               "               [--faults FILE.json] [--liveness-ms MS]\n"
+               "               [--failure-response wait|rollback]\n"
                "  algorithms: oneshot twophase wayup peacock slf-greedy "
                "secure optimal\n"
                "  workloads : fig1 | reversal:<n> | random:<seed>\n"
@@ -62,7 +64,11 @@ void usage() {
                "  shards on --threads workers (0 = auto) between safe\n"
                "  horizons - bit-identical results, less wall-clock\n"
                "  --admission-release round frees a request's conflict\n"
-               "  footprint per completed round instead of at completion\n");
+               "  footprint per completed round instead of at completion\n"
+               "  --faults replays a serialized FaultSchedule (switch\n"
+               "  crashes, control-link outages, frame blackholes) against\n"
+               "  the run; --liveness-ms sets the controller's detection\n"
+               "  timeout and --failure-response picks retry vs rollback\n");
 }
 
 // Multi-flow mode: N peacock-planned flows over a shared switch pool,
@@ -135,6 +141,18 @@ int run_multiflow(std::size_t flows, std::size_t switches,
               "%zu blackholed\n",
               result.aggregate.total, result.aggregate.bypassed,
               result.aggregate.looped, result.aggregate.blackholed);
+  if (!config.faults.empty()) {
+    const sim::FaultStats& f = result.faults;
+    std::printf("faults   : %zu crashes, %zu link downs, %zu blackholes, "
+                "%zu frames lost\n",
+                f.crashes, f.link_downs, f.blackholes, f.frames_lost);
+    std::printf("recovery : %zu timeouts, %zu resyncs (%zu frames), "
+                "%zu retries, %zu rollbacks (%zu resubmitted), "
+                "p50 %.2f ms p99 %.2f ms\n",
+                f.timeouts, f.resyncs, f.resync_frames, f.retries,
+                f.rollbacks, f.resubmissions, f.recovery_p50_ms(),
+                f.recovery_p99_ms());
+  }
   return 0;
 }
 
@@ -180,6 +198,9 @@ int main(int argc, char** argv) {
   std::optional<topo::PartitionScheme> partition_flag;
   std::optional<sim::ExecMode> exec_flag;
   std::optional<std::size_t> threads_flag;
+  std::optional<sim::FaultSchedule> faults_flag;
+  std::optional<double> liveness_ms_flag;
+  std::optional<controller::FailureResponse> failure_response_flag;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -273,6 +294,38 @@ int main(int argc, char** argv) {
       const auto n = v != nullptr ? parse_int(v) : std::nullopt;
       if (!n.has_value() || *n < 0) return usage(), 1;
       threads_flag = static_cast<std::size_t>(*n);
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return usage(), 1;
+      std::ifstream file(v);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n", v);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      const std::string text = buffer.str();
+      Result<sim::FaultSchedule> schedule =
+          sim::FaultSchedule::from_json(std::string_view(text));
+      if (!schedule.ok()) {
+        std::fprintf(stderr, "bad fault schedule: %s\n",
+                     schedule.error().to_string().c_str());
+        return 1;
+      }
+      faults_flag = std::move(schedule).value();
+    } else if (arg == "--liveness-ms") {
+      const char* v = next();
+      char* endp = nullptr;
+      const double ms = v != nullptr ? std::strtod(v, &endp) : -1;
+      if (v == nullptr || endp == v || ms < 0) return usage(), 1;
+      liveness_ms_flag = ms;
+    } else if (arg == "--failure-response") {
+      const char* v = next();
+      const auto response =
+          v != nullptr ? controller::failure_response_from_string(v)
+                       : std::nullopt;
+      if (!response.has_value()) return usage(), 1;
+      failure_response_flag = *response;
     } else if (arg == "--config") {
       const char* v = next();
       if (v == nullptr) return usage(), 1;
@@ -321,6 +374,11 @@ int main(int argc, char** argv) {
     config.controller.partition = *partition_flag;
   if (exec_flag.has_value()) config.controller.exec = *exec_flag;
   if (threads_flag.has_value()) config.controller.threads = *threads_flag;
+  if (faults_flag.has_value()) config.faults = std::move(*faults_flag);
+  if (liveness_ms_flag.has_value())
+    config.controller.liveness_timeout = sim::from_ms(*liveness_ms_flag);
+  if (failure_response_flag.has_value())
+    config.controller.failure_response = *failure_response_flag;
 
   if (flows > 1) {
     if (switches == 0) switches = flows * 6;

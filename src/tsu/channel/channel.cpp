@@ -4,8 +4,42 @@
 
 namespace tsu::channel {
 
+namespace {
+
+bool carries_barrier(const proto::Message& message) {
+  if (message.type() == proto::MsgType::kBarrierRequest) return true;
+  if (message.type() != proto::MsgType::kBatch) return false;
+  for (const proto::Message& inner :
+       std::get<proto::Batch>(message.body).messages)
+    if (inner.type() == proto::MsgType::kBarrierRequest) return true;
+  return false;
+}
+
+}  // namespace
+
 void ControlChannel::send(const proto::Message& message) {
   TSU_ASSERT_MSG(receiver_ != nullptr, "channel has no receiver");
+
+  // Fault injection: a dead link has no session to buffer into, and a
+  // blackhole eats the frame silently. Both return before any latency or
+  // loss sampling, so the fault-free RNG stream is untouched.
+  //
+  // A blackhole's glitch window closes on a barrier boundary: if the frame
+  // budget runs out without a barrier among the eaten frames, keep dropping
+  // until one is. Otherwise a lost FlowMod could be followed by a delivered
+  // barrier whose reply would falsely fence it - the controller would
+  // believe the rule installed with no timeout ever firing, an undetectable
+  // safety hole. Eating through the barrier guarantees every blackhole is
+  // surfaced as a missing barrier reply and recovered by liveness retry.
+  if (down_ || pending_drops_ > 0 || drop_until_barrier_) {
+    if (!down_) {
+      if (pending_drops_ > 0) --pending_drops_;
+      const bool barrier = carries_barrier(message);
+      if (pending_drops_ == 0) drop_until_barrier_ = !barrier;
+    }
+    ++frames_dropped_;
+    return;
+  }
 
   // Round-trip through the codec: what arrives is what survives the wire.
   const std::vector<std::byte> frame = proto::encode(message);
@@ -30,7 +64,13 @@ void ControlChannel::send(const proto::Message& message) {
 
   sim_.schedule_at(
       deliver_at,
-      [this, frame = std::move(frame)]() {
+      [this, frame = std::move(frame), epoch = epoch_]() {
+        if (epoch != epoch_) {
+          // The link went down while this frame was in flight: lost with
+          // the session (fault injection; epochs never move otherwise).
+          ++frames_dropped_;
+          return;
+        }
         Result<proto::Message> decoded = proto::decode(frame);
         TSU_ASSERT_MSG(decoded.ok(), "channel produced an undecodable frame");
         receiver_(decoded.value());

@@ -53,6 +53,26 @@ class ControlChannel {
   // Enqueues `message` for delivery to the receiver side.
   void send(const proto::Message& message);
 
+  // --- fault injection (sim/faults.hpp; inert unless driven) -----------
+  // Link outage: frames sent while down are dropped at the sender (the TCP
+  // session is gone - nothing buffers), and frames already in flight at
+  // the down transition are lost too (each delivery is fenced on the link
+  // epoch captured at send time). Taking the link back up starts a fresh
+  // epoch; it never resurrects lost frames.
+  void set_down(bool down) noexcept {
+    if (down_ != down) ++epoch_;
+    down_ = down;
+  }
+  bool down() const noexcept { return down_; }
+  // Blackhole: silently drop the next `frames` frames (no session loss).
+  // The glitch window always closes on a barrier boundary - if none of the
+  // eaten frames carried a barrier request, dropping continues until one
+  // does. A later barrier delivered after a silently lost FlowMod would
+  // otherwise fence the loss and hide it from liveness detection forever.
+  void drop_next(std::size_t frames) noexcept { pending_drops_ += frames; }
+  // Frames lost to outages and blackholes.
+  std::size_t frames_dropped() const noexcept { return frames_dropped_; }
+
   std::size_t frames_sent() const noexcept { return frames_sent_; }
   std::size_t bytes_sent() const noexcept { return bytes_sent_; }
   std::size_t retransmissions() const noexcept { return retransmissions_; }
@@ -67,6 +87,15 @@ class ControlChannel {
   DeliverFn receiver_;
   sim::EventScope delivery_scope_ = sim::EventScope::kShared;
   sim::SimTime last_delivery_ = 0;
+
+  // Fault state: down flag, link-session epoch (bumped on every up/down
+  // transition; deliveries from an older epoch are dropped), and the
+  // blackhole countdown. All untouched on the fault-free path.
+  bool down_ = false;
+  std::uint64_t epoch_ = 0;
+  std::size_t pending_drops_ = 0;
+  bool drop_until_barrier_ = false;
+  std::size_t frames_dropped_ = 0;
 
   std::size_t frames_sent_ = 0;
   std::size_t bytes_sent_ = 0;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "tsu/proto/apply.hpp"
 #include "tsu/proto/codec.hpp"
 #include "tsu/util/log.hpp"
 
@@ -52,6 +53,21 @@ std::optional<AdmissionRelease> admission_release_from_string(
     std::string_view name) noexcept {
   if (name == "request") return AdmissionRelease::kRequest;
   if (name == "round") return AdmissionRelease::kRound;
+  return std::nullopt;
+}
+
+const char* to_string(FailureResponse response) noexcept {
+  switch (response) {
+    case FailureResponse::kWait: return "wait";
+    case FailureResponse::kRollback: return "rollback";
+  }
+  return "?";
+}
+
+std::optional<FailureResponse> failure_response_from_string(
+    std::string_view name) noexcept {
+  if (name == "wait") return FailureResponse::kWait;
+  if (name == "rollback") return FailureResponse::kRollback;
   return std::nullopt;
 }
 
@@ -229,6 +245,11 @@ sim::Duration Controller::adaptive_window() const noexcept {
 void Controller::send_to_switch(NodeId node, proto::Message message) {
   const auto it = switches_.find(node);
   TSU_ASSERT_MSG(it != switches_.end(), "message for unattached switch");
+  // Fault tolerance: every FlowMod headed for the wire - round ops,
+  // retries, resync pushes, rollback undos - commits to the shadow and the
+  // unfenced log here, before batching can obscure it.
+  if (fault_tolerance() && message.type() == proto::MsgType::kFlowMod)
+    record_send(node, std::get<proto::FlowMod>(message.body));
   if (batch_mode_ == BatchMode::kOff) {
     it->second(message);
     return;
@@ -372,6 +393,7 @@ void Controller::start_round(UpdateId id) {
       waiting_.emplace(xid, std::make_pair(id, node));
       ++active.waiting;
       send_to_switch(node, proto::make_barrier_request(xid));
+      fence_barrier(node, xid);
       ++active.metrics.barriers_sent;
       ++active.metrics.rounds.back().barriers;
     }
@@ -394,6 +416,7 @@ void Controller::start_round(UpdateId id) {
     waiting_.emplace(xid, std::make_pair(id, node));
     ++active.waiting;
     send_to_switch(node, proto::make_barrier_request(xid));
+    fence_barrier(node, xid);
     ++active.metrics.barriers_sent;
     ++active.metrics.rounds.back().barriers;
   }
@@ -403,13 +426,37 @@ void Controller::start_round(UpdateId id) {
 void Controller::on_message(NodeId from, const proto::Message& message) {
   switch (message.type()) {
     case proto::MsgType::kBarrierReply: {
+      if (fault_tolerance()) {
+        // FIFO channels: this reply fences every send up to its barrier,
+        // whichever update the barrier belonged to.
+        const auto seq_it = barrier_seq_.find(message.xid);
+        if (seq_it != barrier_seq_.end()) {
+          auto& pending = unfenced_[from];
+          while (!pending.empty() && pending.front().seq <= seq_it->second)
+            pending.pop_front();
+          if (pending.empty()) full_resync_.erase(from);
+          barrier_seq_.erase(seq_it);
+        }
+        const auto resync_it = resync_waiting_.find(message.xid);
+        if (resync_it != resync_waiting_.end()) {
+          if (resync_it->second == from) finish_resync(from, message.xid);
+          return;
+        }
+      }
       // "For every barrier reply received ... determine the source switch
       //  ... removed from the set of switches of the current round." The
       //  xid routes the reply to the owning in-flight update.
       const auto it = waiting_.find(message.xid);
       if (it == waiting_.end() || it->second.second != from) {
-        TSU_LOG(kWarn) << "unexpected barrier xid " << message.xid
-                       << " from switch " << from;
+        // With fault tolerance on, a late reply to a retried or rolled-back
+        // barrier is expected traffic, not a protocol error.
+        if (fault_tolerance()) {
+          TSU_LOG(kDebug) << "late barrier xid " << message.xid
+                          << " from switch " << from;
+        } else {
+          TSU_LOG(kWarn) << "unexpected barrier xid " << message.xid
+                         << " from switch " << from;
+        }
         return;
       }
       const UpdateId id = it->second.first;
@@ -436,8 +483,14 @@ void Controller::on_message(NodeId from, const proto::Message& message) {
             message.xid, std::get<proto::Echo>(message.body).payload));
       return;
     }
-    case proto::MsgType::kEchoReply:
     case proto::MsgType::kHello:
+      // A fresh control session: the switch rebooted (maybe stateless) or
+      // its link flapped. The xid carries the handshake's state bit (the
+      // stand-in for a features/stats exchange): nonzero means the tables
+      // survived. Without fault tolerance this stays session plumbing.
+      if (fault_tolerance()) handle_reconnect(from, message.xid != 0);
+      return;
+    case proto::MsgType::kEchoReply:
     case proto::MsgType::kFeaturesReply:
       return;  // session plumbing; nothing to do
     case proto::MsgType::kError:
@@ -501,9 +554,16 @@ void Controller::finish_update(UpdateId id) {
   TSU_ASSERT(it != active_.end());
   it->second.metrics.finished = sim_.now();
   const bool coordinated = it->second.coordinated;
+  const bool system = it->second.system;
   const std::uint64_t token = it->second.token;
   UpdateMetrics metrics = std::move(it->second.metrics);
   active_.erase(it);
+  if (system) {
+    // A rollback unwind: it never entered admission, and the metrics that
+    // matter are the aborted original's (in the rollback context).
+    finish_rollback(id);
+    return;
+  }
   // Drop the finished request's footprint from the conflict DAG so the
   // requests it blocked become admissible.
   admission_.release(id);
@@ -525,6 +585,286 @@ void Controller::finish_update(UpdateId id) {
   if (on_update_done_) on_update_done_(done);
   // "...deletes the message from the queue and starts processing the next
   //  message."
+  maybe_start_next_request();
+  if (hooks_ != nullptr) hooks_->on_progress(shard_id_);
+}
+
+// --- fault tolerance --------------------------------------------------
+
+void Controller::seed_shadow(NodeId node, const proto::FlowMod& mod) {
+  if (!fault_tolerance()) return;
+  proto::apply_flow_mod(shadow_[node], mod);
+}
+
+void Controller::record_send(NodeId node, const proto::FlowMod& mod) {
+  proto::apply_flow_mod(shadow_[node], mod);
+  unfenced_[node].push_back(
+      UnfencedSend{++send_seq_[node], mod.table, mod.priority, mod.match});
+  if (mod.command == proto::FlowModCommand::kDelete)
+    full_resync_.insert(node);
+}
+
+void Controller::fence_barrier(NodeId node, Xid xid) {
+  if (!fault_tolerance()) return;
+  barrier_seq_[xid] = send_seq_[node];
+  arm_liveness(xid);
+}
+
+void Controller::arm_liveness(Xid xid) {
+  // kShared: a timeout can retry, roll back or resync, all of which reach
+  // beyond this shard's switches through the coordinator-facing state.
+  sim_.schedule(config_.liveness_timeout,
+                [this, xid]() { on_liveness_timeout(xid); });
+}
+
+void Controller::on_liveness_timeout(Xid xid) {
+  // A resync barrier timed out: the switch died again (or the pushes were
+  // eaten) mid-resync. Start over, conservatively assuming no state.
+  const auto resync_it = resync_waiting_.find(xid);
+  if (resync_it != resync_waiting_.end()) {
+    const NodeId node = resync_it->second;
+    ++timeouts_;
+    barrier_seq_.erase(xid);
+    resync_waiting_.erase(resync_it);
+    handle_reconnect(node, false);
+    return;
+  }
+  const auto it = waiting_.find(xid);
+  if (it == waiting_.end()) return;  // fenced in time; stale timer
+  const UpdateId id = it->second.first;
+  const NodeId node = it->second.second;
+  ++timeouts_;
+  const ActiveUpdate& update = active_.at(id);
+  if (config_.failure_response == FailureResponse::kRollback &&
+      !update.coordinated && !update.system) {
+    begin_rollback(id);
+    return;
+  }
+  // Wait-style recovery: re-drive the silent switch. While it is down the
+  // retry drops at the channel and the fresh barrier's timer fires again -
+  // a liveness-period retry loop that ends at the reconnect resync. (Every
+  // injected crash schedules its restart, so the loop is finite.)
+  retry_update_switch(id, node);
+}
+
+void Controller::retry_update_switch(UpdateId id, NodeId node) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  ActiveUpdate& update = it->second;
+  // Swap the stale outstanding barrier for a fresh one; `waiting` still
+  // counts exactly one outstanding fence for this (update, switch).
+  bool outstanding = false;
+  for (auto w = waiting_.begin(); w != waiting_.end();) {
+    if (w->second.first == id && w->second.second == node) {
+      barrier_seq_.erase(w->first);
+      w = waiting_.erase(w);
+      outstanding = true;
+    } else {
+      ++w;
+    }
+  }
+  if (!outstanding) return;  // the reply beat the retry; nothing to re-drive
+  ++retries_;
+  // Re-send everything this update has sent to `node` so far. FIFO
+  // delivery plus OpenFlow's replace-on-identical-match semantics make the
+  // replay safe whatever prefix survived: it lands the switch in exactly
+  // the already-acknowledged state plus the in-flight round. Metrics only
+  // count first sends.
+  const std::size_t sent =
+      std::min(update.next_round, update.request.rounds.size());
+  for (std::size_t r = 0; r < sent; ++r)
+    for (const RoundOp& op : update.request.rounds[r])
+      if (op.node == node)
+        send_to_switch(node, proto::make_flow_mod(next_xid(), op.mod));
+  const Xid xid = next_xid();
+  waiting_.emplace(xid, std::make_pair(id, node));
+  send_to_switch(node, proto::make_barrier_request(xid));
+  fence_barrier(node, xid);
+}
+
+void Controller::handle_reconnect(NodeId from, bool has_state) {
+  // A second hello while a resync is in flight means the switch died again
+  // mid-resync: the fresh image below supersedes the abandoned one.
+  for (auto it = resync_waiting_.begin(); it != resync_waiting_.end();) {
+    if (it->second == from) {
+      barrier_seq_.erase(it->first);
+      it = resync_waiting_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto shadow_it = shadow_.find(from);
+  const bool full = !has_state || full_resync_.count(from) != 0;
+  std::size_t mods = 0;
+  if (full && shadow_it != shadow_.end()) {
+    // Cold boot (or a retained table made unknowable by an unfenced
+    // non-strict delete): replay the full shadow image. ADD overwrites a
+    // rule with identical match and priority, so the replay is also safe
+    // when state survived.
+    for (const auto& [table_id, table] : shadow_it->second) {
+      for (const flow::FlowRule& rule : table.rules()) {
+        proto::FlowMod mod;
+        mod.command = proto::FlowModCommand::kAdd;
+        mod.table = table_id;
+        mod.priority = rule.priority;
+        mod.cookie = rule.cookie;
+        mod.match = rule.match;
+        mod.action = rule.action;
+        send_to_switch(from, proto::make_flow_mod(next_xid(), mod));
+        ++mods;
+      }
+    }
+  }
+  if (has_state) {
+    // Retained tables: only sends no barrier reply ever fenced are
+    // uncertain - re-assert the shadow's verdict for exactly those keys.
+    // (After a full replay this contributes the strict deletes for keys
+    // the shadow no longer holds.) Snapshot the keys first: the sends
+    // below append to the unfenced log being walked.
+    std::vector<UnfencedSend> keys;
+    const auto pending_it = unfenced_.find(from);
+    if (pending_it != unfenced_.end())
+      keys.assign(pending_it->second.begin(), pending_it->second.end());
+    std::vector<const UnfencedSend*> unique;
+    for (const UnfencedSend& key : keys) {
+      const bool seen =
+          std::any_of(unique.begin(), unique.end(), [&](const auto* u) {
+            return u->table == key.table && u->priority == key.priority &&
+                   u->match == key.match;
+          });
+      if (!seen) unique.push_back(&key);
+    }
+    for (const UnfencedSend* key : unique) {
+      const flow::FlowRule* rule = nullptr;
+      if (shadow_it != shadow_.end()) {
+        const auto table_it = shadow_it->second.find(key->table);
+        if (table_it != shadow_it->second.end()) {
+          for (const flow::FlowRule& r : table_it->second.rules()) {
+            if (r.match == key->match && r.priority == key->priority) {
+              rule = &r;
+              break;
+            }
+          }
+        }
+      }
+      proto::FlowMod mod;
+      mod.table = key->table;
+      mod.priority = key->priority;
+      mod.match = key->match;
+      if (rule != nullptr) {
+        if (full) continue;  // the full replay already re-asserted it
+        mod.command = proto::FlowModCommand::kAdd;
+        mod.cookie = rule->cookie;
+        mod.action = rule->action;
+      } else {
+        mod.command = proto::FlowModCommand::kDeleteStrict;
+      }
+      send_to_switch(from, proto::make_flow_mod(next_xid(), mod));
+      ++mods;
+    }
+  }
+  resync_frames_ += mods;
+  // Fence the resync: its barrier reply proves the switch holds the shadow
+  // image, and only then does it return to service and get its stalled
+  // rounds replayed.
+  const Xid xid = next_xid();
+  resync_waiting_.emplace(xid, from);
+  send_to_switch(from, proto::make_barrier_request(xid));
+  fence_barrier(from, xid);
+}
+
+void Controller::finish_resync(NodeId node, Xid xid) {
+  resync_waiting_.erase(xid);
+  full_resync_.erase(node);
+  ++resyncs_;
+  if (on_switch_resynced_) on_switch_resynced_(node);
+  // Revive every update stalled on this switch: replay its mods and a
+  // fresh barrier now that the switch provably holds the shadow image.
+  // (Their liveness timers would get there too; this skips the wait.)
+  std::vector<UpdateId> stalled;
+  for (const auto& [x, target] : waiting_) {
+    (void)x;
+    if (target.second == node) stalled.push_back(target.first);
+  }
+  std::sort(stalled.begin(), stalled.end());
+  stalled.erase(std::unique(stalled.begin(), stalled.end()), stalled.end());
+  for (const UpdateId id : stalled) retry_update_switch(id, node);
+}
+
+void Controller::begin_rollback(UpdateId id) {
+  const auto it = active_.find(id);
+  TSU_ASSERT(it != active_.end());
+  ActiveUpdate aborted = std::move(it->second);
+  active_.erase(it);
+  for (auto w = waiting_.begin(); w != waiting_.end();) {
+    if (w->second.first == id) {
+      barrier_seq_.erase(w->first);
+      w = waiting_.erase(w);
+    } else {
+      ++w;
+    }
+  }
+  ++rollbacks_;
+
+  // Unwind: replay the undos of every round that sent anything, newest
+  // first, each inverse round barrier-fenced, so the unwind walks back
+  // through exactly the forward rounds' checked states. Every op of a
+  // round is undone, dead switches included: a mixed round - some nodes
+  // rolled back, some not - could leave the forwarding graph in a state no
+  // schedule checker ever admitted. Drops at dead switches are re-driven
+  // by retry and resync like any other send.
+  UpdateRequest inverse;
+  inverse.name = aborted.request.name + "/rollback";
+  inverse.flow = aborted.request.flow;
+  const std::size_t sent =
+      std::min(aborted.next_round, aborted.request.rounds.size());
+  for (std::size_t r = sent; r-- > 0;) {
+    std::vector<RoundOp> ops;
+    for (const RoundOp& op : aborted.request.rounds[r])
+      if (op.undo.has_value()) ops.push_back(RoundOp{op.node, *op.undo, {}});
+    if (!ops.empty()) inverse.rounds.push_back(std::move(ops));
+  }
+
+  const UpdateId unwind_id = update_counter_++;
+  RollbackCtx ctx;
+  ctx.original = id;
+  ctx.request = std::move(aborted.request);
+  ctx.metrics = std::move(aborted.metrics);
+  rollback_ctx_.emplace(unwind_id, std::move(ctx));
+
+  ActiveUpdate unwind;
+  unwind.request = std::move(inverse);
+  unwind.metrics.name = unwind.request.name;
+  unwind.metrics.flow = unwind.request.flow;
+  unwind.metrics.submitted = sim_.now();
+  unwind.metrics.started = sim_.now();
+  unwind.system = true;
+  active_.emplace(unwind_id, std::move(unwind));
+  start_round(unwind_id);
+}
+
+void Controller::finish_rollback(UpdateId id) {
+  const auto it = rollback_ctx_.find(id);
+  TSU_ASSERT_MSG(it != rollback_ctx_.end(), "rollback without context");
+  RollbackCtx ctx = std::move(it->second);
+  rollback_ctx_.erase(it);
+  // The aborted update's footprint protected the touched rules through the
+  // whole unwind; only now may conflicting requests start.
+  admission_.release(ctx.original);
+  if (config_.resubmit_after_rollback) {
+    ++resubmissions_;
+    // A fresh attempt after a backoff (giving the failed switch time to
+    // come back); it re-enters admission as a new arrival.
+    sim_.schedule(effective_backoff(),
+                  [this, request = std::move(ctx.request)]() mutable {
+                    submit(std::move(request));
+                  });
+  } else {
+    ctx.metrics.finished = sim_.now();
+    ctx.metrics.aborted = true;
+    completed_.push_back(std::move(ctx.metrics));
+    if (on_update_done_) on_update_done_(completed_.back());
+  }
   maybe_start_next_request();
   if (hooks_ != nullptr) hooks_->on_progress(shard_id_);
 }

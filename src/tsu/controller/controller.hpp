@@ -75,6 +75,7 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "tsu/controller/admission.hpp"
@@ -113,6 +114,28 @@ const char* to_string(AdmissionRelease release) noexcept;
 std::optional<AdmissionRelease> admission_release_from_string(
     std::string_view name) noexcept;
 
+// What a liveness timeout does to the update stalled on a silent switch:
+//   kWait      keep the update alive and re-drive the switch (periodic
+//              retries, then a replay once its reconnect resync confirms)
+//              until the barrier returns - installs only move forward.
+//   kRollback  abort the update: replay the sent rounds' undo mods in
+//              reverse round order (each inverse round barrier-fenced), so
+//              the unwind walks back through exactly the forward rounds'
+//              checked states; then release the admission footprint and
+//              resubmit the request fresh (resubmit_after_rollback).
+//              Cross-shard sub-requests and the unwinds themselves always
+//              recover kWait-style: a reverse round executed on one shard
+//              while a sibling shard still walks forward could leave the
+//              forwarding graph in a state no checker ever admitted.
+enum class FailureResponse : std::uint8_t {
+  kWait = 0,
+  kRollback = 1,
+};
+
+const char* to_string(FailureResponse response) noexcept;
+std::optional<FailureResponse> failure_response_from_string(
+    std::string_view name) noexcept;
+
 struct ControllerConfig {
   bool use_barriers = true;
   // How many update requests may progress concurrently. 1 reproduces the
@@ -148,6 +171,22 @@ struct ControllerConfig {
   // Worker threads for exec = parallel; 0 picks
   // min(shards, hardware threads).
   std::size_t threads = 0;
+  // --- fault tolerance (sim/faults.hpp) ---------------------------------
+  // Per-switch liveness timeout on outstanding barriers. 0 disables fault
+  // handling entirely - no timers, no shadow tables, no resync - keeping
+  // the fault-free path bit-identical to a build without the subsystem.
+  // Must comfortably exceed the worst-case round RTT *under load*: a
+  // timeout below the loaded RTT declares healthy switches dead, and the
+  // resulting retry traffic slows rounds further - a spurious-timeout
+  // storm that can exhaust the per-shard xid sequence.
+  sim::Duration liveness_timeout = 0;
+  // Recovery policy when a barrier times out (see FailureResponse).
+  FailureResponse failure_response = FailureResponse::kWait;
+  // Pause before a rolled-back request is resubmitted; 0 means one
+  // liveness_timeout.
+  sim::Duration retry_backoff = 0;
+  // Resubmit rolled-back requests (else complete them as aborted).
+  bool resubmit_after_rollback = true;
 };
 
 // The flush policy after legacy-knob normalization: `batch_frames` only
@@ -174,6 +213,10 @@ struct UpdateMetrics {
   std::vector<RoundMetrics> rounds;
   std::size_t flow_mods_sent = 0;
   std::size_t barriers_sent = 0;
+  // The request was rolled back and not resubmitted
+  // (failure_response = rollback, resubmit_after_rollback = false): its
+  // switches are back in the pre-update state.
+  bool aborted = false;
 
   sim::Duration duration() const noexcept { return finished - started; }
   sim::Duration queueing_delay() const noexcept {
@@ -250,6 +293,33 @@ class Controller {
     on_update_done_ = std::move(fn);
   }
 
+  // --- fault tolerance (sim/faults.hpp) ---------------------------------
+  // Enabled by a nonzero liveness_timeout; everything below is inert (and
+  // schedules no events, so the fault-free digests stay bit-identical)
+  // when disabled.
+  bool fault_tolerance() const noexcept {
+    return config_.liveness_timeout > 0;
+  }
+  // Mirrors an out-of-band install (the executor's initial-rule seeding,
+  // which writes switch tables directly) into the shadow tables, so a
+  // crash resync reconstructs pre-update state too.
+  void seed_shadow(NodeId node, const proto::FlowMod& mod);
+  // Fires when a reconnected switch's resync is barrier-confirmed: it
+  // provably holds the shadow image again. The executor uses this to
+  // return the switch to service and clock the recovery.
+  void set_on_switch_resynced(std::function<void(NodeId)> fn) {
+    on_switch_resynced_ = std::move(fn);
+  }
+  // Fault-handling counters: liveness timeouts fired, resyncs completed,
+  // resync FlowMods pushed, rollbacks begun, per-switch barrier retries,
+  // and rolled-back requests resubmitted.
+  std::size_t timeouts() const noexcept { return timeouts_; }
+  std::size_t resyncs() const noexcept { return resyncs_; }
+  std::size_t resync_frames() const noexcept { return resync_frames_; }
+  std::size_t rollbacks() const noexcept { return rollbacks_; }
+  std::size_t retries() const noexcept { return retries_; }
+  std::size_t resubmissions() const noexcept { return resubmissions_; }
+
   // --- sharded operation (driven by the ShardCoordinator; shard.hpp) ----
   // A cross-shard update runs as per-shard sub-requests whose rounds
   // advance in lockstep: after every round the shard confirms completion
@@ -315,6 +385,10 @@ class Controller {
     // Cross-shard sub-request: rounds gated by the coordinator.
     bool coordinated = false;
     std::uint64_t token = 0;
+    // Controller-originated unwind of a rolled-back update: bypasses
+    // admission (the aborted update's footprint still covers its rules)
+    // and never rolls back itself (double faults recover kWait-style).
+    bool system = false;
     // admission_release = round: footprint rules keyed by the last round
     // touching them; slot k is released when round k completes. Empty when
     // per-round release is off.
@@ -337,6 +411,39 @@ class Controller {
   std::vector<std::vector<RuleRef>> make_release_plan(
       const UpdateRequest& request) const;
   void release_completed_round_rules(UpdateId id);
+
+  // --- fault tolerance ---------------------------------------------------
+  // One FlowMod sent but not yet fenced by a barrier reply (FIFO channels:
+  // a reply fences everything sent before its barrier). These keys are the
+  // only rules a retained-state reconnect needs corrected.
+  struct UnfencedSend {
+    std::uint64_t seq = 0;
+    std::uint8_t table = 0;
+    std::uint16_t priority = 0;
+    flow::Match match;
+  };
+  // Bookkeeping of one in-flight rollback: the aborted update's identity
+  // (its admission footprint stays held until the unwind completes), the
+  // original request for resubmission, and its metrics for the
+  // aborted-without-resubmit completion record.
+  struct RollbackCtx {
+    UpdateId original = 0;
+    UpdateRequest request;
+    UpdateMetrics metrics;
+  };
+  void record_send(NodeId node, const proto::FlowMod& mod);
+  void fence_barrier(NodeId node, Xid xid);
+  void arm_liveness(Xid xid);
+  void on_liveness_timeout(Xid xid);
+  void retry_update_switch(UpdateId id, NodeId node);
+  void handle_reconnect(NodeId from, bool has_state);
+  void finish_resync(NodeId node, Xid xid);
+  void begin_rollback(UpdateId id);
+  void finish_rollback(UpdateId id);
+  sim::Duration effective_backoff() const noexcept {
+    return config_.retry_backoff > 0 ? config_.retry_backoff
+                                     : config_.liveness_timeout;
+  }
 
   Xid next_xid() noexcept {
     // Fail fast on 24-bit sequence wrap: a reused masked xid could route a
@@ -396,6 +503,34 @@ class Controller {
   BatchMode batch_mode_ = BatchMode::kOff;
   std::map<NodeId, Outbox> outbox_;
   bool flush_scheduled_ = false;  // kInstant: one zero-delay flush-all event
+
+  // --- fault tolerance (all empty and untouched when disabled) ----------
+  // Shadow tables: the rule state every send has committed each switch to,
+  // applied at SEND time through the same proto::apply_flow_mod the switch
+  // runs at completion. Once the switch's inbox drains, table == shadow;
+  // resync replays the shadow after a crash. Inner map ordered so resync
+  // replay order is deterministic.
+  std::unordered_map<NodeId, std::map<std::uint8_t, flow::FlowTable>> shadow_;
+  std::unordered_map<NodeId, std::deque<UnfencedSend>> unfenced_;
+  std::unordered_map<NodeId, std::uint64_t> send_seq_;
+  // Barrier xid -> per-switch send sequence it fences (recorded at barrier
+  // send; the reply clears the unfenced prefix up to it).
+  std::unordered_map<Xid, std::uint64_t> barrier_seq_;
+  // Switches with an unfenced non-strict DELETE: the shadow cannot name
+  // what a retained table might still hold, so their resync replays the
+  // full image plus corrective strict deletes.
+  std::unordered_set<NodeId> full_resync_;
+  // In-flight resync barriers, by xid, and in-flight rollback unwinds, by
+  // the unwind's update id.
+  std::unordered_map<Xid, NodeId> resync_waiting_;
+  std::unordered_map<UpdateId, RollbackCtx> rollback_ctx_;
+  std::function<void(NodeId)> on_switch_resynced_;
+  std::size_t timeouts_ = 0;
+  std::size_t resyncs_ = 0;
+  std::size_t resync_frames_ = 0;
+  std::size_t rollbacks_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t resubmissions_ = 0;
 };
 
 }  // namespace tsu::controller

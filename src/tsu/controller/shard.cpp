@@ -265,4 +265,30 @@ std::size_t ShardCoordinator::blocked() const noexcept {
   return sum_over_shards([](const Controller& c) { return c.blocked(); });
 }
 
+std::size_t ShardCoordinator::timeouts() const noexcept {
+  return sum_over_shards([](const Controller& c) { return c.timeouts(); });
+}
+
+std::size_t ShardCoordinator::resyncs() const noexcept {
+  return sum_over_shards([](const Controller& c) { return c.resyncs(); });
+}
+
+std::size_t ShardCoordinator::resync_frames() const noexcept {
+  return sum_over_shards(
+      [](const Controller& c) { return c.resync_frames(); });
+}
+
+std::size_t ShardCoordinator::rollbacks() const noexcept {
+  return sum_over_shards([](const Controller& c) { return c.rollbacks(); });
+}
+
+std::size_t ShardCoordinator::retries() const noexcept {
+  return sum_over_shards([](const Controller& c) { return c.retries(); });
+}
+
+std::size_t ShardCoordinator::resubmissions() const noexcept {
+  return sum_over_shards(
+      [](const Controller& c) { return c.resubmissions(); });
+}
+
 }  // namespace tsu::controller

@@ -96,6 +96,14 @@ class ShardCoordinator final : public Controller::CoordinationHooks {
 
   // Registers the outbound channel towards a switch on its owning shard.
   void attach_switch(NodeId node, Controller::SendFn send);
+  // Fault tolerance (sim/faults.hpp): shadow seeding and the resync
+  // callback route to the switch's owning shard; see controller.hpp.
+  void seed_shadow(NodeId node, const proto::FlowMod& mod) {
+    shards_[shard_of(node)]->engine().seed_shadow(node, mod);
+  }
+  void set_on_switch_resynced(std::function<void(NodeId)> fn) {
+    for (auto& shard : shards_) shard->engine().set_on_switch_resynced(fn);
+  }
   // Inbound dispatch: routes a switch's reply to the shard that owns it.
   void on_message(NodeId from, const proto::Message& message);
   // Routes a request: forwarded whole when it touches one shard, split and
@@ -127,6 +135,14 @@ class ShardCoordinator final : public Controller::CoordinationHooks {
   std::uint64_t conflict_edges() const noexcept;
   std::uint64_t blocked_submissions() const noexcept;
   std::size_t blocked() const noexcept;
+
+  // Fault-handling counters, summed over the shards (controller.hpp).
+  std::size_t timeouts() const noexcept;
+  std::size_t resyncs() const noexcept;
+  std::size_t resync_frames() const noexcept;
+  std::size_t rollbacks() const noexcept;
+  std::size_t retries() const noexcept;
+  std::size_t resubmissions() const noexcept;
 
   // Cross-shard protocol observability: updates that spanned shards,
   // rounds whose confirmations were merged, and the summed sync spread

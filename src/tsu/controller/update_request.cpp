@@ -14,6 +14,46 @@ proto::FlowMod forward_mod(proto::FlowModCommand command, FlowId flow,
   return mod;
 }
 
+// The rule node `v` held for `flow` before the update: forward along the
+// old path, or deliver when `v` is the old path's egress.
+proto::FlowMod old_rule_mod(const update::Instance& inst, NodeId v,
+                            proto::FlowModCommand command, FlowId flow,
+                            std::uint16_t priority) {
+  proto::FlowMod mod;
+  mod.command = command;
+  mod.priority = priority;
+  mod.match = flow::Match::exact_flow(flow);
+  const NodeId old_next = inst.old_next(v);
+  mod.action = old_next == kInvalidNode ? flow::Action::deliver()
+                                        : flow::Action::forward(old_next);
+  return mod;
+}
+
+// The inverse of one lowered round op against the pre-update state; drives
+// the controller's rollback of partially installed updates.
+proto::FlowMod undo_of(const update::Instance& inst, NodeId v,
+                       const proto::FlowMod& mod, FlowId flow,
+                       std::uint16_t priority) {
+  switch (mod.command) {
+    case proto::FlowModCommand::kAdd: {
+      // A new-only node gained a rule it never had: undo deletes it.
+      proto::FlowMod undo;
+      undo.command = proto::FlowModCommand::kDeleteStrict;
+      undo.priority = priority;
+      undo.match = flow::Match::exact_flow(flow);
+      return undo;
+    }
+    case proto::FlowModCommand::kModify:
+      // A both-path node was repointed: undo points it back.
+      return old_rule_mod(inst, v, proto::FlowModCommand::kModify, flow,
+                          priority);
+    default:
+      // Cleanup deleted the old rule: undo reinstates it.
+      return old_rule_mod(inst, v, proto::FlowModCommand::kAdd, flow,
+                          priority);
+  }
+}
+
 }  // namespace
 
 std::vector<RoundOp> initial_rules(const update::Instance& inst, FlowId flow,
@@ -23,7 +63,8 @@ std::vector<RoundOp> initial_rules(const update::Instance& inst, FlowId flow,
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     ops.push_back(RoundOp{
         path[i], forward_mod(proto::FlowModCommand::kAdd, flow, priority,
-                             path[i + 1])});
+                             path[i + 1]),
+        {}});
   }
   // Destination delivers to its attached host.
   proto::FlowMod deliver;
@@ -31,7 +72,7 @@ std::vector<RoundOp> initial_rules(const update::Instance& inst, FlowId flow,
   deliver.priority = priority;
   deliver.match = flow::Match::exact_flow(flow);
   deliver.action = flow::Action::deliver();
-  ops.push_back(RoundOp{path.back(), deliver});
+  ops.push_back(RoundOp{path.back(), deliver, {}});
   return ops;
 }
 
@@ -52,8 +93,10 @@ UpdateRequest request_from_schedule(const update::Instance& inst,
           inst.role(v) == update::NodeRole::kNewOnly
               ? proto::FlowModCommand::kAdd
               : proto::FlowModCommand::kModify;
-      ops.push_back(
-          RoundOp{v, forward_mod(command, flow, priority, inst.new_next(v))});
+      RoundOp op{v, forward_mod(command, flow, priority, inst.new_next(v)),
+                 {}};
+      op.undo = undo_of(inst, v, op.mod, flow, priority);
+      ops.push_back(std::move(op));
     }
     request.rounds.push_back(std::move(ops));
   }
@@ -66,7 +109,9 @@ UpdateRequest request_from_schedule(const update::Instance& inst,
       mod.command = proto::FlowModCommand::kDeleteStrict;
       mod.priority = priority;
       mod.match = flow::Match::exact_flow(flow);
-      ops.push_back(RoundOp{v, std::move(mod)});
+      RoundOp op{v, std::move(mod), {}};
+      op.undo = undo_of(inst, v, op.mod, flow, priority);
+      ops.push_back(std::move(op));
     }
     request.rounds.push_back(std::move(ops));
   }
@@ -97,9 +142,11 @@ UpdateRequest request_from_merged(
           inst.role(node) == update::NodeRole::kNewOnly
               ? proto::FlowModCommand::kAdd
               : proto::FlowModCommand::kModify;
-      ops.push_back(RoundOp{node, forward_mod(command, flows[policy],
-                                              priority,
-                                              inst.new_next(node))});
+      RoundOp op{node, forward_mod(command, flows[policy], priority,
+                                   inst.new_next(node)),
+                 {}};
+      op.undo = undo_of(inst, node, op.mod, flows[policy], priority);
+      ops.push_back(std::move(op));
     }
     request.rounds.push_back(std::move(ops));
   }
@@ -112,7 +159,9 @@ UpdateRequest request_from_merged(
       mod.command = proto::FlowModCommand::kDeleteStrict;
       mod.priority = priority;
       mod.match = flow::Match::exact_flow(flows[policy]);
-      cleanup.push_back(RoundOp{v, std::move(mod)});
+      RoundOp op{v, std::move(mod), {}};
+      op.undo = undo_of(*policies[policy], v, op.mod, flows[policy], priority);
+      cleanup.push_back(std::move(op));
     }
   }
   if (!cleanup.empty()) request.rounds.push_back(std::move(cleanup));

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,12 @@ namespace tsu::controller {
 struct RoundOp {
   NodeId node = kInvalidNode;
   proto::FlowMod mod;
+  // Inverse of `mod` against the pre-update state (ADD -> DELETE_STRICT,
+  // MODIFY -> MODIFY back to the old next hop, cleanup DELETE -> re-ADD):
+  // the rollback path replays completed rounds' undos in reverse round
+  // order to abort a partially installed update. Absent for raw mods whose
+  // prior state the lowering never saw (REST "add" passthrough).
+  std::optional<proto::FlowMod> undo;
 };
 
 struct UpdateRequest {

@@ -254,6 +254,34 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
       if (!field.is_number() || field.as_double() < 0)
         return make_error(Errc::kOutOfRange, "'interval_ms' must be >= 0");
       config.interval = ms(field.as_double());
+    } else if (key == "faults") {
+      Result<sim::FaultSchedule> schedule = sim::FaultSchedule::from_json(field);
+      if (!schedule.ok()) return schedule.error();
+      config.faults = std::move(schedule.value());
+    } else if (key == "liveness_timeout_ms") {
+      if (!field.is_number() || field.as_double() < 0)
+        return make_error(Errc::kOutOfRange,
+                          "'liveness_timeout_ms' must be >= 0");
+      config.controller.liveness_timeout = ms(field.as_double());
+    } else if (key == "failure_response") {
+      if (!field.is_string())
+        return make_error(Errc::kParseError,
+                          "'failure_response' must be a string");
+      const std::optional<controller::FailureResponse> response =
+          controller::failure_response_from_string(field.as_string());
+      if (!response.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown failure response '" + field.as_string() +
+                              "' (wait | rollback)");
+      config.controller.failure_response = *response;
+    } else if (key == "retry_backoff_ms") {
+      if (!field.is_number() || field.as_double() < 0)
+        return make_error(Errc::kOutOfRange, "'retry_backoff_ms' must be >= 0");
+      config.controller.retry_backoff = ms(field.as_double());
+    } else if (key == "resubmit") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError, "'resubmit' must be a bool");
+      config.controller.resubmit_after_rollback = field.as_bool();
     } else if (key == "traffic") {
       if (!field.is_object())
         return make_error(Errc::kParseError, "'traffic' must be an object");
@@ -386,6 +414,17 @@ json::Value config_to_json(const ExecutorConfig& config) {
   root.set("priority",
            json::Value(static_cast<std::int64_t>(config.priority)));
   root.set("interval_ms", json::Value(sim::to_ms(config.interval)));
+
+  root.set("liveness_timeout_ms",
+           json::Value(sim::to_ms(config.controller.liveness_timeout)));
+  root.set("failure_response",
+           json::Value(
+               controller::to_string(config.controller.failure_response)));
+  root.set("retry_backoff_ms",
+           json::Value(sim::to_ms(config.controller.retry_backoff)));
+  root.set("resubmit", json::Value(config.controller.resubmit_after_rollback));
+  // Emitted only when non-empty, so fault-free configs stay byte-stable.
+  if (!config.faults.empty()) root.set("faults", config.faults.to_json());
 
   json::Object traffic;
   traffic.set("enabled", json::Value(config.with_traffic));

@@ -18,6 +18,11 @@
 //   "shards": 1, "partition": "hash" | "block" | "greedy_cut",
 //   "exec": "sequential" | "parallel", "threads": 0,
 //   "flow": 1, "priority": 100, "interval_ms": 0,
+//   "liveness_timeout_ms": 0, "failure_response": "wait" | "rollback",
+//   "retry_backoff_ms": 0, "resubmit": true,
+//   "faults":   { "events": [ { "kind": "crash" | "link_down" | "blackhole",
+//                 "at_ms": 8, "node": 3, "down_ms": 5, "lose_state": true,
+//                 "frames": 2 }, ... ] }   (or the bare events array),
 //   "traffic":  { "enabled": true, "interarrival": <latency>,
 //                 "link": <latency>, "ttl": 64,
 //                 "warmup_ms": 5, "drain_ms": 20 }

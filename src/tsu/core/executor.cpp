@@ -31,6 +31,7 @@ struct Harness {
   std::vector<std::unique_ptr<switchsim::SimSwitch>> switch_storage;
   std::vector<switchsim::SimSwitch*> switches;  // by NodeId
   std::vector<std::unique_ptr<channel::DuplexChannel>> channels;
+  std::vector<channel::DuplexChannel*> duplex_by_node;  // fault injection
   std::unique_ptr<controller::ShardCoordinator> ctrl;
 
   Harness(const ExecutorConfig& config,
@@ -50,7 +51,10 @@ struct Harness {
 
   void add_switch(NodeId node, const ExecutorConfig& config) {
     if (node < switches.size() && switches[node] != nullptr) return;
-    if (switches.size() <= node) switches.resize(node + 1, nullptr);
+    if (switches.size() <= node) {
+      switches.resize(node + 1, nullptr);
+      duplex_by_node.resize(node + 1, nullptr);
+    }
 
     sim::Simulator& shard_sim = sim_of(node);
     auto sw = std::make_unique<switchsim::SimSwitch>(
@@ -82,6 +86,7 @@ struct Harness {
     });
 
     switches[node] = sw_ptr;
+    duplex_by_node[node] = duplex_ptr;
     switch_storage.push_back(std::move(sw));
     channels.push_back(std::move(duplex));
   }
@@ -89,8 +94,13 @@ struct Harness {
   void install_initial(const update::Instance& inst, FlowId flow,
                        std::uint16_t priority) {
     for (const controller::RoundOp& op :
-         controller::initial_rules(inst, flow, priority))
+         controller::initial_rules(inst, flow, priority)) {
       switches[op.node]->table().add(rule_from_mod(op.mod));
+      // Mirror the out-of-band install into the controller's shadow tables
+      // (a no-op unless fault tolerance is on) so a crash resync can
+      // reconstruct pre-update state too.
+      ctrl->seed_shadow(op.node, op.mod);
+    }
   }
 
   std::size_t total_frames() const {
@@ -230,7 +240,9 @@ struct EngineOutput {
   std::uint64_t blocked_submissions = 0;
   BatchingStats batching;
   ShardStats sharding;
+  sim::FaultStats faults;
   std::uint64_t state_digest = 0;
+  std::uint64_t initial_digest = 0;
   sim::Duration makespan = 0;
 };
 
@@ -283,12 +295,20 @@ sim::Duration cross_shard_lookahead(const ExecutorConfig& config) {
 Result<EngineOutput> run_engine(
     const std::vector<const update::Instance*>& instances,
     std::vector<EngineRequest> requests, const ExecutorConfig& config,
-    const controller::ControllerConfig& controller_config) {
+    const controller::ControllerConfig& base_controller_config) {
   if (instances.empty() || requests.empty())
     return make_error(Errc::kInvalidArgument,
                       "need non-empty instance and request lists");
-  if (controller_config.shards > proto::kMaxXidShards)
+  if (base_controller_config.shards > proto::kMaxXidShards)
     return make_error(Errc::kOutOfRange, "shards must be in [1, 256]");
+
+  // A non-empty fault schedule needs detection to be on, or a crashed
+  // switch's lost barrier would stall its update forever and the run could
+  // never drain. 25 ms comfortably exceeds a healthy barrier round-trip
+  // under the default channel latencies.
+  controller::ControllerConfig controller_config = base_controller_config;
+  if (!config.faults.empty() && controller_config.liveness_timeout == 0)
+    controller_config.liveness_timeout = sim::milliseconds(25);
 
   // The block partitioner carves contiguous NodeId ranges, so it needs the
   // extent of the id space the instances use.
@@ -311,6 +331,83 @@ Result<EngineOutput> run_engine(
     add_instance_switches(harness, *inst, config);
   for (std::size_t i = 0; i < instances.size(); ++i)
     harness.install_initial(*instances[i], config.flow + i, config.priority);
+  const std::uint64_t initial_digest = final_state_digest(harness);
+
+  // Fault injection (sim/faults.hpp): each scheduled fault becomes events
+  // on the target switch's shard. A crash (optionally retaining the TCAM)
+  // takes the switch and both control-channel directions down, then brings
+  // them back `down_for` later and the switch announces a fresh session; a
+  // link outage does the same to the channels only; a blackhole silently
+  // eats the next frames towards the switch. Every fault schedules its own
+  // recovery, so runs always drain. An empty schedule adds NO events and
+  // keeps every digest bit-identical.
+  sim::FaultStats fault_stats;
+  std::vector<sim::SimTime> down_at(harness.switches.size(), 0);
+  std::vector<bool> is_down(harness.switches.size(), false);
+  if (!config.faults.empty()) {
+    for (const sim::FaultEvent& e : config.faults.events())
+      if (e.node >= harness.switches.size() ||
+          harness.switches[e.node] == nullptr)
+        return make_error(Errc::kInvalidArgument,
+                          "fault schedule targets an unknown switch");
+    // A barrier-confirmed resync returns the switch to service (its tables
+    // provably match the shadow again) and clocks the recovery.
+    harness.ctrl->set_on_switch_resynced([&](NodeId node) {
+      harness.switches[node]->set_serving(true);
+      if (is_down[node]) {
+        is_down[node] = false;
+        fault_stats.recovery_ms.push_back(
+            sim::to_ms(harness.sim_of(node).now() - down_at[node]));
+      }
+    });
+    for (const sim::FaultEvent& e : config.faults.events()) {
+      const std::size_t shard = harness.partition.shard_of(e.node);
+      channel::DuplexChannel* duplex = harness.duplex_by_node[e.node];
+      switchsim::SimSwitch* sw = harness.switches[e.node];
+      switch (e.kind) {
+        case sim::FaultKind::kSwitchCrash:
+          harness.sim.schedule_on(shard, e.at, [&, duplex, sw, e]() {
+            ++fault_stats.crashes;
+            down_at[e.node] = harness.sim_of(e.node).now();
+            is_down[e.node] = true;
+            duplex->to_switch.set_down(true);
+            duplex->to_controller.set_down(true);
+            sw->crash(e.lose_state);
+          });
+          harness.sim.schedule_on(shard, e.at + e.down_for,
+                                  [duplex, sw]() {
+                                    duplex->to_switch.set_down(false);
+                                    duplex->to_controller.set_down(false);
+                                    sw->restart();
+                                  });
+          break;
+        case sim::FaultKind::kLinkDown:
+          harness.sim.schedule_on(shard, e.at, [&, duplex, e]() {
+            ++fault_stats.link_downs;
+            down_at[e.node] = harness.sim_of(e.node).now();
+            is_down[e.node] = true;
+            duplex->to_switch.set_down(true);
+            duplex->to_controller.set_down(true);
+          });
+          // The switch itself never died (its tables still forward; it
+          // stays in service), but in-flight acks are gone - announcing a
+          // fresh session makes the controller re-fence the uncertainty.
+          harness.sim.schedule_on(shard, e.at + e.down_for,
+                                  [duplex, sw]() {
+                                    duplex->to_switch.set_down(false);
+                                    duplex->to_controller.set_down(false);
+                                    sw->announce();
+                                  });
+          break;
+        case sim::FaultKind::kBlackhole:
+          harness.sim.schedule_on(shard, e.at, [&, duplex, e]() {
+            ++fault_stats.blackholes;
+            duplex->to_switch.drop_next(e.frames);
+          });
+          break;
+      }
+    }
+  }
 
   dataplane::MultiFlowMonitor monitors;
   std::vector<std::unique_ptr<dataplane::TrafficSource>> sources =
@@ -422,7 +519,20 @@ Result<EngineOutput> run_engine(
   out.sharding.events_per_shard = harness.sim.events_per_shard();
   out.sharding.partition_cut_weight = harness.partition.cut_weight(affinity);
   out.sharding.wall_ms = wall_ms;
+  out.faults = std::move(fault_stats);
+  out.faults.timeouts = harness.ctrl->timeouts();
+  out.faults.resyncs = harness.ctrl->resyncs();
+  out.faults.resync_frames = harness.ctrl->resync_frames();
+  out.faults.rollbacks = harness.ctrl->rollbacks();
+  out.faults.retries = harness.ctrl->retries();
+  out.faults.resubmissions = harness.ctrl->resubmissions();
+  for (const auto& duplex : harness.channels)
+    out.faults.frames_lost += duplex->to_switch.frames_dropped() +
+                              duplex->to_controller.frames_dropped();
+  for (const switchsim::SimSwitch* sw : harness.switches)
+    if (sw != nullptr) out.faults.frames_lost += sw->frames_dropped();
   out.state_digest = final_state_digest(harness);
+  out.initial_digest = initial_digest;
   out.aggregate = monitors.aggregate();
 
   sim::SimTime first_start = std::numeric_limits<sim::SimTime>::max();
@@ -543,7 +653,9 @@ Result<MultiFlowExecutionResult> execute_multiflow(
   result.blocked_submissions = out.value().blocked_submissions;
   result.batching = out.value().batching;
   result.sharding = out.value().sharding;
+  result.faults = out.value().faults;
   result.final_state_digest = out.value().state_digest;
+  result.initial_state_digest = out.value().initial_digest;
   result.makespan = out.value().makespan;
   return result;
 }
@@ -639,7 +751,9 @@ Result<MixedExecutionResult> execute_mixed(
   result.blocked_submissions = out.value().blocked_submissions;
   result.batching = out.value().batching;
   result.sharding = out.value().sharding;
+  result.faults = out.value().faults;
   result.final_state_digest = out.value().state_digest;
+  result.initial_state_digest = out.value().initial_digest;
   result.makespan = out.value().makespan;
   return result;
 }

@@ -20,6 +20,7 @@
 #include "tsu/controller/shard.hpp"
 #include "tsu/dataplane/monitor.hpp"
 #include "tsu/dataplane/traffic.hpp"
+#include "tsu/sim/faults.hpp"
 #include "tsu/switchsim/switch.hpp"
 #include "tsu/update/instance.hpp"
 #include "tsu/update/schedule.hpp"
@@ -44,6 +45,13 @@ struct ExecutorConfig {
   int ttl = 64;
   sim::Duration warmup = sim::milliseconds(5);   // traffic before the update
   sim::Duration drain = sim::milliseconds(20);   // observation after it
+  // Fault injection (sim/faults.hpp): switch crashes, control-link outages
+  // and frame blackholes at scheduled sim times. An EMPTY schedule leaves
+  // every digest bit-identical to a build without the subsystem. A
+  // non-empty schedule with controller.liveness_timeout == 0 enables fault
+  // tolerance with a default 25 ms timeout (every injected fault must be
+  // detectable, or the run cannot drain).
+  sim::FaultSchedule faults;
 };
 
 struct ExecutionResult {
@@ -134,11 +142,19 @@ struct MultiFlowExecutionResult {
   std::uint64_t blocked_submissions = 0;
   BatchingStats batching;
   ShardStats sharding;
+  // Fault-injection observability (empty unless config.faults is set):
+  // injected fault counts, frames lost to them, and the controller's
+  // detection/recovery counters (sim/faults.hpp).
+  sim::FaultStats faults;
   // Order-insensitive digest of every switch's final flow tables; two runs
   // installed the same forwarding state iff their digests match (the
   // batched-vs-unbatched equivalence oracle, and the sharded-vs-single
   // controller one).
   std::uint64_t final_state_digest = 0;
+  // Same digest taken right after the initial rules were installed, before
+  // any update ran: what a fully rolled-back, non-resubmitted update must
+  // leave behind.
+  std::uint64_t initial_state_digest = 0;
   sim::Duration makespan = 0;             // first start -> last finish
 
   double makespan_ms() const noexcept { return sim::to_ms(makespan); }
@@ -184,7 +200,9 @@ struct MixedExecutionResult {
   std::uint64_t blocked_submissions = 0;
   BatchingStats batching;
   ShardStats sharding;
+  sim::FaultStats faults;
   std::uint64_t final_state_digest = 0;
+  std::uint64_t initial_state_digest = 0;
   sim::Duration makespan = 0;
 
   double makespan_ms() const noexcept { return sim::to_ms(makespan); }

@@ -11,6 +11,7 @@ const char* to_string(PacketOutcome outcome) noexcept {
     case PacketOutcome::kLooped: return "looped";
     case PacketOutcome::kBlackholed: return "blackholed";
     case PacketOutcome::kTtlExpired: return "ttl-expired";
+    case PacketOutcome::kFaultDropped: return "fault-dropped";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ std::string MonitorReport::to_string() const {
   out << "packets=" << total << " delivered=" << delivered
       << " bypassed=" << bypassed << " looped=" << looped
       << " blackholed=" << blackholed << " ttl-expired=" << ttl_expired;
+  if (fault_dropped != 0) out << " fault-dropped=" << fault_dropped;
   return out.str();
 }
 
@@ -43,6 +45,7 @@ void ConsistencyMonitor::record(sim::SimTime at, PacketOutcome outcome) {
     case PacketOutcome::kLooped: ++report_.looped; break;
     case PacketOutcome::kBlackholed: ++report_.blackholed; break;
     case PacketOutcome::kTtlExpired: ++report_.ttl_expired; break;
+    case PacketOutcome::kFaultDropped: ++report_.fault_dropped; break;
   }
   const std::size_t bucket = static_cast<std::size_t>(at / bucket_width_);
   if (bucket >= timeline_.size()) timeline_.resize(bucket + 1);
@@ -53,6 +56,7 @@ void ConsistencyMonitor::record(sim::SimTime at, PacketOutcome outcome) {
     case PacketOutcome::kLooped: ++b.looped; break;
     case PacketOutcome::kBlackholed:
     case PacketOutcome::kTtlExpired: ++b.blackholed; break;
+    case PacketOutcome::kFaultDropped: break;  // outage, not a violation
   }
 }
 
@@ -78,6 +82,7 @@ MonitorReport MultiFlowMonitor::aggregate() const {
     sum.looped += r.looped;
     sum.blackholed += r.blackholed;
     sum.ttl_expired += r.ttl_expired;
+    sum.fault_dropped += r.fault_dropped;
   }
   return sum;
 }

@@ -24,6 +24,7 @@ enum class PacketOutcome : unsigned char {
   kLooped,            // revisited a switch
   kBlackholed,        // no matching rule / explicit drop
   kTtlExpired,        // ran out of TTL without revisiting (long detour)
+  kFaultDropped,      // arrived at a switch taken down by fault injection
 };
 
 const char* to_string(PacketOutcome outcome) noexcept;
@@ -35,6 +36,11 @@ struct MonitorReport {
   std::size_t looped = 0;
   std::size_t blackholed = 0;
   std::size_t ttl_expired = 0;
+  // Packets that hit a crashed (non-serving) switch. Deliberately excluded
+  // from violation_rate(): losing traffic at a dead switch is outage, not
+  // an inconsistency - a correct fault run keeps blackholed == 0 while
+  // fault_dropped counts the crash's collateral.
+  std::size_t fault_dropped = 0;
 
   // Fraction of packets violating any transient property.
   double violation_rate() const noexcept;

@@ -71,6 +71,14 @@ void TrafficSource::hop(LivePacket live, NodeId at) {
   if (config_.waypoint.has_value() && at == *config_.waypoint)
     live.crossed_waypoint = true;
 
+  // A crashed switch forwards nothing until its controller resync restores
+  // it to service; traffic hitting it is outage loss, kept apart from the
+  // consistency verdicts (fault injection only; always serving otherwise).
+  if (!switches_[at]->serving()) {
+    finish(live, PacketOutcome::kFaultDropped, here.now());
+    return;
+  }
+
   // Look up the live flow table *now*; the rule may have changed since the
   // previous hop - that is the whole point of the experiment.
   const std::optional<flow::FlowRule> rule =

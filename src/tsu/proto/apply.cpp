@@ -1,0 +1,30 @@
+#include "tsu/proto/apply.hpp"
+
+namespace tsu::proto {
+
+void apply_flow_mod(std::map<std::uint8_t, flow::FlowTable>& tables,
+                    const FlowMod& mod) {
+  // Deletes never materialize a table, and a table a delete empties is
+  // dropped: state that was fully unwound (e.g. a rollback's inverse mods)
+  // must be structurally identical to state never touched, so the
+  // forwarding-state digest cannot tell the two apart.
+  if (mod.command == FlowModCommand::kDelete ||
+      mod.command == FlowModCommand::kDeleteStrict) {
+    const auto it = tables.find(mod.table);
+    if (it == tables.end()) return;
+    if (mod.command == FlowModCommand::kDelete)
+      it->second.remove(mod.match);
+    else
+      it->second.remove_strict(mod.match, mod.priority);
+    if (it->second.size() == 0) tables.erase(it);
+    return;
+  }
+  flow::FlowTable& target = tables[mod.table];
+  if (mod.command == FlowModCommand::kAdd)
+    target.add(flow::FlowRule{mod.match, mod.action, mod.priority,
+                              mod.cookie});
+  else
+    target.modify(mod.match, mod.priority, mod.action, mod.cookie);
+}
+
+}  // namespace tsu::proto

@@ -1,0 +1,19 @@
+// FlowMod -> FlowTable application semantics, shared between the simulated
+// switch (switchsim) and the controller's shadow tables (fault recovery):
+// the resync image a reconnecting switch receives is correct exactly
+// because both sides applied every mod with the same code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "tsu/flow/table.hpp"
+#include "tsu/proto/messages.hpp"
+
+namespace tsu::proto {
+
+// Applies `mod` to the table named by mod.table (created on first touch).
+void apply_flow_mod(std::map<std::uint8_t, flow::FlowTable>& tables,
+                    const FlowMod& mod);
+
+}  // namespace tsu::proto

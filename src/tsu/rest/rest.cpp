@@ -211,6 +211,22 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
       if (!value.is_number() || value.as_int() < 0)
         return make_error(Errc::kOutOfRange, "'threads' must be >= 0");
       message.threads = static_cast<std::size_t>(value.as_int());
+    } else if (key == "liveness_timeout_ms") {
+      if (!value.is_number() || value.as_double() < 0)
+        return make_error(Errc::kOutOfRange,
+                          "'liveness_timeout_ms' must be >= 0");
+      message.liveness_timeout_ms = value.as_double();
+    } else if (key == "failure_response") {
+      if (!value.is_string())
+        return make_error(Errc::kParseError,
+                          "'failure_response' must be a string");
+      const std::optional<controller::FailureResponse> response =
+          controller::failure_response_from_string(value.as_string());
+      if (!response.has_value())
+        return make_error(Errc::kParseError,
+                          "unknown failure response '" + value.as_string() +
+                              "' (wait | rollback)");
+      message.failure_response = *response;
     } else if (key == "max_in_flight") {
       if (!value.is_number() || value.as_int() < 1)
         return make_error(Errc::kOutOfRange, "'max_in_flight' must be >= 1");
@@ -286,6 +302,11 @@ std::string to_json(const RestUpdateMessage& message) {
   if (message.threads.has_value())
     root.set("threads",
              json::Value(static_cast<std::int64_t>(*message.threads)));
+  if (message.liveness_timeout_ms.has_value())
+    root.set("liveness_timeout_ms", json::Value(*message.liveness_timeout_ms));
+  if (message.failure_response.has_value())
+    root.set("failure_response",
+             json::Value(controller::to_string(*message.failure_response)));
   if (message.max_in_flight.has_value())
     root.set("max_in_flight",
              json::Value(static_cast<std::int64_t>(*message.max_in_flight)));
@@ -414,6 +435,10 @@ void apply_controller_overrides(const RestUpdateMessage& message,
     config.batch_window = sim::from_ms(*message.batch_window_ms);
   if (message.batch_bytes.has_value())
     config.batch_bytes = *message.batch_bytes;
+  if (message.liveness_timeout_ms.has_value())
+    config.liveness_timeout = sim::from_ms(*message.liveness_timeout_ms);
+  if (message.failure_response.has_value())
+    config.failure_response = *message.failure_response;
 }
 
 }  // namespace tsu::rest

@@ -62,6 +62,11 @@ struct RestUpdateMessage {
   // with how many worker threads (0 = auto); see sim/sharded.hpp.
   std::optional<sim::ExecMode> exec;
   std::optional<std::size_t> threads;
+  // Fault-tolerance knobs (controller/controller.hpp): liveness detection
+  // timeout (0 disables the whole fault path) and what a timed-out update
+  // does (wait-and-retry or roll back).
+  std::optional<double> liveness_timeout_ms;
+  std::optional<controller::FailureResponse> failure_response;
 };
 
 // Parses the JSON request body. Unknown body keys are rejected; "add",
@@ -78,8 +83,9 @@ Result<update::Instance> to_instance(const RestUpdateMessage& message,
 
 // Applies the message's optional controller knobs (admission policy and
 // release granularity, max_in_flight, the batching knobs batch_frames /
-// batch_mode / batch_window_ms / batch_bytes, and the sharding knobs
-// shards / partition / exec / threads) onto a controller configuration.
+// batch_mode / batch_window_ms / batch_bytes, the sharding knobs
+// shards / partition / exec / threads, and the fault-tolerance knobs
+// liveness_timeout_ms / failure_response) onto a controller configuration.
 void apply_controller_overrides(const RestUpdateMessage& message,
                                 controller::ControllerConfig& config);
 

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <iterator>
 
+#include "tsu/proto/apply.hpp"
 #include "tsu/util/log.hpp"
 
 namespace tsu::switchsim {
 
 void SimSwitch::receive(const proto::Message& message) {
+  if (!up_) {
+    // The process is dead; the frame reached a closed port. Counting, not
+    // queueing: the controller's liveness timeout owns the recovery.
+    ++frames_dropped_;
+    return;
+  }
   if (message.type() == proto::MsgType::kBatch) {
     // Unpack atomically: the contained messages enter the FIFO in order, so
     // a FlowMod-then-Barrier sequence keeps its fencing semantics while the
@@ -40,9 +47,12 @@ void SimSwitch::start_next() {
 
   // kLocal: a switch only touches its own tables and its own channel, all
   // of which live on this switch's shard (see sim/event_queue.hpp).
+  // The captured epoch fences this completion across a crash: if the
+  // process dies before the install lands, the event no-ops.
   sim_.schedule(
       processing,
-      [this, message = std::move(message)]() {
+      [this, message = std::move(message), epoch = epoch_]() {
+        if (epoch != epoch_) return;
         complete(message);
         busy_ = false;
         start_next();
@@ -141,22 +151,41 @@ void SimSwitch::flush_replies() {
 void SimSwitch::apply_flow_mod(const proto::FlowMod& mod) {
   // Mods mutate the table named in the message, so updates admitted as
   // non-conflicting on the table dimension really touch disjoint state.
-  flow::FlowTable& target = table(mod.table);
-  switch (mod.command) {
-    case proto::FlowModCommand::kAdd:
-      target.add(flow::FlowRule{mod.match, mod.action, mod.priority,
-                                mod.cookie});
-      break;
-    case proto::FlowModCommand::kModify:
-      target.modify(mod.match, mod.priority, mod.action, mod.cookie);
-      break;
-    case proto::FlowModCommand::kDelete:
-      target.remove(mod.match);
-      break;
-    case proto::FlowModCommand::kDeleteStrict:
-      target.remove_strict(mod.match, mod.priority);
-      break;
+  // Shared semantics with the controller's shadow tables (proto/apply.hpp):
+  // crash resync reconstructs exactly what this would have built.
+  proto::apply_flow_mod(tables_, mod);
+}
+
+void SimSwitch::crash(bool lose_state) {
+  ++crashes_;
+  ++epoch_;  // orphan any in-flight completion event
+  up_ = false;
+  serving_ = false;
+  busy_ = false;
+  frames_dropped_ += inbox_.size();
+  inbox_.clear();
+  reply_outbox_.clear();
+  if (reply_flush_scheduled_) {
+    reply_flush_scheduled_ = false;
+    sim_.cancel(reply_flush_event_);
   }
+  if (lose_state) tables_.clear();
+}
+
+void SimSwitch::restart() {
+  up_ = true;
+  announce();
+}
+
+void SimSwitch::announce() {
+  if (!up_) return;  // a dead process can't greet a revived link
+  // A fresh session's handshake frame. Straight onto the channel: the
+  // reply outbox belongs to the previous session's batching discipline.
+  // The xid carries the handshake's state bit (stand-in for the
+  // features/stats exchange of a real reconnect): nonzero means the
+  // tables survived, so the controller can resync just the uncertain keys.
+  if (to_controller_ != nullptr)
+    to_controller_(proto::make_hello(tables_.empty() ? 0 : 1));
 }
 
 }  // namespace tsu::switchsim

@@ -89,6 +89,29 @@ class SimSwitch {
   // True when no message is being processed and the inbox is empty.
   bool quiescent() const noexcept { return !busy_ && inbox_.empty(); }
 
+  // --- fault injection (sim/faults.hpp; inert unless driven) -----------
+  // The switch process dies: control messages in the inbox are lost, the
+  // in-flight install (if any) never completes (its completion event is
+  // epoch-fenced below), and with `lose_state` the flow tables are wiped -
+  // the cold-reboot variant. serving() goes false either way: a rebooting
+  // switch forwards nothing until the controller's resync clears it
+  // (fail-secure; a retained-TCAM switch serving stale rules before resync
+  // could silently violate the very properties under test).
+  void crash(bool lose_state);
+  // The process is back: opens a fresh control session by sending Hello
+  // towards the controller (bypassing reply batching - there is no session
+  // to batch into yet). serving() stays false until resync completes.
+  void restart();
+  // A link-only outage healed: same fresh-session Hello, but the data
+  // plane never stopped (serving() untouched).
+  void announce();
+  bool up() const noexcept { return up_; }
+  bool serving() const noexcept { return serving_; }
+  void set_serving(bool serving) noexcept { serving_ = serving; }
+  std::size_t crashes() const noexcept { return crashes_; }
+  // Control frames dropped because they arrived while the switch was down.
+  std::size_t frames_dropped() const noexcept { return frames_dropped_; }
+
   std::size_t flow_mods_applied() const noexcept { return flow_mods_applied_; }
   std::size_t barriers_replied() const noexcept { return barriers_replied_; }
   std::size_t batches_received() const noexcept { return batches_received_; }
@@ -130,6 +153,15 @@ class SimSwitch {
   std::map<std::uint8_t, flow::FlowTable> tables_;
   std::deque<proto::Message> inbox_;
   bool busy_ = false;
+
+  // Fault state. `epoch_` fences in-flight completion events across a
+  // crash: a completion scheduled before the crash sees a stale epoch and
+  // becomes a no-op (the install died with the process).
+  bool up_ = true;
+  bool serving_ = true;
+  std::uint64_t epoch_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t frames_dropped_ = 0;
 
   // Reply outbox (batch_replies): same-instant replies awaiting the
   // zero-delay flush, whose event is re-armed per completion so it always

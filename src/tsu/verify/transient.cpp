@@ -1,0 +1,96 @@
+#include "tsu/verify/transient.hpp"
+
+#include <sstream>
+
+namespace tsu::verify {
+
+namespace {
+
+// One fault kind present anywhere in the schedule?
+bool schedule_has(const sim::FaultSchedule& schedule, sim::FaultKind kind) {
+  for (const sim::FaultEvent& e : schedule.events())
+    if (e.kind == kind) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string TransientCheckReport::to_string() const {
+  if (ok) return "transient check: ok";
+  std::ostringstream out;
+  out << "transient check: " << issues.size() << " issue(s)";
+  for (const std::string& issue : issues) out << "\n  - " << issue;
+  return out.str();
+}
+
+TransientCheckReport check_fault_trace(const sim::FaultSchedule& schedule,
+                                       const sim::FaultStats& stats,
+                                       const dataplane::MonitorReport& traffic,
+                                       std::size_t requests_submitted,
+                                       std::size_t requests_completed) {
+  TransientCheckReport report;
+  const auto fail = [&report](std::string issue) {
+    report.ok = false;
+    report.issues.push_back(std::move(issue));
+  };
+
+  // Consistency must hold through every fault, recovery and rollback: the
+  // monitor saw each packet's full walk, so any transient hole shows up
+  // here as a concrete outcome count.
+  if (traffic.bypassed != 0)
+    fail(std::to_string(traffic.bypassed) +
+         " packet(s) bypassed their waypoint during the fault trace");
+  if (traffic.looped != 0)
+    fail(std::to_string(traffic.looped) +
+         " packet(s) looped during the fault trace");
+  if (traffic.blackholed != 0)
+    fail(std::to_string(traffic.blackholed) +
+         " packet(s) blackholed at an in-service switch (committed flows "
+         "must keep forwarding between fault and recovery)");
+
+  // Liveness: faults may delay updates, never strand them.
+  if (requests_completed != requests_submitted)
+    fail("only " + std::to_string(requests_completed) + " of " +
+         std::to_string(requests_submitted) +
+         " submitted request(s) reached a terminal state");
+
+  // Recovery accounting must line up with what was injected. A crash or a
+  // link flap tears down the control session, so each forces a reconnect
+  // resync; with no session-loss fault at all, no resync (and no rollback,
+  // which only a liveness timeout can start) may fire.
+  const bool session_loss =
+      schedule_has(schedule, sim::FaultKind::kSwitchCrash) ||
+      schedule_has(schedule, sim::FaultKind::kLinkDown);
+  const std::size_t sessions_lost = stats.crashes + stats.link_downs;
+  // At least one resync must have completed (a faulted switch's LAST
+  // reconnect always resyncs to completion). Counts need not match one to
+  // one: a second fault on the same switch abandons the in-flight resync,
+  // and a link flap during a crash produces no hello of its own.
+  if (session_loss && stats.resyncs == 0)
+    fail("no resync completed despite " + std::to_string(sessions_lost) +
+         " lost session(s)");
+  if (!schedule.empty() && stats.crashes + stats.link_downs +
+                                   stats.blackholes !=
+                               schedule.size())
+    fail("injected " + std::to_string(stats.crashes + stats.link_downs +
+                                      stats.blackholes) +
+         " fault(s) but the schedule holds " +
+         std::to_string(schedule.size()));
+  if (schedule.empty() && stats.any())
+    fail("fault machinery engaged on an empty schedule");
+  if (!session_loss && stats.resyncs != 0)
+    fail("resync without a session-loss fault");
+  if (schedule.empty() && stats.rollbacks != 0)
+    fail("rollback without any fault");
+  // Every clocked recovery belongs to a lost session, and every lost
+  // session that was clocked recovered after the fault began.
+  if (stats.recovery_ms.size() > sessions_lost)
+    fail("more recoveries clocked than sessions lost");
+  for (const double ms : stats.recovery_ms)
+    if (ms <= 0)
+      fail("non-positive recovery time clocked");
+
+  return report;
+}
+
+}  // namespace tsu::verify

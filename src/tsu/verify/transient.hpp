@@ -1,0 +1,54 @@
+// Transient safety oracle for fault traces.
+//
+// The model checker (checker.hpp) proves a SCHEDULE safe against install
+// asynchrony; this layer judges an EXECUTED run that had faults injected
+// (sim/faults.hpp). The executed trace carries its own evidence: the
+// consistency monitor classified every packet walked between the first
+// fault and the last recovery, and the engine refuses to drain while any
+// update is unfinished. A fault trace passes when, across the whole run:
+//
+//   - no packet bypassed its waypoint, looped, or blackholed at an
+//     in-service switch (transient consistency held through crash,
+//     resync, retry and rollback alike);
+//   - every submitted request reached a terminal state (completed, or
+//     recorded as aborted after a rollback without resubmission) - faults
+//     stalled nothing forever;
+//   - recovery machinery engaged iff faults could require it (a crash or
+//     link flap forces a resync; resyncs and rollbacks never fire without
+//     a fault to cause them).
+//
+// Packets dropped at a switch taken down by fault injection
+// (PacketOutcome::kFaultDropped) are OUTAGE, not inconsistency: a real
+// network loses frames at a dead device too, and no update protocol can
+// prevent it. The oracle reports them separately and does not fail on
+// them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tsu/dataplane/monitor.hpp"
+#include "tsu/sim/faults.hpp"
+
+namespace tsu::verify {
+
+struct TransientCheckReport {
+  bool ok = true;
+  std::vector<std::string> issues;  // human-readable, one per failure
+
+  std::string to_string() const;
+};
+
+// Judges one executed fault trace: `schedule` is what was injected,
+// `stats` what the engine observed (core/executor.hpp fills it),
+// `traffic` the aggregated monitor report over every flow, and
+// `requests_submitted` / `requests_completed` the request accounting
+// (completed includes aborted-after-rollback records).
+TransientCheckReport check_fault_trace(const sim::FaultSchedule& schedule,
+                                       const sim::FaultStats& stats,
+                                       const dataplane::MonitorReport& traffic,
+                                       std::size_t requests_submitted,
+                                       std::size_t requests_completed);
+
+}  // namespace tsu::verify

@@ -1,12 +1,18 @@
 // Failure injection: the guarantees must survive degraded control
 // channels - loss (surfacing as TCP retransmit delays), heavy-tailed
-// installs, pathological jitter - and the executor must degrade loudly,
-// not silently, on misuse.
+// installs, pathological jitter - and hard faults from the fault-injection
+// subsystem (sim/faults.hpp): switch crashes before and after the round
+// ack, cold-reboot vs retained-TCAM reconnects, control-link outages,
+// frame blackholes, double faults, and rollback. The executor must degrade
+// loudly, not silently, on misuse.
 #include <gtest/gtest.h>
 
 #include "tsu/core/executor.hpp"
 #include "tsu/core/planner.hpp"
+#include "tsu/sim/faults.hpp"
 #include "tsu/topo/instances.hpp"
+#include "tsu/verify/transient.hpp"
+#include "multiflow_workload.hpp"
 
 namespace tsu::core {
 namespace {
@@ -130,6 +136,237 @@ TEST(FailureInjectionTest, RetransmissionsAreCounted) {
   // Frames were still all delivered (the update completed); the loss shows
   // up as latency, mirroring TCP under the OpenFlow session.
   EXPECT_GT(result.value().frames_sent, 0u);
+}
+
+// ------------------------------------------------------------------ hard
+// faults: the fault-injection subsystem against one Peacock-planned flow
+// (old 0->1->2->3, new 0->4->5->3) with stretched rounds, so every fault
+// lands at a controlled point of the update. Each scenario must converge
+// to the never-faulted forwarding state (or, for rollback, the pre-update
+// state) with the transient oracle silent.
+
+ExecutorConfig hard_fault_config() {
+  ExecutorConfig config;
+  config.channel.latency =
+      sim::LatencyModel::constant(sim::microseconds(100));
+  config.switch_config.install_latency =
+      sim::LatencyModel::constant(sim::microseconds(50));
+  config.traffic_interarrival =
+      sim::LatencyModel::constant(sim::milliseconds(1));
+  config.link_latency = sim::LatencyModel::constant(sim::microseconds(20));
+  config.warmup = sim::milliseconds(2);    // requests submitted at 2 ms
+  config.drain = sim::milliseconds(10);
+  config.interval = sim::milliseconds(1);  // stretch the rounds apart
+  config.controller.liveness_timeout = sim::milliseconds(3);
+  return config;
+}
+
+sim::FaultEvent crash_event(double at_ms, NodeId node, double down_ms,
+                            bool lose_state) {
+  sim::FaultEvent event;
+  event.kind = sim::FaultKind::kSwitchCrash;
+  event.at = sim::from_ms(at_ms);
+  event.node = node;
+  event.down_for = sim::from_ms(down_ms);
+  event.lose_state = lose_state;
+  return event;
+}
+
+// Runs the single-flow workload and fails the test on engine error or any
+// transient-oracle violation; returns the result for scenario asserts.
+MultiFlowExecutionResult run_hard_fault(const testutil::Workload& w,
+                                        const ExecutorConfig& config) {
+  const Result<MultiFlowExecutionResult> run =
+      execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+  EXPECT_TRUE(run.ok()) << (run.ok() ? "" : run.error().to_string());
+  if (!run.ok()) return {};
+  const verify::TransientCheckReport report = verify::check_fault_trace(
+      config.faults, run.value().faults, run.value().aggregate,
+      w.instances.size(), run.value().flows.size());
+  EXPECT_TRUE(report.ok) << report.to_string();
+  return run.value();
+}
+
+TEST(FailureInjectionTest, CrashBeforeAckReplaysTheLostRound) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  // 2.05 ms: round 1's FlowMod to the new-path switch is still in flight,
+  // so the crash eats it unacknowledged.
+  config.faults.add(crash_event(2.05, 4, 2, /*lose_state=*/true));
+  const MultiFlowExecutionResult faulted = run_hard_fault(w, config);
+
+  EXPECT_EQ(faulted.final_state_digest, baseline.final_state_digest);
+  EXPECT_EQ(faulted.initial_state_digest, baseline.initial_state_digest);
+  EXPECT_EQ(faulted.faults.crashes, 1u);
+  EXPECT_GE(faulted.faults.resyncs, 1u);
+  EXPECT_GE(faulted.faults.frames_lost, 1u);
+  ASSERT_EQ(faulted.faults.recovery_ms.size(), 1u);
+  EXPECT_GE(faulted.faults.recovery_ms[0], 2.0);  // >= the down window
+}
+
+TEST(FailureInjectionTest, CrashAfterAckResyncsTheWipedTables) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  // 3.0 ms: round 1 is acknowledged; the cold reboot wipes the installed
+  // rule, so only the reconnect resync can restore it.
+  config.faults.add(crash_event(3.0, 4, 1.5, /*lose_state=*/true));
+  const MultiFlowExecutionResult faulted = run_hard_fault(w, config);
+
+  EXPECT_EQ(faulted.final_state_digest, baseline.final_state_digest);
+  EXPECT_EQ(faulted.faults.crashes, 1u);
+  EXPECT_GE(faulted.faults.resyncs, 1u);
+  EXPECT_GE(faulted.faults.resync_frames, 1u);  // the wiped rule came back
+}
+
+TEST(FailureInjectionTest, ReconnectResyncDigestEqualsNeverCrashedDigest) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  ExecutorConfig cold = config;
+  cold.faults.add(crash_event(3.0, 4, 1.5, /*lose_state=*/true));
+  const MultiFlowExecutionResult cold_run = run_hard_fault(w, cold);
+
+  ExecutorConfig warm = config;
+  warm.faults.add(crash_event(3.0, 4, 1.5, /*lose_state=*/false));
+  const MultiFlowExecutionResult warm_run = run_hard_fault(w, warm);
+
+  EXPECT_EQ(cold_run.final_state_digest, baseline.final_state_digest);
+  EXPECT_EQ(warm_run.final_state_digest, baseline.final_state_digest);
+  // The retained-TCAM reconnect only corrects rules whose install was
+  // unfenced at crash time; the cold reboot replays the full image.
+  EXPECT_LE(warm_run.faults.resync_frames, cold_run.faults.resync_frames);
+  EXPECT_GE(warm_run.faults.resyncs, 1u);
+}
+
+TEST(FailureInjectionTest, CrashMidRoundIsDrivenToCompletion) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  // 3.6 ms: around the ingress-flip round at node 0 - whichever side of
+  // the ack the crash lands on, the update must converge to the same
+  // forwarding state through resync and replay.
+  config.faults.add(crash_event(3.6, 0, 2, /*lose_state=*/false));
+  const MultiFlowExecutionResult faulted = run_hard_fault(w, config);
+
+  EXPECT_EQ(faulted.final_state_digest, baseline.final_state_digest);
+  EXPECT_EQ(faulted.faults.crashes, 1u);
+  EXPECT_GE(faulted.faults.resyncs + faulted.faults.retries, 1u);
+}
+
+TEST(FailureInjectionTest, RollbackLeavesPreUpdateForwardingState) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  config.controller.failure_response = controller::FailureResponse::kRollback;
+  config.controller.resubmit_after_rollback = false;
+
+  // The crash outlives the liveness timeout, so the controller declares
+  // the switch dead mid-update and unwinds the rounds already sent.
+  config.faults.add(crash_event(2.05, 4, 6, /*lose_state=*/true));
+  const MultiFlowExecutionResult result = run_hard_fault(w, config);
+
+  EXPECT_EQ(result.faults.rollbacks, 1u);
+  EXPECT_EQ(result.faults.resubmissions, 0u);
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_TRUE(result.flows[0].update.aborted);
+  // The inverse FlowMods restored exactly the pre-update forwarding state.
+  EXPECT_EQ(result.final_state_digest, result.initial_state_digest);
+}
+
+TEST(FailureInjectionTest, RolledBackUpdateResubmitsAndFinishes) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  config.controller.failure_response = controller::FailureResponse::kRollback;
+  config.controller.resubmit_after_rollback = true;  // the default
+  config.faults.add(crash_event(2.05, 4, 6, /*lose_state=*/true));
+  const MultiFlowExecutionResult result = run_hard_fault(w, config);
+
+  EXPECT_GE(result.faults.rollbacks, 1u);
+  EXPECT_GE(result.faults.resubmissions, 1u);
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_FALSE(result.flows[0].update.aborted);
+  // The resubmitted update finished: the new path is installed after all.
+  EXPECT_EQ(result.final_state_digest, baseline.final_state_digest);
+}
+
+TEST(FailureInjectionTest, DoubleFaultOnSameSwitchStillConverges) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  // The second crash lands while the first reconnect's resync is still in
+  // flight, forcing the controller to abandon and redo it.
+  config.faults.add(crash_event(2.05, 4, 1, /*lose_state=*/true));
+  config.faults.add(crash_event(3.2, 4, 1, /*lose_state=*/true));
+  const MultiFlowExecutionResult faulted = run_hard_fault(w, config);
+
+  EXPECT_EQ(faulted.final_state_digest, baseline.final_state_digest);
+  EXPECT_EQ(faulted.faults.crashes, 2u);
+  EXPECT_GE(faulted.faults.resyncs, 1u);
+}
+
+TEST(FailureInjectionTest, LinkFailureMidUpdateHealsWithoutCrash) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  sim::FaultEvent outage;
+  outage.kind = sim::FaultKind::kLinkDown;
+  outage.at = sim::from_ms(2.05);  // round 1's frames are in flight
+  outage.node = 4;
+  outage.down_for = sim::milliseconds(2);
+  config.faults.add(outage);
+  const MultiFlowExecutionResult faulted = run_hard_fault(w, config);
+
+  EXPECT_EQ(faulted.final_state_digest, baseline.final_state_digest);
+  EXPECT_EQ(faulted.faults.crashes, 0u);
+  EXPECT_EQ(faulted.faults.link_downs, 1u);
+  EXPECT_GE(faulted.faults.resyncs, 1u);
+  // The switch never stopped forwarding: a dark control channel is not an
+  // outage for the data plane.
+  EXPECT_EQ(faulted.aggregate.fault_dropped, 0u);
+}
+
+TEST(FailureInjectionTest, BlackholeRecoversViaTimeoutAndRetry) {
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  const MultiFlowExecutionResult baseline = run_hard_fault(w, config);
+
+  sim::FaultEvent hole;
+  hole.kind = sim::FaultKind::kBlackhole;
+  hole.at = sim::from_ms(1.9);  // armed just before round 1 is sent
+  hole.node = 4;
+  hole.frames = 2;  // eats the FlowMod and the barrier
+  config.faults.add(hole);
+  const MultiFlowExecutionResult faulted = run_hard_fault(w, config);
+
+  EXPECT_EQ(faulted.final_state_digest, baseline.final_state_digest);
+  // Silent frame loss never tears the session down: recovery must come
+  // from the liveness timeout and a per-switch retry, not a resync.
+  EXPECT_EQ(faulted.faults.crashes, 0u);
+  EXPECT_EQ(faulted.faults.resyncs, 0u);
+  EXPECT_GE(faulted.faults.timeouts, 1u);
+  EXPECT_GE(faulted.faults.retries, 1u);
+  EXPECT_EQ(faulted.faults.frames_lost, 2u);
+}
+
+TEST(FailureInjectionTest, NonEmptyScheduleDefaultsLivenessDetection) {
+  // A fault schedule with fault tolerance left unconfigured must not hang
+  // the run: the executor arms the default liveness timeout.
+  const testutil::Workload w = testutil::disjoint_workload(1);
+  ExecutorConfig config = hard_fault_config();
+  config.controller.liveness_timeout = 0;
+  config.faults.add(crash_event(2.05, 4, 1, /*lose_state=*/true));
+  const MultiFlowExecutionResult result = run_hard_fault(w, config);
+  EXPECT_EQ(result.faults.crashes, 1u);
+  EXPECT_GE(result.faults.resyncs, 1u);
 }
 
 }  // namespace

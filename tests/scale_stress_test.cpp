@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "tsu/core/executor.hpp"
+#include "tsu/sim/faults.hpp"
 #include "tsu/topo/instances.hpp"
 #include "tsu/update/schedulers.hpp"
+#include "tsu/verify/transient.hpp"
 
 namespace tsu::core {
 namespace {
@@ -23,10 +25,16 @@ namespace {
 #ifdef TSU_STRESS_SLIM
 constexpr std::size_t kFlows = 100;
 constexpr std::size_t kSwitches = 32;   // 5 blocks of 6: 20 flows/block
+constexpr std::size_t kChaosSeeds = 50;
+constexpr std::size_t kChaosFlows = 20;
+constexpr std::size_t kChaosSwitches = 18;
 #else
 constexpr std::size_t kFlows = 1000;
 constexpr std::size_t kSwitches = 210;  // 35 blocks of 6: ~29 flows/block
 constexpr double kWallClockBudgetSeconds = 60.0;
+constexpr std::size_t kChaosSeeds = 500;
+constexpr std::size_t kChaosFlows = 40;
+constexpr std::size_t kChaosSwitches = 36;
 #endif
 
 // Fast control plane so even the fully serialized run stays within the
@@ -214,6 +222,170 @@ TEST(ScaleStressTest, ShardedFourWayMatchesSingleController) {
           .count();
   EXPECT_LT(wall_seconds, kWallClockBudgetSeconds)
       << "sharded stress run blew its wall-clock budget";
+#endif
+}
+
+// ----------------------------------------------------------------- chaos
+// Random fault schedules against the concurrent engine, with the transient
+// safety oracle (verify/transient.hpp) judging every executed trace.
+
+ExecutorConfig chaos_config() {
+  ExecutorConfig config = stress_config(controller::AdmissionPolicy::kBlind);
+  config.controller.batch_mode = controller::BatchMode::kOff;
+  config.traffic_interarrival =
+      sim::LatencyModel::constant(sim::milliseconds(2));
+  config.drain = sim::milliseconds(6);
+  config.controller.liveness_timeout = sim::milliseconds(2);
+  return config;
+}
+
+sim::ChaosOptions chaos_options(std::size_t switches) {
+  sim::ChaosOptions options;
+  options.node_count = switches;
+  options.start_ms = 1.5;  // the update window opens at warmup = 2 ms
+  options.horizon_ms = 10;
+  options.crashes = 2;
+  options.link_downs = 1;
+  options.blackholes = 1;
+  options.min_down_ms = 0.5;
+  options.max_down_ms = 2.5;
+  return options;
+}
+
+TEST(ScaleStressTest, ChaosSweepFindsNoTransientViolations) {
+  // Hundreds of seeded random fault schedules - crashes with and without
+  // state loss, control-link flaps, frame blackholes - against the
+  // concurrent engine, alternating wait-retry and rollback recovery. Every
+  // trace must drain with the oracle silent, and recovery keeps the
+  // makespan bounded. Any failure prints the schedule's JSON: replay it
+  // with `sim_cli --faults`.
+  const topo::PlannedPoolWorkload w =
+      topo::planned_pool_workload(kChaosFlows, kChaosSwitches).value();
+
+  const Result<MultiFlowExecutionResult> clean = execute_multiflow(
+      w.instance_ptrs, w.schedule_ptrs, chaos_config());
+  ASSERT_TRUE(clean.ok()) << clean.error().to_string();
+  const sim::Duration clean_makespan = clean.value().makespan;
+
+  std::size_t resyncs = 0, rollbacks = 0, retries = 0;
+  for (std::size_t seed = 1; seed <= kChaosSeeds; ++seed) {
+    ExecutorConfig config = chaos_config();
+    config.faults =
+        sim::FaultSchedule::random(seed, chaos_options(kChaosSwitches));
+    config.controller.failure_response =
+        seed % 2 == 0 ? controller::FailureResponse::kRollback
+                      : controller::FailureResponse::kWait;
+    const std::string replay = json::write(config.faults.to_json());
+
+    const Result<MultiFlowExecutionResult> run =
+        execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+    ASSERT_TRUE(run.ok())
+        << "seed " << seed << ": " << run.error().to_string()
+        << "\nreplay: " << replay;
+    const MultiFlowExecutionResult& result = run.value();
+
+    const verify::TransientCheckReport report = verify::check_fault_trace(
+        config.faults, result.faults, result.aggregate, kChaosFlows,
+        result.flows.size());
+    ASSERT_TRUE(report.ok)
+        << "seed " << seed << ": " << report.to_string()
+        << "\nreplay: " << replay;
+
+    // Faults cost recovery time, never livelock: the makespan stays within
+    // a fixed envelope of the fault-free run.
+    EXPECT_LE(result.makespan, clean_makespan + sim::milliseconds(150))
+        << "seed " << seed << " makespan blew up\nreplay: " << replay;
+
+    resyncs += result.faults.resyncs;
+    rollbacks += result.faults.rollbacks;
+    retries += result.faults.retries;
+  }
+  // The sweep really exercised the recovery machinery, all three arms.
+  EXPECT_GT(resyncs, kChaosSeeds);  // >= 1 per seed: 3 session losses each
+  EXPECT_GT(rollbacks, 0u);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST(ScaleStressTest, ChaosAtFullScaleStaysConsistent) {
+  // A few random fault schedules against the full pool, single controller
+  // and the 4-shard sequential-vs-parallel pair. The sharded runs must
+  // stay bit-identical to each other under faults, and every trace passes
+  // the oracle.
+  const auto wall_start = std::chrono::steady_clock::now();
+  const topo::PlannedPoolWorkload w =
+      topo::planned_pool_workload(kFlows, kSwitches).value();
+
+  // The pool builds blocks of 6 switches, so only the largest multiple of
+  // 6 exists as fault targets (kSwitches = 32 in the slim variant leaves
+  // nodes 30..31 unbuilt).
+  sim::ChaosOptions options = chaos_options(kSwitches - kSwitches % 6);
+  options.crashes = 3;
+  options.link_downs = 2;
+  options.blackholes = 2;
+
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    ExecutorConfig config = chaos_config();
+    // The liveness timeout must clear the *loaded* round RTT: with every
+    // flow in flight a block switch serializes ~29 flows' installs per
+    // round (~3 ms), so the sweep's 2 ms timeout would mark healthy
+    // switches dead and storm retries. 25 ms is comfortably above worst
+    // case while still catching real blackholes within the drain.
+    config.controller.liveness_timeout = sim::milliseconds(25);
+    config.faults = sim::FaultSchedule::random(seed, options);
+    const std::string replay = json::write(config.faults.to_json());
+
+    const Result<MultiFlowExecutionResult> single =
+        execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+    ASSERT_TRUE(single.ok())
+        << single.error().to_string() << "\nreplay: " << replay;
+    const verify::TransientCheckReport report = verify::check_fault_trace(
+        config.faults, single.value().faults, single.value().aggregate,
+        kFlows, single.value().flows.size());
+    ASSERT_TRUE(report.ok) << report.to_string() << "\nreplay: " << replay;
+
+    config.controller.shards = 4;
+    const Result<MultiFlowExecutionResult> sharded =
+        execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+    ASSERT_TRUE(sharded.ok())
+        << sharded.error().to_string() << "\nreplay: " << replay;
+    const verify::TransientCheckReport sharded_report =
+        verify::check_fault_trace(config.faults, sharded.value().faults,
+                                  sharded.value().aggregate, kFlows,
+                                  sharded.value().flows.size());
+    ASSERT_TRUE(sharded_report.ok)
+        << sharded_report.to_string() << "\nreplay: " << replay;
+
+    // Fault recovery converges to the same forwarding state sharded or
+    // not, and the parallel stepper stays bit-identical under faults.
+    EXPECT_EQ(sharded.value().final_state_digest,
+              single.value().final_state_digest)
+        << "seed " << seed << "\nreplay: " << replay;
+    config.controller.exec = sim::ExecMode::kParallel;
+    config.controller.threads = 4;
+    const Result<MultiFlowExecutionResult> parallel =
+        execute_multiflow(w.instance_ptrs, w.schedule_ptrs, config);
+    ASSERT_TRUE(parallel.ok())
+        << parallel.error().to_string() << "\nreplay: " << replay;
+    EXPECT_EQ(parallel.value().final_state_digest,
+              sharded.value().final_state_digest)
+        << "seed " << seed << "\nreplay: " << replay;
+    EXPECT_EQ(parallel.value().frames_sent, sharded.value().frames_sent);
+    EXPECT_EQ(parallel.value().makespan, sharded.value().makespan);
+    EXPECT_EQ(parallel.value().faults.resyncs,
+              sharded.value().faults.resyncs);
+    EXPECT_EQ(parallel.value().faults.resync_frames,
+              sharded.value().faults.resync_frames);
+  }
+
+#ifdef TSU_STRESS_SLIM
+  (void)wall_start;
+#else
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  EXPECT_LT(wall_seconds, kWallClockBudgetSeconds)
+      << "full-scale chaos run blew its wall-clock budget";
 #endif
 }
 
