@@ -19,6 +19,7 @@
 // the frames-vs-latency trade-off is tracked per PR. With --json FILE, the
 // admission-policy and batching sections additionally write their numbers
 // as a JSON document (consumed by the CI stress job).
+#include <chrono>
 #include <fstream>
 #include <string_view>
 
@@ -26,7 +27,9 @@
 
 #include "tsu/json/json.hpp"
 #include "tsu/sim/faults.hpp"
+#include "tsu/sim/sharded.hpp"
 #include "tsu/sim/thread_pool.hpp"
+#include "tsu/util/alloc_hooks.hpp"
 #include "tsu/topo/instances.hpp"
 #include "tsu/update/optimizer.hpp"
 #include "tsu/update/schedulers.hpp"
@@ -64,6 +67,104 @@ std::vector<update::Instance> make_policies(Rng& rng, std::size_t k,
         std::move(update::Instance::make(old_path, new_path)).value());
   }
   return policies;
+}
+
+// Self-perpetuating shard-local work for the parallel-epoch hotpath
+// measurement: one event chain per shard keeps every shard eligible, so
+// run_parallel dispatches epochs through the worker pool the whole run.
+struct Ticker {
+  sim::Simulator* shard = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t fired = 0;
+
+  void tick() {
+    ++fired;
+    if (remaining == 0) return;
+    --remaining;
+    shard->schedule(7, [this]() { tick(); }, sim::EventScope::kLocal);
+  }
+};
+
+// A packet-like hand-off bouncing between two shards through the SPSC
+// mailbox rings.
+struct Bouncer {
+  sim::ShardedSim* group = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t bounces = 0;
+
+  void bounce(std::size_t at) {
+    ++bounces;
+    if (remaining == 0) return;
+    --remaining;
+    const std::size_t to = 1 - at;
+    group->post(to, at, group->shard(at).now() + 10,
+                [this, to]() { bounce(to); });
+  }
+};
+
+// Steady-state cost of a parallel epoch: two shards of self-perpetuating
+// local chains plus a cross-shard bounce stream through the SPSC rings,
+// warmed once (pool lanes, epoch scratch, event arenas, ring first-touch)
+// and then measured - wall ns/event and allocations in the window. The
+// *_steady_allocs figure is expected to be zero (the hard gate is
+// tests/hotpath_alloc_test.cpp; the JSON baseline keeps CI honest).
+json::Object hotpath_bench() {
+  constexpr std::uint64_t kTicks = 200000;    // per shard
+  constexpr std::uint64_t kBounces = 20000;   // cross-shard ring posts
+  sim::ShardedSim group(2);
+  sim::ThreadPool thread_pool(2);
+  const sim::Duration lookahead = 10;  // lower-bounds the bounce post delay
+
+  Ticker tickers[2] = {{&group.shard(0), kTicks}, {&group.shard(1), kTicks}};
+  Bouncer bouncer{&group, kBounces};
+  const auto kick = [&]() {
+    group.schedule_on(0, 5, [&]() { tickers[0].tick(); },
+                      sim::EventScope::kLocal);
+    group.schedule_on(1, 5, [&]() { tickers[1].tick(); },
+                      sim::EventScope::kLocal);
+    group.schedule_on(0, 5, [&]() { bouncer.bounce(0); },
+                      sim::EventScope::kLocal);
+  };
+  kick();
+  group.run_parallel(thread_pool, lookahead);  // warmup run pays first-touch
+
+  tickers[0].remaining = kTicks;
+  tickers[1].remaining = kTicks;
+  bouncer.remaining = kBounces;
+  kick();
+  const std::uint64_t events = 2 * kTicks + kBounces + 3;
+  const std::uint64_t before = alloc_hooks::allocations();
+  const auto start = std::chrono::steady_clock::now();
+  group.run_parallel(thread_pool, lookahead);
+  const auto stop = std::chrono::steady_clock::now();
+  const std::uint64_t steady_allocs = alloc_hooks::allocations() - before;
+  const double ns_per_event =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              stop - start)
+                              .count()) /
+      static_cast<double>(events);
+
+  std::printf("\nparallel-epoch hotpath (2 shards, %llu local events + %llu "
+              "ring posts):\n  %s ns/event, %llu allocations in the "
+              "measurement window\n",
+              static_cast<unsigned long long>(2 * kTicks),
+              static_cast<unsigned long long>(kBounces),
+              bench::fmt(ns_per_event).c_str(),
+              static_cast<unsigned long long>(steady_allocs));
+  if (group.overflow_posts() != 0)
+    std::fprintf(stderr, "bounce stream overflowed the SPSC rings - the "
+                         "measurement includes mutex fallbacks\n");
+
+  json::Object hotpath;
+  json::Object entry;
+  entry.set("events", json::Value(static_cast<std::int64_t>(events)));
+  entry.set("ns_per_event", json::Value(ns_per_event));
+  entry.set("steady_allocs",
+            json::Value(static_cast<std::int64_t>(steady_allocs)));
+  entry.set("ring_overflows",
+            json::Value(static_cast<std::int64_t>(group.overflow_posts())));
+  hotpath.set("parallel_epoch", json::Value(std::move(entry)));
+  return hotpath;
 }
 
 // Returns false if the admission section could not produce all its rows.
@@ -491,9 +592,12 @@ bool run(const char* json_path) {
       config.controller.partition = topo::PartitionScheme::kGreedyCut;
       config.controller.exec = exec;
       config.controller.threads = shards;
+      const std::uint64_t allocs_before = alloc_hooks::allocations();
       const Result<core::MultiFlowExecutionResult> run =
           core::execute_multiflow(batch_pool.instance_ptrs,
                                   batch_pool.schedule_ptrs, config);
+      const std::uint64_t run_allocs =
+          alloc_hooks::allocations() - allocs_before;
       if (!run.ok()) {
         std::fprintf(stderr, "parallel bench failed for %zu shards %s: %s\n",
                      shards, sim::to_string(exec),
@@ -545,6 +649,12 @@ bool run(const char* json_path) {
       entry.set("makespan_ms", json::Value(result.makespan_ms()));
       entry.set("packets", json::Value(static_cast<std::int64_t>(
                                result.aggregate.total)));
+      // Whole-run allocation count (setup + warmup + steady state): the
+      // per-PR trajectory of how much the run touches the allocator. The
+      // hard zero-allocation gate lives in the hotpath section below -
+      // this figure is informational.
+      entry.set("allocations",
+                json::Value(static_cast<std::int64_t>(run_allocs)));
       parallel_json.push_back(json::Value(std::move(entry)));
     }
   }
@@ -680,6 +790,8 @@ bool run(const char* json_path) {
   }
   bench::print_table(fault_table);
 
+  json::Object hotpath = hotpath_bench();
+
   if (json_path != nullptr) {
     json::Object doc;
     doc.set("bench",
@@ -689,6 +801,7 @@ bool run(const char* json_path) {
     doc.set("sharding", json::Value(std::move(sharding_json)));
     doc.set("parallel", json::Value(std::move(parallel_json)));
     doc.set("faults", json::Value(std::move(faults_json)));
+    doc.set("hotpath", json::Value(std::move(hotpath)));
     std::ofstream out(json_path);
     out << json::write(json::Value(std::move(doc))) << "\n";
     std::printf("admission+batching+sharding JSON written to %s\n",

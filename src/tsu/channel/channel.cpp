@@ -42,7 +42,9 @@ void ControlChannel::send(const proto::Message& message) {
   }
 
   // Round-trip through the codec: what arrives is what survives the wire.
-  const std::vector<std::byte> frame = proto::encode(message);
+  // Encode into a pooled buffer - no allocation once the pool is warm.
+  std::vector<std::byte> frame = acquire_frame();
+  proto::encode_into(message, frame);
   ++frames_sent_;
   bytes_sent_ += frame.size();
   messages_sent_ += message.type() == proto::MsgType::kBatch
@@ -64,16 +66,20 @@ void ControlChannel::send(const proto::Message& message) {
 
   sim_.schedule_at(
       deliver_at,
-      [this, frame = std::move(frame), epoch = epoch_]() {
+      [this, frame = std::move(frame), epoch = epoch_]() mutable {
         if (epoch != epoch_) {
           // The link went down while this frame was in flight: lost with
           // the session (fault injection; epochs never move otherwise).
           ++frames_dropped_;
+          release_frame(std::move(frame));
           return;
         }
         Result<proto::Message> decoded = proto::decode(frame);
         TSU_ASSERT_MSG(decoded.ok(), "channel produced an undecodable frame");
         receiver_(decoded.value());
+        // The decoded Message owns every byte it keeps (Echo copies its
+        // payload), so the wire buffer can be recycled immediately.
+        release_frame(std::move(frame));
       },
       delivery_scope_);
 }

@@ -10,10 +10,14 @@
 //
 // Frames are round-tripped through the binary codec on every send, so the
 // wire format is exercised by every simulation, not just by codec tests.
+// Frame buffers are pooled: a send encodes into a recycled vector (capacity
+// retained) and the delivery event returns it to the pool, so steady-state
+// traffic allocates nothing once buffers hit their high-water size.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "tsu/proto/codec.hpp"
 #include "tsu/proto/messages.hpp"
@@ -81,6 +85,19 @@ class ControlChannel {
   std::size_t messages_sent() const noexcept { return messages_sent_; }
 
  private:
+  // Frame-buffer pool. acquire hands out a cleared vector that keeps its
+  // high-water capacity; release returns it after delivery (or epoch drop).
+  std::vector<std::byte> acquire_frame() {
+    if (frame_pool_.empty()) return {};
+    std::vector<std::byte> frame = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+    return frame;
+  }
+  void release_frame(std::vector<std::byte>&& frame) {
+    frame.clear();
+    frame_pool_.push_back(std::move(frame));
+  }
+
   sim::Simulator& sim_;
   ChannelConfig config_;
   Rng rng_;
@@ -101,6 +118,8 @@ class ControlChannel {
   std::size_t bytes_sent_ = 0;
   std::size_t retransmissions_ = 0;
   std::size_t messages_sent_ = 0;
+
+  std::vector<std::vector<std::byte>> frame_pool_;
 };
 
 // The duplex controller<->switch connection.

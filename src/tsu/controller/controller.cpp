@@ -317,7 +317,8 @@ void Controller::flush_switch(NodeId node, FlushTrigger trigger) {
     case FlushTrigger::kBudget: ++budget_flushes_; break;
   }
 
-  std::vector<OutboxEntry> entries;
+  flush_scratch_.clear();
+  std::vector<OutboxEntry>& entries = flush_scratch_;
   entries.swap(box.entries);
   box.bytes = 0;
   const sim::SimTime now = sim_.now();
@@ -346,7 +347,9 @@ void Controller::flush_switch(NodeId node, FlushTrigger trigger) {
         chunk.push_back(std::move(entries[i].message));
       messages_coalesced_ += chunk.size();
       ++batches_sent_;
-      send(proto::make_batch(next_xid(), std::move(chunk)));
+      const Xid xid = next_xid();
+      send(proto::make_batch(xid, std::move(chunk)));
+      retire_xid(xid);  // nothing routes on batch xids
     }
     begin = end;
   }
@@ -362,7 +365,9 @@ void Controller::flush_all(FlushTrigger trigger) {
 void Controller::send_round_ops(ActiveUpdate& active,
                                 const std::vector<RoundOp>& ops) {
   for (const RoundOp& op : ops) {
-    send_to_switch(op.node, proto::make_flow_mod(next_xid(), op.mod));
+    const Xid xid = next_xid();
+    send_to_switch(op.node, proto::make_flow_mod(xid, op.mod));
+    retire_xid(xid);  // nothing routes on FlowMod xids
     ++active.metrics.flow_mods_sent;
     ++active.metrics.rounds.back().flow_mods;
   }
@@ -461,6 +466,10 @@ void Controller::on_message(NodeId from, const proto::Message& message) {
       }
       const UpdateId id = it->second.first;
       waiting_.erase(it);
+      // Clean completion: kill the now-moot liveness timer (releasing its
+      // closure eagerly) and recycle the xid.
+      disarm_liveness(message.xid);
+      retire_xid(message.xid);
       const auto update_it = active_.find(id);
       TSU_ASSERT_MSG(update_it != active_.end(),
                      "barrier reply for a finished update");
@@ -613,11 +622,13 @@ void Controller::fence_barrier(NodeId node, Xid xid) {
 void Controller::arm_liveness(Xid xid) {
   // kShared: a timeout can retry, roll back or resync, all of which reach
   // beyond this shard's switches through the coordinator-facing state.
-  sim_.schedule(config_.liveness_timeout,
-                [this, xid]() { on_liveness_timeout(xid); });
+  liveness_timers_[xid] =
+      sim_.schedule(config_.liveness_timeout,
+                    [this, xid]() { on_liveness_timeout(xid); });
 }
 
 void Controller::on_liveness_timeout(Xid xid) {
+  liveness_timers_.erase(xid);  // this very timer just fired
   // A resync barrier timed out: the switch died again (or the pushes were
   // eaten) mid-resync. Start over, conservatively assuming no state.
   const auto resync_it = resync_waiting_.find(xid);
@@ -657,6 +668,10 @@ void Controller::retry_update_switch(UpdateId id, NodeId node) {
   for (auto w = waiting_.begin(); w != waiting_.end();) {
     if (w->second.first == id && w->second.second == node) {
       barrier_seq_.erase(w->first);
+      // Timer cancelled, but the xid is NOT recycled: the switch may yet
+      // answer the stale barrier, and that late reply must stay routable
+      // to nothing.
+      disarm_liveness(w->first);
       w = waiting_.erase(w);
       outstanding = true;
     } else {
@@ -674,8 +689,11 @@ void Controller::retry_update_switch(UpdateId id, NodeId node) {
       std::min(update.next_round, update.request.rounds.size());
   for (std::size_t r = 0; r < sent; ++r)
     for (const RoundOp& op : update.request.rounds[r])
-      if (op.node == node)
-        send_to_switch(node, proto::make_flow_mod(next_xid(), op.mod));
+      if (op.node == node) {
+        const Xid mod_xid = next_xid();
+        send_to_switch(node, proto::make_flow_mod(mod_xid, op.mod));
+        retire_xid(mod_xid);
+      }
   const Xid xid = next_xid();
   waiting_.emplace(xid, std::make_pair(id, node));
   send_to_switch(node, proto::make_barrier_request(xid));
@@ -688,6 +706,7 @@ void Controller::handle_reconnect(NodeId from, bool has_state) {
   for (auto it = resync_waiting_.begin(); it != resync_waiting_.end();) {
     if (it->second == from) {
       barrier_seq_.erase(it->first);
+      disarm_liveness(it->first);  // abandoned: cancel timer, keep the xid
       it = resync_waiting_.erase(it);
     } else {
       ++it;
@@ -710,7 +729,9 @@ void Controller::handle_reconnect(NodeId from, bool has_state) {
         mod.cookie = rule.cookie;
         mod.match = rule.match;
         mod.action = rule.action;
-        send_to_switch(from, proto::make_flow_mod(next_xid(), mod));
+        const Xid mod_xid = next_xid();
+        send_to_switch(from, proto::make_flow_mod(mod_xid, mod));
+        retire_xid(mod_xid);
         ++mods;
       }
     }
@@ -759,7 +780,9 @@ void Controller::handle_reconnect(NodeId from, bool has_state) {
       } else {
         mod.command = proto::FlowModCommand::kDeleteStrict;
       }
-      send_to_switch(from, proto::make_flow_mod(next_xid(), mod));
+      const Xid mod_xid = next_xid();
+      send_to_switch(from, proto::make_flow_mod(mod_xid, mod));
+      retire_xid(mod_xid);
       ++mods;
     }
   }
@@ -775,6 +798,10 @@ void Controller::handle_reconnect(NodeId from, bool has_state) {
 
 void Controller::finish_resync(NodeId node, Xid xid) {
   resync_waiting_.erase(xid);
+  // Clean, reply-confirmed completion: safe to cancel the timer and
+  // recycle (unlike abandoned resyncs, whose replies may still arrive).
+  disarm_liveness(xid);
+  retire_xid(xid);
   full_resync_.erase(node);
   ++resyncs_;
   if (on_switch_resynced_) on_switch_resynced_(node);
@@ -799,6 +826,7 @@ void Controller::begin_rollback(UpdateId id) {
   for (auto w = waiting_.begin(); w != waiting_.end();) {
     if (w->second.first == id) {
       barrier_seq_.erase(w->first);
+      disarm_liveness(w->first);  // rolled back: cancel timer, keep the xid
       w = waiting_.erase(w);
     } else {
       ++w;

@@ -445,13 +445,57 @@ class Controller {
                                      : config_.liveness_timeout;
   }
 
+  // Xid lifecycle. The 24-bit per-shard sequence used to hard-abort on
+  // wrap, which killed long soaks. Instead, retired sequence numbers are
+  // recycled: fresh numbers come from the counter until it exhausts, then
+  // from the free list of provably dead xids. An xid is retired ONLY when
+  // no stale traffic can still route on it:
+  //   - FlowMod/Batch xids: immediately after send - nothing ever keys on
+  //     them (replies route by barrier xid; errors only log).
+  //   - Barrier/resync xids: on clean reply processing, after their
+  //     liveness timer is cancelled.
+  //   - Timed-out, retried, rolled-back or abandoned-resync xids: NEVER -
+  //     the switch may still emit the late reply, which must keep hitting
+  //     the "late barrier" path instead of a recycled xid's new owner.
+  //     (Leaks are bounded by the timeout count.)
+  // Pre-wrap, every emitted xid is identical to the pre-recycling engine's,
+  // so existing digests are unaffected.
   Xid next_xid() noexcept {
-    // Fail fast on 24-bit sequence wrap: a reused masked xid could route a
-    // stale barrier reply into the wrong update's round.
-    TSU_ASSERT_MSG((xid_counter_ & ~proto::kXidSeqMask) == 0,
-                   "per-shard xid sequence exhausted");
-    return proto::make_shard_xid(shard_id_, xid_counter_++);
+    if ((xid_counter_ & ~proto::kXidSeqMask) == 0)
+      return proto::make_shard_xid(shard_id_, xid_counter_++);
+    TSU_ASSERT_MSG(!free_xid_seqs_.empty(),
+                   "per-shard xid sequence exhausted with no retired xids: "
+                   ">2^24 concurrently live xids");
+    const Xid seq = free_xid_seqs_.back();
+    free_xid_seqs_.pop_back();
+    return proto::make_shard_xid(shard_id_, seq);
   }
+  void retire_xid(Xid xid) {
+    // The cap only bounds pool memory on huge pre-wrap runs; recycling
+    // keeps the pool topped up regardless.
+    if (free_xid_seqs_.size() < kMaxFreeXids)
+      free_xid_seqs_.push_back(xid & proto::kXidSeqMask);
+  }
+  // Cancels the pending liveness timer of a cleanly completed barrier so
+  // (a) the dead closure is released now and (b) the xid can be recycled
+  // without the stale timer firing on its next owner.
+  void disarm_liveness(Xid xid) {
+    const auto it = liveness_timers_.find(xid);
+    if (it == liveness_timers_.end()) return;
+    sim_.cancel(it->second);
+    liveness_timers_.erase(it);
+  }
+
+ public:
+  // Test hook: jump the 24-bit sequence to its end (minus `remaining`
+  // fresh values) so tests can exercise wrap recycling in bounded time.
+  void exhaust_xid_space_for_test(std::uint32_t remaining = 0) noexcept {
+    xid_counter_ = proto::kXidSeqMask + 1 - remaining;
+  }
+  std::size_t retired_xids() const noexcept { return free_xid_seqs_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxFreeXids = 1u << 20;
 
   sim::Simulator& sim_;
   ControllerConfig config_;
@@ -472,6 +516,11 @@ class Controller {
   // Coordinated sub-requests live (pending or active) on this shard.
   std::unordered_map<std::uint64_t, UpdateId> coordinated_ids_;
   Xid xid_counter_ = 1;
+  // Retired 24-bit sequence numbers available for reuse (see next_xid).
+  std::vector<Xid> free_xid_seqs_;
+  // Pending liveness timer per outstanding barrier xid, so clean
+  // completions can cancel instead of leaving a stale timer to no-op.
+  std::unordered_map<Xid, sim::EventId> liveness_timers_;
   UpdateId update_counter_ = 1;
   std::size_t max_in_flight_observed_ = 0;
   std::size_t messages_coalesced_ = 0;
@@ -502,6 +551,9 @@ class Controller {
   // construction). Ordered map so flush-all order is deterministic.
   BatchMode batch_mode_ = BatchMode::kOff;
   std::map<NodeId, Outbox> outbox_;
+  // Reused flush staging buffer: capacities circulate between it and the
+  // outboxes, so steady-state flushes stop allocating at high-water size.
+  std::vector<OutboxEntry> flush_scratch_;
   bool flush_scheduled_ = false;  // kInstant: one zero-delay flush-all event
 
   // --- fault tolerance (all empty and untouched when disabled) ----------

@@ -55,7 +55,7 @@ void TrafficSource::inject() {
   live.packet.src_host = config_.ingress;
   live.packet.dst_host = config_.egress;
   live.packet.ttl = config_.ttl;
-  live.visited.assign(switches_.size(), false);
+  live.visited.reset(switches_.size());
   ++injected_;
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   hop(std::move(live), config_.ingress);
@@ -103,11 +103,11 @@ void TrafficSource::hop(LivePacket live, NodeId at) {
   }
 
   // Forwarding.
-  if (live.visited[at]) {
+  if (live.visited.test(at)) {
     finish(live, PacketOutcome::kLooped, here.now());
     return;
   }
-  live.visited[at] = true;
+  live.visited.set(at);
   if (--live.packet.ttl <= 0) {
     finish(live, PacketOutcome::kTtlExpired, here.now());
     return;
@@ -121,20 +121,21 @@ void TrafficSource::hop(LivePacket live, NodeId at) {
   const sim::Duration latency = config_.link_latency.sample(live.rng);
   const std::size_t here_shard = shard_of(at);
   const std::size_t next_shard = shard_of(next);
+  auto next_hop = [this, live = std::move(live), next]() mutable {
+    hop(std::move(live), next);
+  };
+  // The hop closure is THE hot-path event: it must stay within the event
+  // fabric's inline buffer or every forwarded packet allocates again.
+  static_assert(sim::EventFn::fits_inline<decltype(next_hop)>(),
+                "hop closure outgrew the inline event buffer");
   if (group_ == nullptr || next_shard == here_shard) {
     // kLocal: the hop reads only `next`'s tables, owned by this shard.
-    here.schedule(latency,
-                  [this, live = std::move(live), next]() mutable {
-                    hop(std::move(live), next);
-                  },
-                  sim::EventScope::kLocal);
+    here.schedule(latency, std::move(next_hop), sim::EventScope::kLocal);
   } else {
     // Cross-shard hand-off: into the owner's mailbox, never into its
     // queue mid-step (see sim/sharded.hpp).
     group_->post(next_shard, here_shard, here.now() + latency,
-                 [this, live = std::move(live), next]() mutable {
-                   hop(std::move(live), next);
-                 });
+                 std::move(next_hop));
   }
 }
 

@@ -16,7 +16,9 @@
 // keeps parallel runs bit-identical to sequential ones.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -78,9 +80,43 @@ class TrafficSource {
   void set_stop(sim::SimTime stop) noexcept { config_.stop = stop; }
 
  private:
+  // Loop-detection bitmap sized by switch count. Topologies up to
+  // kInlineBits switches (every current experiment) live entirely inline,
+  // so a LivePacket - and the hop closure carrying it - needs no heap at
+  // all; larger topologies fall back to one vector per packet.
+  class VisitedSet {
+   public:
+    static constexpr std::size_t kInlineBits = 512;
+
+    void reset(std::size_t size) {
+      if (size > kInlineBits) {
+        overflow_.assign((size + 63) / 64, 0);
+      } else {
+        overflow_.clear();
+        bits_.fill(0);
+      }
+    }
+    bool test(std::size_t i) const noexcept {
+      return (words()[i >> 6] >> (i & 63) & 1) != 0;
+    }
+    void set(std::size_t i) noexcept {
+      words()[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+
+   private:
+    const std::uint64_t* words() const noexcept {
+      return overflow_.empty() ? bits_.data() : overflow_.data();
+    }
+    std::uint64_t* words() noexcept {
+      return overflow_.empty() ? bits_.data() : overflow_.data();
+    }
+    std::array<std::uint64_t, kInlineBits / 64> bits_{};
+    std::vector<std::uint64_t> overflow_;
+  };
+
   struct LivePacket {
     flow::Packet packet;
-    std::vector<bool> visited;
+    VisitedSet visited;
     bool crossed_waypoint = false;
     // Per-packet latency stream (see the file comment).
     Rng rng;

@@ -7,6 +7,20 @@ void Writer::u16(std::uint16_t v) {
   u8(static_cast<std::uint8_t>(v));
 }
 
+void Writer::bytes(std::span<const std::byte> data) {
+  buf_->insert(buf_->end(), data.begin(), data.end());
+}
+
+void Writer::zeros(std::size_t count) {
+  buf_->insert(buf_->end(), count, std::byte{0});
+}
+
+void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
+  TSU_ASSERT(offset + 2 <= buf_->size());
+  (*buf_)[offset] = static_cast<std::byte>(v >> 8);
+  (*buf_)[offset + 1] = static_cast<std::byte>(v & 0xff);
+}
+
 void Writer::u32(std::uint32_t v) {
   u16(static_cast<std::uint16_t>(v >> 16));
   u16(static_cast<std::uint16_t>(v));
@@ -15,20 +29,6 @@ void Writer::u32(std::uint32_t v) {
 void Writer::u64(std::uint64_t v) {
   u32(static_cast<std::uint32_t>(v >> 32));
   u32(static_cast<std::uint32_t>(v));
-}
-
-void Writer::bytes(std::span<const std::byte> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
-}
-
-void Writer::zeros(std::size_t count) {
-  buf_.insert(buf_.end(), count, std::byte{0});
-}
-
-void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
-  TSU_ASSERT(offset + 2 <= buf_.size());
-  buf_[offset] = static_cast<std::byte>(v >> 8);
-  buf_[offset + 1] = static_cast<std::byte>(v & 0xff);
 }
 
 Error Reader::underflow(std::size_t want) const {
@@ -75,13 +75,17 @@ Status Reader::skip(std::size_t count) {
   return Status::ok_status();
 }
 
-Result<std::vector<std::byte>> Reader::bytes(std::size_t count) {
+Result<std::span<const std::byte>> Reader::bytes(std::size_t count) {
   if (remaining() < count) return underflow(count);
-  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                             data_.begin() +
-                                 static_cast<std::ptrdiff_t>(pos_ + count));
+  const std::span<const std::byte> view = data_.subspan(pos_, count);
   pos_ += count;
-  return out;
+  return view;
+}
+
+Result<std::vector<std::byte>> Reader::bytes_copy(std::size_t count) {
+  const Result<std::span<const std::byte>> view = bytes(count);
+  if (!view.ok()) return view.error();
+  return std::vector<std::byte>(view.value().begin(), view.value().end());
 }
 
 }  // namespace tsu::proto

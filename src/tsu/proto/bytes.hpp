@@ -1,4 +1,15 @@
 // Bounds-checked binary readers/writers (big-endian, like OpenFlow).
+//
+// Writer either OWNS its buffer (default constructor - handy in tests and
+// one-shot encodes) or BORROWS a caller-provided vector, appending in
+// place. The borrowed form is the hot-path mode: the channel keeps a pool
+// of frame buffers and re-encodes into them, so steady-state encoding
+// never allocates once buffers reach their high-water capacity.
+//
+// Reader::bytes returns a VIEW into the underlying buffer - valid only as
+// long as the buffer outlives it. Callers that retain the bytes past the
+// buffer's lifetime use bytes_copy, which is the old copying behaviour
+// under an explicit name.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +23,16 @@ namespace tsu::proto {
 
 class Writer {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  // Owning mode: writes into an internal vector.
+  Writer() noexcept : buf_(&own_) {}
+  // Borrowed mode: appends to `out` (not cleared - the caller controls
+  // reuse). `out` must outlive the Writer.
+  explicit Writer(std::vector<std::byte>& out) noexcept : buf_(&out) {}
+  // buf_ points into *this in owning mode, so the type must stay put.
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v) { buf_->push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -22,12 +42,13 @@ class Writer {
   // Patches a previously written big-endian u16 at `offset`.
   void patch_u16(std::size_t offset, std::uint16_t v);
 
-  std::size_t size() const noexcept { return buf_.size(); }
-  const std::vector<std::byte>& data() const noexcept { return buf_; }
-  std::vector<std::byte> take() && { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_->size(); }
+  const std::vector<std::byte>& data() const noexcept { return *buf_; }
+  std::vector<std::byte> take() && { return std::move(*buf_); }
 
  private:
-  std::vector<std::byte> buf_;
+  std::vector<std::byte> own_;
+  std::vector<std::byte>* buf_;
 };
 
 class Reader {
@@ -43,7 +64,10 @@ class Reader {
   Result<std::uint32_t> u32();
   Result<std::uint64_t> u64();
   Status skip(std::size_t count);
-  Result<std::vector<std::byte>> bytes(std::size_t count);
+  // Zero-copy view into the reader's buffer; invalidated with the buffer.
+  Result<std::span<const std::byte>> bytes(std::size_t count);
+  // Owning copy, for callers that keep the bytes past the buffer's life.
+  Result<std::vector<std::byte>> bytes_copy(std::size_t count);
 
  private:
   Error underflow(std::size_t want) const;

@@ -73,6 +73,12 @@ Result<flow::Action> decode_action(Reader& r) {
                       port.value()};
 }
 
+// Appends one complete self-delimiting frame (header + body) to `w` at its
+// current position. Batch elements recurse through this with the SAME
+// writer, so a nested frame is laid down in place instead of round-tripping
+// through a per-element temporary vector.
+void encode_frame(Writer& w, const Message& message);
+
 struct BodyEncoder {
   Writer& w;
 
@@ -109,13 +115,26 @@ struct BodyEncoder {
   void operator()(const Batch& batch) const {
     TSU_ASSERT_MSG(batch.messages.size() <= 0xffff, "batch too large");
     w.u16(static_cast<std::uint16_t>(batch.messages.size()));
-    // Each element is a full self-delimiting frame.
+    // Each element is a full self-delimiting frame, encoded in place.
     for (const Message& m : batch.messages) {
       TSU_ASSERT_MSG(m.type() != MsgType::kBatch, "batch inside batch");
-      w.bytes(encode(m));
+      encode_frame(w, m);
     }
   }
 };
+
+void encode_frame(Writer& w, const Message& message) {
+  const std::size_t start = w.size();
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(message.type()));
+  const std::size_t length_offset = w.size();
+  w.u16(0);  // patched below
+  w.u32(message.xid);
+  std::visit(BodyEncoder{w}, message.body);
+  const std::size_t frame_size = w.size() - start;
+  TSU_ASSERT_MSG(frame_size <= kMaxFrame, "frame exceeds 64 KiB");
+  w.patch_u16(length_offset, static_cast<std::uint16_t>(frame_size));
+}
 
 // `depth` guards batch nesting: a kBatch body at depth > 0 is rejected
 // BEFORE its elements are decoded, so adversarial deeply-nested batch
@@ -133,7 +152,7 @@ Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size,
       if (!code.ok()) return code.error();
       const Result<std::uint16_t> len = r.u16();
       if (!len.ok()) return len.error();
-      Result<std::vector<std::byte>> raw = r.bytes(len.value());
+      const Result<std::span<const std::byte>> raw = r.bytes(len.value());
       if (!raw.ok()) return raw.error();
       std::string text(raw.value().size(), '\0');
       for (std::size_t i = 0; i < raw.value().size(); ++i)
@@ -142,7 +161,8 @@ Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size,
     }
     case MsgType::kEchoRequest:
     case MsgType::kEchoReply: {
-      Result<std::vector<std::byte>> payload = r.bytes(body_size);
+      // Echo's Message owns its payload past the frame buffer: copy.
+      Result<std::vector<std::byte>> payload = r.bytes_copy(body_size);
       if (!payload.ok()) return payload.error();
       return Body{Echo{type == MsgType::kEchoReply,
                        std::move(payload).value()}};
@@ -209,7 +229,9 @@ Result<Body> decode_body(MsgType type, Reader& r, std::size_t body_size,
         return make_error(Errc::kParseError, "batch inside batch");
       const Result<std::uint16_t> count = r.u16();
       if (!count.ok()) return count.error();
-      Result<std::vector<std::byte>> raw = r.bytes(r.remaining());
+      // Zero-copy: the element frames decode straight out of the batch
+      // body's view; nothing retains the span past this call.
+      const Result<std::span<const std::byte>> raw = r.bytes(r.remaining());
       if (!raw.ok()) return raw.error();
       // Elements are ordinary self-delimiting frames: reuse the streaming
       // decoder, then insist the declared count consumed the body exactly.
@@ -288,15 +310,14 @@ Result<DecodeStreamResult> decode_stream_impl(std::span<const std::byte> data,
 
 std::vector<std::byte> encode(const Message& message) {
   Writer w;
-  w.u8(kProtocolVersion);
-  w.u8(static_cast<std::uint8_t>(message.type()));
-  const std::size_t length_offset = w.size();
-  w.u16(0);  // patched below
-  w.u32(message.xid);
-  std::visit(BodyEncoder{w}, message.body);
-  TSU_ASSERT_MSG(w.size() <= kMaxFrame, "frame exceeds 64 KiB");
-  w.patch_u16(length_offset, static_cast<std::uint16_t>(w.size()));
+  encode_frame(w, message);
   return std::move(w).take();
+}
+
+void encode_into(const Message& message, std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(out);
+  encode_frame(w, message);
 }
 
 namespace {

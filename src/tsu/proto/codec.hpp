@@ -20,6 +20,11 @@ namespace tsu::proto {
 
 std::vector<std::byte> encode(const Message& message);
 
+// Zero-allocation variant: appends the encoded frame to `out` (cleared
+// first). Re-using one scratch vector across calls amortizes the buffer to
+// its high-water capacity - the channel's frame pool is built on this.
+void encode_into(const Message& message, std::vector<std::byte>& out);
+
 // Encoded frame size in bytes, computed from the message layout without
 // encoding (allocation-free). The controller's outbox uses this to account
 // its per-switch byte budget against real wire bytes; a codec test pins it

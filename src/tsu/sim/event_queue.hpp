@@ -2,6 +2,16 @@
 // seq) where seq is a monotonically increasing tie-breaker, so simultaneous
 // events fire in scheduling order and runs are fully deterministic.
 //
+// STORAGE. Events live in a pooled slot arena: a vector of fixed slots
+// recycled through a free list, each holding the closure in a
+// small-buffer-optimized InlineFn. Steady state performs ZERO heap
+// allocations per event - push reuses a retired slot (and the heap vectors'
+// high-water capacity), pop returns it. An EventId encodes (generation,
+// slot); a bumped generation invalidates every outstanding reference to a
+// retired incarnation, which is what makes lazily cancelled heap entries
+// detectable in O(1) without a lookup table. The allocation-regression
+// test (tests/hotpath_alloc_test.cpp) pins the zero-allocation property.
+//
 // Two orthogonal labels support the parallel sharded engine (sharded.hpp):
 //
 //   scope  kLocal events are guaranteed by their scheduler to touch only
@@ -20,24 +30,26 @@
 //          was drained - which is what keeps sequential and parallel drains
 //          bit-identical.
 //
-// Cancellation is lazy - the slot stays in the heap and is skimmed off when
-// it reaches the top - but the heap compacts itself (a rebuild from the
-// live pending set) whenever cancelled entries outnumber live ones past a
-// threshold, so heavy cancel churn (retransmit timers that almost always
-// get cancelled) cannot grow the heap without bound.
+// Cancellation is lazy for the HEAP ENTRY only - the slot's closure (and
+// everything it owns: frames, packets, request state) is destroyed
+// EAGERLY in cancel(), and the slot returns to the free list immediately.
+// The dead heap entry is skimmed off when it reaches the top, and the heap
+// compacts itself IN PLACE (dead entries erased, then re-heapified over
+// the retained capacity - no allocation) whenever cancelled entries
+// outnumber live ones past a threshold, so heavy cancel churn (retransmit
+// timers that almost always get cancelled) cannot grow the heap without
+// bound.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "tsu/sim/inline_fn.hpp"
 #include "tsu/sim/time.hpp"
 
 namespace tsu::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 using EventId = std::uint64_t;
 
 // See the file comment. kShared is the default: only call sites that can
@@ -52,8 +64,10 @@ class EventQueue {
   EventId push(SimTime at, EventFn fn, EventScope scope = EventScope::kShared,
                Band band = Band::kNative);
 
-  // Cancels a pending event (lazy: the slot stays in the heap but fires as
-  // a no-op). Returns false if the event already fired or was cancelled.
+  // Cancels a pending event. The closure is released eagerly (its captured
+  // resources die NOW, not when the dead heap slot surfaces); only the
+  // heap entry stays behind, skimmed lazily. Returns false if the event
+  // already fired or was cancelled.
   bool cancel(EventId id);
 
   bool empty() const noexcept;
@@ -83,37 +97,68 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
+    std::uint64_t seq;  // push order; the deterministic tie-breaker
+    std::uint32_t slot;
+    std::uint32_t gen;
     Band band;
-    EventId id;
     // min-heap: invert comparison. Equal times break remote-after-native,
     // then scheduling order.
     bool operator<(const Entry& other) const {
       if (time != other.time) return time > other.time;
       if (band != other.band) return band > other.band;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
 
-  struct Pending {
-    SimTime time;
-    EventScope scope;
-    Band band;
+  // One arena slot. `gen` advances when the incarnation retires (fire or
+  // cancel), so a heap Entry is live iff its gen still matches.
+  struct Slot {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
     EventFn fn;
+    std::uint32_t gen = 0;
+    EventScope scope = EventScope::kShared;
+    Band band = Band::kNative;
+    bool pending = false;
   };
 
-  // Rebuilds the heaps from pending_ when the cancelled fraction crosses
-  // the threshold. O(live) and amortized free: a rebuild only happens
-  // after at least as many cancels as live entries.
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  bool entry_live(const Entry& entry) const noexcept {
+    return slots_[entry.slot].gen == entry.gen;
+  }
+
+  // Returns the slot to the free list and invalidates outstanding ids and
+  // heap entries for this incarnation.
+  void retire(std::uint32_t slot) noexcept {
+    Slot& s = slots_[slot];
+    s.fn.reset();
+    s.pending = false;
+    ++s.gen;
+    free_.push_back(slot);
+  }
+
+  // Compacts the heaps in place (dead entries erased, then re-heapified)
+  // when the cancelled fraction crosses the threshold. O(heap), amortized
+  // free (a rebuild only happens after at least as many cancels as live
+  // entries), and allocation-free: both vectors keep their capacity.
   void maybe_compact();
 
-  std::priority_queue<Entry> heap_;
+  // Binary max-heaps on the inverted Entry comparison (std::push_heap /
+  // std::pop_heap over plain vectors, not std::priority_queue): raw
+  // vectors are what lets maybe_compact() work in place and the arena
+  // recycle capacity instead of reallocating.
+  std::vector<Entry> heap_;
   // Index of pending kShared events only, skimmed lazily like heap_; keeps
   // next_shared_time() O(log shared) instead of a scan.
-  std::priority_queue<Entry> shared_heap_;
-  // id -> (time, scope, band, handler); erased on fire/cancel.
-  std::unordered_map<EventId, Pending> pending_;
+  std::vector<Entry> shared_heap_;
 
-  EventId next_id_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
 

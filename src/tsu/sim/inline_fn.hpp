@@ -1,0 +1,137 @@
+// Small-buffer-optimized move-only callable: the event fabric's replacement
+// for std::function<void()>.
+//
+// std::function heap-allocates any closure larger than its ~16-byte SSO,
+// which made every scheduled event - channel deliveries carrying a frame,
+// switch completions carrying a Message, data-plane hops carrying a
+// LivePacket - a malloc/free pair on the hottest loop of the simulator.
+// InlineFn stores closures up to kInlineSize bytes in place (sized for the
+// largest hot-path closure, the traffic hop; a static_assert at each hot
+// call site would catch drift) and only falls back to the heap for the
+// oversized cold-path captures of the harness/executor layer.
+//
+// Unlike std::function it is move-only, so closures may own move-only
+// resources (pooled frame buffers, arena handles) without shared_ptr
+// boxing. The dispatch table is three free-function pointers (invoke /
+// relocate / destroy) per closure type - no virtual bases, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tsu::sim {
+
+class InlineFn {
+ public:
+  // Sized so the data-plane hop closure (LivePacket with its inline visited
+  // bitmap + Rng) and the channel delivery closure (pooled frame vector +
+  // link epoch) both fit without a heap fallback.
+  static constexpr std::size_t kInlineSize = 184;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(implicit)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(implicit)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = ops_inline<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = ops_heap<D>();
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Destroys the held closure (and everything it owns) immediately. The
+  // lazy-cancel event queue calls this from cancel() so a dead slot never
+  // pins frames or request state until it surfaces at the heap top.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the closure lives in the inline buffer (no heap allocation).
+  // Observability for the allocation-regression tests.
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  template <typename F>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct into dst from src, then destroy src's closure.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static const Ops* ops_inline() noexcept {
+    static constexpr Ops ops{
+        [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+        [](void* dst, void* src) noexcept {
+          D* from = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+        true};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* ops_heap() noexcept {
+    static constexpr Ops ops{
+        [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); },
+        false};
+    return &ops;
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) std::byte buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tsu::sim

@@ -23,31 +23,51 @@ void ShardedSim::post(std::size_t target, std::size_t poster, SimTime at,
   post.seq = post_seq_[poster]++;  // poster-owned slot: no lock needed
   post.scope = scope;
   post.fn = std::move(fn);
-  Mailbox& box = mailboxes_[target];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  box.posts.push_back(std::move(post));
+  PairBox& box = pair_box(target, poster);
+  // Mid-epoch only the worker stepping `poster` reaches this ring, and the
+  // merging thread drains it after the pool join: a true SPSC pairing.
+  if (box.ring.try_push(std::move(post))) return;
+  // Ring full: spill to the locked overflow path. Correctness is
+  // unaffected (the drain merges both sources before sorting); only this
+  // burst pays for a lock.
+  overflow_posts_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(box.overflow_mutex);
+    box.overflow.push_back(std::move(post));
+  }
+  box.has_overflow.store(true, std::memory_order_release);
 }
 
 void ShardedSim::drain_mailbox(std::size_t target) {
-  Mailbox& box = mailboxes_[target];
-  // Sync point: workers are quiescent, the lock is uncontended.
-  std::vector<Post> posts;
-  {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    posts.swap(box.posts);
+  // Sync point: workers are quiescent (pool joined), so every ring pop and
+  // overflow read here is safely ordered after the epoch's pushes.
+  drain_scratch_.clear();
+  for (std::size_t poster = 0; poster < shards_.size(); ++poster) {
+    PairBox& box = pair_box(target, poster);
+    Post post;
+    while (box.ring.try_pop(post)) drain_scratch_.push_back(std::move(post));
+    if (box.has_overflow.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(box.overflow_mutex);
+      for (Post& spilled : box.overflow)
+        drain_scratch_.push_back(std::move(spilled));
+      box.overflow.clear();
+      box.has_overflow.store(false, std::memory_order_relaxed);
+    }
   }
-  if (posts.empty()) return;
+  if (drain_scratch_.empty()) return;
   // The sequential merger fires posting events in (post time, shard, seq)
   // order and schedules each hand-off on the spot; sorting a buffered
   // batch the same way reproduces its insertion order exactly.
-  std::sort(posts.begin(), posts.end(), [](const Post& a, const Post& b) {
-    if (a.at != b.at) return a.at < b.at;
-    if (a.posted_at != b.posted_at) return a.posted_at < b.posted_at;
-    if (a.poster != b.poster) return a.poster < b.poster;
-    return a.seq < b.seq;
-  });
-  for (Post& post : posts)
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const Post& a, const Post& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.posted_at != b.posted_at) return a.posted_at < b.posted_at;
+              if (a.poster != b.poster) return a.poster < b.poster;
+              return a.seq < b.seq;
+            });
+  for (Post& post : drain_scratch_)
     shards_[target]->push_remote(post.at, std::move(post.fn), post.scope);
+  drain_scratch_.clear();
 }
 
 bool ShardedSim::step_earliest(SimTime until) {
@@ -80,7 +100,20 @@ std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
                                      SimTime until) {
   const SimTime kMax = std::numeric_limits<SimTime>::max();
   std::size_t processed = 0;
-  std::vector<std::size_t> counts(shards_.size(), 0);
+  epoch_counts_.assign(shards_.size(), 0);
+  std::vector<std::size_t>& counts = epoch_counts_;
+  // The pool task is built ONCE: a single-reference capture keeps it inside
+  // std::function's small-object buffer, and mutating `ctx` per epoch
+  // avoids re-wrapping the lambda (one heap allocation per epoch
+  // otherwise - measurable on fine-grained workloads).
+  struct EpochCtx {
+    ShardedSim* self;
+    std::size_t* counts;
+    SimTime horizon;
+  } ctx{this, counts.data(), 0};
+  const std::function<void(std::size_t)> epoch_task = [&ctx](std::size_t i) {
+    ctx.counts[i] = ctx.self->shards_[i]->run_epoch(ctx.horizon);
+  };
   while (true) {
     SimTime earliest = kMax;
     SimTime shared_min = kMax;
@@ -127,9 +160,8 @@ std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
         }
     } else {
       buffering_ = true;
-      pool.parallel(shards_.size(), [&](std::size_t i) {
-        counts[i] = shards_[i]->run_epoch(horizon);
-      });
+      ctx.horizon = horizon;
+      pool.parallel(shards_.size(), epoch_task);
       buffering_ = false;
       for (std::size_t i = 0; i < shards_.size(); ++i) {
         events_[i] += counts[i];

@@ -28,15 +28,22 @@
 //
 // MAILBOXES. Shards never schedule into a foreign shard's queue mid-step.
 // A cross-shard hand-off (today: a data-plane packet hopping to a switch
-// owned by another shard) is posted into the target shard's mailbox -
-// mutex-guarded MPSC, one per shard - and drained at the next sync point
-// in a deterministic order: (delivery time, post time, posting shard,
-// per-shard post sequence). Drained entries enter the target queue in the
-// REMOTE band (event_queue.hpp), so their order against same-instant
-// native events is fixed by timestamps alone and the sequential merger -
-// which drains posts immediately - produces the identical schedule.
+// owned by another shard) is posted into a lock-free SPSC ring - one ring
+// per (poster, target) shard pair, so each ring has exactly one producer
+// (the worker stepping the posting shard) and one consumer (the merging
+// thread at the sync point). A full ring spills to a mutex-guarded
+// overflow vector, keeping bursts correct while the steady state never
+// takes a lock or allocates. At each sync point the target's rings and
+// overflow drain into a reusable scratch buffer, sorted into the same
+// deterministic order the sequential merger produces naturally: (delivery
+// time, post time, posting shard, per-shard post sequence). Drained
+// entries enter the target queue in the REMOTE band (event_queue.hpp), so
+// their order against same-instant native events is fixed by timestamps
+// alone and the sequential merger - which drains posts immediately -
+// produces the identical schedule.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -46,6 +53,7 @@
 
 #include "tsu/sim/exec_mode.hpp"
 #include "tsu/sim/simulator.hpp"
+#include "tsu/sim/spsc_ring.hpp"
 #include "tsu/sim/thread_pool.hpp"
 #include "tsu/sim/time.hpp"
 #include "tsu/util/assert.hpp"
@@ -59,7 +67,9 @@ class ShardedSim {
     shards_.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
       shards_.push_back(std::make_unique<Simulator>(&now_));
-    mailboxes_ = std::vector<Mailbox>(count);
+    pair_boxes_.reserve(count * count);
+    for (std::size_t i = 0; i < count * count; ++i)
+      pair_boxes_.push_back(std::make_unique<PairBox>());
     post_seq_.assign(count, 0);
     events_.assign(count, 0);
   }
@@ -124,6 +134,17 @@ class ShardedSim {
   const std::vector<std::size_t>& events_per_shard() const noexcept {
     return events_;
   }
+  // Posts that found their SPSC ring full and took the mutex-guarded
+  // overflow path. A persistently non-zero rate on a steady workload means
+  // kRingCapacity is undersized for it.
+  std::size_t overflow_posts() const noexcept {
+    return overflow_posts_.load(std::memory_order_relaxed);
+  }
+
+  // Ring depth per (poster, target) pair. Bursts beyond this spill to the
+  // overflow vector - correct but locked; sized so steady workloads never
+  // spill (the bench JSON tracks overflow_posts to keep this honest).
+  static constexpr std::size_t kRingCapacity = 128;
 
  private:
   struct Post {
@@ -134,10 +155,20 @@ class ShardedSim {
     EventScope scope = EventScope::kLocal;
     EventFn fn;
   };
-  struct Mailbox {
-    std::mutex mutex;
-    std::vector<Post> posts;
+  // The mailbox edge for one (poster, target) pair: a lock-free SPSC ring
+  // for the steady state, a mutex-guarded vector for overflow bursts.
+  // has_overflow lets the drain skip the lock entirely in the common case.
+  struct PairBox {
+    PairBox() : ring(kRingCapacity) {}
+    SpscRing<Post> ring;
+    std::mutex overflow_mutex;
+    std::vector<Post> overflow;
+    std::atomic<bool> has_overflow{false};
   };
+
+  PairBox& pair_box(std::size_t target, std::size_t poster) noexcept {
+    return *pair_boxes_[target * shards_.size() + poster];
+  }
 
   // One sequential merge step: fires the earliest event across shards
   // (ties to the lowest shard index). Returns false when nothing is
@@ -149,14 +180,23 @@ class ShardedSim {
   // unique_ptr: each shard's &now_ must stay valid, and Simulator is
   // intentionally non-copyable.
   std::vector<std::unique_ptr<Simulator>> shards_;
-  std::vector<Mailbox> mailboxes_;
+  // Row-major [target][poster]; unique_ptr because PairBox (mutex, atomics,
+  // ring storage) is neither movable nor copyable.
+  std::vector<std::unique_ptr<PairBox>> pair_boxes_;
   std::vector<std::uint64_t> post_seq_;
   std::vector<std::size_t> events_;
+  // Reused across drains so sync points allocate nothing once the
+  // high-water capacity is reached.
+  std::vector<Post> drain_scratch_;
+  // Per-epoch event counts, a member so run_parallel itself is
+  // allocation-free in steady state.
+  std::vector<std::size_t> epoch_counts_;
   // True while workers are inside an epoch: posts buffer in the mailbox
   // instead of scheduling straight through.
   bool buffering_ = false;
   std::size_t parallel_epochs_ = 0;
   std::size_t horizon_stalls_ = 0;
+  std::atomic<std::size_t> overflow_posts_{0};
 };
 
 }  // namespace tsu::sim

@@ -1,0 +1,88 @@
+// Fixed-capacity single-producer/single-consumer ring buffer - the
+// lock-free edge of the cross-shard mailboxes (sharded.hpp), built in the
+// NDN-DPDK idiom: one ring per producer-consumer pair, burst-drained at
+// sync points, mempool-style storage that never allocates after
+// construction.
+//
+// Contract: at most ONE thread pushes and at most ONE thread pops at any
+// moment (the threads may change between epochs - the pool join provides
+// the necessary happens-before edge). try_push never blocks: a full ring
+// returns false and the caller spills to its (mutex-guarded, cold) overflow
+// path, so the steady state stays lock-free while bursts stay correct.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "tsu/util/assert.hpp"
+
+namespace tsu::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` must be a power of two (mask-based indexing).
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1),
+        storage_(static_cast<std::byte*>(::operator new[](
+            capacity * sizeof(T), std::align_val_t{alignof(T)}))) {
+    TSU_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "SpscRing capacity must be a power of two");
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+  ~SpscRing() {
+    T out;
+    while (try_pop(out)) {}
+    ::operator delete[](storage_, std::align_val_t{alignof(T)});
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // Producer side. Returns false (without consuming `value`) when full.
+  bool try_push(T&& value) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    ::new (slot(tail)) T(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    T* entry = std::launder(reinterpret_cast<T*>(slot(head)));
+    out = std::move(*entry);
+    entry->~T();
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate (exact when the other side is quiescent).
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  void* slot(std::uint64_t index) noexcept {
+    return storage_ + (index & mask_) * sizeof(T);
+  }
+
+  const std::uint64_t mask_;
+  std::byte* const storage_;
+  // Consumer-owned and producer-owned cursors on separate cache lines so
+  // the two sides never false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace tsu::sim

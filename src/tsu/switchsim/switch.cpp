@@ -49,20 +49,22 @@ void SimSwitch::start_next() {
   // of which live on this switch's shard (see sim/event_queue.hpp).
   // The captured epoch fences this completion across a crash: if the
   // process dies before the install lands, the event no-ops.
-  sim_.schedule(
-      processing,
-      [this, message = std::move(message), epoch = epoch_]() {
-        if (epoch != epoch_) return;
-        complete(message);
-        busy_ = false;
-        start_next();
-        // Arm (or re-arm) the reply flush AFTER start_next scheduled the
-        // next completion: the flush event then sorts after every
-        // completion of this instant, so all same-instant replies share
-        // one frame.
-        maybe_flush_replies();
-      },
-      sim::EventScope::kLocal);
+  auto completion = [this, message = std::move(message), epoch = epoch_]() {
+    if (epoch != epoch_) return;
+    complete(message);
+    busy_ = false;
+    start_next();
+    // Arm (or re-arm) the reply flush AFTER start_next scheduled the
+    // next completion: the flush event then sorts after every
+    // completion of this instant, so all same-instant replies share
+    // one frame.
+    maybe_flush_replies();
+  };
+  // Per-message completion is the switch's hot-path event: it must stay
+  // within the event fabric's inline buffer or every install allocates.
+  static_assert(sim::EventFn::fits_inline<decltype(completion)>(),
+                "switch completion closure outgrew the inline event buffer");
+  sim_.schedule(processing, std::move(completion), sim::EventScope::kLocal);
 }
 
 void SimSwitch::complete(const proto::Message& message) {
@@ -124,7 +126,8 @@ void SimSwitch::maybe_flush_replies() {
 void SimSwitch::flush_replies() {
   reply_flush_scheduled_ = false;
   if (reply_outbox_.empty() || to_controller_ == nullptr) return;
-  std::vector<proto::Message> replies;
+  reply_scratch_.clear();
+  std::vector<proto::Message>& replies = reply_scratch_;
   replies.swap(reply_outbox_);
   // Chunk against the shared frame-cap-derived bound (proto).
   std::size_t begin = 0;

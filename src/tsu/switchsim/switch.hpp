@@ -167,6 +167,9 @@ class SimSwitch {
   // zero-delay flush, whose event is re-armed per completion so it always
   // fires after the instant's last reply.
   std::vector<proto::Message> reply_outbox_;
+  // Reused flush staging buffer (capacities circulate with reply_outbox_,
+  // so steady-state flushes stop allocating at high-water size).
+  std::vector<proto::Message> reply_scratch_;
   bool reply_flush_scheduled_ = false;
   sim::EventId reply_flush_event_ = 0;
 

@@ -1,0 +1,95 @@
+// Global operator new/delete replacement that counts heap allocations -
+// the measurement primitive behind the zero-allocation regression tests
+// and the bench JSON's allocs-per-event figures.
+//
+// IMPORTANT: include this header in EXACTLY ONE translation unit of a
+// binary (each test/bench executable is a single TU, so its main source
+// file). Including it twice in one binary is an ODR violation; including
+// it in the library would silently impose the hooks on every consumer.
+//
+// The hooks forward to malloc/free (so sanitizers keep interposing at the
+// malloc layer underneath) and bump a relaxed atomic counter. Counting is
+// process-wide: measurements must bracket a window where only the code
+// under test runs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace tsu::alloc_hooks {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+// Total operator-new calls since process start.
+inline std::uint64_t allocations() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = align;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace tsu::alloc_hooks
+
+void* operator new(std::size_t size) {
+  return tsu::alloc_hooks::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return tsu::alloc_hooks::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return tsu::alloc_hooks::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return tsu::alloc_hooks::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return tsu::alloc_hooks::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return tsu::alloc_hooks::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

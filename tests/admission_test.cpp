@@ -64,7 +64,7 @@ RoundOp op(NodeId node, FlowId flow, NodeId next, std::uint8_t table = 0) {
   mod.priority = 100;
   mod.match.flow = flow;
   mod.action = flow::Action::forward(next);
-  return RoundOp{node, mod};
+  return RoundOp{node, mod, {}};
 }
 
 TEST(FootprintTest, CollectsEveryRoundIncludingCleanup) {
@@ -118,7 +118,7 @@ TEST(FootprintTest, ConflictNeedsSameSwitchSameTableOverlappingMatch) {
   proto::FlowMod wild;
   wild.match = flow::Match::wildcard();
   UpdateRequest wild_request;
-  wild_request.rounds = {{RoundOp{1, wild}}};
+  wild_request.rounds = {{RoundOp{1, wild, {}}}};
   EXPECT_TRUE(base.conflicts_with(Footprint::of(wild_request)));
 }
 

@@ -65,7 +65,7 @@ RoundOp op(NodeId node, FlowId flow, NodeId next) {
   mod.priority = 100;
   mod.match.flow = flow;
   mod.action = flow::Action::forward(next);
-  return RoundOp{node, mod};
+  return RoundOp{node, mod, {}};
 }
 
 UpdateRequest two_round_request(const std::string& name, FlowId flow,

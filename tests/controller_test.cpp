@@ -61,7 +61,7 @@ RoundOp op(NodeId node, FlowId flow, NodeId next) {
   mod.priority = 100;
   mod.match.flow = flow;
   mod.action = flow::Action::forward(next);
-  return RoundOp{node, mod};
+  return RoundOp{node, mod, {}};
 }
 
 TEST(ControllerTest, SingleRoundUpdateCompletes) {
@@ -275,6 +275,85 @@ TEST(UpdateRequestTest, LowersScheduleRoundsToFlowMods) {
     EXPECT_EQ(round_op.mod.action,
               flow::Action::forward(fig.instance.new_next(round_op.node)));
   }
+}
+
+TEST(ControllerTest, XidWrapRecyclesRetiredSequences) {
+  // The 24-bit per-shard xid sequence used to hard-abort on wrap, killing
+  // long soaks. Jump the counter to its last few fresh values: the
+  // controller must cross the wrap mid-workload by recycling retired
+  // sequence numbers (flowmod/batch xids retire at send, barrier xids on
+  // their reply) and every update must still complete normally.
+  TestBed bed;
+  bed.add_switch(1);
+  bed.add_switch(2);
+  bed.ctrl.exhaust_xid_space_for_test(16);
+  for (int i = 0; i < 8; ++i) {
+    UpdateRequest request;
+    request.name = "wrap";
+    request.flow = 1;
+    request.rounds = {{op(1, 1, 2), op(2, 1, 3)}};
+    bed.ctrl.submit(request);
+  }
+  bed.sim.run();
+  EXPECT_TRUE(bed.ctrl.idle());
+  ASSERT_EQ(bed.ctrl.completed().size(), 8u);
+  for (const UpdateMetrics& m : bed.ctrl.completed()) {
+    EXPECT_FALSE(m.aborted);
+    EXPECT_EQ(m.flow_mods_sent, 2u);
+  }
+  EXPECT_EQ(bed.ctrl.retries(), 0u);  // recycled xids routed every reply
+  // 8 updates x (2 flowmods + 2 barriers + batch frames) far exceeds the
+  // 16 fresh values left, so the free list both filled and drained.
+  EXPECT_GT(bed.ctrl.retired_xids(), 0u);
+  // Every install really landed despite xid reuse across updates.
+  for (const auto& [node, sw] : bed.switches)
+    EXPECT_EQ(sw->flow_mods_applied(), 8u);
+}
+
+TEST(ControllerTest, XidWrapKeepsTimedOutXidsUnrecycled) {
+  // A barrier that times out must leave its xid leaked forever: the
+  // switch may still emit the late reply, which has to hit the late-
+  // barrier path, not a recycled xid's new owner. Drive a crash so a
+  // liveness timeout fires, then keep running wrapped updates: counts
+  // must stay exact and nothing may mis-route.
+  ControllerConfig config;
+  config.liveness_timeout = sim::milliseconds(40);
+  TestBed bed(config);
+  bed.add_switch(1);
+  bed.add_switch(2);
+  bed.ctrl.exhaust_xid_space_for_test(16);
+
+  UpdateRequest first;
+  first.name = "crash-victim";
+  first.flow = 1;
+  first.rounds = {{op(1, 1, 2), op(2, 1, 3)}};
+  bed.ctrl.submit(first);
+  // Crash switch 2 before its install completes; the controller's
+  // liveness timer fires, retries, and the update finishes after restart.
+  bed.sim.schedule_at(sim::microseconds(1500),
+                      [&]() { bed.switches.at(2)->crash(true); });
+  bed.sim.schedule_at(sim::milliseconds(60),
+                      [&]() { bed.switches.at(2)->restart(); });
+  bed.sim.run();
+  ASSERT_EQ(bed.ctrl.completed().size(), 1u);
+  EXPECT_FALSE(bed.ctrl.completed()[0].aborted);
+  EXPECT_GE(bed.ctrl.retries(), 1u);
+
+  // Post-crash, post-wrap steady state still works off the free list.
+  for (int i = 0; i < 4; ++i) {
+    UpdateRequest request;
+    request.name = "after";
+    request.flow = 1;
+    request.rounds = {{op(1, 1, 2), op(2, 1, 3)}};
+    bed.ctrl.submit(request);
+  }
+  bed.sim.run();
+  EXPECT_TRUE(bed.ctrl.idle());
+  ASSERT_EQ(bed.ctrl.completed().size(), 5u);
+  const std::size_t crash_retries = bed.ctrl.retries();
+  for (std::size_t i = 1; i < 5; ++i)
+    EXPECT_FALSE(bed.ctrl.completed()[i].aborted);
+  EXPECT_EQ(bed.ctrl.retries(), crash_retries);  // no new retries post-wrap
 }
 
 }  // namespace

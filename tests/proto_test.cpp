@@ -296,6 +296,99 @@ TEST(CodecStreamTest, StopsAtIncompleteTail) {
   EXPECT_EQ(result.value().consumed, full);
 }
 
+TEST(CodecStreamTest, FuzzedLengthFieldsNeverCrashOrOverread) {
+  // Exhaustive 16-bit sweep over the middle frame's length field of a
+  // three-frame stream: truncated (< header), lying-short (cuts into the
+  // real body), lying-long (claims bytes of the following frames) and
+  // oversized (past the buffer) declarations. Whatever the value, the
+  // decoder must either fail cleanly or stop at the "incomplete" tail -
+  // never crash, never consume past the buffer. The span-backed Reader
+  // makes any overread a real out-of-bounds, so this sweep is the codec's
+  // bounds-check regression test.
+  std::vector<std::byte> wire = encode(make_hello(1));
+  const std::size_t second_at = wire.size();
+  FlowMod mod;
+  mod.match.flow = 7;
+  mod.action = flow::Action::forward(2);
+  const std::vector<std::byte> second = encode(make_flow_mod(9, mod));
+  wire.insert(wire.end(), second.begin(), second.end());
+  const std::vector<std::byte> third = encode(make_barrier_request(3));
+  wire.insert(wire.end(), third.begin(), third.end());
+
+  std::size_t parsed_ok = 0;
+  for (unsigned declared = 0; declared <= 0xffff; ++declared) {
+    std::vector<std::byte> fuzzed = wire;
+    fuzzed[second_at + 2] = static_cast<std::byte>(declared >> 8);
+    fuzzed[second_at + 3] = static_cast<std::byte>(declared & 0xff);
+    const Result<DecodeStreamResult> result = decode_stream(fuzzed);
+    if (!result.ok()) continue;
+    ++parsed_ok;
+    ASSERT_LE(result.value().consumed, fuzzed.size());
+    // The untouched first frame always parses.
+    ASSERT_GE(result.value().messages.size(), 1u);
+    EXPECT_EQ(result.value().messages[0].type(), MsgType::kHello);
+  }
+  // The true length (and every "tail incomplete" stop) parses; most
+  // corruptions do not. Both regimes must actually occur.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_LT(parsed_ok, 0x10000u);
+}
+
+TEST(CodecStreamTest, TruncationSweepNeverCrashes) {
+  // Cut a three-frame stream at every byte boundary: each prefix must
+  // yield the fully contained frames and cleanly report the rest as
+  // incomplete.
+  std::vector<std::byte> wire = encode(make_hello(1));
+  const std::size_t first_len = wire.size();
+  const std::vector<std::byte> second = encode(make_echo_request(
+      2, std::vector<std::byte>(13, std::byte{0xab})));
+  wire.insert(wire.end(), second.begin(), second.end());
+  const std::size_t two_len = wire.size();
+  const std::vector<std::byte> third = encode(make_barrier_request(3));
+  wire.insert(wire.end(), third.begin(), third.end());
+
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    const Result<DecodeStreamResult> result = decode_stream(
+        std::span<const std::byte>(wire.data(), cut));
+    ASSERT_TRUE(result.ok()) << "cut=" << cut;
+    const std::size_t expect =
+        cut >= wire.size() ? 3u : cut >= two_len ? 2u : cut >= first_len ? 1u
+                                                                        : 0u;
+    EXPECT_EQ(result.value().messages.size(), expect) << "cut=" << cut;
+    EXPECT_LE(result.value().consumed, cut) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, EncodeIntoMatchesEncodeAndReusesCapacity) {
+  FlowMod mod;
+  mod.match.flow = 5;
+  mod.match.src_host = 1;
+  mod.action = flow::Action::forward(4);
+  std::vector<Message> group;
+  group.push_back(make_flow_mod(10, mod));
+  group.push_back(make_barrier_request(11));
+  const Message samples[] = {
+      make_hello(1),
+      make_flow_mod(2, mod),
+      make_echo_request(3, std::vector<std::byte>(32, std::byte{0x5a})),
+      make_batch(4, std::move(group)),
+  };
+  std::vector<std::byte> scratch;
+  for (const Message& message : samples) {
+    encode_into(message, scratch);
+    EXPECT_EQ(scratch, encode(message)) << message.to_string();
+  }
+  // The caller-owned scratch is reused, not reallocated: encoding a
+  // smaller frame into warmed capacity must keep the same storage.
+  encode_into(samples[3], scratch);  // largest of the set
+  const std::size_t warm_capacity = scratch.capacity();
+  const std::byte* warm_data = scratch.data();
+  encode_into(samples[0], scratch);  // smallest
+  EXPECT_EQ(scratch.capacity(), warm_capacity);
+  EXPECT_EQ(scratch.data(), warm_data);
+  EXPECT_EQ(scratch, encode(samples[0]));
+}
+
 // ------------------------------------------------------------------ batch --
 
 TEST(CodecBatchTest, RoundTripsCoalescedMessages) {

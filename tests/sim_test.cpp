@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "tsu/sim/distributions.hpp"
@@ -42,6 +43,48 @@ TEST(EventQueueTest, CancelSuppressesEvent) {
   EXPECT_FALSE(q.cancel(second));  // already cancelled
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, CancelReleasesClosureEagerly) {
+  // The cancelled closure's captures must be destroyed AT the cancel, not
+  // when the lazy heap entry is eventually skimmed or compacted away. A
+  // retransmit timer capturing a frame buffer would otherwise pin that
+  // memory until an unrelated pop wandered past the tombstone.
+  EventQueue q;
+  auto payload = std::make_shared<int>(42);
+  const EventId id = q.push(10, [payload]() {});
+  q.push(20, []() {});  // keeps the heap non-empty so nothing is skimmed
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(payload.use_count(), 1)
+      << "cancel left the closure alive in the arena";
+  // The stale heap entry is still there (lazy cancel) yet firing works.
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 1u);
+}
+
+TEST(EventQueueTest, PoppedClosureSlotIsRetired) {
+  // Firing an event must release its arena slot (and closure) so the
+  // steady-state push/pop loop recycles storage instead of growing it.
+  EventQueue q;
+  auto payload = std::make_shared<int>(7);
+  q.push(1, [payload]() {});
+  auto event = q.pop();
+  event.fn();
+  event.fn.reset();  // simulator drops the fn right after invoking it
+  EXPECT_EQ(payload.use_count(), 1);
+  // The freed slot is reused: ids differ (generation bump) but storage
+  // does not grow.
+  const EventId a = q.push(2, []() {});
+  q.pop();
+  const EventId b = q.push(3, []() {});
+  EXPECT_NE(a, b);  // stale ids must not alias the recycled slot
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
 }
 
 TEST(EventQueueTest, NextTimeSkipsCancelled) {
