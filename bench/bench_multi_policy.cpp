@@ -25,6 +25,7 @@
 
 #include "bench_common.hpp"
 
+#include "tsu/core/service.hpp"
 #include "tsu/json/json.hpp"
 #include "tsu/sim/faults.hpp"
 #include "tsu/sim/sharded.hpp"
@@ -790,6 +791,83 @@ bool run(const char* json_path) {
   }
   bench::print_table(fault_table);
 
+  // Open-loop service mode: Poisson arrivals at three operating points of
+  // the same template pool - comfortably under capacity, near saturation,
+  // and deep overload (where the bounded pending queue sheds load). All
+  // sim-time figures are deterministic per seed, so the CI gate can hold
+  // sustained throughput and the drain invariant to tight tolerances.
+  bool open_loop_failed = false;
+  constexpr std::uint64_t kServeTarget = 20000;
+  std::printf("\nopen-loop service: 8 templates over 48 switches, "
+              "%llu completions per point:\n",
+              static_cast<unsigned long long>(kServeTarget));
+  stats::Table serve_table({"operating point", "arrival/s", "sustained/s",
+                            "p50 dur ms", "p99 dur ms", "p99 wait ms",
+                            "rejected", "peak pending", "leftover entries"});
+  json::Array open_loop_json;
+  struct ServePoint {
+    const char* label;
+    double rate;
+    std::size_t max_pending;
+  };
+  // The pool's service capacity under the default environment is ~690
+  // updates/s (8 templates, ~12.5 ms per serialized update), which anchors
+  // the three operating points.
+  for (const ServePoint point :
+       {ServePoint{"under_capacity", 500, 1024},
+        ServePoint{"saturated", 700, 1024},
+        ServePoint{"overload", 5000, 256}}) {
+    core::ServiceConfig config;
+    config.exec.seed = 4242;
+    config.exec.with_traffic = false;
+    config.exec.controller.max_in_flight = 16;
+    config.flows = 8;
+    config.pool_switches = 48;
+    config.arrival_rate_per_sec = point.rate;
+    config.max_pending = point.max_pending;
+    config.target_completions = kServeTarget;
+    const Result<core::ServiceResult> run = core::execute_service(config);
+    if (!run.ok()) {
+      std::fprintf(stderr, "open-loop bench failed for %s: %s\n",
+                   point.label, run.error().to_string().c_str());
+      open_loop_failed = true;
+      continue;
+    }
+    const core::ServiceResult& result = run.value();
+    serve_table.add_row(
+        {point.label, bench::fmt(point.rate, 0),
+         bench::fmt(result.sustained_per_sec(), 0),
+         bench::fmt(result.completions.duration_ns.quantile(0.5) / 1e6),
+         bench::fmt(result.completions.duration_ns.quantile(0.99) / 1e6),
+         bench::fmt(result.completions.wait_ns.quantile(0.99) / 1e6),
+         std::to_string(result.stats.rejected),
+         std::to_string(result.stats.peak_pending),
+         std::to_string(result.steady_state_entries_final)});
+    json::Object entry;
+    entry.set("label", json::Value(point.label));
+    entry.set("arrival_rate_per_sec", json::Value(point.rate));
+    entry.set("target_completions",
+              json::Value(static_cast<std::int64_t>(kServeTarget)));
+    entry.set("sustained_per_sec", json::Value(result.sustained_per_sec()));
+    entry.set("p50_duration_ms",
+              json::Value(result.completions.duration_ns.quantile(0.5) / 1e6));
+    entry.set("p99_duration_ms",
+              json::Value(result.completions.duration_ns.quantile(0.99) / 1e6));
+    entry.set("p99_wait_ms",
+              json::Value(result.completions.wait_ns.quantile(0.99) / 1e6));
+    entry.set("rejected",
+              json::Value(static_cast<std::int64_t>(result.stats.rejected)));
+    entry.set("peak_pending", json::Value(static_cast<std::int64_t>(
+                                  result.stats.peak_pending)));
+    entry.set("steady_state_entries_final",
+              json::Value(static_cast<std::int64_t>(
+                  result.steady_state_entries_final)));
+    entry.set("retired_xids", json::Value(static_cast<std::int64_t>(
+                                  result.retired_xids)));
+    open_loop_json.push_back(json::Value(std::move(entry)));
+  }
+  bench::print_table(serve_table);
+
   json::Object hotpath = hotpath_bench();
 
   if (json_path != nullptr) {
@@ -801,6 +879,7 @@ bool run(const char* json_path) {
     doc.set("sharding", json::Value(std::move(sharding_json)));
     doc.set("parallel", json::Value(std::move(parallel_json)));
     doc.set("faults", json::Value(std::move(faults_json)));
+    doc.set("open_loop", json::Value(std::move(open_loop_json)));
     doc.set("hotpath", json::Value(std::move(hotpath)));
     std::ofstream out(json_path);
     out << json::write(json::Value(std::move(doc))) << "\n";
@@ -823,7 +902,7 @@ bool run(const char* json_path) {
       "(first shard done -> last shard done) over all concurrent updates,\n"
       "i.e. the slack the two-phase barrier absorbs off the critical path.\n");
   return !admission_failed && !batching_failed && !sharding_failed &&
-         !parallel_failed && !faults_failed;
+         !parallel_failed && !faults_failed && !open_loop_failed;
 }
 
 }  // namespace

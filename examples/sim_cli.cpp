@@ -12,6 +12,14 @@
 //   $ ./build/sim_cli --flows 256 --switches 60
 //         --admission conflict_aware --max-in-flight 256 --batch
 //
+// Serve mode runs the open-loop service (core/service.hpp): Poisson
+// arrivals against a template pool, bounded pending queue, live JSON
+// snapshots on stdout and a final stats document.
+//
+//   $ ./build/sim_cli --serve --rate 5000 --duration-ms 2000
+//   $ ./build/sim_cli --serve --target 100000 --max-pending 256
+//         --classes 2 --config service.json
+//
 // Workloads: fig1 | reversal:<n> | random:<seed>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +31,7 @@
 
 #include "tsu/core/config.hpp"
 #include "tsu/core/experiment.hpp"
+#include "tsu/rest/service_json.hpp"
 #include "tsu/topo/instances.hpp"
 #include "tsu/util/strings.hpp"
 
@@ -44,6 +53,8 @@ void usage() {
                "               [--exec sequential|parallel] [--threads N]\n"
                "               [--faults FILE.json] [--liveness-ms MS]\n"
                "               [--failure-response wait|rollback]\n"
+               "               [--serve] [--rate R] [--duration-ms MS]\n"
+               "               [--target N] [--max-pending N] [--classes N]\n"
                "  algorithms: oneshot twophase wayup peacock slf-greedy "
                "secure optimal\n"
                "  workloads : fig1 | reversal:<n> | random:<seed>\n"
@@ -68,7 +79,16 @@ void usage() {
                "  --faults replays a serialized FaultSchedule (switch\n"
                "  crashes, control-link outages, frame blackholes) against\n"
                "  the run; --liveness-ms sets the controller's detection\n"
-               "  timeout and --failure-response picks retry vs rollback\n");
+               "  timeout and --failure-response picks retry vs rollback\n"
+               "  --serve runs the open-loop service: Poisson arrivals at\n"
+               "  --rate req/s over --flows templates on --switches pool\n"
+               "  switches until --duration-ms of sim time or --target\n"
+               "  accepted requests (one is required); arrivals beyond the\n"
+               "  --max-pending backlog are shed; --classes N splits\n"
+               "  arrivals over N priority classes (0 served first); live\n"
+               "  snapshots and the final stats print as JSON, and a\n"
+               "  --config file may carry a \"service\" block for the\n"
+               "  full schema (traces, rate limits, snapshot cadence)\n");
 }
 
 // Multi-flow mode: N peacock-planned flows over a shared switch pool,
@@ -156,6 +176,26 @@ int run_multiflow(std::size_t flows, std::size_t switches,
   return 0;
 }
 
+// Serve mode: open-loop service with live JSON snapshots on stdout.
+int run_service(tsu::core::ServiceConfig config) {
+  using namespace tsu;
+  std::printf("service  : %s\n",
+              json::write(core::service_config_to_json(config)).c_str());
+  if (config.snapshot_interval == 0)
+    config.snapshot_interval = sim::milliseconds(100);
+  config.on_snapshot = [](const core::ServiceSnapshot& snapshot) {
+    std::printf("snapshot : %s\n", rest::to_json(snapshot).c_str());
+  };
+  const Result<core::ServiceResult> run = core::execute_service(config);
+  if (!run.ok()) {
+    std::fprintf(stderr, "service failed: %s\n",
+                 run.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("result   : %s\n", rest::to_json(run.value()).c_str());
+  return 0;
+}
+
 std::optional<tsu::update::Instance> make_workload(const std::string& spec) {
   using namespace tsu;
   if (spec == "fig1") return topo::fig1().instance;
@@ -201,6 +241,16 @@ int main(int argc, char** argv) {
   std::optional<sim::FaultSchedule> faults_flag;
   std::optional<double> liveness_ms_flag;
   std::optional<controller::FailureResponse> failure_response_flag;
+  bool serve = false;
+  bool switches_set = false;
+  std::optional<double> rate_flag;
+  std::optional<double> duration_ms_flag;
+  std::optional<std::uint64_t> target_flag;
+  std::optional<std::size_t> max_pending_flag;
+  std::optional<std::size_t> classes_flag;
+  // The config file is parsed after the loop: --serve selects the service
+  // document parser (which accepts the "service" block).
+  std::optional<std::string> config_text;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -230,6 +280,36 @@ int main(int argc, char** argv) {
       const auto n = v != nullptr ? parse_int(v) : std::nullopt;
       if (!n.has_value() || *n < 6) return usage(), 1;
       switches = static_cast<std::size_t>(*n);
+      switches_set = true;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--rate") {
+      const char* v = next();
+      char* endp = nullptr;
+      const double rate = v != nullptr ? std::strtod(v, &endp) : -1;
+      if (v == nullptr || endp == v || rate <= 0) return usage(), 1;
+      rate_flag = rate;
+    } else if (arg == "--duration-ms") {
+      const char* v = next();
+      char* endp = nullptr;
+      const double ms = v != nullptr ? std::strtod(v, &endp) : -1;
+      if (v == nullptr || endp == v || ms <= 0) return usage(), 1;
+      duration_ms_flag = ms;
+    } else if (arg == "--target") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1) return usage(), 1;
+      target_flag = static_cast<std::uint64_t>(*n);
+    } else if (arg == "--max-pending") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1) return usage(), 1;
+      max_pending_flag = static_cast<std::size_t>(*n);
+    } else if (arg == "--classes") {
+      const char* v = next();
+      const auto n = v != nullptr ? parse_int(v) : std::nullopt;
+      if (!n.has_value() || *n < 1 || *n > 256) return usage(), 1;
+      classes_flag = static_cast<std::size_t>(*n);
     } else if (arg == "--admission") {
       const char* v = next();
       const auto policy = v != nullptr
@@ -336,18 +416,34 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buffer;
       buffer << file.rdbuf();
-      const std::string text = buffer.str();
+      config_text = buffer.str();
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  core::ServiceConfig service;
+  if (config_text.has_value()) {
+    if (serve) {
+      Result<core::ServiceConfig> parsed =
+          core::service_config_from_json(std::string_view(*config_text));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad config: %s\n",
+                     parsed.error().to_string().c_str());
+        return 1;
+      }
+      service = std::move(parsed).value();
+      config = service.exec;
+    } else {
       Result<core::ExecutorConfig> parsed =
-          core::config_from_json(std::string_view(text));
+          core::config_from_json(std::string_view(*config_text));
       if (!parsed.ok()) {
         std::fprintf(stderr, "bad config: %s\n",
                      parsed.error().to_string().c_str());
         return 1;
       }
       config = parsed.value();
-    } else {
-      usage();
-      return arg == "--help" ? 0 : 1;
     }
   }
 
@@ -379,6 +475,20 @@ int main(int argc, char** argv) {
     config.controller.liveness_timeout = sim::from_ms(*liveness_ms_flag);
   if (failure_response_flag.has_value())
     config.controller.failure_response = *failure_response_flag;
+
+  if (serve) {
+    service.exec = config;
+    if (flows > 1) service.flows = flows;
+    if (switches_set) service.pool_switches = switches;
+    if (rate_flag.has_value()) service.arrival_rate_per_sec = *rate_flag;
+    if (duration_ms_flag.has_value())
+      service.horizon = sim::from_ms(*duration_ms_flag);
+    if (target_flag.has_value()) service.target_completions = *target_flag;
+    if (max_pending_flag.has_value()) service.max_pending = *max_pending_flag;
+    if (classes_flag.has_value())
+      service.classes.assign(*classes_flag, core::ServiceClassConfig{});
+    return run_service(std::move(service));
+  }
 
   if (flows > 1) {
     if (switches == 0) switches = flows * 6;

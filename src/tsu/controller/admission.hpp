@@ -119,6 +119,19 @@ class AdmissionQueue {
   // Live requests currently blocked on at least one conflict.
   std::size_t blocked() const noexcept;
 
+  // Rule-index observability, for pinning steady-state boundedness: the
+  // number of switch buckets in the index and the total (request, rule)
+  // pairs across them. Buckets are erased as their last rule releases
+  // (release / release_rules prune empty buckets), so both must return to
+  // 0 whenever no request is live - a long-running admission_test case and
+  // Controller::steady_state_entries() hold the line.
+  std::size_t index_switches() const noexcept { return by_node_.size(); }
+  std::size_t index_rules() const noexcept {
+    std::size_t rules = 0;
+    for (const auto& [node, bucket] : by_node_) rules += bucket.size();
+    return rules;
+  }
+
   // Total dependency edges ever created (a measure of workload conflict).
   std::uint64_t conflict_edges() const noexcept { return conflict_edges_; }
   // Submissions that entered the queue blocked.

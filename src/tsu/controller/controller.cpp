@@ -81,7 +81,9 @@ void Controller::submit(UpdateRequest request) {
   pending.id = update_counter_++;
   pending.metrics.name = request.name;
   pending.metrics.flow = request.flow;
+  pending.metrics.priority_class = request.priority_class;
   pending.metrics.submitted = sim_.now();
+  pending.metrics.enqueued = request.enqueued.value_or(sim_.now());
   // Register in the conflict DAG before anything can start: a later
   // submission must see this request's footprint. Only conflict-aware
   // admission reads footprints; don't compute them for the other policies.
@@ -99,18 +101,28 @@ void Controller::maybe_start_next_request() {
   // blocked requests are skipped, not waited on, so a conflicting head
   // never holds back independent work behind it. Held coordinated
   // sub-requests are also skipped: they start only when the coordinator
-  // has every participating shard ready. The scan restarts after each
-  // start because start_round can synchronously finish a degenerate update
-  // and re-enter here, invalidating any held iterator.
+  // has every participating shard ready. Among the admissible entries the
+  // strictly lowest priority class starts first; ties keep arrival order,
+  // so all-default classes reproduce the pre-priority start order exactly.
+  // The scan restarts after each start because start_round can
+  // synchronously finish a degenerate update and re-enter here,
+  // invalidating any held iterator.
   bool started = true;
   while (started && active_.size() < config_.max_in_flight) {
     started = false;
+    auto best = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->held) continue;
+      if (best != queue_.end() &&
+          it->request.priority_class >= best->request.priority_class)
+        continue;
       if (!admission_.admissible(it->id)) continue;
-      start_pending(it);
+      best = it;
+      if (best->request.priority_class == 0) break;
+    }
+    if (best != queue_.end()) {
+      start_pending(best);
       started = true;
-      break;
     }
   }
 }
@@ -185,7 +197,9 @@ void Controller::submit_coordinated(UpdateRequest request,
   pending.token = token;
   pending.metrics.name = request.name;
   pending.metrics.flow = request.flow;
+  pending.metrics.priority_class = request.priority_class;
   pending.metrics.submitted = sim_.now();
+  pending.metrics.enqueued = request.enqueued.value_or(sim_.now());
   admission_.submit(pending.id,
                     config_.admission == AdmissionPolicy::kConflictAware
                         ? Footprint::of(request)
@@ -589,8 +603,7 @@ void Controller::finish_update(UpdateId id) {
     return;
   }
 
-  completed_.push_back(std::move(metrics));
-  const UpdateMetrics& done = completed_.back();
+  const UpdateMetrics& done = completed_.record(std::move(metrics));
   if (on_update_done_) on_update_done_(done);
   // "...deletes the message from the queue and starts processing the next
   //  message."
@@ -865,6 +878,7 @@ void Controller::begin_rollback(UpdateId id) {
   unwind.metrics.name = unwind.request.name;
   unwind.metrics.flow = unwind.request.flow;
   unwind.metrics.submitted = sim_.now();
+  unwind.metrics.enqueued = sim_.now();
   unwind.metrics.started = sim_.now();
   unwind.system = true;
   active_.emplace(unwind_id, std::move(unwind));
@@ -890,8 +904,8 @@ void Controller::finish_rollback(UpdateId id) {
   } else {
     ctx.metrics.finished = sim_.now();
     ctx.metrics.aborted = true;
-    completed_.push_back(std::move(ctx.metrics));
-    if (on_update_done_) on_update_done_(completed_.back());
+    const UpdateMetrics& done = completed_.record(std::move(ctx.metrics));
+    if (on_update_done_) on_update_done_(done);
   }
   maybe_start_next_request();
   if (hooks_ != nullptr) hooks_->on_progress(shard_id_);

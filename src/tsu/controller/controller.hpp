@@ -79,6 +79,7 @@
 #include <vector>
 
 #include "tsu/controller/admission.hpp"
+#include "tsu/controller/completion_log.hpp"
 #include "tsu/controller/update_request.hpp"
 #include "tsu/proto/messages.hpp"
 #include "tsu/sim/exec_mode.hpp"
@@ -197,32 +198,9 @@ inline BatchMode effective_batch_mode(const ControllerConfig& config) noexcept {
   return config.batch_mode;
 }
 
-struct RoundMetrics {
-  sim::SimTime started = 0;
-  sim::SimTime finished = 0;
-  std::size_t flow_mods = 0;
-  std::size_t barriers = 0;
-};
-
-struct UpdateMetrics {
-  std::string name;
-  FlowId flow = 0;
-  sim::SimTime submitted = 0;
-  sim::SimTime started = 0;
-  sim::SimTime finished = 0;
-  std::vector<RoundMetrics> rounds;
-  std::size_t flow_mods_sent = 0;
-  std::size_t barriers_sent = 0;
-  // The request was rolled back and not resubmitted
-  // (failure_response = rollback, resubmit_after_rollback = false): its
-  // switches are back in the pre-update state.
-  bool aborted = false;
-
-  sim::Duration duration() const noexcept { return finished - started; }
-  sim::Duration queueing_delay() const noexcept {
-    return started - submitted;
-  }
-};
+// RoundMetrics / UpdateMetrics live in controller/completion_log.hpp,
+// together with the bounded CompletionLog that replaced the append-only
+// completed-metrics vector.
 
 class Controller {
  public:
@@ -281,10 +259,37 @@ class Controller {
   // conflict (a subset of queued()).
   std::size_t blocked() const noexcept { return admission_.blocked(); }
 
-  // In completion order (identical to submission order when
-  // max_in_flight == 1).
+  // The recent-completion window, in completion order (identical to
+  // submission order when max_in_flight == 1) until the ring wraps at
+  // CompletionLog::kDefaultRecentCapacity completions. Long-running
+  // consumers must use completions().stats() or the on_update_done
+  // callback instead of this window.
   const std::vector<UpdateMetrics>& completed() const noexcept {
-    return completed_;
+    return completed_.recent();
+  }
+  // Streaming lifetime aggregation + the recent ring.
+  const CompletionLog& completions() const noexcept { return completed_; }
+
+  // Debug counter for steady-state boundedness: the number of live
+  // per-update / per-xid bookkeeping entries across every internal map.
+  // After any workload fully completes - including timeout, retry,
+  // rollback and crash-resync paths - this must return to a flat floor
+  // (0 for a standalone controller at idle); controller_test pins it.
+  // Deliberately EXCLUDES the monotone-by-design pools whose growth is
+  // independently bounded: the retired-xid free list (<= kMaxFreeXids),
+  // timed-out-xid leaks (bounded by the timeout count, see next_xid) and
+  // shadow tables (bounded by switch-table size).
+  std::size_t steady_state_entries() const noexcept {
+    std::size_t unfenced = 0;
+    for (const auto& [node, sends] : unfenced_) unfenced += sends.size();
+    std::size_t outboxed = 0;
+    for (const auto& [node, box] : outbox_) outboxed += box.entries.size();
+    return queue_.size() + active_.size() + waiting_.size() +
+           coordinated_ids_.size() + liveness_timers_.size() +
+           barrier_seq_.size() + full_resync_.size() +
+           resync_waiting_.size() + rollback_ctx_.size() +
+           admission_.live() + admission_.index_rules() + unfenced +
+           outboxed;
   }
 
   // Fires whenever an update finishes (used by the executor to stop the
@@ -507,7 +512,7 @@ class Controller {
   std::unordered_map<UpdateId, ActiveUpdate> active_;
   // Outstanding barrier xid -> (owning update, switch it fences).
   std::unordered_map<Xid, std::pair<UpdateId, NodeId>> waiting_;
-  std::vector<UpdateMetrics> completed_;
+  CompletionLog completed_;
   std::function<void(const UpdateMetrics&)> on_update_done_;
   // Sharding: this engine's shard id (tags xids) and the coordinator's
   // hooks; both unset when the controller runs standalone.

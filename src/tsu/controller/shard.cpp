@@ -25,8 +25,8 @@ ShardCoordinator::ShardCoordinator(sim::ShardedSim& sim,
     // on_coordinated_done instead.
     shards_.back()->engine().set_on_update_done(
         [this](const UpdateMetrics& metrics) {
-          completed_.push_back(metrics);
-          if (on_update_done_) on_update_done_(completed_.back());
+          const UpdateMetrics& done = completed_.record(metrics);
+          if (on_update_done_) on_update_done_(done);
         });
   }
 }
@@ -85,6 +85,8 @@ void ShardCoordinator::submit(UpdateRequest request) {
     subs[i].name = request.name;
     subs[i].flow = request.flow;
     subs[i].interval = request.interval;
+    subs[i].priority_class = request.priority_class;
+    subs[i].enqueued = request.enqueued;
     subs[i].rounds.resize(request.rounds.size());
   }
   for (std::size_t r = 0; r < request.rounds.size(); ++r) {
@@ -171,8 +173,8 @@ void ShardCoordinator::on_coordinated_done(std::uint8_t, std::uint64_t token,
   if (cross.slices.size() < cross.shards.size()) return;
   UpdateMetrics merged = merge_slices(cross.slices);
   cross_.erase(token);
-  completed_.push_back(std::move(merged));
-  if (on_update_done_) on_update_done_(completed_.back());
+  const UpdateMetrics& done = completed_.record(std::move(merged));
+  if (on_update_done_) on_update_done_(done);
 }
 
 void ShardCoordinator::on_progress(std::uint8_t) { try_start_cross(); }
@@ -185,6 +187,7 @@ UpdateMetrics ShardCoordinator::merge_slices(
   UpdateMetrics merged = std::move(slices.front());
   for (std::size_t i = 1; i < slices.size(); ++i) {
     const UpdateMetrics& slice = slices[i];
+    merged.enqueued = std::min(merged.enqueued, slice.enqueued);
     merged.submitted = std::min(merged.submitted, slice.submitted);
     merged.started = std::min(merged.started, slice.started);
     merged.finished = std::max(merged.finished, slice.finished);

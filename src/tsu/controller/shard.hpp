@@ -115,12 +115,25 @@ class ShardCoordinator final : public Controller::CoordinationHooks {
   // Sum of per-shard in-flight counts (a cross-shard update counts once
   // per shard it is active on).
   std::size_t in_flight() const noexcept;
-  // All requests - shard-local and cross-shard - in completion order.
+  // The recent-completion window - shard-local and cross-shard requests in
+  // completion order until the ring wraps (see Controller::completed()).
   const std::vector<UpdateMetrics>& completed() const noexcept {
-    return completed_;
+    return completed_.recent();
   }
+  // Streaming lifetime aggregation + the recent ring.
+  const CompletionLog& completions() const noexcept { return completed_; }
   void set_on_update_done(std::function<void(const UpdateMetrics&)> fn) {
     on_update_done_ = std::move(fn);
+  }
+
+  // Sum of Controller::steady_state_entries() over the shards plus the
+  // coordinator's own cross-shard bookkeeping; must return to a flat floor
+  // whenever the system drains.
+  std::size_t steady_state_entries() const noexcept {
+    std::size_t total = cross_.size() + pending_cross_.size();
+    for (const auto& shard : shards_)
+      total += shard->engine().steady_state_entries();
+    return total;
   }
 
   // Aggregated engine stats (sums over shards; max_hold is the max, and
@@ -195,7 +208,7 @@ class ShardCoordinator final : public Controller::CoordinationHooks {
   std::vector<std::unique_ptr<ControllerShard>> shards_;
   std::unordered_map<std::uint64_t, CrossUpdate> cross_;
   std::deque<std::uint64_t> pending_cross_;  // not-yet-started, arrival order
-  std::vector<UpdateMetrics> completed_;
+  CompletionLog completed_;
   std::function<void(const UpdateMetrics&)> on_update_done_;
   std::uint64_t next_token_ = 1;
   bool starting_ = false;  // re-entrancy guard for try_start_cross

@@ -317,6 +317,12 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
                             "unknown traffic field '" + tkey + "'");
         }
       }
+    } else if (key == "service") {
+      // The open-loop block belongs to the service document; rejecting it
+      // here with a pointer beats the generic unknown-key error.
+      return make_error(Errc::kParseError,
+                        "'service' requires the service entry point "
+                        "(service_config_from_json)");
     } else {
       return make_error(Errc::kParseError,
                         "unknown config field '" + key + "'");
@@ -436,6 +442,170 @@ json::Value config_to_json(const ExecutorConfig& config) {
   root.set("traffic", json::Value(std::move(traffic)));
 
   return json::Value(std::move(root));
+}
+
+Result<ServiceConfig> service_config_from_json(std::string_view text) {
+  Result<json::Value> doc = json::parse(text);
+  if (!doc.ok()) return doc.error();
+  return service_config_from_json(doc.value());
+}
+
+Result<ServiceConfig> service_config_from_json(const json::Value& value) {
+  if (!value.is_object())
+    return make_error(Errc::kParseError, "service config must be an object");
+
+  // Split the document: the "service" block here, everything else through
+  // the executor parser (which keeps rejecting unknown keys).
+  json::Object exec_fields;
+  const json::Value* service_block = nullptr;
+  for (const auto& [key, field] : value.as_object()) {
+    if (key == "service")
+      service_block = &field;
+    else
+      exec_fields.set(key, field);
+  }
+  Result<ExecutorConfig> exec =
+      config_from_json(json::Value(std::move(exec_fields)));
+  if (!exec.ok()) return exec.error();
+
+  ServiceConfig config;
+  config.exec = std::move(exec).value();
+  if (service_block == nullptr) return config;
+  if (!service_block->is_object())
+    return make_error(Errc::kParseError, "'service' must be an object");
+
+  for (const auto& [key, field] : service_block->as_object()) {
+    if (key == "flows") {
+      if (!field.is_number() || field.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'flows' must be >= 1");
+      config.flows = static_cast<std::size_t>(field.as_int());
+    } else if (key == "pool_switches") {
+      if (!field.is_number() || field.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'pool_switches' must be >= 1");
+      config.pool_switches = static_cast<std::size_t>(field.as_int());
+    } else if (key == "alternate_directions") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError,
+                          "'alternate_directions' must be a bool");
+      config.alternate_directions = field.as_bool();
+    } else if (key == "rate_per_sec") {
+      if (!field.is_number() || field.as_double() <= 0)
+        return make_error(Errc::kOutOfRange, "'rate_per_sec' must be > 0");
+      config.arrival_rate_per_sec = field.as_double();
+    } else if (key == "trace_us") {
+      if (!field.is_array())
+        return make_error(Errc::kParseError, "'trace_us' must be an array");
+      config.trace.clear();
+      for (const json::Value& gap : field.as_array()) {
+        if (!gap.is_number() || gap.as_double() < 0)
+          return make_error(Errc::kOutOfRange,
+                            "'trace_us' entries must be >= 0");
+        config.trace.push_back(
+            static_cast<sim::Duration>(gap.as_double() * 1e3));
+      }
+    } else if (key == "trace_cycle") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError, "'trace_cycle' must be a bool");
+      config.trace_cycle = field.as_bool();
+    } else if (key == "horizon_ms") {
+      if (!field.is_number() || field.as_double() < 0)
+        return make_error(Errc::kOutOfRange, "'horizon_ms' must be >= 0");
+      config.horizon = ms(field.as_double());
+    } else if (key == "target") {
+      if (!field.is_number() || field.as_int() < 0)
+        return make_error(Errc::kOutOfRange, "'target' must be >= 0");
+      config.target_completions = static_cast<std::uint64_t>(field.as_int());
+    } else if (key == "max_pending") {
+      if (!field.is_number() || field.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'max_pending' must be >= 1");
+      config.max_pending = static_cast<std::size_t>(field.as_int());
+    } else if (key == "submit_depth") {
+      if (!field.is_number() || field.as_int() < 0)
+        return make_error(Errc::kOutOfRange, "'submit_depth' must be >= 0");
+      config.submit_depth = static_cast<std::size_t>(field.as_int());
+    } else if (key == "classes") {
+      if (!field.is_array() || field.as_array().empty())
+        return make_error(Errc::kParseError,
+                          "'classes' must be a non-empty array");
+      config.classes.clear();
+      for (const json::Value& entry : field.as_array()) {
+        if (!entry.is_object())
+          return make_error(Errc::kParseError,
+                            "each class must be an object");
+        ServiceClassConfig cls;
+        for (const auto& [ckey, cval] : entry.as_object()) {
+          if (!cval.is_number() || cval.as_double() < 0)
+            return make_error(Errc::kOutOfRange,
+                              "class field '" + ckey + "' must be >= 0");
+          if (ckey == "rate_limit_per_sec")
+            cls.rate_limit_per_sec = cval.as_double();
+          else if (ckey == "burst")
+            cls.burst = cval.as_double();
+          else if (ckey == "weight")
+            cls.weight = cval.as_double();
+          else
+            return make_error(Errc::kParseError,
+                              "unknown class field '" + ckey + "'");
+        }
+        config.classes.push_back(cls);
+      }
+    } else if (key == "snapshot_interval_ms") {
+      if (!field.is_number() || field.as_double() < 0)
+        return make_error(Errc::kOutOfRange,
+                          "'snapshot_interval_ms' must be >= 0");
+      config.snapshot_interval = ms(field.as_double());
+    } else if (key == "snapshot_window") {
+      if (!field.is_number() || field.as_int() < 1)
+        return make_error(Errc::kOutOfRange, "'snapshot_window' must be >= 1");
+      config.snapshot_window = static_cast<std::size_t>(field.as_int());
+    } else {
+      return make_error(Errc::kParseError,
+                        "unknown service field '" + key + "'");
+    }
+  }
+  return config;
+}
+
+json::Value service_config_to_json(const ServiceConfig& config) {
+  json::Value root = config_to_json(config.exec);
+
+  json::Object service;
+  service.set("flows",
+              json::Value(static_cast<std::int64_t>(config.flows)));
+  service.set("pool_switches", json::Value(static_cast<std::int64_t>(
+                                   config.pool_switches)));
+  service.set("alternate_directions",
+              json::Value(config.alternate_directions));
+  service.set("rate_per_sec", json::Value(config.arrival_rate_per_sec));
+  if (!config.trace.empty()) {
+    json::Array trace;
+    for (const sim::Duration gap : config.trace)
+      trace.emplace_back(static_cast<double>(gap) / 1e3);
+    service.set("trace_us", json::Value(std::move(trace)));
+    service.set("trace_cycle", json::Value(config.trace_cycle));
+  }
+  service.set("horizon_ms", json::Value(sim::to_ms(config.horizon)));
+  service.set("target", json::Value(static_cast<std::int64_t>(
+                            config.target_completions)));
+  service.set("max_pending", json::Value(static_cast<std::int64_t>(
+                                 config.max_pending)));
+  service.set("submit_depth", json::Value(static_cast<std::int64_t>(
+                                  config.submit_depth)));
+  json::Array classes;
+  for (const ServiceClassConfig& cls : config.classes) {
+    json::Object entry;
+    entry.set("rate_limit_per_sec", json::Value(cls.rate_limit_per_sec));
+    entry.set("burst", json::Value(cls.burst));
+    entry.set("weight", json::Value(cls.weight));
+    classes.push_back(json::Value(std::move(entry)));
+  }
+  service.set("classes", json::Value(std::move(classes)));
+  service.set("snapshot_interval_ms",
+              json::Value(sim::to_ms(config.snapshot_interval)));
+  service.set("snapshot_window", json::Value(static_cast<std::int64_t>(
+                                     config.snapshot_window)));
+  root.as_object().set("service", json::Value(std::move(service)));
+  return root;
 }
 
 }  // namespace tsu::core

@@ -33,11 +33,25 @@
 //   { "kind": "exponential", "mean_ms": 1.0 }
 //   { "kind": "lognormal",   "median_ms": 1.0, "sigma": 0.5 }
 //   { "kind": "pareto",      "lo_ms": 0.5, "hi_ms": 50.0, "alpha": 1.3 }
+//
+// A service document (service_config_from_json) reuses the executor schema
+// at the top level and adds one "service" object carrying the open-loop
+// knobs (core/service.hpp):
+//   "service": {
+//     "flows": 8, "pool_switches": 48, "alternate_directions": true,
+//     "rate_per_sec": 2000,
+//     "trace_us": [100, 250, ...], "trace_cycle": true,
+//     "horizon_ms": 0, "target": 0,
+//     "max_pending": 1024, "submit_depth": 0,
+//     "classes": [ { "rate_limit_per_sec": 0, "burst": 1, "weight": 1 } ],
+//     "snapshot_interval_ms": 0, "snapshot_window": 64
+//   }
 #pragma once
 
 #include <string_view>
 
 #include "tsu/core/executor.hpp"
+#include "tsu/core/service.hpp"
 #include "tsu/json/json.hpp"
 #include "tsu/util/status.hpp"
 
@@ -53,5 +67,14 @@ Result<ExecutorConfig> config_from_json(const json::Value& value);
 
 // Round-trip support: renders a config back to JSON (compact).
 json::Value config_to_json(const ExecutorConfig& config);
+
+// Parses a service document: executor fields at the top level plus the
+// optional "service" block above. Fields not present keep ServiceConfig
+// defaults; unknown keys (either level) are rejected.
+Result<ServiceConfig> service_config_from_json(std::string_view text);
+Result<ServiceConfig> service_config_from_json(const json::Value& value);
+
+// Renders the service document (executor fields + "service" block).
+json::Value service_config_to_json(const ServiceConfig& config);
 
 }  // namespace tsu::core

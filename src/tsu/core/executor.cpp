@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <unordered_map>
 
+#include "tsu/core/service.hpp"
 #include "tsu/sim/sharded.hpp"
 #include "tsu/sim/simulator.hpp"
 #include "tsu/sim/thread_pool.hpp"
+#include "tsu/topo/instances.hpp"
 #include "tsu/topo/partition.hpp"
+#include "tsu/update/schedulers.hpp"
 #include "tsu/util/log.hpp"
 
 namespace tsu::core {
@@ -421,11 +426,16 @@ Result<EngineOutput> run_engine(
   for (const EngineRequest& r : requests)
     key_flows.push_back(r.request.flow);
 
-  // Stop injecting `drain` after the last update completes.
-  std::size_t done_count = 0;
+  // Collect completions as they happen (the controller's own retained
+  // window is a bounded ring, so a closed-loop run with more requests than
+  // the ring capacity must not read results back from it), and stop
+  // injecting `drain` after the last update completes.
+  std::vector<controller::UpdateMetrics> done_metrics;
+  done_metrics.reserve(requests.size());
   harness.ctrl->set_on_update_done(
-      [&](const controller::UpdateMetrics&) {
-        if (++done_count != requests.size()) return;
+      [&](const controller::UpdateMetrics& metrics) {
+        done_metrics.push_back(metrics);
+        if (done_metrics.size() != requests.size()) return;
         // Give in-flight packets and the monitor a drain window.
         // (set_stop is monotone: injection checks the new bound.)
         for (auto& source : sources)
@@ -484,15 +494,14 @@ Result<EngineOutput> run_engine(
           std::chrono::steady_clock::now() - wall_start)
           .count();
 
-  if (!harness.ctrl->idle() ||
-      harness.ctrl->completed().size() != requests.size())
+  if (!harness.ctrl->idle() || done_metrics.size() != requests.size())
     return make_error(Errc::kFailedPrecondition,
                       "simulation drained before all updates completed");
 
   // Completion order need not match submission order when updates run
   // concurrently; route metrics back to their request by key flow.
   std::unordered_map<FlowId, const controller::UpdateMetrics*> by_flow;
-  for (const controller::UpdateMetrics& m : harness.ctrl->completed())
+  for (const controller::UpdateMetrics& m : done_metrics)
     by_flow[m.flow] = &m;
 
   EngineOutput out;
@@ -755,6 +764,393 @@ Result<MixedExecutionResult> execute_mixed(
   result.final_state_digest = out.value().state_digest;
   result.initial_state_digest = out.value().initial_digest;
   result.makespan = out.value().makespan;
+  return result;
+}
+
+Result<ServiceResult> execute_service(const ServiceConfig& config) {
+  ExecutorConfig exec = config.exec;
+  // Consecutive updates of one template share a rule footprint and MUST
+  // serialize, or a later submission races the earlier one's rounds and
+  // leaves the data plane inconsistent (the reverse direction assumes the
+  // forward update's end state). Blind admission cannot give that
+  // guarantee, so service mode upgrades it to the conflict DAG.
+  if (exec.controller.admission == controller::AdmissionPolicy::kBlind)
+    exec.controller.admission = controller::AdmissionPolicy::kConflictAware;
+  if (config.flows == 0)
+    return make_error(Errc::kInvalidArgument, "need at least one template");
+  if (config.classes.empty() || config.classes.size() > 256)
+    return make_error(Errc::kInvalidArgument,
+                      "priority class count must be in [1, 256]");
+  if (config.max_pending == 0)
+    return make_error(Errc::kInvalidArgument,
+                      "max_pending must be at least 1");
+  const bool bounded_trace = !config.trace.empty() && !config.trace_cycle;
+  if (config.horizon == 0 && config.target_completions == 0 && !bounded_trace)
+    return make_error(Errc::kInvalidArgument,
+                      "service needs a horizon, a completion target, or a "
+                      "non-cycling trace - arrivals would never stop");
+  if (config.trace.empty() && !(config.arrival_rate_per_sec > 0))
+    return make_error(Errc::kInvalidArgument,
+                      "arrival rate must be positive");
+  if (!exec.faults.empty())
+    return make_error(Errc::kInvalidArgument,
+                      "fault injection is not supported in service mode");
+  if (exec.controller.shards > proto::kMaxXidShards)
+    return make_error(Errc::kOutOfRange, "shards must be in [1, 256]");
+  double total_weight = 0;
+  for (const ServiceClassConfig& cls : config.classes)
+    total_weight += std::max(0.0, cls.weight);
+  if (!(total_weight > 0))
+    return make_error(Errc::kInvalidArgument,
+                      "class weights must sum to a positive value");
+
+  topo::ArrivalProcess arrivals =
+      !config.trace.empty()
+          ? topo::ArrivalProcess::trace(config.trace, config.trace_cycle)
+          : topo::ArrivalProcess::poisson(config.arrival_rate_per_sec);
+
+  // Template pool: forward (old -> new) schedules, plus the reverse
+  // direction planned once up front when alternation is on. Submission
+  // flips per template, and same-template requests share a rule footprint,
+  // so admission serializes them in arrival order - the data plane always
+  // transitions from the state the submitted direction assumes.
+  Result<topo::PlannedPoolWorkload> pool_result =
+      topo::planned_pool_workload(config.flows, config.pool_switches);
+  if (!pool_result.ok()) return pool_result.error();
+  topo::PlannedPoolWorkload pool = std::move(pool_result).value();
+
+  std::vector<update::Instance> rev_instances;
+  std::vector<update::Schedule> rev_schedules;
+  if (config.alternate_directions) {
+    rev_instances.reserve(pool.instances.size());
+    rev_schedules.reserve(pool.instances.size());
+    for (const update::Instance& inst : pool.instances) {
+      Result<update::Instance> rev = update::Instance::make(
+          inst.new_path(), inst.old_path(), inst.waypoint());
+      if (!rev.ok()) return rev.error();
+      Result<update::Schedule> sched = update::plan_peacock(rev.value());
+      if (!sched.ok()) return sched.error();
+      rev_instances.push_back(std::move(rev).value());
+      rev_schedules.push_back(std::move(sched).value());
+    }
+  }
+
+  std::size_t node_count = 0;
+  for (const update::Instance* inst : pool.instance_ptrs)
+    node_count = std::max(node_count, inst->node_count());
+  const std::size_t shard_count =
+      exec.controller.shards == 0 ? 1 : exec.controller.shards;
+  const std::vector<topo::SwitchAffinity> affinity =
+      affinity_edges(pool.instance_ptrs);
+  topo::SwitchPartition partition =
+      exec.controller.partition == topo::PartitionScheme::kGreedyCut
+          ? topo::make_greedy_cut_partition(shard_count, node_count, affinity)
+          : topo::SwitchPartition(shard_count, exec.controller.partition,
+                                  node_count);
+
+  Harness harness(exec, exec.controller, std::move(partition));
+  for (const update::Instance* inst : pool.instance_ptrs)
+    add_instance_switches(harness, *inst, exec);
+  for (std::size_t i = 0; i < pool.instances.size(); ++i)
+    harness.install_initial(pool.instances[i], exec.flow + i, exec.priority);
+
+  // bucket_width 0: aggregate outcome counts only. An open-loop horizon is
+  // unbounded, so the per-bucket timeline must stay disabled.
+  dataplane::MultiFlowMonitor monitors(0);
+  std::vector<std::unique_ptr<dataplane::TrafficSource>> sources =
+      make_sources(harness, monitors, pool.instance_ptrs, exec);
+
+  // Forked AFTER every per-switch/per-source fork so the control-plane
+  // streams match a run with different service parameters.
+  Rng service_rng = harness.rng.fork();
+
+  const std::size_t class_count = config.classes.size();
+  struct PendingRequest {
+    std::size_t tmpl = 0;
+    sim::SimTime arrived = 0;
+  };
+  std::vector<std::deque<PendingRequest>> pending(class_count);
+  std::size_t pending_total = 0;
+  std::vector<double> tokens(class_count);
+  std::vector<sim::SimTime> refilled(class_count, 0);
+  for (std::size_t c = 0; c < class_count; ++c)
+    tokens[c] = std::max(1.0, config.classes[c].burst);
+  std::vector<std::uint64_t> flip(config.flows, 0);
+
+  ServiceStats stats;
+  stats.by_class.resize(class_count);
+  sim::SimTime last_completion = 0;
+  bool arrivals_done = false;
+  bool pump_timer = false;
+  bool pumping = false;
+
+  std::size_t depth_limit = config.submit_depth;
+  if (depth_limit == 0) {
+    const std::size_t mif =
+        exec.controller.max_in_flight == 0 ? 1 : exec.controller.max_in_flight;
+    depth_limit = mif > (std::size_t{1} << 20)
+                      ? (std::size_t{1} << 20)
+                      : 2 * mif * shard_count;
+  }
+
+  const auto controller_depth = [&]() {
+    return harness.ctrl->queued() + harness.ctrl->in_flight();
+  };
+
+  const auto pick_class = [&]() -> std::uint8_t {
+    if (class_count == 1) return 0;
+    double r = service_rng.uniform01() * total_weight;
+    for (std::size_t c = 0; c < class_count; ++c) {
+      r -= std::max(0.0, config.classes[c].weight);
+      if (r < 0) return static_cast<std::uint8_t>(c);
+    }
+    return static_cast<std::uint8_t>(class_count - 1);
+  };
+
+  const auto submit_one = [&](std::size_t cls) {
+    const PendingRequest p = pending[cls].front();
+    pending[cls].pop_front();
+    --pending_total;
+    const bool reverse = config.alternate_directions && (flip[p.tmpl] & 1);
+    ++flip[p.tmpl];
+    const update::Instance& inst =
+        reverse ? rev_instances[p.tmpl] : pool.instances[p.tmpl];
+    const update::Schedule& sched =
+        reverse ? rev_schedules[p.tmpl] : pool.schedules[p.tmpl];
+    controller::UpdateRequest req = controller::request_from_schedule(
+        inst, sched, static_cast<FlowId>(exec.flow + p.tmpl), exec.priority,
+        exec.interval);
+    req.priority_class = static_cast<std::uint8_t>(cls);
+    req.enqueued = p.arrived;
+    harness.ctrl->submit(std::move(req));
+    ++stats.submitted;
+    ++stats.by_class[cls].submitted;
+  };
+
+  // Releases pending requests into the controller: strict priority (class
+  // 0 first, FIFO within a class) up to depth_limit, honouring each
+  // class's token bucket. A throttled class defers its head-of-line
+  // request and the scan moves on, so rate-limited high-priority traffic
+  // never starves unlimited lower classes.
+  std::function<void()> pump_fn;
+  const auto schedule_pump = [&](sim::Duration delay) {
+    if (pump_timer) return;
+    pump_timer = true;
+    harness.sim.schedule_on(0, delay, [&]() {
+      pump_timer = false;
+      pump_fn();
+    });
+  };
+  pump_fn = [&]() {
+    if (pumping) return;  // submit can complete and re-enter synchronously
+    pumping = true;
+    const sim::SimTime now = harness.sim.now();
+    bool want_timer = false;
+    sim::Duration timer_delay = 0;
+    bool progress = true;
+    while (progress && pending_total > 0 && controller_depth() < depth_limit) {
+      progress = false;
+      for (std::size_t c = 0; c < class_count; ++c) {
+        if (pending[c].empty()) continue;
+        const ServiceClassConfig& cls = config.classes[c];
+        if (cls.rate_limit_per_sec > 0) {
+          const double cap = std::max(1.0, cls.burst);
+          tokens[c] = std::min(
+              cap, tokens[c] + static_cast<double>(now - refilled[c]) *
+                                   cls.rate_limit_per_sec / 1e9);
+          refilled[c] = now;
+          if (tokens[c] < 1) {
+            ++stats.throttled;
+            ++stats.by_class[c].throttled;
+            const sim::Duration wait =
+                static_cast<sim::Duration>((1 - tokens[c]) * 1e9 /
+                                           cls.rate_limit_per_sec) +
+                1;
+            if (!want_timer || wait < timer_delay) {
+              want_timer = true;
+              timer_delay = wait;
+            }
+            continue;
+          }
+          tokens[c] -= 1;
+        }
+        submit_one(c);
+        progress = true;
+        break;  // restart from class 0: strict priority
+      }
+    }
+    stats.peak_controller_depth =
+        std::max(stats.peak_controller_depth, controller_depth());
+    if (want_timer && pending_total > 0) schedule_pump(timer_delay);
+    pumping = false;
+  };
+
+  // Once arrivals have stopped and every accepted request completed, give
+  // in-flight packets a drain window; with traffic off the event queue
+  // simply empties.
+  const auto maybe_finish = [&]() {
+    if (!arrivals_done || pending_total != 0 ||
+        stats.submitted != stats.completed)
+      return;
+    for (auto& source : sources)
+      if (source) source->set_stop(harness.sim.now() + exec.drain);
+  };
+  const auto finish_arrivals = [&]() {
+    arrivals_done = true;
+    maybe_finish();
+  };
+
+  std::function<void()> arrival_fn;
+  const auto schedule_next_arrival = [&]() {
+    if (config.target_completions != 0 &&
+        stats.accepted >= config.target_completions) {
+      finish_arrivals();
+      return;
+    }
+    if (arrivals.exhausted()) {
+      finish_arrivals();
+      return;
+    }
+    const sim::Duration gap = arrivals.next_gap(service_rng);
+    if (config.horizon != 0 && harness.sim.now() + gap > config.horizon) {
+      finish_arrivals();
+      return;
+    }
+    harness.sim.schedule_on(0, gap, [&]() { arrival_fn(); });
+  };
+  arrival_fn = [&]() {
+    const std::uint8_t cls = pick_class();
+    ++stats.arrivals;
+    ++stats.by_class[cls].arrivals;
+    if (pending_total >= config.max_pending) {
+      // Load shedding: a full pending queue rejects, never buffers - the
+      // bound that keeps overload memory flat.
+      ++stats.rejected;
+      ++stats.by_class[cls].rejected;
+    } else {
+      pending[cls].push_back(
+          PendingRequest{service_rng.index(config.flows), harness.sim.now()});
+      ++pending_total;
+      ++stats.accepted;
+      ++stats.by_class[cls].accepted;
+      stats.peak_pending = std::max(stats.peak_pending, pending_total);
+    }
+    pump_fn();
+    schedule_next_arrival();
+  };
+
+  harness.ctrl->set_on_update_done(
+      [&](const controller::UpdateMetrics& metrics) {
+        ++stats.completed;
+        if (metrics.aborted) ++stats.aborted;
+        if (metrics.priority_class < class_count)
+          ++stats.by_class[metrics.priority_class].completed;
+        last_completion = std::max(last_completion, metrics.finished);
+        pump_fn();
+        maybe_finish();
+      });
+
+  // Live snapshot feed: a bounded ring of the last snapshot_window
+  // snapshots; the event stops rescheduling itself once the run is done,
+  // so it never keeps the simulation alive.
+  std::vector<ServiceSnapshot> snap_ring;
+  std::size_t snap_next = 0;
+  std::uint64_t snap_prev_completed = 0;
+  std::function<void()> snapshot_fn;
+  if (config.snapshot_interval > 0 && config.snapshot_window > 0) {
+    snap_ring.reserve(config.snapshot_window);
+    snapshot_fn = [&]() {
+      ServiceSnapshot s;
+      s.at = harness.sim.now();
+      s.arrivals = stats.arrivals;
+      s.accepted = stats.accepted;
+      s.rejected = stats.rejected;
+      s.submitted = stats.submitted;
+      s.completed = stats.completed;
+      s.pending = pending_total;
+      s.controller_depth = controller_depth();
+      s.steady_state_entries = harness.ctrl->steady_state_entries();
+      s.window_throughput_per_sec =
+          static_cast<double>(stats.completed - snap_prev_completed) * 1e9 /
+          static_cast<double>(config.snapshot_interval);
+      snap_prev_completed = stats.completed;
+      const controller::CompletionStats& cs =
+          harness.ctrl->completions().stats();
+      if (cs.count > 0) {
+        s.p50_duration_ms = cs.duration_ns.quantile(0.5) / 1e6;
+        s.p99_duration_ms = cs.duration_ns.quantile(0.99) / 1e6;
+        s.p50_wait_ms = cs.wait_ns.quantile(0.5) / 1e6;
+        s.p99_wait_ms = cs.wait_ns.quantile(0.99) / 1e6;
+      }
+      if (snap_ring.size() < config.snapshot_window) {
+        snap_ring.push_back(s);
+      } else {
+        snap_ring[snap_next] = s;
+        snap_next = (snap_next + 1) % config.snapshot_window;
+      }
+      if (config.on_snapshot) config.on_snapshot(s);
+      if (!(arrivals_done && pending_total == 0 &&
+            stats.submitted == stats.completed))
+        harness.sim.schedule_on(0, config.snapshot_interval,
+                                [&]() { snapshot_fn(); });
+    };
+    harness.sim.schedule_on(0, config.snapshot_interval,
+                            [&]() { snapshot_fn(); });
+  }
+
+  if (config.tune) config.tune(*harness.ctrl);
+
+  for (auto& source : sources)
+    if (source) source->start();
+  schedule_next_arrival();
+
+  const bool parallel = exec.controller.exec == sim::ExecMode::kParallel;
+  const std::size_t pool_threads =
+      !parallel ? 1
+      : exec.controller.threads != 0
+          ? std::min(exec.controller.threads, harness.sim.shard_count())
+          : std::min(harness.sim.shard_count(),
+                     sim::ThreadPool::hardware_threads());
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (parallel) {
+    sim::ThreadPool thread_pool(pool_threads);
+    harness.sim.run_parallel(thread_pool, cross_shard_lookahead(exec));
+  } else {
+    harness.sim.run();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  if (!harness.ctrl->idle() || stats.submitted != stats.completed ||
+      pending_total != 0)
+    return make_error(Errc::kFailedPrecondition,
+                      "service drained with work outstanding");
+
+  ServiceResult result;
+  const controller::CompletionLog& log = harness.ctrl->completions();
+  result.completions = log.stats();
+  if (!log.recent().empty()) {
+    result.recent.reserve(log.recent().size());
+    for (std::size_t i = log.recent().size(); i-- > 0;)
+      result.recent.push_back(log.recent_back(i));  // oldest -> newest
+  }
+  result.traffic = monitors.aggregate();
+  if (!snap_ring.empty()) {
+    result.snapshots.reserve(snap_ring.size());
+    for (std::size_t i = 0; i < snap_ring.size(); ++i)
+      result.snapshots.push_back(
+          snap_ring[(snap_next + i) % snap_ring.size()]);
+  }
+  result.steady_state_entries_final = harness.ctrl->steady_state_entries();
+  result.final_state_digest = final_state_digest(harness);
+  result.sim_duration = last_completion;
+  result.wall_ms = wall_ms;
+  result.frames_sent = harness.total_frames();
+  for (std::size_t s = 0; s < harness.ctrl->shard_count(); ++s)
+    result.retired_xids += harness.ctrl->shard(s).engine().retired_xids();
+  result.stats = std::move(stats);
   return result;
 }
 

@@ -47,6 +47,10 @@ void ConsistencyMonitor::record(sim::SimTime at, PacketOutcome outcome) {
     case PacketOutcome::kTtlExpired: ++report_.ttl_expired; break;
     case PacketOutcome::kFaultDropped: ++report_.fault_dropped; break;
   }
+  // bucket_width == 0 disables the timeline: the open-loop service mode
+  // runs unbounded sim horizons where a per-bucket vector would grow
+  // without limit (and at / 0 would fault).
+  if (bucket_width_ == 0) return;
   const std::size_t bucket = static_cast<std::size_t>(at / bucket_width_);
   if (bucket >= timeline_.size()) timeline_.resize(bucket + 1);
   Bucket& b = timeline_[bucket];

@@ -51,6 +51,9 @@ struct MonitorReport {
 
 class ConsistencyMonitor {
  public:
+  // bucket_width = 0 disables the per-bucket timeline (aggregate counts
+  // only) - required for open-loop runs whose timeline would otherwise
+  // grow with the sim horizon.
   explicit ConsistencyMonitor(sim::Duration bucket_width =
                                   sim::milliseconds(1))
       : bucket_width_(bucket_width) {}

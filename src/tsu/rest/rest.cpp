@@ -227,6 +227,11 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
                           "unknown failure response '" + value.as_string() +
                               "' (wait | rollback)");
       message.failure_response = *response;
+    } else if (key == "priority_class") {
+      if (!value.is_number() || value.as_int() < 0 || value.as_int() > 255)
+        return make_error(Errc::kOutOfRange,
+                          "'priority_class' must be in [0, 255]");
+      message.priority_class = static_cast<std::uint32_t>(value.as_int());
     } else if (key == "max_in_flight") {
       if (!value.is_number() || value.as_int() < 1)
         return make_error(Errc::kOutOfRange, "'max_in_flight' must be >= 1");
@@ -307,6 +312,9 @@ std::string to_json(const RestUpdateMessage& message) {
   if (message.failure_response.has_value())
     root.set("failure_response",
              json::Value(controller::to_string(*message.failure_response)));
+  if (message.priority_class.has_value())
+    root.set("priority_class",
+             json::Value(static_cast<std::int64_t>(*message.priority_class)));
   if (message.max_in_flight.has_value())
     root.set("max_in_flight",
              json::Value(static_cast<std::int64_t>(*message.max_in_flight)));

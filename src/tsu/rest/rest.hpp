@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -67,6 +68,10 @@ struct RestUpdateMessage {
   // does (wait-and-retry or roll back).
   std::optional<double> liveness_timeout_ms;
   std::optional<controller::FailureResponse> failure_response;
+  // Admission priority class for THIS update (0 = highest, served first by
+  // the open-loop service and by the controller's start scan). Unlike the
+  // knobs above it configures the request, not the controller.
+  std::optional<std::uint32_t> priority_class;
 };
 
 // Parses the JSON request body. Unknown body keys are rejected; "add",

@@ -17,6 +17,28 @@ void LogHistogram::add(double x) noexcept {
   ++buckets_[static_cast<std::size_t>(bucket)];
 }
 
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (0-based, nearest-rank with interpolation
+  // inside the bucket).
+  const double rank = q * static_cast<double>(total_ - 1);
+  double seen = static_cast<double>(underflow_);
+  if (rank < seen) return 0.5;  // midpoint of [0, 1)
+  for (int i = 0; i < kBuckets; ++i) {
+    const double count =
+        static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (count == 0.0) continue;
+    if (rank < seen + count) {
+      const double lo = std::ldexp(1.0, i);
+      const double frac = (rank - seen) / count;
+      return lo * (1.0 + frac);  // linear within [2^i, 2^(i+1))
+    }
+    seen += count;
+  }
+  return std::ldexp(1.0, kBuckets);  // rank beyond the last bucket
+}
+
 std::string LogHistogram::to_string() const {
   std::ostringstream out;
   std::uint64_t peak = underflow_;

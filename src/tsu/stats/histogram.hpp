@@ -14,6 +14,12 @@ class LogHistogram {
   void add(double x) noexcept;
 
   std::uint64_t total() const noexcept { return total_; }
+  // Approximate quantile (q in [0, 1]) by rank-walking the buckets and
+  // interpolating linearly inside the winning power-of-two bucket. Exact
+  // enough for p50/p99 trend tracking at a fixed 64-counter footprint -
+  // the streaming-safe alternative to stats::Percentiles, which retains
+  // every sample. Returns 0 for an empty histogram.
+  double quantile(double q) const noexcept;
   // Renders non-empty buckets as "[lo, hi): count" lines with a bar.
   std::string to_string() const;
 

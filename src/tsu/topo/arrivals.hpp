@@ -1,0 +1,72 @@
+// Request arrival processes for the open-loop service mode: instead of
+// submitting a whole workload at warmup and draining (closed loop), the
+// service executor draws successive interarrival gaps from one of these
+// processes and injects update requests into the running engine at the
+// drawn sim times - the offered load is independent of the system's
+// completion rate, which is what makes saturation and backpressure
+// observable.
+//
+// Two families:
+//   - Poisson: i.i.d. exponential gaps with a configured mean rate. The
+//     classic open-loop model; bursty at every timescale.
+//   - Trace: an explicit interarrival list (e.g. replayed from a real
+//     controller log), optionally cycled to extend past its own length.
+//
+// Determinism: a process is a pure function of (its parameters, the Rng
+// stream it is handed), so a seeded service run is reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tsu/sim/distributions.hpp"
+#include "tsu/sim/time.hpp"
+#include "tsu/util/rng.hpp"
+
+namespace tsu::topo {
+
+class ArrivalProcess {
+ public:
+  // Poisson arrivals at `rate_per_sec` requests/second (exponential gaps
+  // with mean 1e9 / rate ns). Requires rate_per_sec > 0.
+  static ArrivalProcess poisson(double rate_per_sec);
+
+  // Deterministic gaps: every gap is exactly `gap` (rate 1/gap). The
+  // smoothest possible offered load at the same mean rate as poisson() -
+  // useful to separate queueing caused by burstiness from queueing caused
+  // by plain overload.
+  static ArrivalProcess uniform_spaced(sim::Duration gap);
+
+  // Trace-driven: gap i is interarrivals[i]. When `cycle` the list repeats
+  // from the start after its last entry; otherwise the process is
+  // exhausted once the list runs out. Requires a non-empty list.
+  static ArrivalProcess trace(std::vector<sim::Duration> interarrivals,
+                              bool cycle = true);
+
+  // The next interarrival gap. Must not be called when exhausted().
+  sim::Duration next_gap(Rng& rng);
+
+  // True once a non-cycling trace has produced every entry. Poisson,
+  // uniform and cycling-trace processes never exhaust.
+  bool exhausted() const noexcept;
+
+  // Mean offered rate in requests/second (trace: over one pass).
+  double rate_per_sec() const noexcept;
+
+  // Number of gaps produced so far.
+  std::uint64_t produced() const noexcept { return produced_; }
+
+ private:
+  enum class Kind : unsigned char { kPoisson, kUniform, kTrace };
+
+  ArrivalProcess() = default;
+
+  Kind kind_ = Kind::kPoisson;
+  sim::LatencyModel gap_model_;            // kPoisson / kUniform
+  std::vector<sim::Duration> trace_;       // kTrace
+  bool cycle_ = true;
+  std::size_t trace_pos_ = 0;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace tsu::topo

@@ -11,6 +11,14 @@
 // malloc layer underneath) and bump a relaxed atomic counter. Counting is
 // process-wide: measurements must bracket a window where only the code
 // under test runs.
+//
+// On glibc the hooks additionally track live heap bytes: every new adds
+// malloc_usable_size() of the block, every delete subtracts it. The soak
+// test uses live_bytes() as a steady-state watermark - a leak shows up as
+// monotonic growth window-over-window even when allocation *counts* look
+// flat (e.g. a container that keeps growing in-place). Where
+// malloc_usable_size is unavailable the byte counters read 0 and callers
+// must skip watermark assertions.
 #pragma once
 
 #include <atomic>
@@ -19,13 +27,52 @@
 #include <cstdlib>
 #include <new>
 
+#if defined(__has_include)
+#if __has_include(<malloc.h>) && defined(__GLIBC__)
+#define TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE 1
+#include <malloc.h>
+#endif
+#endif
+#ifndef TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE
+#define TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE 0
+#endif
+
 namespace tsu::alloc_hooks {
 
 inline std::atomic<std::uint64_t> g_allocations{0};
+inline std::atomic<std::uint64_t> g_live_bytes{0};
 
 // Total operator-new calls since process start.
 inline std::uint64_t allocations() noexcept {
   return g_allocations.load(std::memory_order_relaxed);
+}
+
+// Bytes currently allocated through operator new (usable sizes, glibc
+// only - 0 elsewhere). Process-wide, so bracket a quiesced window.
+inline std::uint64_t live_bytes() noexcept {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+
+// True when live_bytes() actually tracks the heap (glibc).
+inline constexpr bool tracks_live_bytes() noexcept {
+  return TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE != 0;
+}
+
+inline void note_alloc(void* p) noexcept {
+#if TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE
+  g_live_bytes.fetch_add(malloc_usable_size(p), std::memory_order_relaxed);
+#else
+  (void)p;
+#endif
+}
+
+inline void note_free(void* p) noexcept {
+#if TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE
+  if (p != nullptr)
+    g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+#else
+  (void)p;
+#endif
 }
 
 inline void* counted_alloc(std::size_t size) {
@@ -33,6 +80,7 @@ inline void* counted_alloc(std::size_t size) {
   if (size == 0) size = 1;
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
+  note_alloc(p);
   return p;
 }
 
@@ -43,7 +91,13 @@ inline void* counted_alloc_aligned(std::size_t size, std::size_t align) {
   const std::size_t rounded = (size + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded);
   if (p == nullptr) throw std::bad_alloc();
+  note_alloc(p);
   return p;
+}
+
+inline void counted_free(void* p) noexcept {
+  note_free(p);
+  std::free(p);
 }
 
 }  // namespace tsu::alloc_hooks
@@ -77,19 +131,29 @@ void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
   }
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { tsu::alloc_hooks::counted_free(p); }
+void operator delete[](void* p) noexcept { tsu::alloc_hooks::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  tsu::alloc_hooks::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  tsu::alloc_hooks::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  tsu::alloc_hooks::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  tsu::alloc_hooks::counted_free(p);
+}
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  tsu::alloc_hooks::counted_free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
+  tsu::alloc_hooks::counted_free(p);
 }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  tsu::alloc_hooks::counted_free(p);
+}
 void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
+  tsu::alloc_hooks::counted_free(p);
 }

@@ -289,6 +289,44 @@ TEST(AdmissionQueueTest, LivenessUnderRandomizedArrivalAndCompletion) {
   }
 }
 
+TEST(AdmissionQueueTest, RuleIndexStaysPrunedOverManyCycles) {
+  // release()/release_rules() prune empty by-switch index buckets; a
+  // service-style run cycling requests over a rotating switch set must
+  // return the index to empty at every drained instant, or steady-state
+  // memory would grow with the number of distinct switches ever touched.
+  AdmissionQueue q(AdmissionPolicy::kConflictAware);
+  for (std::uint64_t cycle = 0; cycle < 2000; ++cycle) {
+    const AdmissionQueue::Id id = cycle + 1;
+    const NodeId base = static_cast<NodeId>((cycle % 97) * 3);
+    EXPECT_TRUE(q.submit(
+        id, flow_on_nodes(static_cast<FlowId>(cycle % 5),
+                          {base, static_cast<NodeId>(base + 1),
+                           static_cast<NodeId>(base + 2)})));
+    q.release(id);
+    ASSERT_EQ(q.live(), 0u);
+    ASSERT_EQ(q.index_switches(), 0u);
+    ASSERT_EQ(q.index_rules(), 0u);
+  }
+  // Overlapping lifetimes, released in both orders.
+  AdmissionQueue::Id next = 1;
+  for (std::uint64_t cycle = 0; cycle < 500; ++cycle) {
+    const AdmissionQueue::Id a = next++;
+    const AdmissionQueue::Id b = next++;
+    q.submit(a, flow_on_nodes(1, {1, 2}));
+    q.submit(b, flow_on_nodes(1, {2, 3}));  // conflicts with a on node 2
+    if (cycle % 2 == 0) {
+      q.release(a);
+      q.release(b);
+    } else {
+      q.release(b);
+      q.release(a);
+    }
+    ASSERT_EQ(q.live(), 0u);
+    ASSERT_EQ(q.index_switches(), 0u);
+    ASSERT_EQ(q.index_rules(), 0u);
+  }
+}
+
 // ------------------------------------------- controller-level admission --
 
 struct TestBed {

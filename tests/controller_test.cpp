@@ -356,5 +356,97 @@ TEST(ControllerTest, XidWrapKeepsTimedOutXidsUnrecycled) {
   EXPECT_EQ(bed.ctrl.retries(), crash_retries);  // no new retries post-wrap
 }
 
+TEST(CompletionLogTest, StreamsAggregatesAndKeepsBoundedRing) {
+  CompletionLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    UpdateMetrics m;
+    m.name = "u" + std::to_string(i);
+    m.flow = 1;
+    m.enqueued = static_cast<sim::SimTime>(i * 10);
+    m.submitted = m.enqueued;
+    m.started = m.enqueued + 2;
+    m.finished = m.enqueued + 7;
+    m.flow_mods_sent = 2;
+    m.barriers_sent = 1;
+    m.rounds.resize(3);
+    log.record(std::move(m));
+  }
+  EXPECT_EQ(log.count(), 10u);
+  EXPECT_TRUE(log.wrapped());
+  EXPECT_EQ(log.recent().size(), 4u);       // bounded despite 10 records
+  EXPECT_EQ(log.recent_back(0).name, "u9");  // newest
+  EXPECT_EQ(log.recent_back(3).name, "u6");  // oldest retained
+  // Streaming aggregates still cover ALL 10 completions.
+  const CompletionStats& stats = log.stats();
+  EXPECT_EQ(stats.flow_mods_sent, 20u);
+  EXPECT_EQ(stats.barriers_sent, 10u);
+  EXPECT_EQ(stats.rounds, 30u);
+  EXPECT_EQ(stats.first_finished, 7u);
+  EXPECT_EQ(stats.last_finished, 97u);
+  EXPECT_EQ(stats.duration_ms.count(), 10u);
+  EXPECT_DOUBLE_EQ(stats.duration_ms.mean(), 5.0 / 1e6);
+  EXPECT_EQ(stats.aborted, 0u);
+}
+
+TEST(CompletionLogTest, BelowCapacityKeepsFullHistoryInOrder) {
+  // The closed-loop compatibility contract: until the ring wraps,
+  // recent() is the complete history in completion order - exactly what
+  // the old append-only vector exposed.
+  CompletionLog log;  // default capacity 256
+  for (int i = 0; i < 8; ++i) {
+    UpdateMetrics m;
+    m.name = "u" + std::to_string(i);
+    log.record(std::move(m));
+  }
+  EXPECT_FALSE(log.wrapped());
+  ASSERT_EQ(log.recent().size(), 8u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(log.recent()[i].name, "u" + std::to_string(i));
+}
+
+TEST(ControllerTest, SteadyStateEntriesReturnToZeroAfterDrain) {
+  // The leak detector behind the soak test: every per-xid / per-update map
+  // must erase on every path, so a drained controller holds zero entries.
+  TestBed bed;
+  bed.add_switch(1);
+  bed.add_switch(2);
+  for (int i = 0; i < 6; ++i) {
+    UpdateRequest request;
+    request.name = "drain";
+    request.flow = 1;
+    request.rounds = {{op(1, 1, 2), op(2, 1, 3)}};
+    bed.ctrl.submit(request);
+  }
+  EXPECT_GT(bed.ctrl.steady_state_entries(), 0u);  // live while queued
+  bed.sim.run();
+  EXPECT_TRUE(bed.ctrl.idle());
+  EXPECT_EQ(bed.ctrl.steady_state_entries(), 0u);
+}
+
+TEST(ControllerTest, SteadyStateEntriesFlatAcrossCrashRecovery) {
+  // The timeout -> retry -> resync path allocates tracking entries in
+  // several maps (liveness timers, resync waiting, barrier routing); all
+  // of them must be erased once recovery completes.
+  ControllerConfig config;
+  config.liveness_timeout = sim::milliseconds(40);
+  TestBed bed(config);
+  bed.add_switch(1);
+  bed.add_switch(2);
+  UpdateRequest request;
+  request.name = "crash";
+  request.flow = 1;
+  request.rounds = {{op(1, 1, 2), op(2, 1, 3)}};
+  bed.ctrl.submit(request);
+  bed.sim.schedule_at(sim::microseconds(1500),
+                      [&]() { bed.switches.at(2)->crash(true); });
+  bed.sim.schedule_at(sim::milliseconds(60),
+                      [&]() { bed.switches.at(2)->restart(); });
+  bed.sim.run();
+  EXPECT_TRUE(bed.ctrl.idle());
+  ASSERT_EQ(bed.ctrl.completed().size(), 1u);
+  EXPECT_GE(bed.ctrl.retries(), 1u);
+  EXPECT_EQ(bed.ctrl.steady_state_entries(), 0u);
+}
+
 }  // namespace
 }  // namespace tsu::controller

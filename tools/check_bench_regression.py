@@ -10,8 +10,10 @@ document that binary writes with --json:
     { "bench_queue": {...}, "bench_multi_policy": {...} }
 
 Each fresh document is matched to its baseline section by the document's
-"bench" identifier string. Only the "hotpath" object of each document is
-gated; everything else in the JSON is trajectory data for humans:
+"bench" identifier string. Two objects of each document are gated;
+everything else in the JSON is trajectory data for humans.
+
+The "hotpath" object:
 
   * <scenario>.ns_per_event      fails when the fresh value exceeds the
                                  baseline by more than the tolerance
@@ -26,6 +28,20 @@ gated; everything else in the JSON is trajectory data for humans:
                                  creeping back into the hot path trips
                                  the gate exactly.
 
+The "open_loop" array (entries matched by "label"):
+
+  * sustained_per_sec            fails when fresh throughput falls below
+                                 the baseline by more than the tolerance.
+                                 It is sim-time throughput - deterministic
+                                 per seed - so any drop is a real service
+                                 regression, not runner noise.
+  * steady_state_entries_final   fails on ANY increase. A drained service
+                                 leaves zero per-update map entries; a
+                                 nonzero value is a leak.
+
+A baseline section without "open_loop" passes with a note (pre-service
+baselines stay green until regenerated).
+
 Exit status: 0 when every gated metric holds, 1 on regression or malformed
 input. Scenarios present in only one side are reported (new scenarios
 pass; scenarios dropped from the fresh run fail - a silently skipped
@@ -38,6 +54,8 @@ import sys
 
 NS_KEY = "ns_per_event"
 ALLOC_KEY = "steady_allocs"
+THROUGHPUT_KEY = "sustained_per_sec"
+LEFTOVER_KEY = "steady_state_entries_final"
 DEFAULT_TOLERANCE = 0.10
 
 
@@ -112,6 +130,71 @@ def check_document(name, base_doc, fresh_doc, tolerance):
     return failures
 
 
+def by_label(entries):
+    return {
+        e["label"]: e
+        for e in entries
+        if isinstance(e, dict) and isinstance(e.get("label"), str)
+    }
+
+
+def check_open_loop(name, base_doc, fresh_doc, tolerance):
+    """Gates the open-loop service points; returns failure strings."""
+    failures = []
+    base_points = base_doc.get("open_loop")
+    if not isinstance(base_points, list):
+        print(f"  {name}/open_loop: no baseline section - passes; "
+              "regenerate the baseline to start gating it")
+        return failures
+    fresh_points = fresh_doc.get("open_loop")
+    if not isinstance(fresh_points, list):
+        return [f"{name}/open_loop: present in baseline but missing from "
+                "the fresh run"]
+
+    base_map, fresh_map = by_label(base_points), by_label(fresh_points)
+    for label in sorted(set(base_map) | set(fresh_map)):
+        base = base_map.get(label)
+        fresh = fresh_map.get(label)
+        if base is None:
+            print(f"  {name}/open_loop/{label}: new operating point "
+                  "(no baseline) - passes")
+            continue
+        if fresh is None:
+            failures.append(
+                f"{name}/open_loop/{label}: present in baseline but "
+                "missing from the fresh run")
+            continue
+
+        base_tp = base.get(THROUGHPUT_KEY)
+        fresh_tp = fresh.get(THROUGHPUT_KEY)
+        if isinstance(base_tp, (int, float)) and isinstance(
+                fresh_tp, (int, float)) and base_tp > 0:
+            ratio = fresh_tp / base_tp
+            verdict = "ok" if ratio >= 1.0 - tolerance else "REGRESSION"
+            print(f"  {name}/open_loop/{label}: {fresh_tp:.0f} sustained "
+                  f"updates/s vs baseline {base_tp:.0f} "
+                  f"({ratio - 1.0:+.1%}, tolerance -{tolerance:.0%}) "
+                  f"{verdict}")
+            if verdict != "ok":
+                failures.append(
+                    f"{name}/open_loop/{label}: sustained throughput "
+                    f"regressed {base_tp:.0f} -> {fresh_tp:.0f} updates/s "
+                    f"({(ratio - 1.0):.1%} < -{tolerance:.0%})")
+
+        base_left = base.get(LEFTOVER_KEY)
+        fresh_left = fresh.get(LEFTOVER_KEY)
+        if isinstance(base_left, int) and isinstance(fresh_left, int):
+            verdict = "ok" if fresh_left <= base_left else "REGRESSION"
+            print(f"  {name}/open_loop/{label}: {fresh_left} leftover "
+                  f"controller entries vs baseline {base_left} {verdict}")
+            if verdict != "ok":
+                failures.append(
+                    f"{name}/open_loop/{label}: leftover controller "
+                    f"entries after drain {base_left} -> {fresh_left} "
+                    "(per-update state is leaking)")
+    return failures
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
@@ -136,6 +219,8 @@ def main(argv):
         name, base_doc = baseline_section_for(baseline, bench_id, fresh_path)
         print(f"{name} ({fresh_path}):")
         failures.extend(check_document(name, base_doc, fresh_doc, tolerance))
+        failures.extend(
+            check_open_loop(name, base_doc, fresh_doc, tolerance))
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
