@@ -112,6 +112,7 @@ struct Bouncer {
 json::Object hotpath_bench() {
   constexpr std::uint64_t kTicks = 200000;    // per shard
   constexpr std::uint64_t kBounces = 20000;   // cross-shard ring posts
+  const std::uint64_t setup_begin = alloc_hooks::allocations();
   sim::ShardedSim group(2);
   sim::ThreadPool thread_pool(2);
   const sim::Duration lookahead = 10;  // lower-bounds the bounce post delay
@@ -128,6 +129,12 @@ json::Object hotpath_bench() {
   };
   kick();
   group.run_parallel(thread_pool, lookahead);  // warmup run pays first-touch
+  // Everything before this line is setup: construction, pool lanes, event
+  // arenas, ring first-touch. The watermark splits the allocation count
+  // into a paid-once setup figure and the (zero) steady-state figure.
+  alloc_hooks::mark_setup_complete();
+  const std::uint64_t setup_allocs =
+      alloc_hooks::setup_allocations() - setup_begin;
 
   tickers[0].remaining = kTicks;
   tickers[1].remaining = kTicks;
@@ -147,11 +154,12 @@ json::Object hotpath_bench() {
 
   std::printf("\nparallel-epoch hotpath (2 shards, %llu local events + %llu "
               "ring posts):\n  %s ns/event, %llu allocations in the "
-              "measurement window\n",
+              "measurement window (%llu during setup)\n",
               static_cast<unsigned long long>(2 * kTicks),
               static_cast<unsigned long long>(kBounces),
               bench::fmt(ns_per_event).c_str(),
-              static_cast<unsigned long long>(steady_allocs));
+              static_cast<unsigned long long>(steady_allocs),
+              static_cast<unsigned long long>(setup_allocs));
   if (group.overflow_posts() != 0)
     std::fprintf(stderr, "bounce stream overflowed the SPSC rings - the "
                          "measurement includes mutex fallbacks\n");
@@ -162,6 +170,10 @@ json::Object hotpath_bench() {
   entry.set("ns_per_event", json::Value(ns_per_event));
   entry.set("steady_allocs",
             json::Value(static_cast<std::int64_t>(steady_allocs)));
+  // Setup-phase allocations (informational, not gated): the paid-once cost
+  // the alloc_hooks watermark separates from the steady state.
+  entry.set("setup_allocs",
+            json::Value(static_cast<std::int64_t>(setup_allocs)));
   entry.set("ring_overflows",
             json::Value(static_cast<std::int64_t>(group.overflow_posts())));
   hotpath.set("parallel_epoch", json::Value(std::move(entry)));
@@ -564,16 +576,44 @@ bool run(const char* json_path) {
               "(greedy_cut partition, live traffic), %zu hardware threads:\n",
               kBatchFlows, kBatchSwitches,
               sim::ThreadPool::hardware_threads());
-  stats::Table parallel_table({"shards", "exec", "wall ms", "speedup",
-                               "epochs", "stalls", "cut", "makespan ms"});
+  stats::Table parallel_table({"shards", "partition", "exec", "opt",
+                               "wall ms", "speedup", "epochs", "stalls",
+                               "serial frac", "steals", "skips",
+                               "makespan ms"});
   json::Array parallel_json;
-  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+  // Each group runs three modes: the sequential reference (speculation +
+  // stealing knobs ON, so the optimized parallel run is its bit-identical
+  // twin), the plain parallel stepper (opt off - the pre-optimization
+  // engine), and the optimized parallel stepper. The greedy_cut groups
+  // measure the shard-local regime (most epochs, stealing territory); the
+  // hash group - nearly every update cross-shard, nonzero inter-round
+  // interval - measures the serial bottleneck regime, where speculative
+  // round release elides interval timers and local-scope barrier replies
+  // remove sync points. serial_fraction = horizon stalls / total events is
+  // the gated figure (tools/check_bench_regression.py).
+  struct ParallelGroup {
+    std::size_t shards;
+    topo::PartitionScheme partition;
+    sim::Duration interval;
+  };
+  std::vector<ParallelGroup> groups;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u})
+    groups.push_back({shards, topo::PartitionScheme::kGreedyCut, 0});
+  groups.push_back({4, topo::PartitionScheme::kHash, sim::microseconds(300)});
+  for (const ParallelGroup& group : groups) {
     double sequential_wall_ms = 0;
     std::uint64_t sequential_digest = 0;
-    for (const sim::ExecMode exec :
-         {sim::ExecMode::kSequential, sim::ExecMode::kParallel}) {
+    struct Mode {
+      sim::ExecMode exec;
+      bool optimized;
+    };
+    constexpr Mode kModes[] = {{sim::ExecMode::kSequential, true},
+                               {sim::ExecMode::kParallel, false},
+                               {sim::ExecMode::kParallel, true}};
+    for (const Mode mode : kModes) {
       core::ExecutorConfig config;
       config.seed = 4242;
+      config.interval = group.interval;
       config.channel.latency =
           sim::LatencyModel::constant(sim::microseconds(100));
       config.switch_config.install_latency =
@@ -589,10 +629,12 @@ bool run(const char* json_path) {
           controller::AdmissionPolicy::kConflictAware;
       config.controller.batch_mode = controller::BatchMode::kAdaptive;
       config.controller.batch_window = sim::microseconds(300);
-      config.controller.shards = shards;
-      config.controller.partition = topo::PartitionScheme::kGreedyCut;
-      config.controller.exec = exec;
-      config.controller.threads = shards;
+      config.controller.shards = group.shards;
+      config.controller.partition = group.partition;
+      config.controller.exec = mode.exec;
+      config.controller.threads = group.shards;
+      config.controller.speculate = mode.optimized;
+      config.controller.steal = mode.optimized;
       const std::uint64_t allocs_before = alloc_hooks::allocations();
       const Result<core::MultiFlowExecutionResult> run =
           core::execute_multiflow(batch_pool.instance_ptrs,
@@ -601,49 +643,77 @@ bool run(const char* json_path) {
           alloc_hooks::allocations() - allocs_before;
       if (!run.ok()) {
         std::fprintf(stderr, "parallel bench failed for %zu shards %s: %s\n",
-                     shards, sim::to_string(exec),
+                     group.shards, sim::to_string(mode.exec),
                      run.error().to_string().c_str());
         parallel_failed = true;
         continue;
       }
       const core::MultiFlowExecutionResult& result = run.value();
-      if (exec == sim::ExecMode::kSequential) {
+      if (mode.exec == sim::ExecMode::kSequential) {
         sequential_wall_ms = result.sharding.wall_ms;
         sequential_digest = result.final_state_digest;
       } else if (result.final_state_digest != sequential_digest) {
         std::fprintf(stderr,
                      "parallel digest diverged at %zu shards - BENCH BUG\n",
-                     shards);
+                     group.shards);
         parallel_failed = true;
       }
+      std::size_t total_events = 0;
+      for (const std::size_t n : result.sharding.events_per_shard)
+        total_events += n;
+      const double serial_fraction =
+          total_events == 0
+              ? 0.0
+              : static_cast<double>(result.sharding.horizon_stalls) /
+                    static_cast<double>(total_events);
       const double speedup =
-          exec == sim::ExecMode::kSequential || result.sharding.wall_ms <= 0
+          mode.exec == sim::ExecMode::kSequential ||
+                  result.sharding.wall_ms <= 0
               ? 1.0
               : sequential_wall_ms / result.sharding.wall_ms;
+      const bool parallel = mode.exec == sim::ExecMode::kParallel;
       parallel_table.add_row(
-          {std::to_string(shards), sim::to_string(exec),
+          {std::to_string(group.shards), topo::to_string(group.partition),
+           sim::to_string(mode.exec), mode.optimized ? "on" : "off",
            bench::fmt(result.sharding.wall_ms),
-           exec == sim::ExecMode::kSequential ? "-" : bench::fmt(speedup),
+           parallel ? bench::fmt(speedup) : "-",
            std::to_string(result.sharding.parallel_epochs),
            std::to_string(result.sharding.horizon_stalls),
-           std::to_string(result.sharding.partition_cut_weight),
+           parallel ? bench::fmt(serial_fraction) : "-",
+           std::to_string(result.sharding.steals),
+           std::to_string(result.sharding.speculative_releases),
            bench::fmt(result.makespan_ms())});
       json::Object entry;
-      entry.set("shards", json::Value(static_cast<std::int64_t>(shards)));
-      entry.set("exec", json::Value(sim::to_string(exec)));
+      entry.set("shards",
+                json::Value(static_cast<std::int64_t>(group.shards)));
+      entry.set("exec", json::Value(sim::to_string(mode.exec)));
       entry.set("threads", json::Value(static_cast<std::int64_t>(
                                result.sharding.threads)));
       entry.set("hardware_threads",
                 json::Value(static_cast<std::int64_t>(
                     sim::ThreadPool::hardware_threads())));
-      entry.set("partition", json::Value("greedy_cut"));
+      entry.set("partition", json::Value(topo::to_string(group.partition)));
+      entry.set("speculate", json::Value(mode.optimized));
+      entry.set("steal", json::Value(mode.optimized));
       entry.set("wall_ms", json::Value(result.sharding.wall_ms));
-      if (exec == sim::ExecMode::kParallel)
-        entry.set("speedup_vs_sequential", json::Value(speedup));
+      if (parallel) entry.set("speedup_vs_sequential", json::Value(speedup));
       entry.set("parallel_epochs", json::Value(static_cast<std::int64_t>(
                                        result.sharding.parallel_epochs)));
       entry.set("horizon_stalls", json::Value(static_cast<std::int64_t>(
                                       result.sharding.horizon_stalls)));
+      // The gated serial-health figures are parallel-only: a sequential
+      // merge has no waves, so stalls/steals are structurally zero there.
+      if (parallel) {
+        entry.set("serial_fraction", json::Value(serial_fraction));
+        entry.set("steals", json::Value(static_cast<std::int64_t>(
+                                result.sharding.steals)));
+        entry.set("overflow_posts",
+                  json::Value(static_cast<std::int64_t>(
+                      result.sharding.overflow_posts)));
+      }
+      entry.set("speculative_releases",
+                json::Value(static_cast<std::int64_t>(
+                    result.sharding.speculative_releases)));
       entry.set("partition_cut_weight",
                 json::Value(static_cast<std::int64_t>(
                     result.sharding.partition_cut_weight)));

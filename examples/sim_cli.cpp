@@ -51,6 +51,7 @@ void usage() {
                "               [--shards N]\n"
                "               [--partition hash|block|greedy_cut]\n"
                "               [--exec sequential|parallel] [--threads N]\n"
+               "               [--speculate] [--steal]\n"
                "               [--faults FILE.json] [--liveness-ms MS]\n"
                "               [--failure-response wait|rollback]\n"
                "               [--serve] [--rate R] [--duration-ms MS]\n"
@@ -74,6 +75,11 @@ void usage() {
                "  the shard coordinator. --exec parallel steps independent\n"
                "  shards on --threads workers (0 = auto) between safe\n"
                "  horizons - bit-identical results, less wall-clock\n"
+               "  --speculate releases round barriers speculatively for\n"
+               "  updates the admission DAG proves conflict-free and lets\n"
+               "  barrier replies process mid-epoch (needs conflict_aware);\n"
+               "  --steal launches each wave's epochs longest-first so idle\n"
+               "  lanes pick up the heaviest shard backlog\n"
                "  --admission-release round frees a request's conflict\n"
                "  footprint per completed round instead of at completion\n"
                "  --faults replays a serialized FaultSchedule (switch\n"
@@ -152,9 +158,12 @@ int run_multiflow(std::size_t flows, std::size_t switches,
                 result.sharding.partition_cut_weight);
     if (result.sharding.exec == sim::ExecMode::kParallel)
       std::printf("parallel : %zu epochs, %zu horizon stalls, %zu threads, "
-                  "%.1f ms wall\n",
+                  "%zu speculative releases, %zu steals, "
+                  "%zu overflow posts, %.1f ms wall\n",
                   result.sharding.parallel_epochs,
                   result.sharding.horizon_stalls, result.sharding.threads,
+                  result.sharding.speculative_releases,
+                  result.sharding.steals, result.sharding.overflow_posts,
                   result.sharding.wall_ms);
   }
   std::printf("traffic  : %zu packets, %zu bypassed, %zu looped, "
@@ -238,6 +247,8 @@ int main(int argc, char** argv) {
   std::optional<topo::PartitionScheme> partition_flag;
   std::optional<sim::ExecMode> exec_flag;
   std::optional<std::size_t> threads_flag;
+  bool speculate_flag = false;
+  bool steal_flag = false;
   std::optional<sim::FaultSchedule> faults_flag;
   std::optional<double> liveness_ms_flag;
   std::optional<controller::FailureResponse> failure_response_flag;
@@ -374,6 +385,10 @@ int main(int argc, char** argv) {
       const auto n = v != nullptr ? parse_int(v) : std::nullopt;
       if (!n.has_value() || *n < 0) return usage(), 1;
       threads_flag = static_cast<std::size_t>(*n);
+    } else if (arg == "--speculate") {
+      speculate_flag = true;
+    } else if (arg == "--steal") {
+      steal_flag = true;
     } else if (arg == "--faults") {
       const char* v = next();
       if (v == nullptr) return usage(), 1;
@@ -470,6 +485,8 @@ int main(int argc, char** argv) {
     config.controller.partition = *partition_flag;
   if (exec_flag.has_value()) config.controller.exec = *exec_flag;
   if (threads_flag.has_value()) config.controller.threads = *threads_flag;
+  if (speculate_flag) config.controller.speculate = true;
+  if (steal_flag) config.controller.steal = true;
   if (faults_flag.has_value()) config.faults = std::move(*faults_flag);
   if (liveness_ms_flag.has_value())
     config.controller.liveness_timeout = sim::from_ms(*liveness_ms_flag);

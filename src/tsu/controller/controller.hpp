@@ -172,6 +172,20 @@ struct ControllerConfig {
   // Worker threads for exec = parallel; 0 picks
   // min(shards, hardware threads).
   std::size_t threads = 0;
+  // Speculative round barriers for cross-shard updates (shard.hpp): a
+  // sub-request whose footprint the admission DAG proves disjoint from
+  // everything live confirms empty rounds without the pacing interval, and
+  // barrier replies are processed shard-locally mid-epoch (round/resync
+  // completion deferred to the next sync point) instead of stalling the
+  // parallel engine. Requires admission = conflict_aware to ever speculate;
+  // identical event schedules in both exec modes, so the seq/par
+  // equivalence guarantee is preserved. Changes timing versus
+  // speculate = false (rounds confirm earlier), hence off by default.
+  bool speculate = false;
+  // exec = parallel: launch each wave's shard epochs longest-first so idle
+  // pool lanes pick up the heaviest backlog (sharded.hpp set_steal).
+  // Deterministic and digest-neutral; purely a wall-clock knob.
+  bool steal = false;
   // --- fault tolerance (sim/faults.hpp) ---------------------------------
   // Per-switch liveness timeout on outstanding barriers. 0 disables fault
   // handling entirely - no timers, no shadow tables, no resync - keeping
@@ -364,10 +378,23 @@ class Controller {
   // participating shard is admissible AND has a free slot, and then starts
   // all of them in the same instant - atomic capacity acquisition, so two
   // cross-shard updates can never deadlock on partially grabbed slots.
-  void start_coordinated(std::uint64_t token);
+  // `speculative` marks a DAG-proven-disjoint update (every shard's slice
+  // uncontended at start) eligible for speculative round release.
+  void start_coordinated(std::uint64_t token, bool speculative = false);
   // Releases the two-phase round barrier: starts the sub-request's next
-  // round (after the request's inter-round interval).
+  // round (after the request's inter-round interval). A speculative
+  // sub-request whose next round is EMPTY skips the interval and confirms
+  // synchronously - an empty round installs nothing, so pacing it serves
+  // nothing, and each skip removes one interval-timer event (a guaranteed
+  // horizon stall under the parallel engine).
   void release_round(std::uint64_t token);
+  // True while `token` is live here and carries no conflict edge in this
+  // shard's admission DAG slice - the coordinator's speculation gate.
+  bool coordinated_uncontended(std::uint64_t token) const noexcept;
+  // Interval skips taken by speculative round releases.
+  std::size_t speculative_releases() const noexcept {
+    return speculative_releases_;
+  }
 
  private:
   using UpdateId = std::uint64_t;
@@ -378,6 +405,8 @@ class Controller {
     UpdateMetrics metrics;  // carries the submission timestamp
     // Coordinated sub-request: held until the ShardCoordinator starts it.
     bool held = false;
+    // Set at start_coordinated when the whole update is DAG-disjoint.
+    bool speculative = false;
     std::uint64_t token = 0;
   };
 
@@ -389,6 +418,8 @@ class Controller {
     std::size_t waiting = 0;
     // Cross-shard sub-request: rounds gated by the coordinator.
     bool coordinated = false;
+    // DAG-proven disjoint at start: empty rounds release speculatively.
+    bool speculative = false;
     std::uint64_t token = 0;
     // Controller-originated unwind of a rolled-back update: bypasses
     // admission (the aborted update's footprint still covers its rules)
@@ -528,6 +559,7 @@ class Controller {
   std::unordered_map<Xid, sim::EventId> liveness_timers_;
   UpdateId update_counter_ = 1;
   std::size_t max_in_flight_observed_ = 0;
+  std::size_t speculative_releases_ = 0;
   std::size_t messages_coalesced_ = 0;
   std::size_t batches_sent_ = 0;
   std::size_t timer_flushes_ = 0;

@@ -241,6 +241,14 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
       if (!field.is_number() || field.as_int() < 0)
         return make_error(Errc::kOutOfRange, "'threads' must be >= 0");
       config.controller.threads = static_cast<std::size_t>(field.as_int());
+    } else if (key == "speculate") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError, "'speculate' must be a bool");
+      config.controller.speculate = field.as_bool();
+    } else if (key == "steal") {
+      if (!field.is_bool())
+        return make_error(Errc::kParseError, "'steal' must be a bool");
+      config.controller.steal = field.as_bool();
     } else if (key == "flow") {
       if (!field.is_number() || field.as_int() < 0)
         return make_error(Errc::kParseError, "'flow' must be >= 0");
@@ -416,6 +424,8 @@ json::Value config_to_json(const ExecutorConfig& config) {
   root.set("exec", json::Value(sim::to_string(config.controller.exec)));
   root.set("threads", json::Value(static_cast<std::int64_t>(
                           config.controller.threads)));
+  root.set("speculate", json::Value(config.controller.speculate));
+  root.set("steal", json::Value(config.controller.steal));
   root.set("flow", json::Value(static_cast<std::int64_t>(config.flow)));
   root.set("priority",
            json::Value(static_cast<std::int64_t>(config.priority)));

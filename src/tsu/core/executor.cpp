@@ -15,6 +15,7 @@
 #include "tsu/topo/instances.hpp"
 #include "tsu/topo/partition.hpp"
 #include "tsu/update/schedulers.hpp"
+#include "tsu/util/arena.hpp"
 #include "tsu/util/log.hpp"
 
 namespace tsu::core {
@@ -33,18 +34,31 @@ struct Harness {
   sim::ShardedSim sim;
   Rng rng;
   topo::SwitchPartition partition;
-  std::vector<std::unique_ptr<switchsim::SimSwitch>> switch_storage;
-  std::vector<switchsim::SimSwitch*> switches;  // by NodeId
-  std::vector<std::unique_ptr<channel::DuplexChannel>> channels;
-  std::vector<channel::DuplexChannel*> duplex_by_node;  // fault injection
+  // Per-shard setup arenas own every switch and channel (util/arena.hpp):
+  // setup allocates per chunk instead of per object, each shard's objects
+  // sit contiguous, and teardown is wholesale. Declared before ctrl so the
+  // coordinator (whose send closures point into the arenas) dies first.
+  std::vector<std::unique_ptr<util::SetupArena>> arenas;  // by shard
+  std::vector<switchsim::SimSwitch*> switches;            // by NodeId
+  std::vector<channel::DuplexChannel*> channels;          // creation order
+  std::vector<channel::DuplexChannel*> duplex_by_node;    // fault injection
   std::unique_ptr<controller::ShardCoordinator> ctrl;
+  // controller.speculate: switch->controller deliveries become shard-local
+  // (see add_switch). Captured from the ADJUSTED controller config the
+  // coordinator runs with, not the caller's original.
+  bool speculate = false;
 
   Harness(const ExecutorConfig& config,
           const controller::ControllerConfig& controller_config,
           topo::SwitchPartition switch_partition)
       : sim(switch_partition.shards()),
         rng(config.seed),
-        partition(std::move(switch_partition)) {
+        partition(std::move(switch_partition)),
+        speculate(controller_config.speculate) {
+    sim.set_steal(controller_config.steal);
+    arenas.reserve(sim.shard_count());
+    for (std::size_t s = 0; s < sim.shard_count(); ++s)
+      arenas.push_back(std::make_unique<util::SetupArena>());
     ctrl = std::make_unique<controller::ShardCoordinator>(sim, partition,
                                                           controller_config);
   }
@@ -62,21 +76,25 @@ struct Harness {
     }
 
     sim::Simulator& shard_sim = sim_of(node);
-    auto sw = std::make_unique<switchsim::SimSwitch>(
+    util::SetupArena& arena = *arenas[partition.shard_of(node)];
+    switchsim::SimSwitch* sw_ptr = arena.make<switchsim::SimSwitch>(
         shard_sim, node, static_cast<DatapathId>(node), config.switch_config,
         rng.fork());
-    auto duplex = std::make_unique<channel::DuplexChannel>(
-        shard_sim, config.channel, rng);
-
-    switchsim::SimSwitch* sw_ptr = sw.get();
-    channel::DuplexChannel* duplex_ptr = duplex.get();
+    channel::DuplexChannel* duplex_ptr =
+        arena.make<channel::DuplexChannel>(shard_sim, config.channel, rng);
     controller::ShardCoordinator* ctrl_ptr = ctrl.get();
 
     // Controller->switch deliveries stay on the switch's own shard and
     // only touch its state: safe inside parallel epochs. The reply
     // direction keeps the kShared default - reply processing can complete
-    // updates and cross shards through the coordinator.
+    // updates and cross shards through the coordinator - UNLESS the
+    // controller speculates: then the engine defers round/resync
+    // completion to the next sync point (controller.cpp), every other
+    // effect of a reply is provably shard-local, and replies may process
+    // mid-epoch too, eliminating the biggest class of horizon stalls.
     duplex_ptr->to_switch.set_delivery_scope(sim::EventScope::kLocal);
+    if (speculate)
+      duplex_ptr->to_controller.set_delivery_scope(sim::EventScope::kLocal);
     duplex_ptr->to_switch.set_receiver(
         [sw_ptr](const proto::Message& m) { sw_ptr->receive(m); });
     duplex_ptr->to_controller.set_receiver(
@@ -92,8 +110,7 @@ struct Harness {
 
     switches[node] = sw_ptr;
     duplex_by_node[node] = duplex_ptr;
-    switch_storage.push_back(std::move(sw));
-    channels.push_back(std::move(duplex));
+    channels.push_back(duplex_ptr);
   }
 
   void install_initial(const update::Instance& inst, FlowId flow,
@@ -348,7 +365,9 @@ Result<EngineOutput> run_engine(
   // keeps every digest bit-identical.
   sim::FaultStats fault_stats;
   std::vector<sim::SimTime> down_at(harness.switches.size(), 0);
-  std::vector<bool> is_down(harness.switches.size(), false);
+  // uint8_t, not bool: neighbouring vector<bool> bits share a byte, which
+  // TSan would flag if fault handlers ever ran on different shards' lanes.
+  std::vector<std::uint8_t> is_down(harness.switches.size(), 0);
   if (!config.faults.empty()) {
     for (const sim::FaultEvent& e : config.faults.events())
       if (e.node >= harness.switches.size() ||
@@ -525,6 +544,9 @@ Result<EngineOutput> run_engine(
   out.sharding.sync_overhead = harness.ctrl->sync_overhead();
   out.sharding.parallel_epochs = harness.sim.parallel_epochs();
   out.sharding.horizon_stalls = harness.sim.horizon_stalls();
+  out.sharding.speculative_releases = harness.ctrl->speculative_releases();
+  out.sharding.steals = harness.sim.steals();
+  out.sharding.overflow_posts = harness.sim.overflow_posts();
   out.sharding.events_per_shard = harness.sim.events_per_shard();
   out.sharding.partition_cut_weight = harness.partition.cut_weight(affinity);
   out.sharding.wall_ms = wall_ms;

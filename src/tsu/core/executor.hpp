@@ -118,6 +118,16 @@ struct ShardStats {
   sim::Duration sync_overhead = 0;
   std::size_t parallel_epochs = 0;
   std::size_t horizon_stalls = 0;
+  // Interval skips taken by speculative round release
+  // (controller.speculate; 0 without conflict-aware admission).
+  std::size_t speculative_releases = 0;
+  // Epoch launches the work-stealing reorder promoted past a lower-indexed
+  // busy shard (controller.steal; sim/sharded.hpp).
+  std::size_t steals = 0;
+  // Cross-shard mailbox posts that found their SPSC ring full and took the
+  // locked overflow path (sim/sharded.hpp) - 0 on a well-sized steady
+  // state.
+  std::size_t overflow_posts = 0;
   std::vector<std::size_t> events_per_shard;
   // Affinity weight of the workload's switch co-occurrence graph crossing
   // shards under the chosen partition (topo::SwitchPartition::cut_weight).

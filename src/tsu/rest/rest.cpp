@@ -211,6 +211,14 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
       if (!value.is_number() || value.as_int() < 0)
         return make_error(Errc::kOutOfRange, "'threads' must be >= 0");
       message.threads = static_cast<std::size_t>(value.as_int());
+    } else if (key == "speculate") {
+      if (!value.is_bool())
+        return make_error(Errc::kParseError, "'speculate' must be a bool");
+      message.speculate = value.as_bool();
+    } else if (key == "steal") {
+      if (!value.is_bool())
+        return make_error(Errc::kParseError, "'steal' must be a bool");
+      message.steal = value.as_bool();
     } else if (key == "liveness_timeout_ms") {
       if (!value.is_number() || value.as_double() < 0)
         return make_error(Errc::kOutOfRange,
@@ -307,6 +315,10 @@ std::string to_json(const RestUpdateMessage& message) {
   if (message.threads.has_value())
     root.set("threads",
              json::Value(static_cast<std::int64_t>(*message.threads)));
+  if (message.speculate.has_value())
+    root.set("speculate", json::Value(*message.speculate));
+  if (message.steal.has_value())
+    root.set("steal", json::Value(*message.steal));
   if (message.liveness_timeout_ms.has_value())
     root.set("liveness_timeout_ms", json::Value(*message.liveness_timeout_ms));
   if (message.failure_response.has_value())
@@ -429,6 +441,8 @@ void apply_controller_overrides(const RestUpdateMessage& message,
   if (message.partition.has_value()) config.partition = *message.partition;
   if (message.exec.has_value()) config.exec = *message.exec;
   if (message.threads.has_value()) config.threads = *message.threads;
+  if (message.speculate.has_value()) config.speculate = *message.speculate;
+  if (message.steal.has_value()) config.steal = *message.steal;
   if (message.max_in_flight.has_value())
     config.max_in_flight = *message.max_in_flight;
   if (message.batch_frames.has_value())

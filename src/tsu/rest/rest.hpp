@@ -63,6 +63,10 @@ struct RestUpdateMessage {
   // with how many worker threads (0 = auto); see sim/sharded.hpp.
   std::optional<sim::ExecMode> exec;
   std::optional<std::size_t> threads;
+  // Speculative round barriers and longest-first epoch launch ordering
+  // (controller/controller.hpp speculate / steal).
+  std::optional<bool> speculate;
+  std::optional<bool> steal;
   // Fault-tolerance knobs (controller/controller.hpp): liveness detection
   // timeout (0 disables the whole fault path) and what a timed-out update
   // does (wait-and-retry or roll back).
@@ -89,8 +93,9 @@ Result<update::Instance> to_instance(const RestUpdateMessage& message,
 // Applies the message's optional controller knobs (admission policy and
 // release granularity, max_in_flight, the batching knobs batch_frames /
 // batch_mode / batch_window_ms / batch_bytes, the sharding knobs
-// shards / partition / exec / threads, and the fault-tolerance knobs
-// liveness_timeout_ms / failure_response) onto a controller configuration.
+// shards / partition / exec / threads / speculate / steal, and the
+// fault-tolerance knobs liveness_timeout_ms / failure_response) onto a
+// controller configuration.
 void apply_controller_overrides(const RestUpdateMessage& message,
                                 controller::ControllerConfig& config);
 

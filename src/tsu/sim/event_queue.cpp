@@ -27,7 +27,8 @@ inline void heap_pop(std::vector<Entry>& heap) {
 
 }  // namespace
 
-EventId EventQueue::push(SimTime at, EventFn fn, EventScope scope, Band band) {
+EventId EventQueue::push(SimTime at, EventFn fn, EventScope scope, Band band,
+                         SimTime posted_at, std::uint64_t remote_seq) {
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -48,9 +49,13 @@ EventId EventQueue::push(SimTime at, EventFn fn, EventScope scope, Band band) {
   s.scope = scope;
   s.band = band;
   s.pending = true;
-  heap_push(heap_, Entry{at, s.seq, slot, s.gen, band});
+  // Remote entries tie-break on the post key so the order is independent
+  // of drain batching; native entries tie-break on push order.
+  const std::uint64_t major = band == Band::kRemote ? posted_at : s.seq;
+  const std::uint64_t minor = band == Band::kRemote ? remote_seq : 0;
+  heap_push(heap_, Entry{at, major, minor, slot, s.gen, band});
   if (scope == EventScope::kShared)
-    heap_push(shared_heap_, Entry{at, s.seq, slot, s.gen, band});
+    heap_push(shared_heap_, Entry{at, major, minor, slot, s.gen, band});
   ++live_;
   return make_id(slot, s.gen);
 }

@@ -24,11 +24,14 @@
 //
 //   band   kNative events were scheduled by this shard's own execution;
 //          kRemote events arrived through a cross-shard mailbox. At equal
-//          timestamps every remote event sorts after every native one, so
-//          the relative order of a hand-off against same-instant local work
-//          is a property of the timestamps alone - not of WHEN the mailbox
-//          was drained - which is what keeps sequential and parallel drains
-//          bit-identical.
+//          timestamps every remote event sorts after every native one, and
+//          remote events among themselves sort by the caller-supplied
+//          (post time, poster, per-poster sequence) key - NOT by insertion
+//          order. The full order of a hand-off against same-instant work
+//          is therefore a property of the timestamps alone, not of WHEN
+//          the mailbox was drained or in how many batches, which is what
+//          keeps the sequential merger, the epoch stepper and the per-wave
+//          drains of sharded.hpp bit-identical.
 //
 // Cancellation is lazy for the HEAP ENTRY only - the slot's closure (and
 // everything it owns: frames, packets, request state) is destroyed
@@ -61,8 +64,12 @@ class EventQueue {
   // Which tie-break band an event occupies at its timestamp.
   enum class Band : std::uint8_t { kNative = 0, kRemote = 1 };
 
+  // For Band::kRemote, `posted_at` and `remote_seq` form the deterministic
+  // tie-break among same-instant remote events (see the file comment);
+  // native pushes ignore them and tie-break on scheduling order.
   EventId push(SimTime at, EventFn fn, EventScope scope = EventScope::kShared,
-               Band band = Band::kNative);
+               Band band = Band::kNative, SimTime posted_at = 0,
+               std::uint64_t remote_seq = 0);
 
   // Cancels a pending event. The closure is released eagerly (its captured
   // resources die NOW, not when the dead heap slot surfaces); only the
@@ -97,16 +104,22 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
-    std::uint64_t seq;  // push order; the deterministic tie-breaker
+    // Native: the push-order sequence (unique, so `minor` never decides).
+    // Remote: the poster's clock at post time, then (poster, post seq)
+    // packed into `minor` - a pure function of the post itself, identical
+    // whatever sync point drained it.
+    std::uint64_t major;
+    std::uint64_t minor;
     std::uint32_t slot;
     std::uint32_t gen;
     Band band;
     // min-heap: invert comparison. Equal times break remote-after-native,
-    // then scheduling order.
+    // then scheduling order (native) / post order (remote).
     bool operator<(const Entry& other) const {
       if (time != other.time) return time > other.time;
       if (band != other.band) return band > other.band;
-      return seq > other.seq;
+      if (major != other.major) return major > other.major;
+      return minor > other.minor;
     }
   };
 

@@ -5,15 +5,32 @@
 
 namespace tsu::sim {
 
+namespace {
+
+// The remote-band minor key: (poster, per-poster post sequence) packed so
+// lexicographic uint64 comparison equals the pair comparison. 16 bits of
+// poster is far beyond any shard count; 48 bits of sequence outlast any
+// run.
+inline std::uint64_t remote_key(std::size_t poster,
+                                std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(poster) << 48) | seq;
+}
+
+}  // namespace
+
 void ShardedSim::post(std::size_t target, std::size_t poster, SimTime at,
                       EventFn fn, EventScope scope) {
   TSU_ASSERT_MSG(target < shards_.size() && poster < shards_.size(),
                  "mailbox post outside the shard group");
-  if (!buffering_) {
-    // Sequential merger (or a sync point): the hand-off schedules straight
-    // through. The remote band makes the resulting order a function of the
-    // timestamps alone, so the buffered path below lands identically.
-    shards_[target]->push_remote(at, std::move(fn), scope);
+  if (!buffering_ || target == poster) {
+    // Sequential merger / sync point - or a mid-wave SELF-post, where the
+    // poster's own worker is the only thread touching this queue: the
+    // hand-off schedules straight through. The remote-band key makes the
+    // resulting order a function of the post itself, so the buffered path
+    // below lands identically.
+    const SimTime posted_at = shards_[poster]->now();
+    shards_[target]->push_remote(at, std::move(fn), scope, posted_at,
+                                 remote_key(poster, post_seq_[poster]++));
     return;
   }
   Post post;
@@ -55,9 +72,10 @@ void ShardedSim::drain_mailbox(std::size_t target) {
     }
   }
   if (drain_scratch_.empty()) return;
-  // The sequential merger fires posting events in (post time, shard, seq)
-  // order and schedules each hand-off on the spot; sorting a buffered
-  // batch the same way reproduces its insertion order exactly.
+  // The (at, post time, poster, seq) key carried on every remote entry is
+  // what fixes the order - identical whatever wave drained the post. The
+  // sort only keeps the queue pushes in that order too (cheap, and makes
+  // drained batches humanly inspectable); correctness does not rest on it.
   std::sort(drain_scratch_.begin(), drain_scratch_.end(),
             [](const Post& a, const Post& b) {
               if (a.at != b.at) return a.at < b.at;
@@ -66,7 +84,9 @@ void ShardedSim::drain_mailbox(std::size_t target) {
               return a.seq < b.seq;
             });
   for (Post& post : drain_scratch_)
-    shards_[target]->push_remote(post.at, std::move(post.fn), post.scope);
+    shards_[target]->push_remote(post.at, std::move(post.fn), post.scope,
+                                 post.posted_at,
+                                 remote_key(post.poster, post.seq));
   drain_scratch_.clear();
 }
 
@@ -99,44 +119,72 @@ std::size_t ShardedSim::run(SimTime until) {
 std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
                                      SimTime until) {
   const SimTime kMax = std::numeric_limits<SimTime>::max();
+  const std::size_t n_shards = shards_.size();
   std::size_t processed = 0;
-  epoch_counts_.assign(shards_.size(), 0);
+  epoch_counts_.assign(n_shards, 0);
+  wave_bounds_.assign(n_shards, 0);
   std::vector<std::size_t>& counts = epoch_counts_;
   // The pool task is built ONCE: a single-reference capture keeps it inside
-  // std::function's small-object buffer, and mutating `ctx` per epoch
-  // avoids re-wrapping the lambda (one heap allocation per epoch
+  // std::function's small-object buffer, and mutating `ctx` per wave
+  // avoids re-wrapping the lambda (one heap allocation per wave
   // otherwise - measurable on fine-grained workloads).
   struct EpochCtx {
     ShardedSim* self;
     std::size_t* counts;
-    SimTime horizon;
-  } ctx{this, counts.data(), 0};
+    const SimTime* bounds;
+  } ctx{this, counts.data(), wave_bounds_.data()};
   const std::function<void(std::size_t)> epoch_task = [&ctx](std::size_t i) {
-    ctx.counts[i] = ctx.self->shards_[i]->run_epoch(ctx.horizon);
+    ctx.counts[i] = ctx.self->shards_[i]->run_epoch(ctx.bounds[i]);
   };
   while (true) {
-    SimTime earliest = kMax;
+    // One pass: the global kShared minimum plus the two smallest
+    // next-event times (with the argmin), so each shard's sibling minimum
+    // min_{j != i} N_j is min1 (or min2 when i IS the argmin).
     SimTime shared_min = kMax;
-    std::size_t eligible = 0;  // shards with work strictly below the horizon
-    for (const auto& shard : shards_) {
-      earliest = std::min(earliest, shard->next_event_time());
-      shared_min = std::min(shared_min, shard->next_shared_time());
+    SimTime min1 = kMax, min2 = kMax;
+    std::size_t argmin = n_shards;
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      const SimTime t = shards_[i]->next_event_time();
+      if (t < min1) {
+        min2 = min1;
+        min1 = t;
+        argmin = i;
+      } else {
+        min2 = std::min(min2, t);
+      }
+      shared_min = std::min(shared_min, shards_[i]->next_shared_time());
     }
-    if (earliest == kMax || earliest > until) break;
+    if (min1 == kMax || min1 > until) break;
 
-    // The safe horizon: nothing may run concurrently at or beyond the
-    // earliest possible cross-shard interaction (see the file comment).
-    SimTime horizon = shared_min;
-    const SimTime creation_bound =
-        lookahead > kMax - earliest ? kMax : earliest + lookahead;
-    horizon = std::min(horizon, creation_bound);
-    if (until != kMax && horizon > until)
-      horizon = until == kMax - 1 ? kMax : until + 1;  // events AT until fire
+    // Per-shard safe bounds (see the file comment): shard i may run below
+    // S_i = min(shared_min, min_{j != i} N_j + lookahead). Its OWN next
+    // event never constrains itself - only siblings can interact with it,
+    // and same-shard creations are covered by run_epoch's own-kShared
+    // guard plus direct self-post delivery.
+    std::size_t eligible = 0;
+    std::size_t busy = n_shards;  // the eligible shard, when exactly one
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      const SimTime others = i == argmin ? min2 : min1;
+      SimTime bound = shared_min;
+      if (others != kMax) {
+        const SimTime creation =
+            lookahead > kMax - others ? kMax : others + lookahead;
+        bound = std::min(bound, creation);
+      }
+      if (until != kMax && bound > until)
+        bound = until == kMax - 1 ? kMax : until + 1;  // events AT until fire
+      wave_bounds_[i] = bound;
+      if (shards_[i]->next_event_time() < bound) {
+        ++eligible;
+        busy = i;
+      }
+    }
 
-    if (horizon <= earliest) {
-      // Collapsed horizon: the earliest event is (or ties with) a kShared
-      // one. One sequential merge step is always safe; kLocal posts made
-      // by it schedule straight through (buffering_ is false here).
+    if (eligible == 0) {
+      // Collapsed wave: the earliest event everywhere is (or ties with) a
+      // kShared one. One sequential merge step is always safe; kLocal
+      // posts made by it schedule straight through (buffering_ is false
+      // here).
       const bool stepped = step_earliest(until);
       TSU_ASSERT(stepped);
       ++processed;
@@ -144,33 +192,55 @@ std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
       continue;
     }
 
-    for (const auto& shard : shards_)
-      if (shard->next_event_time() < horizon) ++eligible;
-
-    if (eligible <= 1) {
+    if (eligible == 1) {
       // One busy shard: run its epoch inline, skip the pool round-trip.
-      for (std::size_t i = 0; i < shards_.size(); ++i)
-        if (shards_[i]->next_event_time() < horizon) {
-          buffering_ = true;
-          const std::size_t n = shards_[i]->run_epoch(horizon);
-          buffering_ = false;
-          events_[i] += n;
-          processed += n;
-          now_ = std::max(now_, shards_[i]->epoch_now());
-        }
-    } else {
       buffering_ = true;
-      ctx.horizon = horizon;
-      pool.parallel(shards_.size(), epoch_task);
+      const std::size_t count = shards_[busy]->run_epoch(wave_bounds_[busy]);
       buffering_ = false;
-      for (std::size_t i = 0; i < shards_.size(); ++i) {
+      events_[busy] += count;
+      processed += count;
+      now_ = std::max(now_, shards_[busy]->epoch_now());
+    } else {
+      const std::size_t* order = nullptr;
+      if (steal_) {
+        // Longest-epoch-first launch order: pending counts at the wave
+        // start, descending, ties to the lowest index - deterministic
+        // whatever the pool size. Count a steal for every launch the
+        // reorder promoted past a lower-indexed shard that also has work
+        // this wave.
+        steal_order_.resize(n_shards);
+        for (std::size_t i = 0; i < n_shards; ++i) steal_order_[i] = i;
+        std::sort(steal_order_.begin(), steal_order_.end(),
+                  [this](std::size_t a, std::size_t b) {
+                    const std::size_t pa = shards_[a]->pending();
+                    const std::size_t pb = shards_[b]->pending();
+                    if (pa != pb) return pa > pb;
+                    return a < b;
+                  });
+        for (std::size_t pos = 0; pos < n_shards; ++pos) {
+          const std::size_t i = steal_order_[pos];
+          if (shards_[i]->next_event_time() >= wave_bounds_[i]) continue;
+          for (std::size_t later = pos + 1; later < n_shards; ++later) {
+            const std::size_t j = steal_order_[later];
+            if (j < i && shards_[j]->next_event_time() < wave_bounds_[j]) {
+              ++steals_;
+              break;
+            }
+          }
+        }
+        order = steal_order_.data();
+      }
+      buffering_ = true;
+      pool.parallel_ordered(n_shards, order, epoch_task);
+      buffering_ = false;
+      for (std::size_t i = 0; i < n_shards; ++i) {
         events_[i] += counts[i];
         processed += counts[i];
         if (counts[i] > 0) now_ = std::max(now_, shards_[i]->epoch_now());
       }
     }
     ++parallel_epochs_;
-    for (std::size_t i = 0; i < shards_.size(); ++i) drain_mailbox(i);
+    for (std::size_t i = 0; i < n_shards; ++i) drain_mailbox(i);
   }
   if (now_ < until && until != kMax) now_ = until;
   return processed;

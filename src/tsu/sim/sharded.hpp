@@ -7,24 +7,40 @@
 // Simulator (the `shards = 1` bit-compatibility guarantee rests on this).
 //
 // EXECUTION MODES. run() is the sequential merger. run_parallel() steps
-// independent shards on a worker pool between cross-shard synchronization
-// points: each iteration computes a SAFE HORIZON
+// independent shards on a worker pool in WAVES between cross-shard
+// synchronization points: each wave computes a PER-SHARD safe bound
 //
-//   H = min( earliest pending kShared event across shards,   // inbound
-//            earliest pending event + lookahead )             // creation
+//   S_i = min( earliest pending kShared event across shards,   // inbound
+//              min over siblings j != i of N_j + lookahead )    // creation
 //
-// - the earliest instant at which any cross-shard interaction can occur.
+// where N_j is shard j's earliest pending event at the wave start - the
+// earliest instant at which any OTHER shard's execution can reach shard i.
 // kShared events (inbound control-plane deliveries, coordinator round
 // barriers, harness submissions) only ever run at sync points on the
 // merging thread; `lookahead` is the caller's lower bound on the delay of
 // any kShared event or cross-shard mailbox post CREATED by a kLocal event
-// (the executor derives it from the latency models), so nothing scheduled
-// mid-epoch can mature below H. If H admits no local work the merger falls
-// back to one sequential step (a HORIZON STALL); otherwise every shard
-// runs its sub-horizon events concurrently on a private clock copy, the
-// pool joins, mailboxes drain, and the global clock advances. Every event
-// keeps the timestamp, shard and intra-shard order it has under run(), so
-// both modes are bit-identical - the equivalence suite pins this.
+// (the executor derives it from the latency models), so nothing a sibling
+// schedules mid-wave can mature below S_i. A shard's own mid-wave
+// creations are covered separately: run_epoch stops at the shard's own
+// earliest pending kShared event (simulator.hpp), and same-shard mailbox
+// posts deliver directly under the remote-band key order. Per-shard bounds
+// strictly dominate the old global horizon min_i(N_i) + lookahead: a shard
+// far ahead of its siblings no longer drags everyone's window down, it
+// only constrains what may run on ITSELF. If no shard has work below its
+// bound the merger falls back to one sequential step (a HORIZON STALL);
+// otherwise every eligible shard runs its sub-bound events concurrently on
+// a private clock copy, the pool joins, mailboxes drain, and the global
+// clock advances. Every event keeps the timestamp, shard and intra-shard
+// order it has under run(), so both modes are bit-identical - the
+// equivalence suite pins this.
+//
+// WORK STEALING. set_steal(true) orders each wave's epoch launches by
+// pending-event count, descending (ties to the lowest shard index) - LPT
+// scheduling, so when shards outnumber pool lanes an idle lane picks up
+// the heaviest remaining epoch first instead of walking shard indexes.
+// The order is a pure function of the wave-start queue states, hence
+// deterministic and thread-count independent; steals() counts how many
+// launches the reorder moved ahead of a lower-indexed eligible shard.
 //
 // MAILBOXES. Shards never schedule into a foreign shard's queue mid-step.
 // A cross-shard hand-off (today: a data-plane packet hopping to a switch
@@ -103,7 +119,10 @@ class ShardedSim {
   // Cross-shard hand-off from `poster`'s execution into `target`'s queue
   // at absolute time `at` (see the file comment). Callable from a worker
   // thread mid-epoch; the entry becomes visible to the target at the next
-  // sync point (immediately, under the sequential merger).
+  // sync point (immediately under the sequential merger, and immediately
+  // for a SELF-post - target == poster - which only the poster's own
+  // worker can observe; the remote-band key makes the insertion instant
+  // irrelevant to ordering either way).
   void post(std::size_t target, std::size_t poster, SimTime at, EventFn fn,
             EventScope scope = EventScope::kLocal);
 
@@ -113,11 +132,17 @@ class ShardedSim {
   std::size_t run(SimTime until = std::numeric_limits<SimTime>::max());
 
   // Parallel run (see the file comment). `lookahead` must lower-bound the
-  // delay of every kShared event / mailbox post a kLocal event can create;
+  // delay of every kShared event / mailbox post a kLocal event can create
+  // TOWARDS A SIBLING shard (same-shard creations are self-guarded);
   // 0 degenerates to per-event sequential stepping (always correct, never
   // concurrent). Bit-identical to run() by construction.
   std::size_t run_parallel(ThreadPool& pool, Duration lookahead,
                            SimTime until = std::numeric_limits<SimTime>::max());
+
+  // Longest-epoch-first launch ordering for waves (see the file comment).
+  // Off by default: with lanes >= shards the order cannot matter.
+  void set_steal(bool on) noexcept { steal_ = on; }
+  bool steal() const noexcept { return steal_; }
 
   std::size_t pending() const noexcept {
     std::size_t total = 0;
@@ -131,6 +156,10 @@ class ShardedSim {
   // parallel determinism test pins this).
   std::size_t parallel_epochs() const noexcept { return parallel_epochs_; }
   std::size_t horizon_stalls() const noexcept { return horizon_stalls_; }
+  // Epoch launches the steal reorder promoted past a lower-indexed
+  // eligible shard (0 unless set_steal(true)); a wave-start-state count,
+  // so it is identical across reruns and thread counts.
+  std::size_t steals() const noexcept { return steals_; }
   const std::vector<std::size_t>& events_per_shard() const noexcept {
     return events_;
   }
@@ -188,14 +217,19 @@ class ShardedSim {
   // Reused across drains so sync points allocate nothing once the
   // high-water capacity is reached.
   std::vector<Post> drain_scratch_;
-  // Per-epoch event counts, a member so run_parallel itself is
-  // allocation-free in steady state.
+  // Per-epoch event counts, per-shard wave bounds and the steal launch
+  // order - members so run_parallel itself is allocation-free in steady
+  // state.
   std::vector<std::size_t> epoch_counts_;
+  std::vector<SimTime> wave_bounds_;
+  std::vector<std::size_t> steal_order_;
   // True while workers are inside an epoch: posts buffer in the mailbox
   // instead of scheduling straight through.
   bool buffering_ = false;
+  bool steal_ = false;
   std::size_t parallel_epochs_ = 0;
   std::size_t horizon_stalls_ = 0;
+  std::size_t steals_ = 0;
   std::atomic<std::size_t> overflow_posts_{0};
 };
 

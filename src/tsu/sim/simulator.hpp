@@ -47,10 +47,13 @@ class Simulator {
   }
   // A cross-shard mailbox delivery (sharded.hpp drains these): lands in the
   // remote band, so at equal timestamps it sorts after every natively
-  // scheduled event whatever instant the mailbox was drained at.
+  // scheduled event - and among remote events by (posted_at, remote_seq) -
+  // whatever instant or batch the mailbox was drained in.
   EventId push_remote(SimTime at, EventFn fn,
-                      EventScope scope = EventScope::kShared) {
-    return queue_.push(at, std::move(fn), scope, EventQueue::Band::kRemote);
+                      EventScope scope = EventScope::kShared,
+                      SimTime posted_at = 0, std::uint64_t remote_seq = 0) {
+    return queue_.push(at, std::move(fn), scope, EventQueue::Band::kRemote,
+                       posted_at, remote_seq);
   }
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -62,11 +65,13 @@ class Simulator {
   bool step();
 
   // Parallel-epoch stepping (only meaningful for a shared-clock shard):
-  // processes every pending event strictly before `horizon` on a local
-  // clock copy, asserting each is kLocal - the ShardedSim horizon
-  // computation guarantees no kShared event can mature below the horizon.
-  // Returns the number of events processed; epoch_now() reports how far
-  // the local clock advanced.
+  // processes pending kLocal events strictly before `horizon` on a local
+  // clock copy, stopping early at this shard's own earliest pending
+  // kShared event - the ShardedSim bound computation only covers events
+  // SIBLING shards could create, while a handler in this same epoch may
+  // schedule a kShared event below the bound (the group steps those at
+  // sync points, in exactly the sequential order). Returns the number of
+  // events processed; epoch_now() reports how far the local clock advanced.
   std::size_t run_epoch(SimTime horizon);
   SimTime epoch_now() const noexcept { return own_now_; }
 

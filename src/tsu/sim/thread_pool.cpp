@@ -31,7 +31,8 @@ void ThreadPool::drain_batch() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (next_ >= count_) return;
-      index = next_++;
+      const std::size_t claim = next_++;
+      index = order_ ? order_[claim] : claim;
     }
     std::exception_ptr error;
     try {
@@ -62,16 +63,28 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel(std::size_t count,
                           const std::function<void(std::size_t)>& fn) {
+  parallel_ordered(count, nullptr, fn);
+}
+
+void ThreadPool::parallel_ordered(std::size_t count, const std::size_t* order,
+                                  const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (workers_.empty() || count == 1) {
-    // Inline fast path: no locks, no wakes. Still collect every index's
-    // error and rethrow the lowest, like the threaded path.
+    // Inline fast path: no locks, no wakes - run in claim order, so the
+    // single-lane execution is exactly the threaded claim sequence. Still
+    // collect every index's error and rethrow the lowest-index one, like
+    // the threaded path.
     std::exception_ptr first;
-    for (std::size_t i = 0; i < count; ++i) {
+    std::size_t first_index = count;
+    for (std::size_t claim = 0; claim < count; ++claim) {
+      const std::size_t index = order ? order[claim] : claim;
       try {
-        fn(i);
+        fn(index);
       } catch (...) {
-        if (!first) first = std::current_exception();
+        if (index < first_index) {
+          first = std::current_exception();
+          first_index = index;
+        }
       }
     }
     if (first) std::rethrow_exception(first);
@@ -81,6 +94,7 @@ void ThreadPool::parallel(std::size_t count,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     task_ = &fn;
+    order_ = order;
     count_ = count;
     next_ = 0;
     remaining_ = count;
@@ -94,6 +108,7 @@ void ThreadPool::parallel(std::size_t count,
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&]() { return remaining_ == 0; });
     task_ = nullptr;
+    order_ = nullptr;
     for (std::exception_ptr& error : errors_)
       if (error) {
         first = error;

@@ -58,6 +58,22 @@ inline constexpr bool tracks_live_bytes() noexcept {
   return TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE != 0;
 }
 
+// Setup watermark: benches and tests call mark_setup_complete() the moment
+// harness construction (topology, switches, channels, template pools) is
+// done, freezing the allocation count at that instant. setup_allocations()
+// then reports what setup alone cost - the figure the per-shard setup
+// arenas (util/arena.hpp) are meant to keep from scaling per-object - while
+// the existing bracketing of allocations() keeps measuring the steady
+// state. Process-wide like every other counter here.
+inline std::atomic<std::uint64_t> g_setup_mark{0};
+
+inline void mark_setup_complete() noexcept {
+  g_setup_mark.store(allocations(), std::memory_order_relaxed);
+}
+inline std::uint64_t setup_allocations() noexcept {
+  return g_setup_mark.load(std::memory_order_relaxed);
+}
+
 inline void note_alloc(void* p) noexcept {
 #if TSU_ALLOC_HOOKS_HAVE_USABLE_SIZE
   g_live_bytes.fetch_add(malloc_usable_size(p), std::memory_order_relaxed);

@@ -1,0 +1,96 @@
+// A monotonic setup arena: chunked placement-new storage for the
+// fixed-population objects built once at harness setup (switches, duplex
+// channels) and torn down wholesale at the end of a run. Construction cost
+// drops from one heap allocation per object to one per chunk, and the
+// per-shard arenas in the executor keep each shard's objects contiguous -
+// the setup-allocation watermark in the hot-path bench (alloc_hooks.hpp)
+// tracks the effect.
+//
+// NOT a general allocator: nothing is ever freed individually, objects are
+// destroyed in reverse creation order when the arena dies, and the arena
+// must outlive every object it handed out. Steady-state code must not
+// allocate here - the arena is for the setup phase by construction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tsu::util {
+
+class SetupArena {
+ public:
+  explicit SetupArena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+  ~SetupArena() {
+    // Reverse creation order, like stack unwinding.
+    for (std::size_t i = dtors_.size(); i-- > 0;) dtors_[i].fn(dtors_[i].obj);
+  }
+  SetupArena(const SetupArena&) = delete;
+  SetupArena& operator=(const SetupArena&) = delete;
+
+  // Constructs a T inside the arena and returns it; the arena owns the
+  // lifetime. If the constructor throws, the slot is abandoned (monotonic
+  // storage: no per-object free exists to give it back).
+  template <class T, class... Args>
+  T* make(Args&&... args) {
+    void* slot = allocate(sizeof(T), alignof(T));
+    T* obj = new (slot) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      dtors_.push_back(Dtor{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    return obj;
+  }
+
+  // Chunks allocated so far - the arena's entire heap footprint besides
+  // the destructor list.
+  std::size_t chunks() const noexcept { return chunks_.size(); }
+  std::size_t objects() const noexcept { return dtors_.size(); }
+
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  struct Dtor {
+    void* obj;
+    void (*fn)(void*);
+  };
+
+  void* allocate(std::size_t size, std::size_t align) {
+    if (!chunks_.empty()) {
+      if (void* p = try_fit(chunks_.back(), size, align)) return p;
+    }
+    Chunk chunk;
+    // Oversized requests get a dedicated chunk; +align guarantees the fit
+    // whatever the fresh block's base alignment.
+    chunk.size = std::max(chunk_bytes_, size + align);
+    chunk.data = std::make_unique<std::byte[]>(chunk.size);
+    chunks_.push_back(std::move(chunk));
+    void* p = try_fit(chunks_.back(), size, align);
+    return p;  // cannot fail by the sizing above
+  }
+
+  static void* try_fit(Chunk& chunk, std::size_t size,
+                       std::size_t align) noexcept {
+    void* p = chunk.data.get() + chunk.used;
+    std::size_t space = chunk.size - chunk.used;
+    if (std::align(align, size, p, space) == nullptr) return nullptr;
+    chunk.used =
+        static_cast<std::size_t>(static_cast<std::byte*>(p) -
+                                 chunk.data.get()) +
+        size;
+    return p;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::vector<Dtor> dtors_;
+};
+
+}  // namespace tsu::util

@@ -117,6 +117,8 @@ TEST(ConfigTest, RangeChecks) {
   EXPECT_FALSE(parse(R"({"shards": 0})").ok());
   EXPECT_FALSE(parse(R"({"shards": 257})").ok());
   EXPECT_FALSE(parse(R"({"partition": "modulo"})").ok());
+  EXPECT_FALSE(parse(R"({"speculate": 1})").ok());
+  EXPECT_FALSE(parse(R"({"steal": "yes"})").ok());
   EXPECT_FALSE(parse(R"({"switch": {"batch_replies": 1}})").ok());
   EXPECT_FALSE(parse(R"(42)").ok());
   EXPECT_FALSE(parse(R"(not json)").ok());
@@ -135,13 +137,22 @@ TEST(ConfigTest, ShardingKnobsParse) {
             controller::AdmissionRelease::kRound);
   EXPECT_TRUE(parsed.value().switch_config.batch_replies);
 
-  // Defaults: the single controller, per-request release, plain replies.
+  const Result<ExecutorConfig> optimized =
+      parse(R"({"speculate": true, "steal": true})");
+  ASSERT_TRUE(optimized.ok()) << optimized.error().to_string();
+  EXPECT_TRUE(optimized.value().controller.speculate);
+  EXPECT_TRUE(optimized.value().controller.steal);
+
+  // Defaults: the single controller, per-request release, plain replies,
+  // the parallel-stepper optimizations off.
   const Result<ExecutorConfig> defaults = parse("{}");
   ASSERT_TRUE(defaults.ok());
   EXPECT_EQ(defaults.value().controller.shards, 1u);
   EXPECT_EQ(defaults.value().controller.admission_release,
             controller::AdmissionRelease::kRequest);
   EXPECT_FALSE(defaults.value().switch_config.batch_replies);
+  EXPECT_FALSE(defaults.value().controller.speculate);
+  EXPECT_FALSE(defaults.value().controller.steal);
 }
 
 TEST(ConfigTest, ControllerKnobsParse) {
@@ -210,6 +221,8 @@ TEST(ConfigTest, RoundTripThroughJson) {
   config.controller.admission_release = controller::AdmissionRelease::kRound;
   config.controller.shards = 4;
   config.controller.partition = topo::PartitionScheme::kBlock;
+  config.controller.speculate = true;
+  config.controller.steal = true;
   config.switch_config.batch_replies = true;
   config.with_traffic = false;
   config.ttl = 48;
@@ -238,6 +251,8 @@ TEST(ConfigTest, RoundTripThroughJson) {
             controller::AdmissionRelease::kRound);
   EXPECT_EQ(c.controller.shards, 4u);
   EXPECT_EQ(c.controller.partition, topo::PartitionScheme::kBlock);
+  EXPECT_TRUE(c.controller.speculate);
+  EXPECT_TRUE(c.controller.steal);
   EXPECT_TRUE(c.switch_config.batch_replies);
   EXPECT_FALSE(c.with_traffic);
   EXPECT_EQ(c.ttl, 48);

@@ -149,6 +149,27 @@ TEST(HotPathAllocTest, PacketHopsAllocateNothingOnceWarm) {
       << "packet injection/hops hit the allocator mid-run";
 }
 
+TEST(HotPathAllocTest, SetupWatermarkFreezesTheSetupCount) {
+  // The setup watermark splits the process-global allocation count into a
+  // paid-once setup figure and the steady state: mark_setup_complete()
+  // snapshots the counter, and later allocations move allocations() but
+  // never the frozen setup_allocations() figure (the split the bench JSON
+  // publishes as setup_allocs vs steady_allocs).
+  auto warm = std::make_unique<int>(1);
+  alloc_hooks::mark_setup_complete();
+  const std::uint64_t mark = alloc_hooks::setup_allocations();
+  EXPECT_GE(mark, 1u);
+  auto extra = std::make_unique<int>(2);
+  auto more = std::make_unique<int>(3);
+  EXPECT_EQ(alloc_hooks::setup_allocations(), mark)
+      << "the watermark moved after mark_setup_complete()";
+  EXPECT_GT(allocs(), mark);
+  // Re-marking captures the new count - each measurement phase can reset
+  // its own baseline.
+  alloc_hooks::mark_setup_complete();
+  EXPECT_GT(alloc_hooks::setup_allocations(), mark);
+}
+
 // Self-perpetuating shard-local work: one event chain per shard keeps both
 // shards eligible so run_parallel uses the worker pool.
 struct Ticker {

@@ -162,18 +162,32 @@ TEST(RestParseTest, ShardingKnobsParsedAndApplied) {
   const Result<RestUpdateMessage> parsed = parse_update_message(
       R"({"oldpath": [1, 2], "newpath": [1, 2],
           "shards": 4, "partition": "block",
-          "admission_release": "round"})");
+          "admission_release": "round",
+          "speculate": true, "steal": true})");
   ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
   EXPECT_EQ(parsed.value().shards, 4u);
   EXPECT_EQ(parsed.value().partition, topo::PartitionScheme::kBlock);
   EXPECT_EQ(parsed.value().admission_release,
             controller::AdmissionRelease::kRound);
+  EXPECT_EQ(parsed.value().speculate, true);
+  EXPECT_EQ(parsed.value().steal, true);
 
   controller::ControllerConfig config;
   apply_controller_overrides(parsed.value(), config);
   EXPECT_EQ(config.shards, 4u);
   EXPECT_EQ(config.partition, topo::PartitionScheme::kBlock);
   EXPECT_EQ(config.admission_release, controller::AdmissionRelease::kRound);
+  EXPECT_TRUE(config.speculate);
+  EXPECT_TRUE(config.steal);
+
+  // Non-boolean speculation knobs are malformed, like every other typed
+  // header field.
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1], "speculate": 1})")
+                   .ok());
+  EXPECT_FALSE(parse_update_message(
+                   R"({"oldpath": [1], "newpath": [1], "steal": "on"})")
+                   .ok());
 
   // Absent sharding knobs leave the server's configuration alone.
   const Result<RestUpdateMessage> plain =
@@ -181,10 +195,13 @@ TEST(RestParseTest, ShardingKnobsParsedAndApplied) {
   ASSERT_TRUE(plain.ok());
   controller::ControllerConfig untouched;
   untouched.shards = 2;
+  untouched.speculate = true;
   apply_controller_overrides(plain.value(), untouched);
   EXPECT_EQ(untouched.shards, 2u);
   EXPECT_EQ(untouched.admission_release,
             controller::AdmissionRelease::kRequest);
+  EXPECT_TRUE(untouched.speculate);  // absent field leaves it alone
+  EXPECT_FALSE(untouched.steal);
 }
 
 TEST(RestParseTest, RejectsMissingPaths) {
@@ -282,6 +299,8 @@ TEST(RestRoundTripTest, ControllerKnobsSurviveRoundTrip) {
   message.shards = 4;
   message.partition = topo::PartitionScheme::kHash;
   message.admission_release = controller::AdmissionRelease::kRound;
+  message.speculate = true;
+  message.steal = false;
   const Result<RestUpdateMessage> back =
       parse_update_message(to_json(message));
   ASSERT_TRUE(back.ok()) << to_json(message);
@@ -295,6 +314,8 @@ TEST(RestRoundTripTest, ControllerKnobsSurviveRoundTrip) {
   EXPECT_EQ(back.value().partition, topo::PartitionScheme::kHash);
   EXPECT_EQ(back.value().admission_release,
             controller::AdmissionRelease::kRound);
+  EXPECT_EQ(back.value().speculate, true);
+  EXPECT_EQ(back.value().steal, false);  // false is still an explicit value
 }
 
 TEST(RestToInstanceTest, MapsDatapathsToNodes) {

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <vector>
 
+#include "tsu/util/arena.hpp"
 #include "tsu/util/rng.hpp"
 #include "tsu/util/status.hpp"
 #include "tsu/util/strings.hpp"
@@ -257,6 +259,63 @@ TEST(StatusTest, MovedResultTransfersOwnership) {
   Result<std::string> r(std::string("payload"));
   const std::string moved = std::move(r).value();
   EXPECT_EQ(moved, "payload");
+}
+
+namespace {
+struct DtorProbe {
+  int id;
+  std::vector<int>* order;
+  DtorProbe(int id, std::vector<int>* order) : id(id), order(order) {}
+  ~DtorProbe() { order->push_back(id); }
+};
+}  // namespace
+
+TEST(SetupArenaTest, PacksObjectsIntoOneChunk) {
+  util::SetupArena arena;
+  for (int i = 0; i < 100; ++i) {
+    int* p = arena.make<int>(i);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, i);
+  }
+  // 100 ints fit the 64 KiB default chunk with room to spare, and ints
+  // are trivially destructible so the dtor registry stays empty.
+  EXPECT_EQ(arena.chunks(), 1u);
+  EXPECT_EQ(arena.objects(), 0u);
+}
+
+TEST(SetupArenaTest, DestroysInReverseCreationOrder) {
+  std::vector<int> order;
+  {
+    util::SetupArena arena;
+    for (int i = 0; i < 5; ++i) arena.make<DtorProbe>(i, &order);
+    EXPECT_EQ(arena.objects(), 5u);
+    EXPECT_TRUE(order.empty());  // nothing destroyed while the arena lives
+  }
+  EXPECT_EQ(order, (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(SetupArenaTest, GrowsByChunksAndHandlesOversizedRequests) {
+  util::SetupArena arena(64);  // tiny chunks force growth
+  struct Big {
+    char bytes[256];
+  };
+  char* small = arena.make<char>('x');
+  Big* big = arena.make<Big>();  // larger than a whole chunk
+  char* after = arena.make<char>('y');
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(*small, 'x');
+  EXPECT_EQ(*after, 'y');
+  EXPECT_GE(arena.chunks(), 2u);
+}
+
+TEST(SetupArenaTest, RespectsAlignment) {
+  util::SetupArena arena;
+  struct alignas(64) Aligned {
+    char c;
+  };
+  arena.make<char>('a');  // misalign the bump pointer
+  Aligned* p = arena.make<Aligned>();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
 }
 
 }  // namespace
