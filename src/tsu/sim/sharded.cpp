@@ -13,6 +13,8 @@ namespace {
 // run.
 inline std::uint64_t remote_key(std::size_t poster,
                                 std::uint64_t seq) noexcept {
+  TSU_ASSERT_MSG(poster < (1ull << 16) && seq < (1ull << 48),
+                 "remote key fields exceed their packed widths");
   return (static_cast<std::uint64_t>(poster) << 48) | seq;
 }
 
@@ -157,10 +159,15 @@ std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
     if (min1 == kMax || min1 > until) break;
 
     // Per-shard safe bounds (see the file comment): shard i may run below
-    // S_i = min(shared_min, min_{j != i} N_j + lookahead). Its OWN next
-    // event never constrains itself - only siblings can interact with it,
-    // and same-shard creations are covered by run_epoch's own-kShared
-    // guard plus direct self-post delivery.
+    // S_i = min(shared_min, min_{j != i} N_j + lookahead,
+    //           N_i + 2 * lookahead). The sibling term covers everything a
+    // SIBLING's pending work can send here; the self term covers a bounce
+    // THROUGH a sibling (i's own event posts to j, whose handler posts
+    // back) - that cycle crosses two mailbox hops of >= lookahead each, so
+    // nothing i executes below N_i + 2*lookahead can be undercut by its
+    // own echo even when every sibling is idle (N_j = max). Same-shard
+    // creations are covered by run_epoch's own-kShared guard plus direct
+    // self-post delivery.
     std::size_t eligible = 0;
     std::size_t busy = n_shards;  // the eligible shard, when exactly one
     for (std::size_t i = 0; i < n_shards; ++i) {
@@ -170,6 +177,14 @@ std::size_t ShardedSim::run_parallel(ThreadPool& pool, Duration lookahead,
         const SimTime creation =
             lookahead > kMax - others ? kMax : others + lookahead;
         bound = std::min(bound, creation);
+      }
+      const SimTime self = shards_[i]->next_event_time();
+      if (self != kMax) {
+        const Duration round_trip =
+            lookahead > kMax - lookahead ? kMax : 2 * lookahead;
+        const SimTime bounce =
+            round_trip > kMax - self ? kMax : self + round_trip;
+        bound = std::min(bound, bounce);
       }
       if (until != kMax && bound > until)
         bound = until == kMax - 1 ? kMax : until + 1;  // events AT until fire

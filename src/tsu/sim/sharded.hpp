@@ -11,7 +11,8 @@
 // synchronization points: each wave computes a PER-SHARD safe bound
 //
 //   S_i = min( earliest pending kShared event across shards,   // inbound
-//              min over siblings j != i of N_j + lookahead )    // creation
+//              min over siblings j != i of N_j + lookahead,     // creation
+//              N_i + 2 * lookahead )                            // bounce
 //
 // where N_j is shard j's earliest pending event at the wave start - the
 // earliest instant at which any OTHER shard's execution can reach shard i.
@@ -20,13 +21,21 @@
 // merging thread; `lookahead` is the caller's lower bound on the delay of
 // any kShared event or cross-shard mailbox post CREATED by a kLocal event
 // (the executor derives it from the latency models), so nothing a sibling
-// schedules mid-wave can mature below S_i. A shard's own mid-wave
-// creations are covered separately: run_epoch stops at the shard's own
-// earliest pending kShared event (simulator.hpp), and same-shard mailbox
-// posts deliver directly under the remote-band key order. Per-shard bounds
-// strictly dominate the old global horizon min_i(N_i) + lookahead: a shard
-// far ahead of its siblings no longer drags everyone's window down, it
-// only constrains what may run on ITSELF. If no shard has work below its
+// schedules mid-wave can mature below S_i. The third term is shard i's own
+// ROUND-TRIP horizon: an event i executes can post into a sibling's
+// mailbox, and that sibling's handler can post right back - a cycle that
+// crosses at least two mailbox hops of >= lookahead each, so the echo
+// lands at >= N_i + 2*lookahead. Without this cap a shard with idle
+// siblings and no near kShared event would run arbitrarily far ahead and
+// later receive its own echo below events it already executed. A shard's
+// own mid-wave creations are covered separately: run_epoch stops at the
+// shard's own earliest pending kShared event (simulator.hpp), and
+// same-shard mailbox posts deliver directly under the remote-band key
+// order. Per-shard bounds still dominate the old global horizon
+// min_i(N_i) + lookahead: a shard far ahead of its siblings no longer
+// drags everyone's window down, it only constrains what may run on
+// ITSELF - and since N_i >= min_j(N_j), the bounce cap N_i + 2*lookahead
+// is never tighter than that old global horizon. If no shard has work below its
 // bound the merger falls back to one sequential step (a HORIZON STALL);
 // otherwise every eligible shard runs its sub-bound events concurrently on
 // a private clock copy, the pool joins, mailboxes drain, and the global

@@ -7,6 +7,7 @@ std::size_t Simulator::run(SimTime until) {
   while (!queue_.empty() && queue_.next_time() <= until) {
     EventQueue::Fired fired = queue_.pop();
     *now_ = fired.time;
+    executed_frontier_ = fired.time;
     fired.fn();
     ++processed;
   }
@@ -19,6 +20,7 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   EventQueue::Fired fired = queue_.pop();
   *now_ = fired.time;
+  executed_frontier_ = fired.time;
   fired.fn();
   return true;
 }
@@ -45,6 +47,7 @@ std::size_t Simulator::run_epoch(SimTime horizon) {
     TSU_ASSERT_MSG(fired.scope == EventScope::kLocal,
                    "kShared event matured below the parallel horizon");
     own_now_ = fired.time;
+    executed_frontier_ = fired.time;
     fired.fn();
     ++processed;
   }

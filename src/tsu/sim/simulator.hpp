@@ -48,10 +48,15 @@ class Simulator {
   // A cross-shard mailbox delivery (sharded.hpp drains these): lands in the
   // remote band, so at equal timestamps it sorts after every natively
   // scheduled event - and among remote events by (posted_at, remote_seq) -
-  // whatever instant or batch the mailbox was drained in.
+  // whatever instant or batch the mailbox was drained in. A delivery below
+  // the executed frontier means the sharded engine's safe bound let this
+  // shard run past a causal dependency - fail fast instead of executing
+  // out of order (equal is fine: the remote band sorts after natives).
   EventId push_remote(SimTime at, EventFn fn,
                       EventScope scope = EventScope::kShared,
                       SimTime posted_at = 0, std::uint64_t remote_seq = 0) {
+    TSU_ASSERT_MSG(at >= executed_frontier_,
+                   "remote delivery below the executed-event frontier");
     return queue_.push(at, std::move(fn), scope, EventQueue::Band::kRemote,
                        posted_at, remote_seq);
   }
@@ -95,6 +100,10 @@ class Simulator {
   EventQueue queue_;
   SimTime own_now_ = 0;
   SimTime* now_;
+  // High-water mark of executed event times: the push_remote causality
+  // check above. Monotone, because every pop comes off a time-ordered
+  // queue and every insertion path asserts against going into the past.
+  SimTime executed_frontier_ = 0;
   // The group clock this shard rejoins after a run_epoch (null for a
   // self-clocked simulator, which never runs epochs).
   SimTime* shared_now_ = nullptr;

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "tsu/sim/distributions.hpp"
 #include "tsu/sim/event_queue.hpp"
+#include "tsu/sim/sharded.hpp"
 #include "tsu/sim/simulator.hpp"
+#include "tsu/sim/thread_pool.hpp"
 
 namespace tsu::sim {
 namespace {
@@ -266,6 +269,58 @@ TEST(SimulatorDeathTest, SchedulingIntoPastAsserts) {
   sim.schedule(10, []() {});
   sim.run();
   EXPECT_DEATH(sim.schedule_at(5, []() {}), "past");
+}
+
+// ----------------------------------------------------------- sharded sim --
+
+TEST(ShardedSimTest, IdleSiblingEchoKeepsShardZeroInTimeOrder) {
+  // Regression for the per-shard wave bound's round-trip cap: shard 0
+  // carries a dense chain of local events while shard 1 is completely idle
+  // (no pending events, no kShared work anywhere). One early shard-0 event
+  // posts a hand-off to shard 1 whose handler immediately echoes back at
+  // +2*lookahead. Without the N_i + 2*lookahead term the sibling-only
+  // bound is unbounded here, shard 0 runs its whole chain in one epoch,
+  // and the echo is delivered BELOW events shard 0 already executed -
+  // execution order diverges from the sequential merger (and trips the
+  // push_remote frontier assert). With the cap, both modes must record
+  // the identical shard-0 execution sequence.
+  constexpr Duration kLookahead = 10;
+  constexpr std::uint64_t kChain = 100;
+  auto run_one = [](bool parallel) {
+    ShardedSim group(2);
+    std::vector<SimTime> order;  // shard-0 executions only: no cross-shard
+                                 // writes, so epochs never race on it
+    std::uint64_t remaining = kChain;
+    std::function<void()> tick = [&]() {
+      order.push_back(group.shard(0).now());
+      if (remaining == 0) return;
+      --remaining;
+      group.shard(0).schedule(1, [&]() { tick(); }, EventScope::kLocal);
+    };
+    group.schedule_on(0, 5, [&]() { tick(); }, EventScope::kLocal);
+    group.schedule_on(
+        0, 5,
+        [&]() {
+          group.post(1, 0, group.shard(0).now() + kLookahead, [&]() {
+            group.post(0, 1, group.shard(1).now() + kLookahead,
+                       [&]() { order.push_back(group.shard(0).now()); });
+          });
+        },
+        EventScope::kLocal);
+    if (parallel) {
+      ThreadPool pool(2);
+      group.run_parallel(pool, kLookahead);
+    } else {
+      group.run();
+    }
+    return order;
+  };
+  const std::vector<SimTime> sequential = run_one(false);
+  const std::vector<SimTime> parallel = run_one(true);
+  ASSERT_EQ(sequential.size(), kChain + 2);  // chain ticks + the echo
+  EXPECT_TRUE(std::is_sorted(parallel.begin(), parallel.end()))
+      << "shard 0 executed an echoed hand-off below its own frontier";
+  EXPECT_EQ(parallel, sequential);
 }
 
 // ------------------------------------------------------------- time utils --
