@@ -25,6 +25,8 @@
 
 #include "bench_common.hpp"
 
+#include "tsu/controller/plan_cache.hpp"
+#include "tsu/controller/update_request.hpp"
 #include "tsu/core/service.hpp"
 #include "tsu/json/json.hpp"
 #include "tsu/sim/faults.hpp"
@@ -178,6 +180,175 @@ json::Object hotpath_bench() {
             json::Value(static_cast<std::int64_t>(group.overflow_posts())));
   hotpath.set("parallel_epoch", json::Value(std::move(entry)));
   return hotpath;
+}
+
+// The compile-once submission path (controller/plan_cache.hpp): cold
+// (lower the schedule, compute the footprint, encode every frame) vs warm
+// (one cache lookup; the channel patches xids into the cached bytes)
+// ns/submission at the component level, plus a service-level comparison of
+// the same open-loop run with the cache off and on - sustained/s must
+// match exactly (the transparency contract), wall time and the warm-window
+// allocation count are what the cache buys. Gated figures
+// (tools/check_bench_regression.py): warm/cold <= 0.7 and zero
+// steady-state submission allocations.
+json::Object submission_path_bench(bool* failed) {
+  const topo::PlannedPoolWorkload pool =
+      topo::planned_pool_workload(8, 48).value();
+  const core::ExecutorConfig defaults;
+  const std::size_t templates = pool.instances.size();
+  constexpr int kReps = 2000;
+
+  // Cold: the full per-submission pipeline the cache-off path runs.
+  std::size_t sink = 0;
+  const auto cold_start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t i = 0; i < templates; ++i) {
+      controller::UpdateRequest req = controller::request_from_schedule(
+          pool.instances[i], pool.schedules[i],
+          static_cast<FlowId>(defaults.flow + i), defaults.priority,
+          defaults.interval);
+      const std::shared_ptr<const controller::CompiledPlan> plan =
+          controller::compile_plan(std::move(req), 0);
+      sink += plan->frames.size();
+    }
+  }
+  const auto cold_stop = std::chrono::steady_clock::now();
+  const double cold_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              cold_stop - cold_start)
+                              .count()) /
+      static_cast<double>(kReps * templates);
+
+  // Warm: the hit path - one hash lookup returning the shared plan.
+  controller::PlanCache cache;
+  for (std::size_t i = 0; i < templates; ++i) {
+    controller::UpdateRequest req = controller::request_from_schedule(
+        pool.instances[i], pool.schedules[i],
+        static_cast<FlowId>(defaults.flow + i), defaults.priority,
+        defaults.interval);
+    cache.store(i, controller::compile_plan(std::move(req), 0));
+  }
+  const auto warm_start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t i = 0; i < templates; ++i) {
+      const std::shared_ptr<const controller::CompiledPlan> plan =
+          cache.lookup(i, 0);
+      sink += plan->request.rounds.size();
+    }
+  }
+  const auto warm_stop = std::chrono::steady_clock::now();
+  const double warm_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              warm_stop - warm_start)
+                              .count()) /
+      static_cast<double>(kReps * templates);
+  const double ratio = cold_ns > 0 ? warm_ns / cold_ns : 0.0;
+
+  // Service level: the saturated open-loop point, cache off vs on. The
+  // cache-on run additionally brackets a warm window (a third into the run
+  // to two thirds) with the allocation counter - the submission path plus
+  // the whole switch pipeline must stay off the heap once every template
+  // has compiled.
+  constexpr std::uint64_t kTarget = 10000;
+  const auto service_config = [] {
+    core::ServiceConfig config;
+    config.exec.seed = 4242;
+    config.exec.with_traffic = false;
+    config.exec.controller.max_in_flight = 16;
+    config.flows = 8;
+    config.pool_switches = 48;
+    config.arrival_rate_per_sec = 700;
+    config.max_pending = 1024;
+    config.target_completions = kTarget;
+    return config;
+  };
+  core::ServiceConfig off_config = service_config();
+  off_config.exec.controller.plan_cache = false;
+  const Result<core::ServiceResult> off = core::execute_service(off_config);
+
+  core::ServiceConfig on_config = service_config();
+  on_config.snapshot_interval = sim::milliseconds(100);
+  on_config.snapshot_window = 4;
+  std::uint64_t window_start = 0;
+  std::uint64_t window_end = 0;
+  on_config.on_snapshot = [&](const core::ServiceSnapshot& snap) {
+    if (window_start == 0 && snap.completed >= kTarget / 3)
+      window_start = alloc_hooks::allocations();
+    else if (window_start != 0 && window_end == 0 &&
+             snap.completed >= 2 * kTarget / 3)
+      window_end = alloc_hooks::allocations();
+  };
+  const Result<core::ServiceResult> on = core::execute_service(on_config);
+
+  json::Object section;
+  section.set("templates",
+              json::Value(static_cast<std::int64_t>(templates)));
+  section.set("cold_ns_per_submission", json::Value(cold_ns));
+  section.set("warm_ns_per_submission", json::Value(warm_ns));
+  section.set("warm_cold_ratio", json::Value(ratio));
+  section.set("sink", json::Value(static_cast<std::int64_t>(sink & 0xff)));
+
+  if (!off.ok() || !on.ok()) {
+    std::fprintf(stderr, "submission-path bench service run failed: %s\n",
+                 (!off.ok() ? off.error() : on.error()).to_string().c_str());
+    *failed = true;
+    return section;
+  }
+  const core::ServiceResult& off_result = off.value();
+  const core::ServiceResult& on_result = on.value();
+  const double hit_rate =
+      on_result.stats.submitted == 0
+          ? 0.0
+          : static_cast<double>(on_result.stats.plan_hits) /
+                static_cast<double>(on_result.stats.submitted);
+  const std::uint64_t steady_allocs =
+      window_end >= window_start ? window_end - window_start : 0;
+  if (window_end == 0) *failed = true;  // the window never closed
+
+  std::printf("\nsubmission path (8 templates, plan cache):\n"
+              "  cold %s ns/submission, warm %s ns/submission (ratio %s)\n"
+              "  service %llu completions: hit rate %s, "
+              "%llu warm-window allocations\n"
+              "  sustained/s on=%s off=%s (must match: transparency), "
+              "wall ms on=%s off=%s\n",
+              bench::fmt(cold_ns).c_str(), bench::fmt(warm_ns).c_str(),
+              bench::fmt(ratio, 3).c_str(),
+              static_cast<unsigned long long>(on_result.stats.completed),
+              bench::fmt(hit_rate, 3).c_str(),
+              static_cast<unsigned long long>(steady_allocs),
+              bench::fmt(on_result.sustained_per_sec(), 1).c_str(),
+              bench::fmt(off_result.sustained_per_sec(), 1).c_str(),
+              bench::fmt(on_result.wall_ms).c_str(),
+              bench::fmt(off_result.wall_ms).c_str());
+  if (on_result.sustained_per_sec() != off_result.sustained_per_sec()) {
+    std::fprintf(stderr, "plan cache changed sim-time throughput - "
+                         "transparency broken, BENCH BUG\n");
+    *failed = true;
+  }
+
+  section.set("service_completions",
+              json::Value(static_cast<std::int64_t>(on_result.stats.completed)));
+  section.set("plan_compiles", json::Value(static_cast<std::int64_t>(
+                                   on_result.stats.plan_compiles)));
+  section.set("plan_hits", json::Value(static_cast<std::int64_t>(
+                               on_result.stats.plan_hits)));
+  section.set("plan_invalidations",
+              json::Value(static_cast<std::int64_t>(
+                  on_result.stats.plan_invalidations)));
+  section.set("hit_rate", json::Value(hit_rate));
+  // Gated at zero: past warmup, submissions must never touch the heap.
+  section.set("steady_allocs",
+              json::Value(static_cast<std::int64_t>(steady_allocs)));
+  section.set("sustained_per_sec_on",
+              json::Value(on_result.sustained_per_sec()));
+  section.set("sustained_per_sec_off",
+              json::Value(off_result.sustained_per_sec()));
+  section.set("sustained_delta",
+              json::Value(on_result.sustained_per_sec() -
+                          off_result.sustained_per_sec()));
+  section.set("wall_ms_on", json::Value(on_result.wall_ms));
+  section.set("wall_ms_off", json::Value(off_result.wall_ms));
+  return section;
 }
 
 // Returns false if the admission section could not produce all its rows.
@@ -692,6 +863,12 @@ bool run(const char* json_path) {
       entry.set("hardware_threads",
                 json::Value(static_cast<std::int64_t>(
                     sim::ThreadPool::hardware_threads())));
+      // Fewer cores than shards means the speedup column measures
+      // oversubscription, not the stepper - flagged so downstream tooling
+      // can skip speedup comparisons on starved machines.
+      entry.set("cores_limited",
+                json::Value(sim::ThreadPool::hardware_threads() <
+                            group.shards));
       entry.set("partition", json::Value(topo::to_string(group.partition)));
       entry.set("speculate", json::Value(mode.optimized));
       entry.set("steal", json::Value(mode.optimized));
@@ -938,6 +1115,9 @@ bool run(const char* json_path) {
   }
   bench::print_table(serve_table);
 
+  bool submission_failed = false;
+  json::Object submission_path = submission_path_bench(&submission_failed);
+
   json::Object hotpath = hotpath_bench();
 
   if (json_path != nullptr) {
@@ -950,6 +1130,7 @@ bool run(const char* json_path) {
     doc.set("parallel", json::Value(std::move(parallel_json)));
     doc.set("faults", json::Value(std::move(faults_json)));
     doc.set("open_loop", json::Value(std::move(open_loop_json)));
+    doc.set("submission_path", json::Value(std::move(submission_path)));
     doc.set("hotpath", json::Value(std::move(hotpath)));
     std::ofstream out(json_path);
     out << json::write(json::Value(std::move(doc))) << "\n";
@@ -972,7 +1153,8 @@ bool run(const char* json_path) {
       "(first shard done -> last shard done) over all concurrent updates,\n"
       "i.e. the slack the two-phase barrier absorbs off the critical path.\n");
   return !admission_failed && !batching_failed && !sharding_failed &&
-         !parallel_failed && !faults_failed && !open_loop_failed;
+         !parallel_failed && !faults_failed && !open_loop_failed &&
+         !submission_failed;
 }
 
 }  // namespace

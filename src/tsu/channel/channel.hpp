@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "tsu/proto/codec.hpp"
@@ -57,6 +58,14 @@ class ControlChannel {
   // Enqueues `message` for delivery to the receiver side.
   void send(const proto::Message& message);
 
+  // Zero-encode variant for the compiled-plan submission path: `bytes` is
+  // a complete pre-encoded frame (single message, never a batch) whose xid
+  // field is patched to `xid` after copying into a pooled buffer - the
+  // caller's bytes stay immutable. Delivery is byte-identical to send() of
+  // the equivalent message: same counters, same single latency sample,
+  // same FIFO clamp, same fault gates.
+  void send_encoded(std::span<const std::byte> bytes, std::uint32_t xid);
+
   // --- fault injection (sim/faults.hpp; inert unless driven) -----------
   // Link outage: frames sent while down are dropped at the sender (the TCP
   // session is gone - nothing buffers), and frames already in flight at
@@ -85,6 +94,16 @@ class ControlChannel {
   std::size_t messages_sent() const noexcept { return messages_sent_; }
 
  private:
+  // Shared fault gate: returns true when the frame was consumed by an
+  // outage or blackhole window (counted in frames_dropped_). `barrier` is
+  // whether the frame carries a barrier request - blackhole windows only
+  // close on barrier boundaries.
+  bool faulted_drop(bool barrier);
+  // Shared back half of send()/send_encoded(): counts the frame, samples
+  // one latency (plus loss retransmits) and schedules the FIFO-clamped
+  // delivery event that decodes and hands the message to the receiver.
+  void transmit(std::vector<std::byte>&& frame, std::size_t messages);
+
   // Frame-buffer pool. acquire hands out a cleared vector that keeps its
   // high-water capacity; release returns it after delivery (or epoch drop).
   std::vector<std::byte> acquire_frame() {

@@ -28,7 +28,6 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "tsu/controller/update_request.hpp"
@@ -73,6 +72,10 @@ class Footprint {
   // Drops one rule (no-op when absent): per-round footprint release
   // shrinks a live request's footprint as rounds retire.
   void remove(const RuleRef& ref);
+  // Pre-grows rule storage (never shrinks): the admission queue reserves
+  // pooled entries to its high-water footprint size so warm-path
+  // copy-assignment never reallocates.
+  void reserve(std::size_t rules) { rules_.reserve(rules); }
 
   bool conflicts_with(const Footprint& other) const noexcept;
 
@@ -96,8 +99,11 @@ class AdmissionQueue {
   AdmissionPolicy policy() const noexcept { return policy_; }
 
   // Registers a live request. Returns true when it is immediately
-  // admissible (conflicts with nothing live under the policy).
-  bool submit(Id id, Footprint footprint);
+  // admissible (conflicts with nothing live under the policy). The
+  // footprint is copied into pooled per-entry storage, so a caller
+  // resubmitting a cached plan's immutable footprint allocates nothing
+  // once the pool is warm.
+  bool submit(Id id, const Footprint& footprint);
 
   // True when the request's blocked-on set is empty. The caller still
   // gates actual starts on its own capacity (max_in_flight).
@@ -119,16 +125,20 @@ class AdmissionQueue {
   }
 
   // Removes a finished (or started-and-finished) request from the graph.
-  // Returns the ids that became admissible, in arrival order.
-  std::vector<Id> release(Id id);
+  // Returns the ids that became admissible, in arrival order. The returned
+  // reference aliases a member scratch vector: it is valid until the next
+  // submit/release/release_rules call (callers that recurse must copy).
+  const std::vector<Id>& release(Id id);
 
   // Finer-grained release (admission_release = round): drops only `rules`
   // from a live request's footprint - rules its remaining rounds will
   // never touch again - and re-checks the requests blocked on it against
   // the shrunken footprint. Returns the ids that became admissible, in
-  // arrival order. Only meaningful under kConflictAware (the other
-  // policies track no footprints); a later release(id) finishes the job.
-  std::vector<Id> release_rules(Id id, const std::vector<RuleRef>& rules);
+  // arrival order (same scratch-aliasing contract as release). Only
+  // meaningful under kConflictAware (the other policies track no
+  // footprints); a later release(id) finishes the job.
+  const std::vector<Id>& release_rules(Id id,
+                                       const std::vector<RuleRef>& rules);
 
   std::size_t live() const noexcept { return entries_.size(); }
   // Live requests currently blocked on at least one conflict.
@@ -158,18 +168,55 @@ class AdmissionQueue {
   struct Entry {
     std::uint64_t seq = 0;  // arrival order
     Footprint footprint;
-    std::unordered_set<Id> blocked_on;  // earlier live conflicting requests
-    std::vector<Id> blocks;             // later requests waiting on this one
+    // Earlier live conflicting requests (unique; small, so a flat vector
+    // beats a node-per-element set and keeps its capacity across reuse).
+    std::vector<Id> blocked_on;
+    std::vector<Id> blocks;  // later requests waiting on this one
   };
 
+  using EntryMap = std::unordered_map<Id, Entry>;
+  using Bucket = std::vector<std::pair<Id, RuleRef>>;
+  using BucketMap = std::unordered_map<NodeId, Bucket>;
+
+  // Node-handle pools: released map nodes are extracted (so live-size
+  // contracts like index_switches()==0 still hold) and stashed for the
+  // next submit, making steady-state submit/release churn allocation-free
+  // once every container hits its high-water capacity.
+  Entry& insert_entry(Id id);
+  Bucket& insert_bucket(NodeId node);
+  void recycle_entry(EntryMap::iterator it);
+  void recycle_bucket(BucketMap::iterator it);
+
   AdmissionPolicy policy_;
-  std::unordered_map<Id, Entry> entries_;
+  EntryMap entries_;
   // Rule index: per switch, the live requests' rules on it, so conflict
   // detection touches only co-located rules instead of every live pair.
-  std::unordered_map<NodeId, std::vector<std::pair<Id, RuleRef>>> by_node_;
+  BucketMap by_node_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t conflict_edges_ = 0;
   std::uint64_t blocked_submissions_ = 0;
+  // Largest footprint ever submitted. When it rises (a template seen for
+  // the first time - the same cold moment a plan compiles), every entry's
+  // footprint storage is grown to match, so the steady state never meets a
+  // pooled entry whose capacity lags the workload.
+  std::size_t footprint_high_water_ = 0;
+  // Capacity records for the rule index and the dependency-edge lists,
+  // propagated to every peer container (live and pooled) with
+  // next-power-of-two headroom the moment any one of them sets a record.
+  // Per-container lazy growth would let a rarely-reused pooled bucket or a
+  // rare co-location spike allocate arbitrarily deep into a run; shared
+  // geometric records allocate only when the workload's global high-water
+  // doubles, which a stationary workload does finitely often, all during
+  // warmup. See reserve_bucket_record / reserve_edge_record.
+  std::size_t bucket_reserve_ = 0;
+  std::size_t edge_reserve_ = 0;
+
+  void reserve_bucket_record(std::size_t needed);
+  void reserve_edge_record(std::size_t needed);
+
+  std::vector<EntryMap::node_type> entry_pool_;
+  std::vector<BucketMap::node_type> bucket_pool_;
+  std::vector<Id> unblocked_scratch_;
 };
 
 }  // namespace tsu::controller

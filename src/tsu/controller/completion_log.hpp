@@ -94,7 +94,12 @@ class CompletionLog {
   // Folds the completion into the streaming stats and stores it in the
   // ring (overwriting the oldest entry once full). Returns a reference to
   // the stored entry - stable until `capacity_` further completions.
-  const UpdateMetrics& record(UpdateMetrics metrics) {
+  // Takes a const reference on purpose: the wrapped-ring path copy-assigns
+  // into the evicted slot so the slot's string/vector capacity is reused
+  // AND the caller's buffers survive for its own recycling - a move would
+  // free the slot's capacity and steal the caller's, reintroducing
+  // steady-state allocation on both sides.
+  const UpdateMetrics& record(const UpdateMetrics& metrics) {
     stats_.count += 1;
     if (metrics.aborted) stats_.aborted += 1;
     stats_.flow_mods_sent += metrics.flow_mods_sent;
@@ -109,11 +114,11 @@ class CompletionLog {
     stats_.duration_ns.add(duration);
     stats_.wait_ns.add(wait);
     if (ring_.size() < capacity_) {
-      ring_.push_back(std::move(metrics));
+      ring_.push_back(metrics);
       return ring_.back();
     }
     UpdateMetrics& slot = ring_[next_];
-    slot = std::move(metrics);
+    slot = metrics;
     next_ = (next_ + 1) % capacity_;
     return slot;
   }

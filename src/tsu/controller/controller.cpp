@@ -76,6 +76,51 @@ void Controller::attach_switch(NodeId node, SendFn send) {
   switches_[node] = std::move(send);
 }
 
+void Controller::attach_switch_encoded(NodeId node, SendEncodedFn send) {
+  TSU_ASSERT_MSG(send != nullptr, "null encoded switch link");
+  encoded_switches_[node] = std::move(send);
+}
+
+Controller::ActiveUpdate& Controller::insert_active(UpdateId id) {
+  if (active_pool_.empty())
+    return active_.emplace(id, ActiveUpdate{}).first->second;
+  ActiveMap::node_type node = std::move(active_pool_.back());
+  active_pool_.pop_back();
+  node.key() = id;
+  return active_.insert(std::move(node)).position->second;
+}
+
+void Controller::recycle_active(ActiveMap::iterator it) {
+  ActiveMap::node_type node = active_.extract(it);
+  ActiveUpdate& slot = node.mapped();
+  slot.plan.reset();
+  slot.next_round = 0;
+  slot.waiting = 0;
+  slot.coordinated = false;
+  slot.speculative = false;
+  slot.token = 0;
+  slot.system = false;
+  // request / metrics / release_plan keep their buffers; the next occupant
+  // assigns over them.
+  active_pool_.push_back(std::move(node));
+}
+
+void Controller::insert_waiting(Xid xid, UpdateId id, NodeId node) {
+  if (waiting_pool_.empty()) {
+    waiting_.emplace(xid, std::make_pair(id, node));
+    return;
+  }
+  WaitingMap::node_type handle = std::move(waiting_pool_.back());
+  waiting_pool_.pop_back();
+  handle.key() = xid;
+  handle.mapped() = std::make_pair(id, node);
+  waiting_.insert(std::move(handle));
+}
+
+void Controller::recycle_waiting(WaitingMap::iterator it) {
+  waiting_pool_.push_back(waiting_.extract(it));
+}
+
 void Controller::submit(UpdateRequest request) {
   PendingUpdate pending;
   pending.id = update_counter_++;
@@ -93,6 +138,35 @@ void Controller::submit(UpdateRequest request) {
                         : Footprint{});
   pending.request = std::move(request);
   queue_.push_back(std::move(pending));
+  maybe_start_next_request();
+}
+
+void Controller::submit_plan(std::shared_ptr<const CompiledPlan> plan,
+                             std::uint8_t priority_class,
+                             std::optional<sim::SimTime> enqueued) {
+  TSU_ASSERT_MSG(plan != nullptr, "null compiled plan");
+  // A plan-backed pending entry owns no heap state (the plan carries the
+  // request), so filling a warm queue slot allocates nothing.
+  queue_.emplace_back();
+  PendingUpdate& pending = queue_.back();
+  pending.id = update_counter_++;
+  // The empty request doubles as the per-submission parameter stash: the
+  // start scan reads priority_class off it, and a rollback resubmission
+  // reads both back when re-materializing the request.
+  pending.request.priority_class = priority_class;
+  pending.request.enqueued = enqueued;
+  pending.metrics.flow = plan->request.flow;
+  pending.metrics.priority_class = priority_class;
+  pending.metrics.submitted = sim_.now();
+  pending.metrics.enqueued = enqueued.value_or(sim_.now());
+  // metrics.name is deferred to start_pending (copied from the plan into
+  // pooled storage), keeping this slot heap-free.
+  static const Footprint kNoFootprint;
+  admission_.submit(pending.id,
+                    config_.admission == AdmissionPolicy::kConflictAware
+                        ? plan->footprint
+                        : kNoFootprint);
+  pending.plan = std::move(plan);
   maybe_start_next_request();
 }
 
@@ -127,11 +201,15 @@ void Controller::maybe_start_next_request() {
   }
 }
 
-void Controller::start_pending(std::deque<PendingUpdate>::iterator it) {
+void Controller::start_pending(std::vector<PendingUpdate>::iterator it) {
   const UpdateId id = it->id;
-  ActiveUpdate active;
+  ActiveUpdate& active = insert_active(id);
+  active.plan = std::move(it->plan);
   active.request = std::move(it->request);
-  active.metrics = std::move(it->metrics);
+  // Copy, not move: the pooled entry's string/vector buffers are reused,
+  // and a plan-backed pending's metrics hold nothing worth stealing.
+  active.metrics = it->metrics;
+  if (active.plan != nullptr) active.metrics.name = active.plan->request.name;
   active.metrics.started = sim_.now();
   active.coordinated = it->held;
   active.speculative = it->speculative;
@@ -140,35 +218,18 @@ void Controller::start_pending(std::deque<PendingUpdate>::iterator it) {
   // (conflict-aware) and rounds complete one at a time (barriers on).
   if (config_.admission_release == AdmissionRelease::kRound &&
       config_.admission == AdmissionPolicy::kConflictAware &&
-      config_.use_barriers)
-    active.release_plan = make_release_plan(active.request);
+      config_.use_barriers) {
+    if (active.plan != nullptr)
+      // Copy-assign: a recycled entry's slices keep their capacity.
+      active.release_plan = active.plan->release_plan;
+    else
+      active.release_plan = round_release_plan(active.request);
+  } else {
+    active.release_plan.clear();
+  }
   queue_.erase(it);
-  active_.emplace(id, std::move(active));
   max_in_flight_observed_ = std::max(max_in_flight_observed_, active_.size());
   start_round(id);
-}
-
-std::vector<std::vector<RuleRef>> Controller::make_release_plan(
-    const UpdateRequest& request) const {
-  // Key every footprint rule by the LAST round touching it: once that
-  // round's barriers return, no later round of this request can write the
-  // rule again, so its admission entry is safe to release early.
-  std::vector<std::vector<RuleRef>> plan(request.rounds.size());
-  std::vector<std::pair<RuleRef, std::size_t>> last;
-  for (std::size_t r = 0; r < request.rounds.size(); ++r) {
-    for (const RoundOp& op : request.rounds[r]) {
-      RuleRef ref{op.node, op.mod.table, op.mod.match};
-      const auto it =
-          std::find_if(last.begin(), last.end(),
-                       [&](const auto& e) { return e.first == ref; });
-      if (it == last.end())
-        last.emplace_back(std::move(ref), r);
-      else
-        it->second = r;
-    }
-  }
-  for (auto& [ref, round] : last) plan[round].push_back(std::move(ref));
-  return plan;
 }
 
 void Controller::release_completed_round_rules(UpdateId id) {
@@ -178,14 +239,14 @@ void Controller::release_completed_round_rules(UpdateId id) {
   if (active.release_plan.empty()) return;
   const std::size_t round = active.next_round - 1;  // the just-completed one
   if (round >= active.release_plan.size()) return;
-  // Move the slice out first: starting an unblocked request below can
-  // rehash active_ and invalidate the reference into it.
-  std::vector<RuleRef> rules = std::move(active.release_plan[round]);
+  // Copy the slice into the member scratch and clear it in place: starting
+  // an unblocked request below can rehash active_ (invalidating the
+  // reference), and clearing - not moving - keeps the slice's capacity for
+  // the pooled entry's next occupant.
+  release_rules_scratch_ = active.release_plan[round];
   active.release_plan[round].clear();
-  if (rules.empty()) return;
-  const std::vector<AdmissionQueue::Id> unblocked =
-      admission_.release_rules(id, rules);
-  if (unblocked.empty()) return;
+  if (release_rules_scratch_.empty()) return;
+  if (admission_.release_rules(id, release_rules_scratch_).empty()) return;
   maybe_start_next_request();
   if (hooks_ != nullptr) hooks_->on_progress(shard_id_);
 }
@@ -246,15 +307,16 @@ void Controller::release_round(std::uint64_t token) {
   const auto it = active_.find(id);
   TSU_ASSERT_MSG(it != active_.end(), "round release of an inactive update");
   const ActiveUpdate& active = it->second;
-  const sim::Duration interval = active.request.interval;
+  const UpdateRequest& request = request_of(active);
+  const sim::Duration interval = request.interval;
   // Speculative release: a DAG-disjoint sub-request whose next round is
   // empty installs nothing, so pacing the round buys nothing - confirm it
   // synchronously inside the coordinator's release loop. The skip removes
   // one interval-timer event; under the parallel engine every such timer
   // is a kShared event, i.e. a guaranteed horizon stall.
   const bool skip_interval =
-      active.speculative && active.next_round < active.request.rounds.size() &&
-      active.request.rounds[active.next_round].empty();
+      active.speculative && active.next_round < request.rounds.size() &&
+      request.rounds[active.next_round].empty();
   if (interval == 0 || skip_interval) {
     if (skip_interval && interval != 0) ++speculative_releases_;
     start_round(id);
@@ -393,23 +455,59 @@ void Controller::flush_all(FlushTrigger trigger) {
   }
 }
 
-void Controller::send_round_ops(ActiveUpdate& active,
-                                const std::vector<RoundOp>& ops) {
-  for (const RoundOp& op : ops) {
+void Controller::send_round_ops(ActiveUpdate& active, std::size_t round) {
+  const UpdateRequest& request = request_of(active);
+  const std::vector<RoundOp>& ops = request.rounds[round];
+  // Compiled-plan fast path: ship the cached frame with the live xid
+  // patched in instead of building and encoding a Message - byte-identical
+  // wire traffic, no encoder on the hot path. Only when eligible (see the
+  // constructor) and the switch has an encoded link; otherwise fall back
+  // per op.
+  const bool pre_encoded = active.plan != nullptr && encoded_eligible_;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const RoundOp& op = ops[i];
     const Xid xid = next_xid();
-    send_to_switch(op.node, proto::make_flow_mod(xid, op.mod));
+    bool sent = false;
+    if (pre_encoded) {
+      const auto link = encoded_switches_.find(op.node);
+      if (link != encoded_switches_.end()) {
+        link->second(active.plan->flow_mod_frame(round, i), xid);
+        sent = true;
+      }
+    }
+    if (!sent) send_to_switch(op.node, proto::make_flow_mod(xid, op.mod));
     retire_xid(xid);  // nothing routes on FlowMod xids
     ++active.metrics.flow_mods_sent;
     ++active.metrics.rounds.back().flow_mods;
   }
 }
 
+void Controller::send_round_barrier(ActiveUpdate& active, UpdateId id,
+                                    NodeId node) {
+  const Xid xid = next_xid();
+  insert_waiting(xid, id, node);
+  ++active.waiting;
+  bool sent = false;
+  if (active.plan != nullptr && encoded_eligible_) {
+    const auto link = encoded_switches_.find(node);
+    if (link != encoded_switches_.end()) {
+      link->second(active.plan->barrier_frame(), xid);
+      sent = true;
+    }
+  }
+  if (!sent) send_to_switch(node, proto::make_barrier_request(xid));
+  fence_barrier(node, xid);
+  ++active.metrics.barriers_sent;
+  ++active.metrics.rounds.back().barriers;
+}
+
 void Controller::start_round(UpdateId id) {
   const auto it = active_.find(id);
   TSU_ASSERT(it != active_.end());
   ActiveUpdate& active = it->second;
+  const UpdateRequest& request = request_of(active);
 
-  if (active.next_round >= active.request.rounds.size()) {
+  if (active.next_round >= request.rounds.size()) {
     finish_update(id);
     return;
   }
@@ -420,18 +518,20 @@ void Controller::start_round(UpdateId id) {
   if (config_.use_barriers) {
     // The paper's FSM: send the round's FlowMods, then barrier every switch
     // of the round and wait for all replies.
-    const std::vector<RoundOp>& ops = active.request.rounds[active.next_round];
-    send_round_ops(active, ops);
-    std::unordered_set<NodeId> round_switches;
-    for (const RoundOp& op : ops) round_switches.insert(op.node);
-    for (const NodeId node : round_switches) {
-      const Xid xid = next_xid();
-      waiting_.emplace(xid, std::make_pair(id, node));
-      ++active.waiting;
-      send_to_switch(node, proto::make_barrier_request(xid));
-      fence_barrier(node, xid);
-      ++active.metrics.barriers_sent;
-      ++active.metrics.rounds.back().barriers;
+    const std::size_t round = active.next_round;
+    send_round_ops(active, round);
+    if (active.plan != nullptr) {
+      // The plan's pre-deduplicated barrier targets, compiled by replaying
+      // the set construction below - same switches, same order, no
+      // per-submission set.
+      for (const NodeId node : active.plan->barrier_order[round])
+        send_round_barrier(active, id, node);
+    } else {
+      const std::vector<RoundOp>& ops = request.rounds[round];
+      std::unordered_set<NodeId> round_switches;
+      for (const RoundOp& op : ops) round_switches.insert(op.node);
+      for (const NodeId node : round_switches)
+        send_round_barrier(active, id, node);
     }
     ++active.next_round;
     if (active.waiting == 0) finish_round(id);  // empty round: advance
@@ -441,21 +541,13 @@ void Controller::start_round(UpdateId id) {
   // Reckless mode (ablation): blast every round back-to-back; one trailing
   // barrier per touched switch detects completion.
   std::unordered_set<NodeId> touched;
-  while (active.next_round < active.request.rounds.size()) {
-    const std::vector<RoundOp>& ops = active.request.rounds[active.next_round];
-    send_round_ops(active, ops);
-    for (const RoundOp& op : ops) touched.insert(op.node);
+  while (active.next_round < request.rounds.size()) {
+    send_round_ops(active, active.next_round);
+    for (const RoundOp& op : request.rounds[active.next_round])
+      touched.insert(op.node);
     ++active.next_round;
   }
-  for (const NodeId node : touched) {
-    const Xid xid = next_xid();
-    waiting_.emplace(xid, std::make_pair(id, node));
-    ++active.waiting;
-    send_to_switch(node, proto::make_barrier_request(xid));
-    fence_barrier(node, xid);
-    ++active.metrics.barriers_sent;
-    ++active.metrics.rounds.back().barriers;
-  }
+  for (const NodeId node : touched) send_round_barrier(active, id, node);
   if (active.waiting == 0) finish_round(id);
 }
 
@@ -512,7 +604,7 @@ void Controller::on_message(NodeId from, const proto::Message& message) {
         return;
       }
       const UpdateId id = it->second.first;
-      waiting_.erase(it);
+      recycle_waiting(it);
       // Clean completion: kill the now-moot liveness timer (releasing its
       // closure eagerly) and recycle the xid.
       disarm_liveness(message.xid);
@@ -590,7 +682,7 @@ void Controller::finish_round(UpdateId id) {
   TSU_ASSERT(it != active_.end());
   ActiveUpdate& active = it->second;
 
-  const bool more_rounds = active.next_round < active.request.rounds.size();
+  const bool more_rounds = active.next_round < request_of(active).rounds.size();
   if (!more_rounds || !config_.use_barriers) {
     // A coordinated sub-request still confirms its final round (the
     // coordinator's sync accounting sees the full spread; with no next
@@ -615,7 +707,7 @@ void Controller::finish_round(UpdateId id) {
     if (hooks_ != nullptr) hooks_->on_round_done(shard_id_, token, round);
     return;
   }
-  const sim::Duration interval = active.request.interval;
+  const sim::Duration interval = request_of(active).interval;
   if (interval == 0) {
     start_round(id);
   } else {
@@ -626,25 +718,25 @@ void Controller::finish_round(UpdateId id) {
 void Controller::finish_update(UpdateId id) {
   const auto it = active_.find(id);
   TSU_ASSERT(it != active_.end());
-  it->second.metrics.finished = sim_.now();
-  const bool coordinated = it->second.coordinated;
-  const bool system = it->second.system;
-  const std::uint64_t token = it->second.token;
-  UpdateMetrics metrics = std::move(it->second.metrics);
-  active_.erase(it);
+  ActiveUpdate& active = it->second;
+  active.metrics.finished = sim_.now();
+  const bool coordinated = active.coordinated;
+  const bool system = active.system;
+  const std::uint64_t token = active.token;
   if (system) {
     // A rollback unwind: it never entered admission, and the metrics that
     // matter are the aborted original's (in the rollback context).
+    recycle_active(it);
     finish_rollback(id);
     return;
   }
-  // Drop the finished request's footprint from the conflict DAG so the
-  // requests it blocked become admissible.
-  admission_.release(id);
 
   if (coordinated) {
     // A cross-shard slice: the coordinator merges the per-shard metrics
     // and owns the completed list; this shard only frees its slot.
+    UpdateMetrics metrics = std::move(active.metrics);
+    recycle_active(it);
+    admission_.release(id);
     coordinated_ids_.erase(token);
     maybe_start_next_request();
     if (hooks_ != nullptr) {
@@ -654,7 +746,14 @@ void Controller::finish_update(UpdateId id) {
     return;
   }
 
-  const UpdateMetrics& done = completed_.record(std::move(metrics));
+  // Record straight from the live entry (the log copy-assigns into its
+  // ring slot), then recycle the entry buffers intact - no move chain, so
+  // the steady state neither allocates nor frees here. Only after that is
+  // the footprint dropped from the conflict DAG so blocked requests can
+  // start into the freed slot.
+  const UpdateMetrics& done = completed_.record(active.metrics);
+  recycle_active(it);
+  admission_.release(id);
   if (on_update_done_) on_update_done_(done);
   // "...deletes the message from the queue and starts processing the next
   //  message."
@@ -749,10 +848,10 @@ void Controller::retry_update_switch(UpdateId id, NodeId node) {
   // replay safe whatever prefix survived: it lands the switch in exactly
   // the already-acknowledged state plus the in-flight round. Metrics only
   // count first sends.
-  const std::size_t sent =
-      std::min(update.next_round, update.request.rounds.size());
+  const UpdateRequest& request = request_of(update);
+  const std::size_t sent = std::min(update.next_round, request.rounds.size());
   for (std::size_t r = 0; r < sent; ++r)
-    for (const RoundOp& op : update.request.rounds[r])
+    for (const RoundOp& op : request.rounds[r])
       if (op.node == node) {
         const Xid mod_xid = next_xid();
         send_to_switch(node, proto::make_flow_mod(mod_xid, op.mod));
@@ -765,6 +864,9 @@ void Controller::retry_update_switch(UpdateId id, NodeId node) {
 }
 
 void Controller::handle_reconnect(NodeId from, bool has_state) {
+  // Shadow state is about to be replayed/corrected: any plan compiled
+  // against the previous world must not be reused (see resync_generation).
+  ++resync_generation_;
   // A second hello while a resync is in flight means the switch died again
   // mid-resync: the fresh image below supersedes the abandoned one.
   for (auto it = resync_waiting_.begin(); it != resync_waiting_.end();) {
@@ -905,14 +1007,14 @@ void Controller::begin_rollback(UpdateId id) {
   // rolled back, some not - could leave the forwarding graph in a state no
   // schedule checker ever admitted. Drops at dead switches are re-driven
   // by retry and resync like any other send.
+  const UpdateRequest& source = request_of(aborted);
   UpdateRequest inverse;
-  inverse.name = aborted.request.name + "/rollback";
-  inverse.flow = aborted.request.flow;
-  const std::size_t sent =
-      std::min(aborted.next_round, aborted.request.rounds.size());
+  inverse.name = source.name + "/rollback";
+  inverse.flow = source.flow;
+  const std::size_t sent = std::min(aborted.next_round, source.rounds.size());
   for (std::size_t r = sent; r-- > 0;) {
     std::vector<RoundOp> ops;
-    for (const RoundOp& op : aborted.request.rounds[r])
+    for (const RoundOp& op : source.rounds[r])
       if (op.undo.has_value()) ops.push_back(RoundOp{op.node, *op.undo, {}});
     if (!ops.empty()) inverse.rounds.push_back(std::move(ops));
   }
@@ -920,7 +1022,16 @@ void Controller::begin_rollback(UpdateId id) {
   const UpdateId unwind_id = update_counter_++;
   RollbackCtx ctx;
   ctx.original = id;
-  ctx.request = std::move(aborted.request);
+  if (aborted.plan != nullptr) {
+    // Materialize the canonical request for the resubmission; the
+    // per-submission class/arrival live on the (otherwise empty) stash
+    // request, exactly as submit() would have carried them.
+    ctx.request = aborted.plan->request;
+    ctx.request.priority_class = aborted.request.priority_class;
+    ctx.request.enqueued = aborted.request.enqueued;
+  } else {
+    ctx.request = std::move(aborted.request);
+  }
   ctx.metrics = std::move(aborted.metrics);
   rollback_ctx_.emplace(unwind_id, std::move(ctx));
 

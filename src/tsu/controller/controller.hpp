@@ -72,7 +72,9 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -80,6 +82,7 @@
 
 #include "tsu/controller/admission.hpp"
 #include "tsu/controller/completion_log.hpp"
+#include "tsu/controller/plan_cache.hpp"
 #include "tsu/controller/update_request.hpp"
 #include "tsu/proto/messages.hpp"
 #include "tsu/sim/exec_mode.hpp"
@@ -158,6 +161,14 @@ struct ControllerConfig {
   AdmissionPolicy admission = AdmissionPolicy::kBlind;
   // When footprints leave the conflict DAG (see AdmissionRelease).
   AdmissionRelease admission_release = AdmissionRelease::kRequest;
+  // Memoized update-plan compilation for the open-loop service mode
+  // (controller/plan_cache.hpp): repeat submissions of a template reuse its
+  // compiled rounds, footprint and pre-encoded frames instead of
+  // re-lowering and re-encoding. Provably transparent - cache-on runs are
+  // bit-identical to cache-off (the equivalence suite pins it), so "off"
+  // exists for that proof and for perf baselines, not for correctness.
+  // Read by the service executor; the engine itself just accepts plans.
+  bool plan_cache = true;
   // Sharded control plane (controller/shard.hpp): how many controller
   // shards the switches are partitioned across - max_in_flight applies PER
   // SHARD - and how switches map to shards. shards = 1 is the single
@@ -219,15 +230,34 @@ inline BatchMode effective_batch_mode(const ControllerConfig& config) noexcept {
 class Controller {
  public:
   using SendFn = std::function<void(const proto::Message&)>;
+  // Pre-encoded variant: a complete frame (xid field patched per send by
+  // the channel) instead of a Message. See ControlChannel::send_encoded.
+  using SendEncodedFn =
+      std::function<void(std::span<const std::byte>, Xid)>;
 
   Controller(sim::Simulator& simulator, ControllerConfig config)
       : sim_(simulator), config_(config), admission_(config.admission) {
     if (config_.max_in_flight == 0) config_.max_in_flight = 1;
     batch_mode_ = effective_batch_mode(config_);
+    // The pre-encoded send path is only byte-transparent when every frame
+    // would be its own wire frame anyway (no outbox coalescing) and no
+    // shadow-table bookkeeping needs the Message object (no fault
+    // tolerance). Otherwise plan submissions fall back to Message sends -
+    // still skipping lowering/footprint/encode recomputation.
+    encoded_eligible_ =
+        batch_mode_ == BatchMode::kOff && config_.liveness_timeout == 0;
+    // The recycle stack is a fixed-capacity pool: reserving it here means
+    // retire_xid never allocates, so long service runs stay off the heap
+    // (the pool would otherwise double its way up during the pre-wrap
+    // accumulation phase).
+    free_xid_seqs_.reserve(kMaxFreeXids);
   }
 
   // Registers the outbound channel towards a switch.
   void attach_switch(NodeId node, SendFn send);
+  // Registers the pre-encoded send path towards a switch (optional; plan
+  // submissions fall back to the Message path for switches without one).
+  void attach_switch_encoded(NodeId node, SendEncodedFn send);
 
   // Inbound dispatch: the per-switch channel delivers replies here.
   void on_message(NodeId from, const proto::Message& message);
@@ -235,6 +265,25 @@ class Controller {
   // Enqueues a policy update (the paper's REST message queue); processing
   // starts immediately while fewer than max_in_flight updates are active.
   void submit(UpdateRequest request);
+
+  // Compiled-plan submission (plan_cache.hpp): behaviour-identical to
+  // submit() of the plan's canonical request with `priority_class` and
+  // `enqueued` applied, but the hot path performs no lowering, no
+  // footprint computation and - when eligible - no message encoding. The
+  // plan is shared, immutable and typically reused across many
+  // submissions.
+  void submit_plan(std::shared_ptr<const CompiledPlan> plan,
+                   std::uint8_t priority_class,
+                   std::optional<sim::SimTime> enqueued);
+
+  // Monotone counter of fault-driven resyncs that rewrote shadow-table
+  // state (bumped per reconnect handled). Compiled plans record it at
+  // compile time; the service executor's PlanCache discards plans from
+  // older generations so a resync can never serve stale pre-encoded
+  // frames.
+  std::uint64_t resync_generation() const noexcept {
+    return resync_generation_;
+  }
 
   bool idle() const noexcept { return active_.empty() && queue_.empty(); }
   std::size_t queued() const noexcept { return queue_.size(); }
@@ -401,8 +450,13 @@ class Controller {
 
   struct PendingUpdate {
     UpdateId id = 0;
+    // Plain submissions own their request here. Plan-backed submissions
+    // leave it EMPTY except priority_class and enqueued (the two
+    // per-submission parameters, stashed so the start scan and a rollback
+    // resubmission can read them back) - the plan carries the rounds.
     UpdateRequest request;
     UpdateMetrics metrics;  // carries the submission timestamp
+    std::shared_ptr<const CompiledPlan> plan;
     // Coordinated sub-request: held until the ShardCoordinator starts it.
     bool held = false;
     // Set at start_coordinated when the whole update is DAG-disjoint.
@@ -413,6 +467,10 @@ class Controller {
   struct ActiveUpdate {
     UpdateRequest request;
     UpdateMetrics metrics;
+    // Set for plan-backed updates; request_of() then reads the plan's
+    // canonical request and `request` only carries the per-submission
+    // priority_class/enqueued stash.
+    std::shared_ptr<const CompiledPlan> plan;
     std::size_t next_round = 0;
     // Outstanding barriers of this update's in-flight round.
     std::size_t waiting = 0;
@@ -434,18 +492,25 @@ class Controller {
   // Why an outbox shipped; drives the observability counters.
   enum class FlushTrigger { kInstant, kTimer, kBudget };
 
+  // The request a live update executes: the plan's canonical request for
+  // plan-backed updates, the owned one otherwise.
+  static const UpdateRequest& request_of(const ActiveUpdate& active) noexcept {
+    return active.plan != nullptr ? active.plan->request : active.request;
+  }
+
   void maybe_start_next_request();
-  void start_pending(std::deque<PendingUpdate>::iterator it);
+  void start_pending(std::vector<PendingUpdate>::iterator it);
   void start_round(UpdateId id);
-  void send_round_ops(ActiveUpdate& active, const std::vector<RoundOp>& ops);
+  void send_round_ops(ActiveUpdate& active, std::size_t round);
+  // One barrier of a round: registers the outstanding xid and ships the
+  // (possibly pre-encoded) barrier request to `node`.
+  void send_round_barrier(ActiveUpdate& active, UpdateId id, NodeId node);
   void send_to_switch(NodeId node, proto::Message message);
   void flush_switch(NodeId node, FlushTrigger trigger);
   void flush_all(FlushTrigger trigger);
   sim::Duration adaptive_window() const noexcept;
   void finish_round(UpdateId id);
   void finish_update(UpdateId id);
-  std::vector<std::vector<RuleRef>> make_release_plan(
-      const UpdateRequest& request) const;
   void release_completed_round_rules(UpdateId id);
 
   // --- fault tolerance ---------------------------------------------------
@@ -531,18 +596,50 @@ class Controller {
   std::size_t retired_xids() const noexcept { return free_xid_seqs_.size(); }
 
  private:
-  static constexpr std::size_t kMaxFreeXids = 1u << 20;
+  // Fixed capacity of the retired-xid recycle stack, fully reserved at
+  // construction (256 KiB per engine). Caps the post-wrap concurrency the
+  // engine can sustain at 64k simultaneously live xids - orders of
+  // magnitude above any simulated regime - in exchange for an
+  // allocation-free retire path.
+  static constexpr std::size_t kMaxFreeXids = 1u << 16;
+
+  using ActiveMap = std::unordered_map<UpdateId, ActiveUpdate>;
+  using WaitingMap = std::unordered_map<Xid, std::pair<UpdateId, NodeId>>;
+
+  // Node-handle pools for the per-update / per-barrier maps, mirroring the
+  // AdmissionQueue's: finished entries are extracted (so the live-size
+  // contracts behind steady_state_entries() still hold) and their nodes -
+  // string/vector capacity included - reused by the next insert, making
+  // steady-state submission churn allocation-free.
+  ActiveUpdate& insert_active(UpdateId id);
+  void recycle_active(ActiveMap::iterator it);
+  void insert_waiting(Xid xid, UpdateId id, NodeId node);
+  void recycle_waiting(WaitingMap::iterator it);
 
   sim::Simulator& sim_;
   ControllerConfig config_;
   AdmissionQueue admission_;
   std::unordered_map<NodeId, SendFn> switches_;
+  // Pre-encoded send paths (plan submissions only); keyed like switches_.
+  std::unordered_map<NodeId, SendEncodedFn> encoded_switches_;
+  // Whether plan-backed sends may use the pre-encoded path (computed at
+  // construction; see the constructor comment).
+  bool encoded_eligible_ = false;
   // Submitted but not yet started, in arrival order. Under conflict-aware
   // admission a later entry may start before an earlier blocked one.
-  std::deque<PendingUpdate> queue_;
-  std::unordered_map<UpdateId, ActiveUpdate> active_;
+  // A vector (not deque): plan-backed entries hold no heap state, so warm
+  // slots are free to fill, and libstdc++'s deque would allocate a fresh
+  // chunk every few dozen push/pop cycles at steady state.
+  std::vector<PendingUpdate> queue_;
+  ActiveMap active_;
   // Outstanding barrier xid -> (owning update, switch it fences).
-  std::unordered_map<Xid, std::pair<UpdateId, NodeId>> waiting_;
+  WaitingMap waiting_;
+  std::vector<ActiveMap::node_type> active_pool_;
+  std::vector<WaitingMap::node_type> waiting_pool_;
+  // Per-round release staging: the completed round's slice is copied here
+  // (capacities reused on both sides) before admission release can rehash
+  // active_.
+  std::vector<RuleRef> release_rules_scratch_;
   CompletionLog completed_;
   std::function<void(const UpdateMetrics&)> on_update_done_;
   // Sharding: this engine's shard id (tags xids) and the coordinator's
@@ -614,6 +711,10 @@ class Controller {
   std::unordered_map<Xid, NodeId> resync_waiting_;
   std::unordered_map<UpdateId, RollbackCtx> rollback_ctx_;
   std::function<void(NodeId)> on_switch_resynced_;
+  // Bumped once per handle_reconnect: shadow state was rewritten, so any
+  // plan compiled earlier may describe a world the switches no longer
+  // hold. See resync_generation().
+  std::uint64_t resync_generation_ = 0;
   std::size_t timeouts_ = 0;
   std::size_t resyncs_ = 0;
   std::size_t resync_frames_ = 0;

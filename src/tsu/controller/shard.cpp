@@ -113,6 +113,42 @@ void ShardCoordinator::submit(UpdateRequest request) {
   try_start_cross();
 }
 
+void ShardCoordinator::submit_plan(std::shared_ptr<const CompiledPlan> plan,
+                                   std::uint8_t priority_class,
+                                   std::optional<sim::SimTime> enqueued) {
+  if (shards_.size() == 1) {
+    shards_[0]->engine().submit_plan(std::move(plan), priority_class,
+                                     enqueued);
+    return;
+  }
+  // Route by the plan's pre-deduplicated touched set - no request
+  // materialization, no per-round scan. Same partition function as
+  // submit()'s scan, so the routing decision is identical.
+  int owner = -1;
+  bool cross = false;
+  for (const NodeId node : plan->touched) {
+    const int shard = static_cast<int>(partition_.shard_of(node));
+    if (owner < 0) {
+      owner = shard;
+    } else if (shard != owner) {
+      cross = true;
+      break;
+    }
+  }
+  if (!cross) {
+    shards_[owner < 0 ? 0 : owner]->engine().submit_plan(
+        std::move(plan), priority_class, enqueued);
+    return;
+  }
+  // Cross-shard: the coordinated protocol needs per-shard sub-requests, so
+  // materialize the canonical request and take the ordinary split path.
+  // Identical to the uncached submission by construction.
+  UpdateRequest request = plan->request;
+  request.priority_class = priority_class;
+  request.enqueued = enqueued;
+  submit(std::move(request));
+}
+
 void ShardCoordinator::try_start_cross() {
   // Starting a sub-request can synchronously confirm empty rounds, finish
   // slices and re-enter through on_progress; the guard collapses those

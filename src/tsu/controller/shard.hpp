@@ -96,6 +96,12 @@ class ShardCoordinator final : public Controller::CoordinationHooks {
 
   // Registers the outbound channel towards a switch on its owning shard.
   void attach_switch(NodeId node, Controller::SendFn send);
+  // Registers the pre-encoded send path on the owning shard (plan
+  // submissions; see Controller::attach_switch_encoded).
+  void attach_switch_encoded(NodeId node, Controller::SendEncodedFn send) {
+    shards_[shard_of(node)]->engine().attach_switch_encoded(node,
+                                                            std::move(send));
+  }
   // Fault tolerance (sim/faults.hpp): shadow seeding and the resync
   // callback route to the switch's owning shard; see controller.hpp.
   void seed_shadow(NodeId node, const proto::FlowMod& mod) {
@@ -109,6 +115,22 @@ class ShardCoordinator final : public Controller::CoordinationHooks {
   // Routes a request: forwarded whole when it touches one shard, split and
   // coordinated when it spans several.
   void submit(UpdateRequest request);
+  // Compiled-plan submission: routed by the plan's touched-switch set
+  // without materializing a request. A shard-local plan forwards to the
+  // owning engine's submit_plan; a cross-shard one falls back to the
+  // coordinated split of the plan's canonical request (cold by design -
+  // the split must re-key xids and rounds per shard anyway).
+  void submit_plan(std::shared_ptr<const CompiledPlan> plan,
+                   std::uint8_t priority_class,
+                   std::optional<sim::SimTime> enqueued);
+  // Sum of the per-shard resync generations: any shard's fault-driven
+  // resync invalidates cached plans (a plan may span shards).
+  std::uint64_t resync_generation() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += shard->engine().resync_generation();
+    return total;
+  }
 
   bool idle() const noexcept;
   std::size_t queued() const noexcept;

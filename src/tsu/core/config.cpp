@@ -211,6 +211,12 @@ Result<ExecutorConfig> config_from_json(const json::Value& value) {
                           "unknown admission release '" + field.as_string() +
                               "' (request | round)");
       config.controller.admission_release = *release;
+    } else if (key == "plan_cache") {
+      if (!field.is_string() ||
+          (field.as_string() != "on" && field.as_string() != "off"))
+        return make_error(Errc::kParseError,
+                          "'plan_cache' must be \"on\" or \"off\"");
+      config.controller.plan_cache = field.as_string() == "on";
     } else if (key == "shards") {
       if (!field.is_number() || field.as_int() < 1 ||
           field.as_int() >
@@ -417,6 +423,8 @@ json::Value config_to_json(const ExecutorConfig& config) {
   root.set("admission_release",
            json::Value(
                controller::to_string(config.controller.admission_release)));
+  root.set("plan_cache",
+           json::Value(config.controller.plan_cache ? "on" : "off"));
   root.set("shards", json::Value(static_cast<std::int64_t>(
                          config.controller.shards)));
   root.set("partition",

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <span>
+#include <string_view>
 #include <unordered_map>
 
+#include "tsu/controller/plan_cache.hpp"
 #include "tsu/core/service.hpp"
 #include "tsu/sim/sharded.hpp"
 #include "tsu/sim/simulator.hpp"
@@ -107,6 +110,13 @@ struct Harness {
     ctrl->attach_switch(node, [duplex_ptr](const proto::Message& m) {
       duplex_ptr->to_switch.send(m);
     });
+    // Zero-encode fast path for compiled-plan submissions: the controller
+    // hands the channel a pre-encoded frame plus the xid to patch into it,
+    // skipping make_flow_mod/encode entirely (channel.hpp send_encoded).
+    ctrl->attach_switch_encoded(
+        node, [duplex_ptr](std::span<const std::byte> bytes, Xid xid) {
+          duplex_ptr->to_switch.send_encoded(bytes, xid);
+        });
 
     switches[node] = sw_ptr;
     duplex_by_node[node] = duplex_ptr;
@@ -187,6 +197,9 @@ std::uint64_t final_state_digest(const Harness& harness) {
     if (sw == nullptr) continue;
     h = mix(h, node);
     for (const auto& [table_id, table] : sw->tables()) {
+      // Emptied tables stay resident for capacity reuse (proto/apply.cpp);
+      // logically they are state never touched, so they digest as absent.
+      if (table.empty()) continue;
       h = mix(h, table_id);
       h = mix(h, table.size());
       std::uint64_t rules = 0;
@@ -798,6 +811,13 @@ Result<ServiceResult> execute_service(const ServiceConfig& config) {
   // guarantee, so service mode upgrades it to the conflict DAG.
   if (exec.controller.admission == controller::AdmissionPolicy::kBlind)
     exec.controller.admission = controller::AdmissionPolicy::kConflictAware;
+  // CI kill switch: TSU_PLAN_CACHE=off forces every service run onto the
+  // compile-per-submission path, so the sanitizer jobs can sweep the whole
+  // service/soak suite with the cache inert and prove the transparent-
+  // optimization claim under ASan without duplicating the tests.
+  if (const char* env = std::getenv("TSU_PLAN_CACHE");
+      env != nullptr && std::string_view(env) == "off")
+    exec.controller.plan_cache = false;
   if (config.flows == 0)
     return make_error(Errc::kInvalidArgument, "need at least one template");
   if (config.classes.empty() || config.classes.size() > 256)
@@ -891,13 +911,70 @@ Result<ServiceResult> execute_service(const ServiceConfig& config) {
     std::size_t tmpl = 0;
     sim::SimTime arrived = 0;
   };
-  std::vector<std::deque<PendingRequest>> pending(class_count);
+  // Per-class FIFO as a flat ring rather than std::deque: libstdc++'s deque
+  // allocates a fresh ~512-byte chunk every ~32 pushes even at constant
+  // depth, which would show up as steady-state allocations on the
+  // submission path. Capacity starts at min(max_pending, 1024) - since
+  // per-class depth is bounded by the shared max_pending admission check,
+  // the default configuration never grows after construction.
+  struct PendingRing {
+    std::vector<PendingRequest> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    bool empty() const noexcept { return count == 0; }
+    const PendingRequest& front() const noexcept { return slots[head]; }
+    void pop_front() noexcept {
+      head = head + 1 == slots.size() ? 0 : head + 1;
+      --count;
+    }
+    void push_back(const PendingRequest& r) {
+      if (count == slots.size()) grow();
+      std::size_t tail = head + count;
+      if (tail >= slots.size()) tail -= slots.size();
+      slots[tail] = r;
+      ++count;
+    }
+    void grow() {
+      std::vector<PendingRequest> next(std::max<std::size_t>(
+          std::size_t{8}, slots.size() * 2));
+      for (std::size_t i = 0; i < count; ++i)
+        next[i] = slots[(head + i) % (slots.empty() ? 1 : slots.size())];
+      slots = std::move(next);
+      head = 0;
+    }
+  };
+  std::vector<PendingRing> pending(class_count);
+  for (PendingRing& ring : pending)
+    ring.slots.resize(std::min<std::size_t>(config.max_pending, 1024));
   std::size_t pending_total = 0;
   std::vector<double> tokens(class_count);
   std::vector<sim::SimTime> refilled(class_count, 0);
   for (std::size_t c = 0; c < class_count; ++c)
     tokens[c] = std::max(1.0, config.classes[c].burst);
   std::vector<std::uint64_t> flip(config.flows, 0);
+
+  // Compiled-plan cache (controller/plan_cache.hpp). Keys are derived once
+  // per (template, direction) from the instance's identity digest - the
+  // forward and reverse instances of one template digest differently (the
+  // paths swap), but mix in a direction tag anyway so the key's meaning
+  // never rests on that accident. Submissions below consult the cache with
+  // the coordinator's current resync generation: any fault-driven shadow
+  // rewrite bumps it and stale pre-encoded frames are recompiled, never
+  // served.
+  const bool plan_cache_on = exec.controller.plan_cache;
+  controller::PlanCache plan_cache;
+  std::vector<std::uint64_t> fwd_keys;
+  std::vector<std::uint64_t> rev_keys;
+  if (plan_cache_on) {
+    constexpr std::uint64_t kReverseTag = 0x9e3779b97f4a7c15ULL;
+    fwd_keys.reserve(pool.instances.size());
+    for (const update::Instance& inst : pool.instances)
+      fwd_keys.push_back(inst.identity_digest());
+    rev_keys.reserve(rev_instances.size());
+    for (const update::Instance& inst : rev_instances)
+      rev_keys.push_back(inst.identity_digest() ^ kReverseTag);
+  }
 
   ServiceStats stats;
   stats.by_class.resize(class_count);
@@ -939,12 +1016,34 @@ Result<ServiceResult> execute_service(const ServiceConfig& config) {
         reverse ? rev_instances[p.tmpl] : pool.instances[p.tmpl];
     const update::Schedule& sched =
         reverse ? rev_schedules[p.tmpl] : pool.schedules[p.tmpl];
-    controller::UpdateRequest req = controller::request_from_schedule(
-        inst, sched, static_cast<FlowId>(exec.flow + p.tmpl), exec.priority,
-        exec.interval);
-    req.priority_class = static_cast<std::uint8_t>(cls);
-    req.enqueued = p.arrived;
-    harness.ctrl->submit(std::move(req));
+    if (plan_cache_on) {
+      // Warm path: reuse the compiled plan - no request materialization, no
+      // re-encoding; the controller patches xids into the cached frames.
+      // Cold path: build the CANONICAL request (exactly what the cache-off
+      // branch below submits, before the per-submission class/enqueued
+      // stamps) and compile it once.
+      const std::uint64_t key =
+          reverse ? rev_keys[p.tmpl] : fwd_keys[p.tmpl];
+      const std::uint64_t generation = harness.ctrl->resync_generation();
+      std::shared_ptr<const controller::CompiledPlan> plan =
+          plan_cache.lookup(key, generation);
+      if (plan == nullptr) {
+        controller::UpdateRequest req = controller::request_from_schedule(
+            inst, sched, static_cast<FlowId>(exec.flow + p.tmpl),
+            exec.priority, exec.interval);
+        plan = controller::compile_plan(std::move(req), generation);
+        plan_cache.store(key, plan);
+      }
+      harness.ctrl->submit_plan(std::move(plan),
+                                static_cast<std::uint8_t>(cls), p.arrived);
+    } else {
+      controller::UpdateRequest req = controller::request_from_schedule(
+          inst, sched, static_cast<FlowId>(exec.flow + p.tmpl), exec.priority,
+          exec.interval);
+      req.priority_class = static_cast<std::uint8_t>(cls);
+      req.enqueued = p.arrived;
+      harness.ctrl->submit(std::move(req));
+    }
     ++stats.submitted;
     ++stats.by_class[cls].submitted;
   };
@@ -1092,6 +1191,9 @@ Result<ServiceResult> execute_service(const ServiceConfig& config) {
       s.pending = pending_total;
       s.controller_depth = controller_depth();
       s.steady_state_entries = harness.ctrl->steady_state_entries();
+      s.plan_compiles = plan_cache.compiles();
+      s.plan_hits = plan_cache.hits();
+      s.plan_invalidations = plan_cache.invalidations();
       s.window_throughput_per_sec =
           static_cast<double>(stats.completed - snap_prev_completed) * 1e9 /
           static_cast<double>(config.snapshot_interval);
@@ -1172,6 +1274,9 @@ Result<ServiceResult> execute_service(const ServiceConfig& config) {
   result.frames_sent = harness.total_frames();
   for (std::size_t s = 0; s < harness.ctrl->shard_count(); ++s)
     result.retired_xids += harness.ctrl->shard(s).engine().retired_xids();
+  stats.plan_compiles = plan_cache.compiles();
+  stats.plan_hits = plan_cache.hits();
+  stats.plan_invalidations = plan_cache.invalidations();
   result.stats = std::move(stats);
   return result;
 }

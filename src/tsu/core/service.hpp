@@ -133,6 +133,13 @@ struct ServiceStats {
   std::uint64_t throttled = 0;
   std::size_t peak_pending = 0;
   std::size_t peak_controller_depth = 0;  // queued + active high-water
+  // Compiled-plan cache counters (all zero when controller.plan_cache is
+  // off): compiles = cache misses that built a plan, hits = submissions
+  // served from a cached plan, invalidations = cached plans discarded
+  // because a fault-driven resync bumped the generation.
+  std::uint64_t plan_compiles = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_invalidations = 0;
   std::vector<ServiceClassStats> by_class;
 };
 
@@ -147,6 +154,10 @@ struct ServiceSnapshot {
   std::size_t pending = 0;            // service pending queue, now
   std::size_t controller_depth = 0;   // controller queued + active, now
   std::size_t steady_state_entries = 0;
+  // Plan-cache counters, cumulative (see ServiceStats).
+  std::uint64_t plan_compiles = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_invalidations = 0;
   double window_throughput_per_sec = 0;  // completions since last snapshot
   // Cumulative latency quantiles from the streaming histograms.
   double p50_duration_ms = 0;

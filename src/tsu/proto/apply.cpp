@@ -4,10 +4,15 @@ namespace tsu::proto {
 
 void apply_flow_mod(std::map<std::uint8_t, flow::FlowTable>& tables,
                     const FlowMod& mod) {
-  // Deletes never materialize a table, and a table a delete empties is
-  // dropped: state that was fully unwound (e.g. a rollback's inverse mods)
-  // must be structurally identical to state never touched, so the
-  // forwarding-state digest cannot tell the two apart.
+  // Deletes never materialize a table. A table a delete empties stays
+  // RESIDENT but empty: erasing it would free the map node and the rule
+  // vectors' capacity, turning every unwind/re-install cycle into three
+  // heap allocations on the switch's hot path. State that was fully
+  // unwound (e.g. a rollback's inverse mods) must still be logically
+  // identical to state never touched, so every consumer treats an empty
+  // table as absent: the forwarding-state digest skips size-0 tables
+  // (core/executor.cpp), resync finds no rules to replay in one, and the
+  // switch's announce/features replies count populated tables only.
   if (mod.command == FlowModCommand::kDelete ||
       mod.command == FlowModCommand::kDeleteStrict) {
     const auto it = tables.find(mod.table);
@@ -16,7 +21,6 @@ void apply_flow_mod(std::map<std::uint8_t, flow::FlowTable>& tables,
       it->second.remove(mod.match);
     else
       it->second.remove_strict(mod.match, mod.priority);
-    if (it->second.size() == 0) tables.erase(it);
     return;
   }
   flow::FlowTable& target = tables[mod.table];

@@ -358,6 +358,19 @@ std::size_t encoded_size(const Message& message) {
   return kHeaderSize + std::visit(BodySizer{}, message.body);
 }
 
+void patch_xid(std::span<std::byte> frame, std::uint32_t xid) noexcept {
+  TSU_ASSERT_MSG(frame.size() >= kHeaderSize, "frame smaller than header");
+  frame[4] = static_cast<std::byte>((xid >> 24) & 0xff);
+  frame[5] = static_cast<std::byte>((xid >> 16) & 0xff);
+  frame[6] = static_cast<std::byte>((xid >> 8) & 0xff);
+  frame[7] = static_cast<std::byte>(xid & 0xff);
+}
+
+MsgType frame_type(std::span<const std::byte> frame) noexcept {
+  TSU_ASSERT_MSG(frame.size() >= kHeaderSize, "frame smaller than header");
+  return static_cast<MsgType>(frame[1]);
+}
+
 Result<Message> decode(std::span<const std::byte> data) {
   return decode_impl(data, 0);
 }

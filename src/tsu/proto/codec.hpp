@@ -31,6 +31,19 @@ void encode_into(const Message& message, std::vector<std::byte>& out);
 // to encode().size().
 std::size_t encoded_size(const Message& message);
 
+// Patches the xid field (header bytes [4,8), big-endian) of an
+// already-encoded frame in place - the xid analogue of the length
+// patch_u16 the Batch encoder uses. Pre-compiled plan frames are encoded
+// once with xid 0 and patched per send, so the cached bytes stay immutable
+// and the wire bytes stay identical to a fresh encode with that xid.
+void patch_xid(std::span<std::byte> frame, std::uint32_t xid) noexcept;
+
+// Reads the message type byte of an encoded frame (header byte 1) without
+// decoding. Callers that route pre-encoded bytes (e.g. the channel's
+// blackhole fault gate, which must know whether a frame carries a barrier)
+// use this instead of a full decode.
+MsgType frame_type(std::span<const std::byte> frame) noexcept;
+
 // Decodes exactly one frame from the start of `data`.
 Result<Message> decode(std::span<const std::byte> data);
 

@@ -219,6 +219,12 @@ Result<RestUpdateMessage> parse_update_message(std::string_view json_text) {
       if (!value.is_bool())
         return make_error(Errc::kParseError, "'steal' must be a bool");
       message.steal = value.as_bool();
+    } else if (key == "plan_cache") {
+      if (!value.is_string() ||
+          (value.as_string() != "on" && value.as_string() != "off"))
+        return make_error(Errc::kParseError,
+                          "'plan_cache' must be \"on\" or \"off\"");
+      message.plan_cache = value.as_string() == "on";
     } else if (key == "liveness_timeout_ms") {
       if (!value.is_number() || value.as_double() < 0)
         return make_error(Errc::kOutOfRange,
@@ -319,6 +325,8 @@ std::string to_json(const RestUpdateMessage& message) {
     root.set("speculate", json::Value(*message.speculate));
   if (message.steal.has_value())
     root.set("steal", json::Value(*message.steal));
+  if (message.plan_cache.has_value())
+    root.set("plan_cache", json::Value(*message.plan_cache ? "on" : "off"));
   if (message.liveness_timeout_ms.has_value())
     root.set("liveness_timeout_ms", json::Value(*message.liveness_timeout_ms));
   if (message.failure_response.has_value())
@@ -443,6 +451,7 @@ void apply_controller_overrides(const RestUpdateMessage& message,
   if (message.threads.has_value()) config.threads = *message.threads;
   if (message.speculate.has_value()) config.speculate = *message.speculate;
   if (message.steal.has_value()) config.steal = *message.steal;
+  if (message.plan_cache.has_value()) config.plan_cache = *message.plan_cache;
   if (message.max_in_flight.has_value())
     config.max_in_flight = *message.max_in_flight;
   if (message.batch_frames.has_value())

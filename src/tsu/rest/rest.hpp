@@ -66,6 +66,9 @@ struct RestUpdateMessage {
   // Speculative round barriers and longest-first epoch launch ordering
   // (controller/controller.hpp speculate / steal).
   std::optional<bool> speculate;
+  // Compiled-plan cache for service-mode submissions ("on" | "off" in the
+  // wire document, matching the config key; controller.hpp plan_cache).
+  std::optional<bool> plan_cache;
   std::optional<bool> steal;
   // Fault-tolerance knobs (controller/controller.hpp): liveness detection
   // timeout (0 disables the whole fault path) and what a timed-out update

@@ -34,6 +34,9 @@ std::string to_json(const core::ServiceSnapshot& snapshot) {
   root.set("pending", count(snapshot.pending));
   root.set("controller_depth", count(snapshot.controller_depth));
   root.set("steady_state_entries", count(snapshot.steady_state_entries));
+  root.set("plan_compiles", count(snapshot.plan_compiles));
+  root.set("plan_hits", count(snapshot.plan_hits));
+  root.set("plan_invalidations", count(snapshot.plan_invalidations));
   root.set("window_throughput_per_sec",
            json::Value(snapshot.window_throughput_per_sec));
   root.set("p50_duration_ms", json::Value(snapshot.p50_duration_ms));
@@ -55,6 +58,9 @@ std::string to_json(const core::ServiceResult& result) {
   root.set("peak_pending", count(result.stats.peak_pending));
   root.set("peak_controller_depth",
            count(result.stats.peak_controller_depth));
+  root.set("plan_compiles", count(result.stats.plan_compiles));
+  root.set("plan_hits", count(result.stats.plan_hits));
+  root.set("plan_invalidations", count(result.stats.plan_invalidations));
 
   json::Array classes;
   for (const core::ServiceClassStats& stats : result.stats.by_class)

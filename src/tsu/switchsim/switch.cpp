@@ -85,11 +85,13 @@ void SimSwitch::complete(const proto::Message& message) {
       send_to_controller(proto::make_hello(message.xid));
       break;
     case proto::MsgType::kFeaturesRequest: {
+      // Count populated tables: resident-but-empty tables are unwound
+      // state, not capacity the datapath advertises.
+      const std::size_t populated = populated_tables();
       proto::Message reply;
       reply.xid = message.xid;
       reply.body = proto::FeaturesReply{
-          dpid_, static_cast<std::uint32_t>(
-                     tables_.empty() ? 1 : tables_.size())};
+          dpid_, static_cast<std::uint32_t>(populated == 0 ? 1 : populated)};
       send_to_controller(std::move(reply));
       break;
     }
@@ -187,8 +189,10 @@ void SimSwitch::announce() {
   // The xid carries the handshake's state bit (stand-in for the
   // features/stats exchange of a real reconnect): nonzero means the
   // tables survived, so the controller can resync just the uncertain keys.
+  // Populated, not resident: a switch whose rules were all unwound holds
+  // no state worth resyncing, exactly as if the tables had been dropped.
   if (to_controller_ != nullptr)
-    to_controller_(proto::make_hello(tables_.empty() ? 0 : 1));
+    to_controller_(proto::make_hello(populated_tables() == 0 ? 0 : 1));
 }
 
 }  // namespace tsu::switchsim

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "tsu/sim/simulator.hpp"
 #include "tsu/stats/summary.hpp"
 #include "tsu/util/ids.hpp"
+#include "tsu/util/ring.hpp"
 #include "tsu/util/rng.hpp"
 
 namespace tsu::switchsim {
@@ -81,9 +81,21 @@ class SimSwitch {
   }
   flow::FlowTable& table(std::uint8_t id) noexcept { return tables_[id]; }
 
-  // Every flow table by id (for whole-switch state digests).
+  // Every flow table by id (for whole-switch state digests). Emptied
+  // tables stay resident (proto/apply.hpp keeps the slot so its rule
+  // vectors' capacity survives the next install); consumers that care
+  // about logical state must skip tables with size() == 0.
   const std::map<std::uint8_t, flow::FlowTable>& tables() const noexcept {
     return tables_;
+  }
+
+  // Number of tables currently holding at least one rule - the logical
+  // table count (resident-but-empty tables are unwound state).
+  std::size_t populated_tables() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [id, table] : tables_)
+      if (!table.empty()) ++n;
+    return n;
   }
 
   // True when no message is being processed and the inbox is empty.
@@ -151,7 +163,10 @@ class SimSwitch {
   // Flow tables by table id; created on first touch. Table 0 serves the
   // data plane.
   std::map<std::uint8_t, flow::FlowTable> tables_;
-  std::deque<proto::Message> inbox_;
+  // Flat ring, not a deque: the inbox cycles at a roughly constant depth
+  // in steady state, and deque chunk churn would allocate on every ~32rd
+  // push (util/ring.hpp).
+  util::FlatRing<proto::Message> inbox_;
   bool busy_ = false;
 
   // Fault state. `epoch_` fences in-flight completion events across a

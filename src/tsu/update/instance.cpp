@@ -10,6 +10,24 @@ namespace {
 constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
 }
 
+std::uint64_t Instance::identity_digest() const noexcept {
+  // FNV-1a over (old path, new path, waypoint), length-prefixed so path
+  // boundaries cannot alias.
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t digest = kOffset;
+  const auto mix = [&digest](std::uint64_t value) {
+    digest ^= value;
+    digest *= kPrime;
+  };
+  mix(old_.size());
+  for (const NodeId v : old_) mix(v);
+  mix(new_.size());
+  for (const NodeId v : new_) mix(v);
+  mix(waypoint_.has_value() ? static_cast<std::uint64_t>(*waypoint_) + 1 : 0);
+  return digest;
+}
+
 const char* to_string(NodeRole role) noexcept {
   switch (role) {
     case NodeRole::kUntouched: return "untouched";

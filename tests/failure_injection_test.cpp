@@ -7,9 +7,16 @@
 // loudly, not silently, on misuse.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+
+#include "tsu/channel/channel.hpp"
+#include "tsu/controller/controller.hpp"
+#include "tsu/controller/plan_cache.hpp"
 #include "tsu/core/executor.hpp"
 #include "tsu/core/planner.hpp"
 #include "tsu/sim/faults.hpp"
+#include "tsu/switchsim/switch.hpp"
 #include "tsu/topo/instances.hpp"
 #include "tsu/verify/transient.hpp"
 #include "multiflow_workload.hpp"
@@ -355,6 +362,109 @@ TEST(FailureInjectionTest, BlackholeRecoversViaTimeoutAndRetry) {
   EXPECT_GE(faulted.faults.timeouts, 1u);
   EXPECT_GE(faulted.faults.retries, 1u);
   EXPECT_EQ(faulted.faults.frames_lost, 2u);
+}
+
+// ------------------------------------------------------------ plan cache
+// A fault-driven resync rewrites shadow-table state, so any plan compiled
+// before it may describe a world the switches no longer hold. The
+// controller bumps resync_generation() per reconnect handled, and
+// PlanCache::lookup must discard (and count) plans from older generations
+// instead of serving their stale pre-encoded frames.
+TEST(FailureInjectionTest, ResyncInvalidatesCompiledPlans) {
+  sim::Simulator sim;
+  Rng rng{99};
+  controller::ControllerConfig ctrl_config;
+  // Fault tolerance on: shadow tables are maintained, so the reconnect
+  // resync has an image to replay (and the pre-encoded fast path is
+  // ineligible - plan submissions take the Message fallback, exactly the
+  // regime a faulty deployment runs in).
+  ctrl_config.liveness_timeout = sim::milliseconds(3);
+  controller::Controller ctrl(sim, ctrl_config);
+  channel::ChannelConfig channel_config;
+  channel_config.latency = sim::LatencyModel::constant(sim::microseconds(100));
+  switchsim::SwitchConfig switch_config;
+  switch_config.install_latency =
+      sim::LatencyModel::constant(sim::microseconds(50));
+
+  std::map<NodeId, std::unique_ptr<switchsim::SimSwitch>> switches;
+  std::vector<std::unique_ptr<channel::DuplexChannel>> channels;
+  for (NodeId node : {NodeId{1}, NodeId{2}}) {
+    auto sw = std::make_unique<switchsim::SimSwitch>(sim, node, node,
+                                                    switch_config, rng.fork());
+    auto duplex =
+        std::make_unique<channel::DuplexChannel>(sim, channel_config, rng);
+    auto* sw_ptr = sw.get();
+    auto* duplex_ptr = duplex.get();
+    duplex->to_switch.set_receiver(
+        [sw_ptr](const proto::Message& m) { sw_ptr->receive(m); });
+    duplex->to_controller.set_receiver(
+        [&ctrl, node](const proto::Message& m) { ctrl.on_message(node, m); });
+    sw->set_controller_link([duplex_ptr](const proto::Message& m) {
+      duplex_ptr->to_controller.send(m);
+    });
+    ctrl.attach_switch(node, [duplex_ptr](const proto::Message& m) {
+      duplex_ptr->to_switch.send(m);
+    });
+    switches.emplace(node, std::move(sw));
+    channels.push_back(std::move(duplex));
+  }
+
+  controller::UpdateRequest request;
+  request.name = "cached-template";
+  request.flow = 7;
+  proto::FlowMod mod;
+  mod.command = proto::FlowModCommand::kAdd;
+  mod.priority = 100;
+  mod.match.flow = 7;
+  mod.action = flow::Action::forward(2);
+  request.rounds = {{controller::RoundOp{1, mod, {}}},
+                    {controller::RoundOp{2, mod, {}}}};
+
+  controller::PlanCache cache;
+  const std::uint64_t key = 0xfeedULL;
+  const std::uint64_t gen0 = ctrl.resync_generation();
+  std::shared_ptr<const controller::CompiledPlan> plan =
+      controller::compile_plan(request, gen0);
+  cache.store(key, plan);
+  ctrl.submit_plan(plan, 0, std::nullopt);
+  sim.run();
+  ASSERT_TRUE(ctrl.idle());
+  flow::Packet p;
+  p.flow = 7;
+  EXPECT_TRUE(switches[1]->table().lookup(p).has_value());
+
+  // Warm lookup at the unchanged generation: a hit, same plan object.
+  EXPECT_EQ(cache.lookup(key, ctrl.resync_generation()), plan);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  // Cold-reboot fault: the reconnect Hello drives a shadow resync, which
+  // must bump the generation and restore the wiped rule.
+  switches[1]->crash(/*lose_state=*/true);
+  EXPECT_FALSE(switches[1]->table().lookup(p).has_value());
+  switches[1]->restart();
+  sim.run();
+  const std::uint64_t gen1 = ctrl.resync_generation();
+  EXPECT_GT(gen1, gen0);
+  EXPECT_GE(ctrl.resyncs(), 1u);
+  EXPECT_TRUE(switches[1]->table().lookup(p).has_value());
+
+  // The stale plan is discarded, not served.
+  EXPECT_EQ(cache.lookup(key, gen1), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Recompile at the post-resync generation: the template is cacheable
+  // again and the submission completes normally.
+  std::shared_ptr<const controller::CompiledPlan> fresh =
+      controller::compile_plan(request, gen1);
+  cache.store(key, fresh);
+  ctrl.submit_plan(fresh, 0, std::nullopt);
+  sim.run();
+  EXPECT_TRUE(ctrl.idle());
+  EXPECT_EQ(cache.lookup(key, ctrl.resync_generation()), fresh);
+  EXPECT_EQ(cache.compiles(), 2u);
+  EXPECT_TRUE(switches[2]->table().lookup(p).has_value());
 }
 
 TEST(FailureInjectionTest, NonEmptyScheduleDefaultsLivenessDetection) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "tsu/channel/channel.hpp"
+#include "tsu/core/service.hpp"
 #include "tsu/dataplane/monitor.hpp"
 #include "tsu/dataplane/traffic.hpp"
 #include "tsu/proto/messages.hpp"
@@ -243,6 +244,60 @@ TEST(HotPathAllocTest, ParallelEpochsAllocateNothingOnceWarm) {
   EXPECT_EQ(bouncer.bounces, 1002u);
   EXPECT_EQ(group.overflow_posts(), 0u)
       << "the bounce stream should fit the SPSC rings";
+}
+
+TEST(HotPathAllocTest, WarmCacheSubmissionWindowAllocatesNothing) {
+  // The compiled-plan cache's whole point: after the first submission of
+  // each (template, direction) pair compiled its plan, every further
+  // submission through execute_service is allocation-free end to end -
+  // cache lookup, submit_plan, xid-patched pre-encoded sends, barrier
+  // replies, completion recording, admission release, and the pending-ring
+  // arrival path all run off warm pools. The window opens via the snapshot
+  // feed once the run is unambiguously warm (every template submitted both
+  // directions many times over, the 256-entry completion ring wrapped, all
+  // pools at high-water) and closes before the drain.
+  core::ServiceConfig config;
+  config.exec.seed = 17;
+  config.exec.with_traffic = false;
+  config.flows = 4;
+  config.pool_switches = 24;
+  config.arrival_rate_per_sec = 20000;
+  config.target_completions = 1200;
+  config.snapshot_interval = sim::milliseconds(1);
+  config.snapshot_window = 8;
+
+  std::uint64_t window_start = 0;
+  std::uint64_t window_end = 0;
+  std::uint64_t in_window_completions = 0;
+  std::uint64_t window_opened_at = 0;
+  config.on_snapshot = [&](const core::ServiceSnapshot& snapshot) {
+    if (window_start == 0 && snapshot.completed >= 400) {
+      window_start = allocs();
+      window_opened_at = snapshot.completed;
+    } else if (window_start != 0 && window_end == 0 &&
+               snapshot.completed >= 1000) {
+      window_end = allocs();
+      in_window_completions = snapshot.completed - window_opened_at;
+    }
+  };
+
+  const Result<core::ServiceResult> run = core::execute_service(config);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const core::ServiceResult& result = run.value();
+
+  ASSERT_NE(window_start, 0u) << "warm window never opened";
+  ASSERT_NE(window_end, 0u) << "warm window never closed";
+  EXPECT_GE(in_window_completions, 400u);
+  EXPECT_EQ(window_end - window_start, 0u)
+      << "warm-cache submissions hit the allocator";
+
+  // One compile per (template, direction), everything else a hit; a
+  // fault-free run never invalidates. The drain leaves no residue.
+  EXPECT_EQ(result.stats.plan_compiles, 8u);
+  EXPECT_EQ(result.stats.plan_hits, result.stats.submitted - 8u);
+  EXPECT_EQ(result.stats.plan_invalidations, 0u);
+  EXPECT_EQ(result.stats.completed, 1200u);
+  EXPECT_EQ(result.steady_state_entries_final, 0u);
 }
 
 }  // namespace

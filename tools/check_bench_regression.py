@@ -49,8 +49,20 @@ The "open_loop" array (entries matched by "label"):
                                  leaves zero per-update map entries; a
                                  nonzero value is a leak.
 
-A baseline section without "open_loop" passes with a note (pre-service
-baselines stay green until regenerated).
+The "submission_path" object (the plan-compilation cache):
+
+  * warm_cold_ratio              fails above 0.7 - an absolute bound, not
+                                 baseline-relative: a cache hit must cost
+                                 well under the full compile pipeline or
+                                 the cache has stopped caching.
+  * steady_allocs                fails on ANY nonzero value. Past warmup
+                                 (every template compiled), submissions
+                                 run entirely off warm pools; a single
+                                 allocation in the warm window is a
+                                 regression.
+
+A baseline section without "open_loop" or "submission_path" passes with a
+note (older baselines stay green until regenerated).
 
 Exit status: 0 when every gated metric holds, 1 on regression or malformed
 input. Scenarios present in only one side are reported (new scenarios
@@ -67,7 +79,9 @@ ALLOC_KEY = "steady_allocs"
 THROUGHPUT_KEY = "sustained_per_sec"
 LEFTOVER_KEY = "steady_state_entries_final"
 SERIAL_KEY = "serial_fraction"
+RATIO_KEY = "warm_cold_ratio"
 DEFAULT_TOLERANCE = 0.10
+WARM_COLD_LIMIT = 0.7
 
 
 def load(path):
@@ -263,6 +277,46 @@ def check_open_loop(name, base_doc, fresh_doc, tolerance):
     return failures
 
 
+def check_submission_path(name, base_doc, fresh_doc):
+    """Gates the plan-cache section; both bounds are absolute."""
+    failures = []
+    if not isinstance(base_doc.get("submission_path"), dict):
+        print(f"  {name}/submission_path: no baseline section - passes; "
+              "regenerate the baseline to start gating it")
+        return failures
+    fresh = fresh_doc.get("submission_path")
+    if not isinstance(fresh, dict):
+        return [f"{name}/submission_path: present in baseline but missing "
+                "from the fresh run"]
+
+    ratio = fresh.get(RATIO_KEY)
+    if not isinstance(ratio, (int, float)):
+        failures.append(f"{name}/submission_path: '{RATIO_KEY}' missing")
+    else:
+        verdict = "ok" if ratio <= WARM_COLD_LIMIT else "REGRESSION"
+        print(f"  {name}/submission_path: warm/cold {ratio:.4f} "
+              f"(limit {WARM_COLD_LIMIT}) {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{name}/submission_path: warm submissions cost "
+                f"{ratio:.2f}x a cold compile (limit {WARM_COLD_LIMIT}) - "
+                "the plan cache is no longer paying for itself")
+
+    allocs = fresh.get(ALLOC_KEY)
+    if not isinstance(allocs, int):
+        failures.append(f"{name}/submission_path: '{ALLOC_KEY}' missing")
+    else:
+        verdict = "ok" if allocs == 0 else "REGRESSION"
+        print(f"  {name}/submission_path: {allocs} warm-window "
+              f"allocations (must be 0) {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"{name}/submission_path: {allocs} allocations in the "
+                "warm submission window (cached submissions must stay "
+                "off the heap)")
+    return failures
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
@@ -290,6 +344,7 @@ def main(argv):
         failures.extend(check_parallel(name, base_doc, fresh_doc, tolerance))
         failures.extend(
             check_open_loop(name, base_doc, fresh_doc, tolerance))
+        failures.extend(check_submission_path(name, base_doc, fresh_doc))
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)
